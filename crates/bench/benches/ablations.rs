@@ -1,0 +1,104 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! normalization, quadratic expansion, eager-scan cost, and the
+//! cancellation path in the controller.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mct_bench::synthetic_samples;
+use mct_core::{MetricsPredictor, ModelKind};
+use mct_ml::quadratic_expand;
+use mct_sim::cache::{Cache, CacheConfig};
+use mct_sim::system::{System, SystemConfig};
+use mct_sim::trace::AccessKind;
+use mct_sim::MellowPolicy;
+use mct_workloads::Workload;
+
+fn bench_normalization_ablation(c: &mut Criterion) {
+    // Fitting with vs without baseline normalization: the accuracy story
+    // is in figure2; here we confirm the cost is identical (normalization
+    // must be free enough to always leave on).
+    let samples = synthetic_samples(80, 3);
+    let baseline = samples[0].1;
+    let mut group = c.benchmark_group("normalization");
+    group.sample_size(10);
+    for (name, base) in [("without", None), ("with", Some(baseline))] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &base, |b, base| {
+            b.iter(|| {
+                let mut p = MetricsPredictor::new(ModelKind::QuadraticLasso);
+                p.fit(&samples, *base);
+                std::hint::black_box(&p);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_quadratic_expand(c: &mut Criterion) {
+    let row: Vec<f64> = (1..=10).map(f64::from).collect();
+    c.bench_function("quadratic_expand_10_to_65", |b| {
+        b.iter(|| std::hint::black_box(quadratic_expand(&row)));
+    });
+}
+
+fn bench_eager_scan(c: &mut Criterion) {
+    // Cost of the LLC eager-candidate scan at different thresholds.
+    let mut llc = Cache::new(CacheConfig::llc());
+    for i in 0..100_000u64 {
+        let kind = if i % 2 == 0 { AccessKind::Write } else { AccessKind::Read };
+        llc.access(i % 40_000, kind);
+    }
+    let mut group = c.benchmark_group("eager_scan");
+    for th in [4u32, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(th), &th, |b, &th| {
+            b.iter(|| {
+                let mut l = llc.clone();
+                let mut offered = 0u32;
+                l.scan_eager(th, 64, |_| {
+                    offered += 1;
+                    true
+                });
+                std::hint::black_box(offered)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cancellation_ablation(c: &mut Criterion) {
+    // Simulation cost with cancellation on vs off (extra reissues).
+    const INSTS: u64 = 150_000;
+    let mut group = c.benchmark_group("cancellation");
+    group.sample_size(10);
+    let on = MellowPolicy {
+        slow_latency: 4.0,
+        cancellation: mct_sim::policy::CancellationMode::Both,
+        bank_aware_threshold: Some(4),
+        ..MellowPolicy::default_fast()
+    };
+    let off = MellowPolicy {
+        slow_latency: 4.0,
+        cancellation: mct_sim::policy::CancellationMode::None,
+        bank_aware_threshold: Some(4),
+        ..MellowPolicy::default_fast()
+    };
+    for (name, policy) in [("on", on), ("off", off)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, policy| {
+            b.iter(|| {
+                let mut sys = System::new(SystemConfig::default(), policy.clone());
+                let mut src = Workload::Milc.source(5);
+                sys.run_window(&mut src, INSTS);
+                std::hint::black_box(sys.finalize())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_normalization_ablation,
+    bench_quadratic_expand,
+    bench_eager_scan,
+    bench_cancellation_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Framework-component costs: space enumeration, sampling, phase
+//! detection, and objective selection — everything MCT adds at runtime
+//! besides model fitting (the paper claims "negligible runtime overhead").
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use mct_bench::synthetic_truth;
+use mct_core::{
+    sampling::{feature_based_samples, random_samples},
+    ConfigSpace, Objective, PhaseDetector, PhaseDetectorConfig,
+};
+
+fn bench_space(c: &mut Criterion) {
+    c.bench_function("config_space_enumerate_full", |b| {
+        b.iter(|| std::hint::black_box(ConfigSpace::full(8.0)));
+    });
+    c.bench_function("config_space_enumerate_no_quota", |b| {
+        b.iter(|| std::hint::black_box(ConfigSpace::without_wear_quota()));
+    });
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let space = ConfigSpace::without_wear_quota();
+    c.bench_function("feature_based_samples", |b| {
+        b.iter(|| std::hint::black_box(feature_based_samples(&space, 7)));
+    });
+    c.bench_function("random_samples_77", |b| {
+        b.iter(|| std::hint::black_box(random_samples(&space, 77, 7)));
+    });
+}
+
+fn bench_phase_detector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phase_detector");
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("observe_1000_windows", |b| {
+        b.iter(|| {
+            let mut d = PhaseDetector::new(PhaseDetectorConfig::default());
+            for i in 0..1000u32 {
+                let w = 100.0 + f64::from(i % 7) + if i > 500 { 50.0 } else { 0.0 };
+                std::hint::black_box(d.observe(w));
+            }
+            d.phases_detected()
+        });
+    });
+    group.finish();
+}
+
+fn bench_objective_select(c: &mut Criterion) {
+    let space = ConfigSpace::full(8.0);
+    let predictions: Vec<_> = space.iter().map(synthetic_truth).collect();
+    let objective = Objective::paper_default(8.0);
+    let mut group = c.benchmark_group("objective");
+    group.throughput(Throughput::Elements(predictions.len() as u64));
+    group.bench_function("select_over_full_space", |b| {
+        b.iter(|| std::hint::black_box(objective.select(&predictions)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_space, bench_sampling, bench_phase_detector, bench_objective_select);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Simulator throughput: what makes the brute-force "ideal" sweeps (the
+//! paper's 300,000 compute-hours) tractable in this reproduction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use mct_core::NvmConfig;
+use mct_sim::system::{System, SystemConfig};
+use mct_sim::time::Time;
+use mct_sim::{MellowPolicy, MemConfig, MemoryController};
+use mct_workloads::Workload;
+
+fn bench_system_run(c: &mut Criterion) {
+    const INSTS: u64 = 200_000;
+    let mut group = c.benchmark_group("system_run");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(INSTS));
+    for w in [Workload::Stream, Workload::Gups, Workload::Zeusmp] {
+        group.bench_with_input(BenchmarkId::from_parameter(w.name()), &w, |b, &w| {
+            b.iter(|| {
+                let mut sys =
+                    System::new(SystemConfig::default(), MellowPolicy::default_fast());
+                let mut src = w.source(1);
+                sys.run_window(&mut src, INSTS);
+                std::hint::black_box(sys.finalize())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_policy_cost(c: &mut Criterion) {
+    // Per-policy simulation cost: slow writes mean more queueing work.
+    const INSTS: u64 = 200_000;
+    let mut group = c.benchmark_group("system_run_policies");
+    group.sample_size(10);
+    let policies = [
+        ("default", NvmConfig::default_config()),
+        ("static_baseline", NvmConfig::static_baseline()),
+        ("all_slow_4x", NvmConfig {
+            fast_latency: 4.0,
+            slow_latency: 4.0,
+            ..NvmConfig::default_config()
+        }),
+    ];
+    for (name, cfg) in policies {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut sys = System::new(SystemConfig::default(), cfg.to_policy());
+                let mut src = Workload::Stream.source(1);
+                sys.run_window(&mut src, INSTS);
+                std::hint::black_box(sys.finalize())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_controller_micro(c: &mut Criterion) {
+    // Raw memory-controller event throughput.
+    let mut group = c.benchmark_group("memory_controller");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("issue_10k_reads_round_robin", |b| {
+        b.iter(|| {
+            let mut m = MemoryController::new(
+                MemConfig::default(),
+                MellowPolicy::default_fast(),
+                mct_sim::wear::WearModel::default(),
+                mct_sim::energy::EnergyModel::default(),
+            );
+            let mut ids = Vec::with_capacity(64);
+            for i in 0..10_000u64 {
+                let t = Time::from_ns(i as f64 * 10.0);
+                match m.issue_read(i, t) {
+                    Some(id) => ids.push(id),
+                    None => {
+                        let _ = m.wait_read_space();
+                    }
+                }
+            }
+            std::hint::black_box(m.drain_all())
+        });
+    });
+    group.bench_function("issue_10k_writes_with_drain", |b| {
+        b.iter(|| {
+            let mut m = MemoryController::new(
+                MemConfig::default(),
+                MellowPolicy::static_baseline(),
+                mct_sim::wear::WearModel::default(),
+                mct_sim::energy::EnergyModel::default(),
+            );
+            for i in 0..10_000u64 {
+                let t = Time::from_ns(i as f64 * 20.0);
+                if !m.issue_write(i, t) {
+                    let _ = m.wait_write_space();
+                    let _ = m.issue_write(i, m.now());
+                }
+            }
+            std::hint::black_box(m.drain_all())
+        });
+    });
+    group.finish();
+}
+
+fn bench_warm_clone(c: &mut Criterion) {
+    // The sweep engine's key amortization: cloning a warmed system.
+    let mut sys = System::new(SystemConfig::default(), MellowPolicy::default_fast());
+    let mut src = Workload::Lbm.source(1);
+    sys.warmup(&mut src, Workload::Lbm.warmup_insts());
+    c.bench_function("warmed_system_clone", |b| {
+        b.iter(|| std::hint::black_box(sys.clone()));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_system_run,
+    bench_policy_cost,
+    bench_controller_micro,
+    bench_warm_clone
+);
+criterion_main!(benches);

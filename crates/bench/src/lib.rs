@@ -1,0 +1,67 @@
+//! # mct-bench — benchmark support
+//!
+//! The Criterion benchmarks live in `benches/`; this library crate hosts
+//! the shared fixtures they use (synthetic sample sets, pre-built spaces)
+//! so each bench measures the operation, not fixture construction.
+
+#![warn(missing_docs)]
+
+use mct_core::{ConfigSpace, NvmConfig};
+use mct_sim::stats::Metrics;
+
+/// A smooth synthetic ground-truth used to generate predictor training
+/// data of the right shape (mirrors the sweep landscape qualitatively).
+#[must_use]
+pub fn synthetic_truth(c: &NvmConfig) -> Metrics {
+    let slowdown = 0.3 * (c.fast_latency - 1.0) + 0.15 * (c.slow_latency - 1.0);
+    let cancel = if c.slow_cancellation { 0.05 } else { 0.0 };
+    Metrics {
+        ipc: (1.2 - slowdown + cancel).max(0.1),
+        lifetime_years: 2.0 * c.slow_latency * c.slow_latency + 0.5 * c.fast_latency,
+        energy_j: 5e-3 * (1.0 + slowdown),
+    }
+}
+
+/// `n` training samples over the quota-free space with synthetic targets.
+#[must_use]
+pub fn synthetic_samples(n: usize, seed: u64) -> Vec<(NvmConfig, Metrics)> {
+    let space = ConfigSpace::without_wear_quota();
+    mct_core::sampling::random_samples(&space, n, seed)
+        .into_iter()
+        .map(|c| (c, synthetic_truth(&c)))
+        .collect()
+}
+
+/// Per-application corpora for the offline/hierarchical predictors.
+#[must_use]
+pub fn synthetic_corpus(apps: usize) -> Vec<Vec<(NvmConfig, Metrics)>> {
+    let space = ConfigSpace::without_wear_quota();
+    (0..apps)
+        .map(|a| {
+            let f = 0.5 + a as f64 * 0.25;
+            space
+                .iter()
+                .map(|c| {
+                    let mut m = synthetic_truth(c);
+                    m.ipc *= f;
+                    m.lifetime_years *= f;
+                    m.energy_j *= f;
+                    (*c, m)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_produce_valid_data() {
+        let s = synthetic_samples(20, 1);
+        assert_eq!(s.len(), 20);
+        assert!(s.iter().all(|(_, m)| m.ipc > 0.0 && m.lifetime_years > 0.0));
+        assert_eq!(synthetic_corpus(2).len(), 2);
+    }
+}

@@ -1,0 +1,598 @@
+//! The end-to-end MCT runtime (paper Section 5, Figure 5).
+//!
+//! Per detected phase, the controller:
+//!
+//! 1. measures the static baseline briefly (normalization reference);
+//! 2. runs the *sampling period*: cyclic fine-grained sampling — every
+//!    sample configuration runs for a small unit, looped `rounds` times,
+//!    so all samples see similar memory behaviour despite bursts
+//!    (Section 5.2);
+//! 3. fits the predictor on the samples and predicts all configurations
+//!    (wear quota excluded from the learned space per Section 4.4);
+//! 4. selects the objective-optimal configuration and applies the
+//!    wear-quota fixup (Section 5.3);
+//! 5. runs the *testing period* under the chosen configuration, feeding
+//!    the phase detector and periodically health-checking against the
+//!    baseline, falling back if the choice underperforms (Section 5.4);
+//! 6. on a dramatic phase change, restarts from step 1.
+
+use serde::{Deserialize, Serialize};
+
+use mct_sim::stats::{Metrics, RunStats};
+use mct_sim::system::{System, SystemConfig};
+use mct_sim::trace::AccessSource;
+
+use crate::config::NvmConfig;
+use crate::objective::Objective;
+use crate::optimizer::{optimize, OptimizationResult};
+use crate::phase::{PhaseDetector, PhaseDetectorConfig};
+use crate::predictor::{MetricsPredictor, ModelKind};
+use crate::sampling::{feature_based_samples, random_samples, with_anchors};
+use crate::space::ConfigSpace;
+
+/// Controller parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControllerConfig {
+    /// Simulated system parameters.
+    #[serde(skip, default)]
+    pub system: SystemConfig,
+    /// Predictor family (the paper's finalists: `QuadraticLasso` and
+    /// `GradientBoosting`).
+    pub model: ModelKind,
+    /// Feature-based (true) vs random sampling.
+    pub feature_based_sampling: bool,
+    /// Sample count when random sampling is used.
+    pub n_random_samples: usize,
+    /// Fine-grained sampling unit, instructions (paper: 100 k).
+    pub sample_unit_insts: u64,
+    /// Cyclic rounds over the sample set (paper: T / (N * t)).
+    pub sampling_rounds: usize,
+    /// Exclude wear quota from the learned space (Section 4.4).
+    pub exclude_wear_quota: bool,
+    /// Apply the wear-quota fixup to the selection (Section 5.3).
+    pub quota_fixup: bool,
+    /// Phase-detector parameters.
+    pub phase: PhaseDetectorConfig,
+    /// Instructions of baseline measurement per segment.
+    pub baseline_insts: u64,
+    /// Total detailed instruction budget (after warmup).
+    pub total_insts: u64,
+    /// Warmup instructions before measurement starts.
+    pub warmup_insts: u64,
+    /// Health-check cadence, in phase windows of testing.
+    pub health_check_every_windows: u64,
+    /// Instructions each health check runs the baseline for.
+    pub health_check_insts: u64,
+    /// RNG seed (sampling).
+    pub seed: u64,
+}
+
+impl ControllerConfig {
+    /// A configuration scaled for this reproduction's experiments:
+    /// feature-based sampling (~84 samples), 8 k-instruction units, two
+    /// cyclic rounds, ~1.4 M sampling + ~4 M testing instructions.
+    #[must_use]
+    pub fn paper_scaled() -> ControllerConfig {
+        ControllerConfig {
+            system: SystemConfig::default(),
+            model: ModelKind::GradientBoosting,
+            feature_based_sampling: true,
+            n_random_samples: 77,
+            sample_unit_insts: 2_000,
+            sampling_rounds: 6,
+            exclude_wear_quota: true,
+            quota_fixup: true,
+            phase: PhaseDetectorConfig::default(),
+            baseline_insts: 50_000,
+            total_insts: 8_000_000,
+            warmup_insts: 1_000_000,
+            health_check_every_windows: 5,
+            health_check_insts: 30_000,
+            seed: 17,
+        }
+    }
+
+    /// A small, fast configuration for examples and doctests.
+    #[must_use]
+    pub fn quick_demo() -> ControllerConfig {
+        ControllerConfig {
+            system: SystemConfig::default(),
+            model: ModelKind::QuadraticLasso,
+            feature_based_sampling: false,
+            n_random_samples: 16,
+            sample_unit_insts: 3_000,
+            sampling_rounds: 1,
+            exclude_wear_quota: true,
+            quota_fixup: true,
+            phase: PhaseDetectorConfig {
+                window_insts: 20_000,
+                history_windows: 50,
+                recent_windows: 5,
+                score_threshold: 15.0,
+            },
+            baseline_insts: 15_000,
+            total_insts: 400_000,
+            warmup_insts: 100_000,
+            health_check_every_windows: 8,
+            health_check_insts: 10_000,
+            seed: 17,
+        }
+    }
+}
+
+/// Accumulates raw run quantities so metrics can be aggregated across
+/// many measurement windows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+struct MetricAccum {
+    insts: u64,
+    cycles: f64,
+    wear_units: f64,
+    elapsed_secs: f64,
+    energy_j: f64,
+}
+
+impl MetricAccum {
+    fn add(&mut self, stats: &RunStats) {
+        self.insts += stats.instructions;
+        self.cycles += stats.cpu_cycles;
+        self.wear_units += stats.wear_units;
+        self.elapsed_secs += stats.elapsed.as_secs();
+        self.energy_j += stats.energy.total();
+    }
+
+    fn metrics(&self, wear_budget: f64) -> Metrics {
+        let ipc = if self.cycles > 0.0 { self.insts as f64 / self.cycles } else { 0.0 };
+        let lifetime_years = if self.wear_units > 0.0 && self.elapsed_secs > 0.0 {
+            wear_budget / (self.wear_units / self.elapsed_secs)
+                / mct_sim::wear::SECONDS_PER_YEAR
+        } else {
+            f64::INFINITY
+        };
+        Metrics { ipc, lifetime_years, energy_j: self.energy_j }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.insts == 0
+    }
+}
+
+/// Report for one sampling→optimize→test segment (one detected phase).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SegmentReport {
+    /// The optimization outcome for this segment.
+    pub optimization: OptimizationResult,
+    /// Baseline metrics measured at segment start.
+    pub baseline: Metrics,
+    /// Aggregate metrics over this segment's sampling period.
+    pub sampling: Metrics,
+    /// Aggregate metrics over this segment's testing period.
+    pub testing: Metrics,
+    /// Whether a health check demoted the choice back to the baseline.
+    pub health_fallback: bool,
+    /// Sampling instructions spent.
+    pub sampling_insts: u64,
+    /// Testing instructions spent.
+    pub testing_insts: u64,
+}
+
+/// Overall outcome of a controller run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Outcome {
+    /// The last chosen configuration.
+    pub chosen_config: NvmConfig,
+    /// Aggregate metrics across all testing periods.
+    pub final_metrics: Metrics,
+    /// Aggregate metrics across all sampling periods (Figure 9's
+    /// overhead numerator).
+    pub sampling_metrics: Metrics,
+    /// The last baseline measurement.
+    pub baseline_metrics: Metrics,
+    /// Phase changes detected.
+    pub phases_detected: u64,
+    /// Per-segment details.
+    pub segments: Vec<SegmentReport>,
+    /// Total sampling instructions.
+    pub sampling_insts: u64,
+    /// Total testing instructions.
+    pub testing_insts: u64,
+}
+
+impl Outcome {
+    /// Extrapolated IPC when the testing period is `alpha` times the
+    /// sampling period (paper Eq. 4):
+    /// `IPC_total = (IPC_sampling + alpha * IPC_testing) / (1 + alpha)`.
+    #[must_use]
+    pub fn extrapolated_ipc(&self, alpha: f64) -> f64 {
+        (self.sampling_metrics.ipc + alpha * self.final_metrics.ipc) / (1.0 + alpha)
+    }
+
+    /// Extrapolated energy under the same model (energy totals are scaled
+    /// to per-instruction terms before mixing).
+    #[must_use]
+    pub fn extrapolated_energy_per_inst(&self, alpha: f64) -> f64 {
+        let sampling_epi = if self.sampling_insts > 0 {
+            self.sampling_metrics.energy_j / self.sampling_insts as f64
+        } else {
+            0.0
+        };
+        let testing_epi = if self.testing_insts > 0 {
+            self.final_metrics.energy_j / self.testing_insts as f64
+        } else {
+            0.0
+        };
+        (sampling_epi + alpha * testing_epi) / (1.0 + alpha)
+    }
+}
+
+/// The MCT runtime controller.
+#[derive(Debug)]
+pub struct Controller {
+    cfg: ControllerConfig,
+    objective: Objective,
+    space: ConfigSpace,
+    samples: Vec<NvmConfig>,
+    baseline_config: NvmConfig,
+}
+
+impl Controller {
+    /// Build a controller.
+    ///
+    /// # Panics
+    /// Panics if the objective fails validation.
+    #[must_use]
+    pub fn new(cfg: ControllerConfig, objective: Objective) -> Controller {
+        objective.validate().expect("invalid objective");
+        let space = if cfg.exclude_wear_quota {
+            ConfigSpace::without_wear_quota()
+        } else {
+            ConfigSpace::full(objective.lifetime_floor().unwrap_or(8.0))
+        };
+        let raw_samples = if cfg.feature_based_sampling {
+            feature_based_samples(&space, cfg.seed)
+        } else {
+            random_samples(&space, cfg.n_random_samples.min(space.len()), cfg.seed)
+        };
+        let anchors =
+            [NvmConfig::default_config(), NvmConfig::static_baseline().without_wear_quota()];
+        let samples = with_anchors(raw_samples, &anchors);
+        Controller {
+            cfg,
+            objective,
+            space,
+            samples,
+            baseline_config: NvmConfig::static_baseline(),
+        }
+    }
+
+    /// The sample configurations the controller will exercise.
+    #[must_use]
+    pub fn samples(&self) -> &[NvmConfig] {
+        &self.samples
+    }
+
+    /// The learnable configuration space.
+    #[must_use]
+    pub fn space(&self) -> &ConfigSpace {
+        &self.space
+    }
+
+    /// The objective in force.
+    #[must_use]
+    pub fn objective(&self) -> &Objective {
+        &self.objective
+    }
+
+    /// Run MCT over `source` for the configured budget.
+    pub fn run<S: AccessSource>(&mut self, source: &mut S) -> Outcome {
+        let wear_budget = self.cfg.system.wear.budget();
+        let mut sys = System::new(self.cfg.system.clone(), self.baseline_config.to_policy());
+        sys.warmup(source, self.cfg.warmup_insts);
+
+        let mut detector = PhaseDetector::new(self.cfg.phase);
+        let mut segments: Vec<SegmentReport> = Vec::new();
+        let mut total_sampling = MetricAccum::default();
+        let mut total_testing = MetricAccum::default();
+        let mut executed: u64 = 0;
+        let mut last_baseline = Metrics { ipc: 1.0, lifetime_years: 1.0, energy_j: 1.0 };
+        let mut chosen = self.baseline_config;
+
+        while executed < self.cfg.total_insts {
+            // --- Baseline measurement (normalization reference). ---
+            let mut baseline_stats =
+                self.measure(&mut sys, source, self.baseline_config, self.cfg.baseline_insts);
+            // Sparse phases need a longer window before the measurement
+            // means anything; extend until ~1000 accesses were observed.
+            let observed =
+                baseline_stats.mem.reads_completed + baseline_stats.mem.writes_completed();
+            if observed < 1_000 && observed > 0 {
+                let extend = self.cfg.baseline_insts * (1_000 / observed.max(50)).min(50);
+                let more = self.measure(&mut sys, source, self.baseline_config, extend);
+                executed += more.instructions;
+                baseline_stats = more;
+            }
+            executed += self.cfg.baseline_insts;
+            last_baseline = baseline_stats.metrics();
+
+            // Size the fine-grained sampling unit from the phase's mean
+            // memory workload (Section 5.2): dense phases use small units,
+            // sparse phases larger ones, targeting ~100 accesses per unit.
+            // Many cyclic rounds spread each sample's units across the
+            // phase's bursts (the paper loops ~130 times); the sampling
+            // period is capped at ~40% of the total budget by shrinking
+            // the unit, never the round count, so burst coverage survives.
+            let apki = baseline_stats.mem_accesses_per_kinst().max(0.5);
+            let ideal_unit = self.cfg.sample_unit_insts.max((100.0 / apki * 1e3) as u64);
+            let n_samples = self.samples.len() as u64;
+            let sampling_budget = (self.cfg.total_insts as f64 * 0.4) as u64;
+            let rounds = self.cfg.sampling_rounds.max(1);
+            let unit_insts = ideal_unit
+                .min(sampling_budget / (n_samples * rounds as u64))
+                .max(1_000);
+
+            // --- Sampling period: cyclic fine-grained sampling. ---
+            let mut accums = vec![MetricAccum::default(); self.samples.len()];
+            let mut seg_sampling = MetricAccum::default();
+            for _round in 0..rounds {
+                for (i, cfg) in self.samples.clone().into_iter().enumerate() {
+                    let stats = self.measure(&mut sys, source, cfg, unit_insts);
+                    executed += stats.instructions;
+                    accums[i].add(&stats);
+                    seg_sampling.add(&stats);
+                    total_sampling.add(&stats);
+                }
+            }
+            let sample_data: Vec<(NvmConfig, Metrics)> = self
+                .samples
+                .iter()
+                .zip(&accums)
+                .map(|(c, a)| (*c, a.metrics(wear_budget)))
+                .collect();
+
+            // Normalize to the *cyclically sampled* baseline anchor: the
+            // pre-window baseline above can land inside a single burst
+            // phase, while the anchor sample saw the same phase mixture as
+            // every other sample (the whole point of cyclic fine-grained
+            // sampling, Section 5.2).
+            let anchor = NvmConfig::static_baseline().without_wear_quota();
+            if let Some(idx) = self.samples.iter().position(|c| *c == anchor) {
+                last_baseline = accums[idx].metrics(wear_budget);
+            }
+            // Health-check reference: accumulated windows of the *actual*
+            // baseline (with its wear quota). The anchor above is
+            // quota-free and would read systematically fast.
+            let mut base_accum = MetricAccum::default();
+            let mut health_checks = 0u32;
+
+            // --- Prediction over the full space. ---
+            let mut predictor = MetricsPredictor::new(self.cfg.model);
+            predictor.fit(&sample_data, Some(last_baseline));
+            let predictions = predictor.predict_all(&self.space);
+
+            // --- Constrained optimization + wear-quota fixup. ---
+            let opt = optimize(
+                &self.space,
+                &predictions,
+                &self.objective,
+                self.baseline_config,
+                self.cfg.quota_fixup,
+            );
+            chosen = opt.config;
+
+            // --- Testing period with health checks & phase detection. ---
+            // The measured region is finalized only at health-check and
+            // phase boundaries (not per window): finalizing drains the
+            // write queues, and doing so every window would deflate the
+            // testing IPC relative to the long-window methodology the
+            // static/ideal references are measured with.
+            sys.set_policy(chosen.to_policy());
+            sys.run_window(source, self.cfg.phase.window_insts / 4); // settle
+            executed += self.cfg.phase.window_insts / 4;
+            sys.reset_stats();
+            detector.reset();
+            let mut seg_testing = MetricAccum::default();
+            let mut health_fallback = false;
+            let mut windows: u64 = 0;
+            let mut phase_change = false;
+            while executed < self.cfg.total_insts {
+                let before = sys.perf_counters();
+                sys.run_window(source, self.cfg.phase.window_insts);
+                let after = sys.perf_counters();
+                executed += self.cfg.phase.window_insts;
+                windows += 1;
+                let workload = after.workload_since(&before) as f64;
+                if detector.observe(workload) {
+                    phase_change = true;
+                }
+                if phase_change {
+                    let stats = sys.finalize();
+                    seg_testing.add(&stats);
+                    total_testing.add(&stats);
+                    sys.reset_stats();
+                    break;
+                }
+                // Periodic health check: run the baseline briefly and
+                // demote the choice if it underperforms (Section 5.4).
+                if !health_fallback
+                    && self.cfg.health_check_every_windows > 0
+                    && windows.is_multiple_of(self.cfg.health_check_every_windows)
+                {
+                    let stats = sys.finalize();
+                    seg_testing.add(&stats);
+                    total_testing.add(&stats);
+                    sys.reset_stats();
+                    let hc = self.measure(
+                        &mut sys,
+                        source,
+                        self.baseline_config,
+                        self.cfg.health_check_insts,
+                    );
+                    executed += hc.instructions;
+                    // Accumulate baseline health-check windows so the
+                    // reference covers the same phase mixture the testing
+                    // aggregate does (one window is burst-biased); only
+                    // act once at least two windows accumulated.
+                    base_accum.add(&hc);
+                    health_checks += 1;
+                    let health_baseline = base_accum.metrics(wear_budget);
+                    let testing_so_far = seg_testing.metrics(wear_budget);
+                    if health_checks >= 2 && testing_so_far.ipc < health_baseline.ipc * 0.95 {
+                        health_fallback = true;
+                        chosen = self.baseline_config;
+                    }
+                    sys.set_policy(chosen.to_policy());
+                    sys.run_window(source, self.cfg.phase.window_insts / 4);
+                    executed += self.cfg.phase.window_insts / 4;
+                    sys.reset_stats();
+                }
+            }
+            // Flush the tail of the measured region.
+            {
+                let stats = sys.finalize();
+                if stats.instructions > 0 {
+                    seg_testing.add(&stats);
+                    total_testing.add(&stats);
+                }
+                sys.reset_stats();
+            }
+
+            segments.push(SegmentReport {
+                optimization: opt,
+                baseline: last_baseline,
+                sampling: seg_sampling.metrics(wear_budget),
+                testing: if seg_testing.is_empty() {
+                    seg_sampling.metrics(wear_budget)
+                } else {
+                    seg_testing.metrics(wear_budget)
+                },
+                health_fallback,
+                sampling_insts: seg_sampling.insts,
+                testing_insts: seg_testing.insts,
+            });
+        }
+
+        let final_metrics = if total_testing.is_empty() {
+            total_sampling.metrics(wear_budget)
+        } else {
+            total_testing.metrics(wear_budget)
+        };
+        Outcome {
+            chosen_config: chosen,
+            final_metrics,
+            sampling_metrics: total_sampling.metrics(wear_budget),
+            baseline_metrics: last_baseline,
+            phases_detected: detector.phases_detected(),
+            segments,
+            sampling_insts: total_sampling.insts,
+            testing_insts: total_testing.insts,
+        }
+    }
+
+    /// Run one measurement window under `config` and return its stats.
+    ///
+    /// A settle window (one quarter of the measurement) runs between the
+    /// policy switch and the measured region: switching drains the memory
+    /// queues, and queue-occupancy-dependent behaviour (bank-aware issue,
+    /// drain mode) is unrepresentative until they refill.
+    fn measure<S: AccessSource>(
+        &self,
+        sys: &mut System,
+        source: &mut S,
+        config: NvmConfig,
+        insts: u64,
+    ) -> RunStats {
+        sys.set_policy(config.to_policy());
+        sys.run_window(source, (insts / 4).max(500));
+        sys.reset_stats();
+        sys.run_window(source, insts);
+        let stats = sys.finalize();
+        sys.reset_stats();
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mct_workloads::Workload;
+
+    fn quick() -> ControllerConfig {
+        ControllerConfig::quick_demo()
+    }
+
+    #[test]
+    fn runs_end_to_end_on_stream() {
+        let mut c = Controller::new(quick(), Objective::paper_default(8.0));
+        let outcome = c.run(&mut Workload::Stream.source(3));
+        assert!(outcome.final_metrics.ipc > 0.0);
+        assert!(!outcome.segments.is_empty());
+        assert!(outcome.testing_insts > 0);
+        assert!(outcome.sampling_insts > 0);
+        outcome.chosen_config.validate().unwrap();
+    }
+
+    #[test]
+    fn quota_fixup_applied_to_choice() {
+        let mut c = Controller::new(quick(), Objective::paper_default(8.0));
+        let outcome = c.run(&mut Workload::Stream.source(3));
+        let seg = &outcome.segments[0];
+        if !seg.health_fallback && !seg.optimization.fell_back {
+            assert!(seg.optimization.config.wear_quota);
+            assert_eq!(seg.optimization.config.wear_quota_target, 8.0);
+        }
+    }
+
+    #[test]
+    fn samples_include_anchors() {
+        let c = Controller::new(quick(), Objective::paper_default(8.0));
+        assert!(c.samples().iter().any(|s| *s == NvmConfig::default_config()));
+        assert!(c
+            .samples()
+            .iter()
+            .any(|s| *s == NvmConfig::static_baseline().without_wear_quota()));
+    }
+
+    #[test]
+    fn feature_based_controller_has_more_samples() {
+        let mut cfg = quick();
+        cfg.feature_based_sampling = true;
+        let c = Controller::new(cfg, Objective::paper_default(8.0));
+        assert!(c.samples().len() >= 60);
+    }
+
+    #[test]
+    fn extrapolation_formula() {
+        let outcome = Outcome {
+            chosen_config: NvmConfig::default_config(),
+            final_metrics: Metrics { ipc: 1.0, lifetime_years: 8.0, energy_j: 10.0 },
+            sampling_metrics: Metrics { ipc: 0.5, lifetime_years: 8.0, energy_j: 2.0 },
+            baseline_metrics: Metrics { ipc: 0.9, lifetime_years: 8.0, energy_j: 9.0 },
+            phases_detected: 0,
+            segments: vec![],
+            sampling_insts: 1000,
+            testing_insts: 1000,
+        };
+        // alpha = 1: mean of sampling and testing IPC.
+        assert!((outcome.extrapolated_ipc(1.0) - 0.75).abs() < 1e-12);
+        // alpha -> large: approaches testing IPC.
+        assert!((outcome.extrapolated_ipc(1e9) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ocean_phases_trigger_resampling() {
+        let mut cfg = quick();
+        // Long enough to cross ocean's 2M-instruction phase boundary.
+        cfg.total_insts = 3_000_000;
+        cfg.warmup_insts = 200_000;
+        cfg.phase.window_insts = 50_000;
+        cfg.phase.history_windows = 40;
+        cfg.phase.recent_windows = 4;
+        let mut c = Controller::new(cfg, Objective::paper_default(8.0));
+        let outcome = c.run(&mut Workload::Ocean.source(5));
+        assert!(
+            outcome.segments.len() >= 2,
+            "ocean's coarse phases should trigger resampling (got {} segments, {} phases)",
+            outcome.segments.len(),
+            outcome.phases_detected
+        );
+    }
+}

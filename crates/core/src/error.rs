@@ -1,0 +1,46 @@
+//! Error types for the MCT framework.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the MCT framework.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MctError {
+    /// A configuration violated a structural constraint.
+    InvalidConfig(String),
+    /// An objective was structurally unsatisfiable or malformed.
+    InvalidObjective(String),
+    /// No configuration satisfied the hard constraints.
+    Infeasible(String),
+}
+
+impl fmt::Display for MctError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MctError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            MctError::InvalidObjective(m) => write!(f, "invalid objective: {m}"),
+            MctError::Infeasible(m) => write!(f, "no feasible configuration: {m}"),
+        }
+    }
+}
+
+impl Error for MctError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(MctError::Infeasible("lifetime >= 8".into())
+            .to_string()
+            .contains("no feasible configuration"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn bounds<T: Error + Send + Sync + 'static>() {}
+        bounds::<MctError>();
+    }
+}

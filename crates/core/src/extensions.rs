@@ -1,0 +1,214 @@
+//! Extensions beyond the paper's case study: the two remaining Table 1
+//! tradeoffs.
+//!
+//! The paper argues MCT generalizes to "architectural techniques in NVMs
+//! that involve these three features" — write latency, slow-write latency
+//! and cancellation — citing write-latency-vs-retention (\[24\]\[53\]\[23\]) and
+//! read-latency-vs-disturbance (\[30\]\[48\]) as examples. This module makes
+//! that concrete: [`ExtendedNvmConfig`] augments the paper's 10-dimensional
+//! vector with retention-relaxed writes and turbo reads (both implemented
+//! for real in `mct-sim`), and [`extended_space`] enumerates a learnable
+//! space over them so the unchanged predictor/optimizer pipeline can run.
+
+use serde::{Deserialize, Serialize};
+
+use mct_sim::policy::{MellowPolicy, RetentionRelax, TurboRead};
+
+use crate::config::NvmConfig;
+use crate::error::MctError;
+use crate::space::ConfigSpace;
+
+/// Retention-relax levels exposed to the learner (write speedup).
+pub const RETENTION_SPEEDUPS: [f64; 3] = [0.5, 0.625, 0.75];
+
+/// Retention window used for all relax levels, ns (scaled to simulation
+/// windows the way the paper scales instruction budgets).
+pub const RETENTION_WINDOW_NS: f64 = 200_000.0;
+
+/// Turbo-read levels exposed to the learner (read speedup).
+pub const TURBO_SPEEDUPS: [f64; 2] = [0.5, 0.7];
+
+/// Turbo-read disturb thresholds.
+pub const DISTURB_THRESHOLDS: [u32; 2] = [32, 128];
+
+/// A configuration in the extended (12-ish dimensional) space.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExtendedNvmConfig {
+    /// The paper's base configuration.
+    pub base: NvmConfig,
+    /// Retention-relaxed fast writes (write speedup), `None` = off.
+    pub retention_speedup: Option<f64>,
+    /// Turbo reads: (read speedup, disturb threshold), `None` = off.
+    pub turbo: Option<(f64, u32)>,
+}
+
+impl ExtendedNvmConfig {
+    /// A plain (paper-space) configuration.
+    #[must_use]
+    pub fn plain(base: NvmConfig) -> ExtendedNvmConfig {
+        ExtendedNvmConfig { base, retention_speedup: None, turbo: None }
+    }
+
+    /// Validate base constraints plus extension ranges.
+    ///
+    /// # Errors
+    /// Returns [`MctError::InvalidConfig`] on violations.
+    pub fn validate(&self) -> Result<(), MctError> {
+        self.base.validate()?;
+        if let Some(s) = self.retention_speedup {
+            if !(s > 0.0 && s < 1.0) {
+                return Err(MctError::InvalidConfig(
+                    "retention speedup must be in (0, 1)".to_string(),
+                ));
+            }
+        }
+        if let Some((s, th)) = self.turbo {
+            if !(s > 0.0 && s < 1.0) || th == 0 {
+                return Err(MctError::InvalidConfig(
+                    "turbo read parameters out of range".to_string(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Lower to the simulator policy.
+    #[must_use]
+    pub fn to_policy(&self) -> MellowPolicy {
+        let mut policy = self.base.to_policy();
+        policy.retention = self.retention_speedup.map(|write_speedup| RetentionRelax {
+            write_speedup,
+            retention_ns: RETENTION_WINDOW_NS,
+        });
+        policy.turbo_read =
+            self.turbo.map(|(read_speedup, disturb_threshold)| TurboRead {
+                read_speedup,
+                disturb_threshold,
+            });
+        policy
+    }
+
+    /// The 13-dimensional learning vector: the paper's 10 dims plus
+    /// `[retention_on, retention_speedup, turbo_on... ]` compressed to
+    /// three extra features (`retention speedup` with 1.0 = off, `turbo
+    /// speedup` with 1.0 = off, `disturb threshold` with 0 = off).
+    #[must_use]
+    pub fn to_vector(&self) -> Vec<f64> {
+        let mut v = self.base.to_vector().to_vec();
+        v.push(self.retention_speedup.unwrap_or(1.0));
+        v.push(self.turbo.map_or(1.0, |(s, _)| s));
+        v.push(self.turbo.map_or(0.0, |(_, th)| f64::from(th)));
+        v
+    }
+}
+
+impl std::fmt::Display for ExtendedNvmConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.base)?;
+        if let Some(s) = self.retention_speedup {
+            write!(f, " ret:{s:.2}")?;
+        }
+        if let Some((s, th)) = self.turbo {
+            write!(f, " turbo:{s:.1}/{th}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Enumerate an extended learnable space: every quota-free base config
+/// crossed with the extension levels (off + the published grids).
+///
+/// The full cross product would be ~2030 x 12; `base_stride` thins the
+/// base space to keep sweeps tractable.
+#[must_use]
+pub fn extended_space(base_stride: usize) -> Vec<ExtendedNvmConfig> {
+    let base = ConfigSpace::without_wear_quota();
+    let mut out = Vec::new();
+    let retention_opts: Vec<Option<f64>> = std::iter::once(None)
+        .chain(RETENTION_SPEEDUPS.into_iter().map(Some))
+        .collect();
+    let turbo_opts: Vec<Option<(f64, u32)>> = std::iter::once(None)
+        .chain(TURBO_SPEEDUPS.into_iter().flat_map(|s| {
+            DISTURB_THRESHOLDS.into_iter().map(move |th| Some((s, th)))
+        }))
+        .collect();
+    for cfg in base.configs().iter().step_by(base_stride.max(1)) {
+        for &retention_speedup in &retention_opts {
+            for &turbo in &turbo_opts {
+                let ext = ExtendedNvmConfig { base: *cfg, retention_speedup, turbo };
+                debug_assert!(ext.validate().is_ok());
+                out.push(ext);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_config_round_trips() {
+        let e = ExtendedNvmConfig::plain(NvmConfig::static_baseline());
+        e.validate().unwrap();
+        assert_eq!(e.to_policy(), NvmConfig::static_baseline().to_policy());
+        assert_eq!(e.to_vector().len(), 13);
+        assert_eq!(e.to_vector()[10], 1.0, "retention off encodes as 1.0");
+    }
+
+    #[test]
+    fn extended_policy_carries_extensions() {
+        let e = ExtendedNvmConfig {
+            base: NvmConfig::default_config(),
+            retention_speedup: Some(0.5),
+            turbo: Some((0.7, 32)),
+        };
+        e.validate().unwrap();
+        let p = e.to_policy();
+        assert_eq!(p.retention.unwrap().write_speedup, 0.5);
+        assert_eq!(p.turbo_read.unwrap().disturb_threshold, 32);
+        let v = e.to_vector();
+        assert_eq!(v[10], 0.5);
+        assert_eq!(v[11], 0.7);
+        assert_eq!(v[12], 32.0);
+    }
+
+    #[test]
+    fn invalid_extensions_rejected() {
+        let e = ExtendedNvmConfig {
+            base: NvmConfig::default_config(),
+            retention_speedup: Some(1.5),
+            turbo: None,
+        };
+        assert!(e.validate().is_err());
+        let e = ExtendedNvmConfig {
+            base: NvmConfig::default_config(),
+            retention_speedup: None,
+            turbo: Some((0.5, 0)),
+        };
+        assert!(e.validate().is_err());
+    }
+
+    #[test]
+    fn extended_space_enumerates_cross_product() {
+        let space = extended_space(64);
+        // 4 retention options x 5 turbo options per base config.
+        assert_eq!(space.len() % 20, 0);
+        assert!(space.iter().any(|e| e.retention_speedup.is_some() && e.turbo.is_some()));
+        for e in &space {
+            e.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn display_includes_extensions() {
+        let e = ExtendedNvmConfig {
+            base: NvmConfig::default_config(),
+            retention_speedup: Some(0.5),
+            turbo: Some((0.7, 32)),
+        };
+        let s = e.to_string();
+        assert!(s.contains("ret:0.50") && s.contains("turbo:0.7/32"));
+    }
+}

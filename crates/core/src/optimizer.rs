@@ -1,0 +1,125 @@
+//! Constrained selection over predicted metrics, with the wear-quota
+//! fixup (paper Section 5.3).
+
+use serde::{Deserialize, Serialize};
+
+use mct_sim::stats::Metrics;
+
+use crate::config::NvmConfig;
+use crate::objective::Objective;
+use crate::space::ConfigSpace;
+
+/// The outcome of one optimization pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimizationResult {
+    /// The selected configuration, after any wear-quota fixup.
+    pub config: NvmConfig,
+    /// The selected configuration before the fixup.
+    pub config_before_fixup: NvmConfig,
+    /// Predicted metrics of the selection.
+    pub predicted: Metrics,
+    /// Whether the selection fell back (no feasible prediction).
+    pub fell_back: bool,
+}
+
+/// Select the objective-optimal configuration from per-configuration
+/// predictions.
+///
+/// * `space` and `predictions` must be parallel (as produced by
+///   [`crate::predictor::MetricsPredictor::predict_all`]).
+/// * When no configuration satisfies the constraints, falls back to
+///   `fallback` (the static baseline in the full controller) — the paper's
+///   guarantee that MCT never does worse than the baseline by
+///   construction.
+/// * When `quota_fixup` is true and the objective carries a lifetime
+///   floor, the chosen configuration gets wear quota at that target —
+///   "the last resort to ensure lifetime goals are met despite inaccurate
+///   predictions".
+///
+/// # Panics
+/// Panics if `space` and `predictions` lengths differ.
+#[must_use]
+pub fn optimize(
+    space: &ConfigSpace,
+    predictions: &[Metrics],
+    objective: &Objective,
+    fallback: NvmConfig,
+    quota_fixup: bool,
+) -> OptimizationResult {
+    assert_eq!(space.len(), predictions.len(), "predictions must cover the space");
+    let (config_before_fixup, predicted, fell_back) = match objective.select(predictions) {
+        Some(i) => (space.configs()[i], predictions[i], false),
+        None => (
+            fallback,
+            Metrics { ipc: 0.0, lifetime_years: 0.0, energy_j: 0.0 },
+            true,
+        ),
+    };
+    let config = match (quota_fixup, objective.lifetime_floor()) {
+        (true, Some(target)) => config_before_fixup.with_wear_quota(target),
+        _ => config_before_fixup,
+    };
+    OptimizationResult { config, config_before_fixup, predicted, fell_back }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::Objective;
+
+    fn fake_predictions(space: &ConfigSpace) -> Vec<Metrics> {
+        space
+            .iter()
+            .map(|c| Metrics {
+                ipc: 1.5 - 0.2 * c.fast_latency - 0.05 * c.slow_latency,
+                lifetime_years: 2.0 * c.slow_latency * c.slow_latency,
+                energy_j: 4.0 + c.fast_latency,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn picks_feasible_optimum_and_applies_fixup() {
+        let space = ConfigSpace::without_wear_quota();
+        let preds = fake_predictions(&space);
+        let obj = Objective::paper_default(8.0);
+        let res = optimize(&space, &preds, &obj, NvmConfig::static_baseline(), true);
+        assert!(!res.fell_back);
+        // Fixup: wear quota at the 8-year floor.
+        assert!(res.config.wear_quota);
+        assert_eq!(res.config.wear_quota_target, 8.0);
+        assert!(!res.config_before_fixup.wear_quota);
+        // The prediction for the selection satisfies the floor.
+        assert!(res.predicted.lifetime_years >= 8.0);
+    }
+
+    #[test]
+    fn no_fixup_when_disabled() {
+        let space = ConfigSpace::without_wear_quota();
+        let preds = fake_predictions(&space);
+        let obj = Objective::paper_default(8.0);
+        let res = optimize(&space, &preds, &obj, NvmConfig::static_baseline(), false);
+        assert!(!res.config.wear_quota);
+    }
+
+    #[test]
+    fn falls_back_when_infeasible() {
+        let space = ConfigSpace::without_wear_quota();
+        let preds = fake_predictions(&space);
+        // Impossible lifetime floor.
+        let obj = Objective::paper_default(1e9);
+        let res = optimize(&space, &preds, &obj, NvmConfig::static_baseline(), true);
+        assert!(res.fell_back);
+        // Fallback keeps the baseline, with quota at the floor.
+        assert_eq!(res.config.without_wear_quota(), NvmConfig::static_baseline().without_wear_quota());
+    }
+
+    #[test]
+    fn no_lifetime_floor_means_no_fixup() {
+        let space = ConfigSpace::without_wear_quota();
+        let preds = fake_predictions(&space);
+        let obj = Objective::embedded(100.0);
+        let res = optimize(&space, &preds, &obj, NvmConfig::static_baseline(), true);
+        assert!(!res.config.wear_quota);
+    }
+}

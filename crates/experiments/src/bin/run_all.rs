@@ -1,0 +1,38 @@
+//! Run every experiment binary in order, forwarding `--scale`.
+//!
+//! `cargo run --release -p mct-experiments --bin run_all -- --scale quick`
+
+use std::process::Command;
+
+const ORDER: [&str; 14] = [
+    "config_space",
+    "calibrate",
+    "table4",
+    "figure1",
+    "table6",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "extensions",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let me = std::env::current_exe().expect("current exe path");
+    let dir = me.parent().expect("exe dir");
+    for bin in ORDER {
+        println!("\n################ {bin} ################\n");
+        let path = dir.join(bin);
+        let status = Command::new(&path)
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {path:?}: {e}"));
+        assert!(status.success(), "{bin} exited with {status}");
+    }
+    println!("\nAll experiments completed.");
+}

@@ -1,0 +1,199 @@
+//! On-disk sweep cache.
+//!
+//! Brute-force sweeps are the expensive part of the reproduction (the
+//! paper burned 300,000 compute-hours on them); results are cached as
+//! JSON under `data/` so figures can be re-rendered instantly.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use mct_core::NvmConfig;
+use mct_sim::stats::Metrics;
+use mct_workloads::Workload;
+
+use crate::runner::sweep;
+use crate::scale::Scale;
+
+/// Bump when the simulator/workload calibration changes incompatibly:
+/// stale caches are ignored.
+pub const CACHE_VERSION: u32 = 3;
+
+/// A cached brute-force sweep for one workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepDataset {
+    /// Cache format/calibration version.
+    pub version: u32,
+    /// Workload name.
+    pub workload: String,
+    /// Scale tag the sweep ran at.
+    pub scale: String,
+    /// Space stride used.
+    pub stride: usize,
+    /// The measured configurations.
+    pub configs: Vec<NvmConfig>,
+    /// Parallel metrics.
+    pub metrics: Vec<Metrics>,
+}
+
+impl SweepDataset {
+    /// Pairs of (config, metrics).
+    #[must_use]
+    pub fn pairs(&self) -> Vec<(NvmConfig, Metrics)> {
+        self.configs.iter().copied().zip(self.metrics.iter().copied()).collect()
+    }
+
+    /// Metrics of the first configuration equal to `cfg`, if measured.
+    #[must_use]
+    pub fn metrics_of(&self, cfg: &NvmConfig) -> Option<Metrics> {
+        self.configs.iter().position(|c| c == cfg).map(|i| self.metrics[i])
+    }
+}
+
+/// Default cache directory (workspace `data/`), overridable with
+/// `MCT_DATA_DIR`.
+#[must_use]
+pub fn data_dir() -> PathBuf {
+    std::env::var_os("MCT_DATA_DIR")
+        .map_or_else(|| PathBuf::from("data"), PathBuf::from)
+}
+
+/// Cache files are keyed by workload, scale, stride *and* the number of
+/// configurations: the full and quota-free spaces produce different lists
+/// and must not clobber each other's caches.
+fn cache_path(
+    dir: &Path,
+    workload: Workload,
+    scale: Scale,
+    stride: usize,
+    n_configs: usize,
+) -> PathBuf {
+    dir.join(format!(
+        "sweep_{}_{}_s{}_n{}.json",
+        workload.name(),
+        scale.tag(),
+        stride,
+        n_configs
+    ))
+}
+
+/// Load a cached sweep of `configs` for `workload`, or compute and cache
+/// it. `configs` should already be strided per the scale.
+///
+/// # Panics
+/// Panics on unwritable cache directories or corrupt JSON (delete the
+/// file to recompute).
+#[must_use]
+pub fn load_or_compute_sweep(
+    workload: Workload,
+    configs: &[NvmConfig],
+    scale: Scale,
+    seed: u64,
+) -> SweepDataset {
+    let dir = data_dir();
+    let path = cache_path(&dir, workload, scale, scale.space_stride(), configs.len());
+    if let Ok(text) = fs::read_to_string(&path) {
+        if let Ok(ds) = serde_json::from_str::<SweepDataset>(&text) {
+            if ds.version == CACHE_VERSION && ds.configs == configs {
+                return ds;
+            }
+            eprintln!("note: stale cache {path:?}; recomputing");
+        }
+    }
+    let t0 = std::time::Instant::now();
+    eprintln!(
+        "sweeping {} over {} configs at scale {scale} ...",
+        workload.name(),
+        configs.len()
+    );
+    let metrics = sweep(workload, configs, scale, seed);
+    eprintln!("  done in {:.1}s", t0.elapsed().as_secs_f64());
+    let ds = SweepDataset {
+        version: CACHE_VERSION,
+        workload: workload.name().to_string(),
+        scale: scale.tag().to_string(),
+        stride: scale.space_stride(),
+        configs: configs.to_vec(),
+        metrics,
+    };
+    fs::create_dir_all(&dir).expect("create data dir");
+    fs::write(&path, serde_json::to_string(&ds).expect("serialize sweep"))
+        .expect("write sweep cache");
+    ds
+}
+
+/// Apply the scale's stride to a configuration list, always retaining the
+/// anchor configurations (default + static baseline variants) so every
+/// figure can reference them.
+#[must_use]
+pub fn strided_configs(all: &[NvmConfig], scale: Scale) -> Vec<NvmConfig> {
+    let stride = scale.space_stride();
+    let mut out: Vec<NvmConfig> =
+        all.iter().step_by(stride).copied().collect();
+    for anchor in [
+        NvmConfig::default_config(),
+        NvmConfig::static_baseline(),
+        NvmConfig::static_baseline().without_wear_quota(),
+    ] {
+        if all.contains(&anchor) && !out.contains(&anchor) {
+            out.push(anchor);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mct_core::ConfigSpace;
+
+    #[test]
+    fn strided_configs_keep_anchors() {
+        let space = ConfigSpace::full(8.0);
+        let strided = strided_configs(space.configs(), Scale::Quick);
+        assert!(strided.len() < space.len());
+        assert!(strided.contains(&NvmConfig::default_config()));
+        assert!(strided.contains(&NvmConfig::static_baseline()));
+    }
+
+    #[test]
+    fn full_scale_is_identity_plus_anchors() {
+        let space = ConfigSpace::full(8.0);
+        let strided = strided_configs(space.configs(), Scale::Full);
+        assert_eq!(strided.len(), space.len());
+    }
+
+    #[test]
+    fn cache_round_trip() {
+        let dir = std::env::temp_dir().join(format!("mct_cache_test_{}", std::process::id()));
+        std::env::set_var("MCT_DATA_DIR", &dir);
+        let configs = vec![NvmConfig::default_config()];
+        let a = load_or_compute_sweep(Workload::Gups, &configs, Scale::Quick, 5);
+        let b = load_or_compute_sweep(Workload::Gups, &configs, Scale::Quick, 5);
+        assert_eq!(a.configs, b.configs);
+        // JSON float round-trips can lose the last ULP; compare loosely.
+        for (ma, mb) in a.metrics.iter().zip(&b.metrics) {
+            assert!((ma.ipc - mb.ipc).abs() < 1e-9);
+            assert!((ma.lifetime_years - mb.lifetime_years).abs() < 1e-9);
+            assert!((ma.energy_j - mb.energy_j).abs() < 1e-12);
+        }
+        std::env::remove_var("MCT_DATA_DIR");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dataset_lookup() {
+        let ds = SweepDataset {
+            version: CACHE_VERSION,
+            workload: "x".into(),
+            scale: "quick".into(),
+            stride: 1,
+            configs: vec![NvmConfig::default_config()],
+            metrics: vec![Metrics { ipc: 1.0, lifetime_years: 2.0, energy_j: 3.0 }],
+        };
+        assert!(ds.metrics_of(&NvmConfig::default_config()).is_some());
+        assert!(ds.metrics_of(&NvmConfig::static_baseline()).is_none());
+        assert_eq!(ds.pairs().len(), 1);
+    }
+}

@@ -1,0 +1,190 @@
+//! Plain-text table/series rendering for experiment binaries.
+
+use std::fmt::Write as _;
+
+/// Format one cell to a fixed width (right-aligned).
+#[must_use]
+pub fn fmt_cell(value: &str, width: usize) -> String {
+    format!("{value:>width$}")
+}
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Table {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the arity differs from the header.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Table {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Render with per-column widths.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (c, cell) in cells.iter().enumerate() {
+                if c == 0 {
+                    let w = widths[0];
+                    let _ = write!(out, "{cell:<w$}");
+                } else {
+                    let w = widths[c];
+                    let _ = write!(out, "  {cell:>w$}");
+                }
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Render an ASCII sparkline-style series (for Figure 6's workload trace).
+#[must_use]
+pub fn ascii_series(values: &[f64], width: usize) -> String {
+    if values.is_empty() {
+        return String::new();
+    }
+    const GLYPHS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+    let max = values.iter().cloned().fold(f64::MIN, f64::max);
+    let min = values.iter().cloned().fold(f64::MAX, f64::min);
+    let span = (max - min).max(1e-12);
+    // Downsample to `width` buckets by averaging.
+    let n = values.len();
+    let bucket = (n as f64 / width as f64).max(1.0);
+    let mut out = String::new();
+    let mut i = 0.0;
+    while (i as usize) < n && out.chars().count() < width {
+        let lo = i as usize;
+        let hi = ((i + bucket) as usize).min(n).max(lo + 1);
+        let avg = values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+        let level = (((avg - min) / span) * 7.0).round() as usize;
+        out.push(GLYPHS[level.min(7)]);
+        i += bucket;
+    }
+    out
+}
+
+/// The 10-column header used by the paper's Tables 4, 5 and 10.
+#[must_use]
+pub fn config_table_header() -> Vec<&'static str> {
+    vec![
+        "", "bank_aware", "ba_thresh", "eager_wb", "eager_thresh", "wear_quota", "wq_target",
+        "fast_lat", "slow_lat", "fast_canc", "slow_canc",
+    ]
+}
+
+/// Render a configuration as a Tables-4/5/10-style row (first cell is the
+/// row label).
+#[must_use]
+pub fn config_table_row(label: &str, cfg: &mct_core::NvmConfig) -> Vec<String> {
+    let tf = |b: bool| if b { "True".to_string() } else { "False".to_string() };
+    let na_if = |enabled: bool, v: String| if enabled { v } else { "N/A".to_string() };
+    vec![
+        label.to_string(),
+        tf(cfg.bank_aware),
+        na_if(cfg.bank_aware, cfg.bank_aware_threshold.to_string()),
+        tf(cfg.eager_writebacks),
+        na_if(cfg.eager_writebacks, cfg.eager_threshold.to_string()),
+        tf(cfg.wear_quota),
+        na_if(cfg.wear_quota, format!("{:.1}", cfg.wear_quota_target)),
+        format!("{:.1}", cfg.fast_latency),
+        format!("{:.1}", cfg.slow_latency),
+        tf(cfg.fast_cancellation),
+        tf(cfg.slow_cancellation),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_row_matches_header_arity() {
+        let header = config_table_header();
+        let row = config_table_row("x", &mct_core::NvmConfig::static_baseline());
+        assert_eq!(header.len(), row.len());
+        assert_eq!(row[1], "True");
+        assert_eq!(row[7], "1.0");
+    }
+
+    #[test]
+    fn config_row_uses_na_for_disabled() {
+        let row = config_table_row("d", &mct_core::NvmConfig::default_config());
+        assert_eq!(row[2], "N/A");
+        assert_eq!(row[4], "N/A");
+        assert_eq!(row[6], "N/A");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["name", "x"]);
+        t.row(["a", "1.00"]);
+        t.row(["longer", "2"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn sparkline_monotone() {
+        let s = ascii_series(&[0.0, 1.0, 2.0, 3.0], 4);
+        assert_eq!(s.chars().count(), 4);
+        let levels: Vec<char> = s.chars().collect();
+        assert!(levels[0] < levels[3]);
+    }
+
+    #[test]
+    fn sparkline_downsamples() {
+        let values: Vec<f64> = (0..1000).map(f64::from).collect();
+        assert_eq!(ascii_series(&values, 50).chars().count(), 50);
+    }
+
+    #[test]
+    fn fmt_cell_right_aligns() {
+        assert_eq!(fmt_cell("x", 4), "   x");
+    }
+}

@@ -1,0 +1,93 @@
+//! Experiment scaling: quick (CI-friendly) vs full fidelity.
+
+use std::fmt;
+
+/// How much simulation to spend per experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Reduced instruction budgets and a strided configuration space —
+    /// minutes on a laptop core.
+    Quick,
+    /// Full budgets and the complete space.
+    Full,
+}
+
+impl Scale {
+    /// Multiplier on each workload's detailed instruction budget.
+    #[must_use]
+    pub fn detailed_factor(self) -> f64 {
+        match self {
+            Scale::Quick => 0.3,
+            Scale::Full => 1.0,
+        }
+    }
+
+    /// Stride over the configuration space for brute-force sweeps
+    /// (1 = every configuration).
+    #[must_use]
+    pub fn space_stride(self) -> usize {
+        match self {
+            Scale::Quick => 4,
+            Scale::Full => 1,
+        }
+    }
+
+    /// Total instruction budget for controller (MCT runtime) experiments.
+    #[must_use]
+    pub fn controller_insts(self) -> u64 {
+        match self {
+            Scale::Quick => 8_000_000,
+            Scale::Full => 20_000_000,
+        }
+    }
+
+    /// File-name tag for cached datasets.
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    }
+
+    /// Parse from CLI args (`--scale quick|full`; default quick).
+    ///
+    /// # Panics
+    /// Panics (with a usage message) on an unrecognized value.
+    #[must_use]
+    pub fn from_args() -> Scale {
+        let args: Vec<String> = std::env::args().collect();
+        match args.iter().position(|a| a == "--scale") {
+            Some(i) => match args.get(i + 1).map(String::as_str) {
+                Some("quick") => Scale::Quick,
+                Some("full") => Scale::Full,
+                other => panic!("--scale expects quick|full, got {other:?}"),
+            },
+            None => Scale::Quick,
+        }
+    }
+}
+
+impl fmt::Display for Scale {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_is_cheaper_than_full() {
+        assert!(Scale::Quick.detailed_factor() < Scale::Full.detailed_factor());
+        assert!(Scale::Quick.space_stride() > Scale::Full.space_stride());
+        assert!(Scale::Quick.controller_insts() < Scale::Full.controller_insts());
+    }
+
+    #[test]
+    fn tags() {
+        assert_eq!(Scale::Quick.tag(), "quick");
+        assert_eq!(Scale::Full.to_string(), "full");
+    }
+}

@@ -1,0 +1,165 @@
+//! Model selection: k-fold cross-validation and the lasso
+//! regularization path.
+//!
+//! The paper tunes its models offline ("we first compare various machine
+//! learning models based on their prediction accuracy, computation
+//! overhead, convergence rate, etc., and choose the optimal ones"); these
+//! utilities make that comparison reproducible inside the library.
+
+use crate::dataset::Dataset;
+use crate::lasso::LassoRegression;
+use crate::metrics::coefficient_of_determination;
+use crate::model::Regressor;
+
+/// Deterministic k-fold index split (round-robin assignment).
+///
+/// # Panics
+/// Panics unless `2 <= k <= n`.
+#[must_use]
+pub fn kfold_indices(n: usize, k: usize) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2 && k <= n, "need 2 <= k <= n");
+    (0..k)
+        .map(|fold| {
+            let mut train = Vec::new();
+            let mut test = Vec::new();
+            for i in 0..n {
+                if i % k == fold {
+                    test.push(i);
+                } else {
+                    train.push(i);
+                }
+            }
+            (train, test)
+        })
+        .collect()
+}
+
+/// Mean out-of-fold R² of `make_model()` under k-fold CV.
+///
+/// # Panics
+/// Panics if the dataset is smaller than `k`.
+pub fn cross_val_r2<M: Regressor, F: Fn() -> M>(data: &Dataset, k: usize, make_model: F) -> f64 {
+    let folds = kfold_indices(data.len(), k);
+    let mut total = 0.0;
+    for (train_idx, test_idx) in &folds {
+        let mut model = make_model();
+        model.fit(&data.subset(train_idx));
+        let preds: Vec<f64> =
+            test_idx.iter().map(|&i| model.predict(&data.rows()[i])).collect();
+        let truth: Vec<f64> = test_idx.iter().map(|&i| data.targets()[i]).collect();
+        total += coefficient_of_determination(&preds, &truth);
+    }
+    total / folds.len() as f64
+}
+
+/// One point on a lasso regularization path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LassoPathPoint {
+    /// Penalty strength.
+    pub lambda: f64,
+    /// Nonzero coefficients at this penalty.
+    pub nonzero: usize,
+    /// Mean k-fold out-of-fold R².
+    pub cv_r2: f64,
+}
+
+/// Compute the lasso path over a log-spaced lambda grid, scoring each
+/// point with k-fold CV. Returns points in descending-lambda order.
+///
+/// # Panics
+/// Panics on degenerate grids (`lo >= hi`, nonpositive bounds) or
+/// datasets smaller than `k`.
+#[must_use]
+pub fn lasso_path(data: &Dataset, lo: f64, hi: f64, steps: usize, k: usize) -> Vec<LassoPathPoint> {
+    assert!(lo > 0.0 && hi > lo && steps >= 2, "bad lambda grid");
+    let ratio = (hi / lo).powf(1.0 / (steps - 1) as f64);
+    let mut lambda = hi;
+    let mut out = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let cv_r2 = cross_val_r2(data, k, || LassoRegression::new(lambda));
+        let mut full = LassoRegression::new(lambda);
+        full.fit(data);
+        out.push(LassoPathPoint {
+            lambda,
+            nonzero: full.weights().iter().filter(|w| w.abs() > 1e-12).count(),
+            cv_r2,
+        });
+        lambda /= ratio;
+    }
+    out
+}
+
+/// The path point with the best CV score.
+///
+/// # Panics
+/// Panics on an empty path.
+#[must_use]
+pub fn best_lambda(path: &[LassoPathPoint]) -> &LassoPathPoint {
+    path.iter()
+        .max_by(|a, b| a.cv_r2.partial_cmp(&b.cv_r2).expect("finite scores"))
+        .expect("nonempty path")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::RidgeRegression;
+
+    fn sparse_data() -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..60)
+            .map(|i| {
+                vec![(i % 7) as f64, ((i * 13) % 11) as f64, ((i * 5) % 9) as f64]
+            })
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| 4.0 * r[0] - 2.0 * r[2] + 1.0).collect();
+        Dataset::from_rows(rows, y)
+    }
+
+    #[test]
+    fn kfold_partitions_everything_once() {
+        let folds = kfold_indices(10, 3);
+        assert_eq!(folds.len(), 3);
+        let mut seen = [0u32; 10];
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 10);
+            for &i in test {
+                seen[i] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "each index tested exactly once");
+    }
+
+    #[test]
+    fn cv_scores_good_model_highly() {
+        let data = sparse_data();
+        let r2 = cross_val_r2(&data, 5, || RidgeRegression::new(0.001));
+        assert!(r2 > 0.95, "r2={r2}");
+    }
+
+    #[test]
+    fn path_is_monotone_in_sparsity() {
+        let data = sparse_data();
+        let path = lasso_path(&data, 0.001, 100.0, 8, 4);
+        assert_eq!(path.len(), 8);
+        // Descending lambda: nonzero count must be non-decreasing.
+        for w in path.windows(2) {
+            assert!(w[0].lambda > w[1].lambda);
+            assert!(w[0].nonzero <= w[1].nonzero);
+        }
+    }
+
+    #[test]
+    fn best_lambda_prefers_fit_over_extreme_penalty() {
+        let data = sparse_data();
+        let path = lasso_path(&data, 0.001, 1e4, 10, 4);
+        let best = best_lambda(&path);
+        assert!(best.cv_r2 > 0.9);
+        assert!(best.lambda < 1e3, "huge penalties kill the fit");
+    }
+
+    #[test]
+    #[should_panic(expected = "need 2 <= k")]
+    fn bad_k_panics() {
+        let _ = kfold_indices(5, 1);
+    }
+}

@@ -1,0 +1,143 @@
+//! Linear regression with optional ridge (L2) regularization.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+use crate::linalg::{dot, solve_spd, Matrix};
+use crate::model::Regressor;
+use crate::scale::StandardScaler;
+
+/// Ordinary least squares / ridge regression solved by normal equations.
+///
+/// With `lambda = 0` this is the paper's "linear model, no
+/// regularization"; a small jitter is added automatically if the normal
+/// equations are singular (under-determined small-sample fits).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RidgeRegression {
+    lambda: f64,
+    scaler: Option<StandardScaler>,
+    weights: Vec<f64>,
+    intercept: f64,
+}
+
+impl RidgeRegression {
+    /// Create an unfit model with regularization strength `lambda >= 0`.
+    ///
+    /// # Panics
+    /// Panics if `lambda` is negative.
+    #[must_use]
+    pub fn new(lambda: f64) -> RidgeRegression {
+        assert!(lambda >= 0.0, "lambda must be non-negative");
+        RidgeRegression { lambda, scaler: None, weights: Vec::new(), intercept: 0.0 }
+    }
+
+    /// Fitted weights in standardized feature space (empty before fit).
+    #[must_use]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Fitted intercept.
+    #[must_use]
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+}
+
+impl Regressor for RidgeRegression {
+    fn fit(&mut self, data: &Dataset) {
+        let scaler = StandardScaler::fit(data.rows());
+        let x = Matrix::from_rows(scaler.transform_all(data.rows()));
+        // Centering the target absorbs the intercept.
+        let y_mean = data.target_mean();
+        let y: Vec<f64> = data.targets().iter().map(|t| t - y_mean).collect();
+        let mut gram = x.gram();
+        gram.add_diagonal(self.lambda.max(0.0));
+        let xty = x.t_mul_vec(&y);
+        let weights = match solve_spd(&gram, &xty) {
+            Some(w) => w,
+            None => {
+                // Singular: retry with jitter (an effective tiny ridge).
+                let mut g2 = x.gram();
+                g2.add_diagonal(self.lambda + 1e-6);
+                solve_spd(&g2, &xty).expect("jittered normal equations must solve")
+            }
+        };
+        self.weights = weights;
+        self.intercept = y_mean;
+        self.scaler = Some(scaler);
+    }
+
+    fn predict(&self, row: &[f64]) -> f64 {
+        let scaler = self.scaler.as_ref().expect("model not fitted");
+        let z = scaler.transform(row);
+        self.intercept + dot(&self.weights, &z)
+    }
+
+    fn name(&self) -> &'static str {
+        if self.lambda == 0.0 {
+            "linear"
+        } else {
+            "ridge"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_function() {
+        // y = 2 x0 - 3 x1 + 5
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, (i * i % 7) as f64])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] - 3.0 * r[1] + 5.0).collect();
+        let mut m = RidgeRegression::new(0.0);
+        m.fit(&Dataset::from_rows(rows.clone(), y.clone()));
+        for (r, t) in rows.iter().zip(&y) {
+            assert!((m.predict(r) - t).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn ridge_shrinks_weights() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| 3.0 * r[0]).collect();
+        let d = Dataset::from_rows(rows, y);
+        let mut ols = RidgeRegression::new(0.0);
+        let mut ridge = RidgeRegression::new(100.0);
+        ols.fit(&d);
+        ridge.fit(&d);
+        assert!(ridge.weights()[0].abs() < ols.weights()[0].abs());
+    }
+
+    #[test]
+    fn handles_collinear_features_via_jitter() {
+        // Two identical features: the gram matrix is singular for OLS.
+        let rows: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64, i as f64]).collect();
+        let y: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let mut m = RidgeRegression::new(0.0);
+        m.fit(&Dataset::from_rows(rows, y));
+        assert!((m.predict(&[4.0, 4.0]) - 4.0).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not fitted")]
+    fn predict_before_fit_panics() {
+        let _ = RidgeRegression::new(0.0).predict(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_lambda_panics() {
+        let _ = RidgeRegression::new(-1.0);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(RidgeRegression::new(0.0).name(), "linear");
+        assert_eq!(RidgeRegression::new(1.0).name(), "ridge");
+    }
+}

@@ -1,0 +1,98 @@
+//! Prediction-accuracy metrics.
+
+/// The paper's accuracy metric (Eq. 3): coefficient of determination,
+/// clamped at zero.
+///
+/// `acc = max(0, 1 - ||y' - y||² / ||y - ȳ||²)`
+///
+/// Returns 1.0 for a perfect fit of a constant target (degenerate
+/// denominator with zero numerator) and 0.0 otherwise-degenerate cases.
+///
+/// # Panics
+/// Panics if the slices are empty or differ in length.
+#[must_use]
+pub fn coefficient_of_determination(predicted: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), truth.len(), "length mismatch");
+    assert!(!truth.is_empty(), "empty inputs");
+    let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    let ss_res: f64 = predicted.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum();
+    let ss_tot: f64 = truth.iter().map(|t| (t - mean) * (t - mean)).sum();
+    if ss_tot <= 1e-30 {
+        return if ss_res <= 1e-30 { 1.0 } else { 0.0 };
+    }
+    (1.0 - ss_res / ss_tot).max(0.0)
+}
+
+/// Root mean squared error.
+///
+/// # Panics
+/// Panics if the slices are empty or differ in length.
+#[must_use]
+pub fn root_mean_squared_error(predicted: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), truth.len(), "length mismatch");
+    assert!(!truth.is_empty(), "empty inputs");
+    let mse: f64 = predicted
+        .iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / truth.len() as f64;
+    mse.sqrt()
+}
+
+/// Mean absolute error.
+///
+/// # Panics
+/// Panics if the slices are empty or differ in length.
+#[must_use]
+pub fn mean_absolute_error(predicted: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), truth.len(), "length mismatch");
+    assert!(!truth.is_empty(), "empty inputs");
+    predicted.iter().zip(truth).map(|(p, t)| (p - t).abs()).sum::<f64>() / truth.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_scores_one() {
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(coefficient_of_determination(&y, &y), 1.0);
+    }
+
+    #[test]
+    fn mean_prediction_scores_zero() {
+        let truth = [1.0, 2.0, 3.0];
+        let pred = [2.0, 2.0, 2.0];
+        assert!(coefficient_of_determination(&pred, &truth).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worse_than_mean_clamps_to_zero() {
+        let truth = [1.0, 2.0, 3.0];
+        let pred = [30.0, -10.0, 99.0];
+        assert_eq!(coefficient_of_determination(&pred, &truth), 0.0);
+    }
+
+    #[test]
+    fn constant_target_cases() {
+        let truth = [5.0, 5.0, 5.0];
+        assert_eq!(coefficient_of_determination(&[5.0, 5.0, 5.0], &truth), 1.0);
+        assert_eq!(coefficient_of_determination(&[5.0, 5.0, 6.0], &truth), 0.0);
+    }
+
+    #[test]
+    fn rmse_and_mae() {
+        let truth = [0.0, 0.0];
+        let pred = [3.0, -4.0];
+        assert!((root_mean_squared_error(&pred, &truth) - (12.5f64).sqrt()).abs() < 1e-12);
+        assert!((mean_absolute_error(&pred, &truth) - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = coefficient_of_determination(&[1.0], &[1.0, 2.0]);
+    }
+}

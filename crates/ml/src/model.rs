@@ -1,0 +1,62 @@
+//! The common regressor interface.
+
+use crate::dataset::Dataset;
+
+/// A trainable single-output regressor.
+///
+/// All of the paper's predictors implement this; the MCT framework trains
+/// one regressor per objective (IPC, lifetime, energy).
+pub trait Regressor {
+    /// Fit the model to `data`, replacing any previous fit.
+    fn fit(&mut self, data: &Dataset);
+
+    /// Predict the target for one feature row.
+    ///
+    /// # Panics
+    /// Implementations may panic if called before [`Regressor::fit`] or
+    /// with a row of the wrong dimensionality.
+    fn predict(&self, row: &[f64]) -> f64;
+
+    /// Predict a batch of rows.
+    fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        rows.iter().map(|r| self.predict(r)).collect()
+    }
+
+    /// A short human-readable name (Table 7 row label).
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A constant model to exercise the default batch method.
+    #[derive(Debug)]
+    struct Const(f64);
+
+    impl Regressor for Const {
+        fn fit(&mut self, data: &Dataset) {
+            self.0 = data.target_mean();
+        }
+        fn predict(&self, _row: &[f64]) -> f64 {
+            self.0
+        }
+        fn name(&self) -> &'static str {
+            "const"
+        }
+    }
+
+    #[test]
+    fn default_batch_maps_predict() {
+        let mut m = Const(0.0);
+        m.fit(&Dataset::from_rows(vec![vec![0.0], vec![0.0]], vec![2.0, 4.0]));
+        assert_eq!(m.predict_batch(&[vec![1.0], vec![2.0]]), vec![3.0, 3.0]);
+        assert_eq!(m.name(), "const");
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let b: Box<dyn Regressor> = Box::new(Const(1.0));
+        assert_eq!(b.predict(&[]), 1.0);
+    }
+}

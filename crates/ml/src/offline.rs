@@ -1,0 +1,111 @@
+//! The paper's *offline* baseline predictor: average behaviour of
+//! training applications, no online data (Table 7, first row).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+use crate::model::Regressor;
+
+/// Predicts a new application's per-configuration behaviour as the mean
+/// over training applications' measurements for that same configuration.
+///
+/// Keyed by the exact (bit-pattern) feature row; falls back to the global
+/// training mean for unseen configurations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OfflineMeanPredictor {
+    table: HashMap<Vec<u64>, f64>,
+    global_mean: f64,
+    fitted: bool,
+}
+
+impl OfflineMeanPredictor {
+    /// An empty predictor.
+    #[must_use]
+    pub fn new() -> OfflineMeanPredictor {
+        OfflineMeanPredictor { table: HashMap::new(), global_mean: 0.0, fitted: false }
+    }
+
+    /// Fit from per-application datasets over the same configuration
+    /// space: entries with identical feature rows are averaged.
+    pub fn fit_applications(&mut self, apps: &[Dataset]) {
+        assert!(!apps.is_empty(), "need at least one training application");
+        let mut sums: HashMap<Vec<u64>, (f64, u64)> = HashMap::new();
+        let mut total = 0.0;
+        let mut count = 0u64;
+        for app in apps {
+            for i in 0..app.len() {
+                let (row, y) = app.example(i);
+                let key = Self::key(row);
+                let e = sums.entry(key).or_insert((0.0, 0));
+                e.0 += y;
+                e.1 += 1;
+                total += y;
+                count += 1;
+            }
+        }
+        self.table = sums.into_iter().map(|(k, (s, n))| (k, s / n as f64)).collect();
+        self.global_mean = total / count as f64;
+        self.fitted = true;
+    }
+
+    fn key(row: &[f64]) -> Vec<u64> {
+        row.iter().map(|x| x.to_bits()).collect()
+    }
+}
+
+impl Default for OfflineMeanPredictor {
+    fn default() -> OfflineMeanPredictor {
+        OfflineMeanPredictor::new()
+    }
+}
+
+impl Regressor for OfflineMeanPredictor {
+    /// Fitting on a single dataset treats it as one training application.
+    fn fit(&mut self, data: &Dataset) {
+        self.fit_applications(std::slice::from_ref(data));
+    }
+
+    fn predict(&self, row: &[f64]) -> f64 {
+        assert!(self.fitted, "model not fitted");
+        self.table
+            .get(&Self::key(row))
+            .copied()
+            .unwrap_or(self.global_mean)
+    }
+
+    fn name(&self) -> &'static str {
+        "offline"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_across_applications() {
+        let rows = vec![vec![1.0], vec![2.0]];
+        let a = Dataset::from_rows(rows.clone(), vec![10.0, 20.0]);
+        let b = Dataset::from_rows(rows, vec![30.0, 40.0]);
+        let mut m = OfflineMeanPredictor::new();
+        m.fit_applications(&[a, b]);
+        assert_eq!(m.predict(&[1.0]), 20.0);
+        assert_eq!(m.predict(&[2.0]), 30.0);
+    }
+
+    #[test]
+    fn unseen_config_falls_back_to_global_mean() {
+        let a = Dataset::from_rows(vec![vec![1.0]], vec![10.0]);
+        let mut m = OfflineMeanPredictor::new();
+        m.fit_applications(&[a]);
+        assert_eq!(m.predict(&[999.0]), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not fitted")]
+    fn predict_before_fit_panics() {
+        let _ = OfflineMeanPredictor::new().predict(&[1.0]);
+    }
+}

@@ -1,0 +1,124 @@
+//! Feature standardization (zero mean, unit variance).
+//!
+//! The paper notes that normalization "avoids extreme coefficient values
+//! for different parameters" (Section 4.4); lasso in particular requires
+//! comparable feature scales for its penalty to be meaningful.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-feature standardizer fitted on training data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fit on feature rows.
+    ///
+    /// Features with (near-)zero variance get a unit scale so they pass
+    /// through centered but un-stretched.
+    ///
+    /// # Panics
+    /// Panics on empty input or ragged rows.
+    #[must_use]
+    pub fn fit(rows: &[Vec<f64>]) -> StandardScaler {
+        assert!(!rows.is_empty(), "scaler needs data");
+        let dim = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == dim), "ragged rows");
+        let n = rows.len() as f64;
+        let mut means = vec![0.0; dim];
+        for r in rows {
+            for (m, v) in means.iter_mut().zip(r) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut vars = vec![0.0; dim];
+        for r in rows {
+            for ((v, m), x) in vars.iter_mut().zip(&means).zip(r) {
+                let d = x - m;
+                *v += d * d;
+            }
+        }
+        let stds = vars
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s < 1e-12 {
+                    1.0
+                } else {
+                    s
+                }
+            })
+            .collect();
+        StandardScaler { means, stds }
+    }
+
+    /// Transform one row.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    #[must_use]
+    pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.means.len(), "dimension mismatch");
+        row.iter()
+            .zip(&self.means)
+            .zip(&self.stds)
+            .map(|((x, m), s)| (x - m) / s)
+            .collect()
+    }
+
+    /// Transform many rows.
+    #[must_use]
+    pub fn transform_all(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        rows.iter().map(|r| self.transform(r)).collect()
+    }
+
+    /// Feature means.
+    #[must_use]
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Feature standard deviations (unit for constant features).
+    #[must_use]
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizes_to_zero_mean_unit_var() {
+        let rows = vec![vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]];
+        let sc = StandardScaler::fit(&rows);
+        let t = sc.transform_all(&rows);
+        for d in 0..2 {
+            let mean: f64 = t.iter().map(|r| r[d]).sum::<f64>() / 3.0;
+            let var: f64 = t.iter().map(|r| r[d] * r[d]).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_feature_passes_through_centered() {
+        let rows = vec![vec![5.0], vec![5.0], vec![5.0]];
+        let sc = StandardScaler::fit(&rows);
+        assert_eq!(sc.transform(&[5.0]), vec![0.0]);
+        assert_eq!(sc.transform(&[6.0]), vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_dim_panics() {
+        let sc = StandardScaler::fit(&[vec![1.0]]);
+        let _ = sc.transform(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,224 @@
+//! Regression trees (CART-style, variance-reduction splits).
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+use crate::model::Regressor;
+
+/// Tree growth controls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TreeParams {
+    /// Maximum depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum examples a leaf may hold.
+    pub min_leaf: usize,
+}
+
+impl Default for TreeParams {
+    /// Shallow trees: the gradient-boosting weak learner of Section 4.3.
+    fn default() -> TreeParams {
+        TreeParams { max_depth: 3, min_leaf: 2 }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A fitted regression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionTree {
+    params: TreeParams,
+    root: Option<Node>,
+}
+
+impl RegressionTree {
+    /// An unfit tree.
+    #[must_use]
+    pub fn new(params: TreeParams) -> RegressionTree {
+        RegressionTree { params, root: None }
+    }
+
+    /// Fit on a subset of example indices (gradient boosting trains each
+    /// stage on a subsample).
+    ///
+    /// # Panics
+    /// Panics if `idx` is empty.
+    pub fn fit_indices(&mut self, data: &Dataset, idx: &[usize]) {
+        assert!(!idx.is_empty(), "cannot fit on zero examples");
+        self.root = Some(self.build(data, idx, 0));
+    }
+
+    fn build(&self, data: &Dataset, idx: &[usize], depth: usize) -> Node {
+        let mean =
+            idx.iter().map(|&i| data.targets()[i]).sum::<f64>() / idx.len() as f64;
+        if depth >= self.params.max_depth || idx.len() < 2 * self.params.min_leaf {
+            return Node::Leaf { value: mean };
+        }
+        let Some((feature, threshold)) = self.best_split(data, idx) else {
+            return Node::Leaf { value: mean };
+        };
+        let (mut left, mut right) = (Vec::new(), Vec::new());
+        for &i in idx {
+            if data.rows()[i][feature] <= threshold {
+                left.push(i);
+            } else {
+                right.push(i);
+            }
+        }
+        if left.len() < self.params.min_leaf || right.len() < self.params.min_leaf {
+            return Node::Leaf { value: mean };
+        }
+        Node::Split {
+            feature,
+            threshold,
+            left: Box::new(self.build(data, &left, depth + 1)),
+            right: Box::new(self.build(data, &right, depth + 1)),
+        }
+    }
+
+    /// Exhaustive variance-reduction split search over midpoints of sorted
+    /// unique feature values.
+    fn best_split(&self, data: &Dataset, idx: &[usize]) -> Option<(usize, f64)> {
+        let dim = data.dim();
+        let n = idx.len() as f64;
+        let total_sum: f64 = idx.iter().map(|&i| data.targets()[i]).sum();
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, score)
+        let mut vals: Vec<(f64, f64)> = Vec::with_capacity(idx.len());
+        for f in 0..dim {
+            vals.clear();
+            vals.extend(idx.iter().map(|&i| (data.rows()[i][f], data.targets()[i])));
+            vals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
+            // Prefix sums for O(n) scan of all split points.
+            let mut left_sum = 0.0;
+            for k in 0..vals.len() - 1 {
+                left_sum += vals[k].1;
+                if vals[k].0 == vals[k + 1].0 {
+                    continue; // identical values cannot be separated
+                }
+                let nl = (k + 1) as f64;
+                let nr = n - nl;
+                // Maximizing sum-of-squares of children means minimizing SSE.
+                let score = left_sum * left_sum / nl
+                    + (total_sum - left_sum) * (total_sum - left_sum) / nr;
+                if best.is_none_or(|(_, _, s)| score > s) {
+                    best = Some((f, (vals[k].0 + vals[k + 1].0) / 2.0, score));
+                }
+            }
+        }
+        best.map(|(f, t, _)| (f, t))
+    }
+
+    fn eval(node: &Node, row: &[f64]) -> f64 {
+        match node {
+            Node::Leaf { value } => *value,
+            Node::Split { feature, threshold, left, right } => {
+                if row[*feature] <= *threshold {
+                    Self::eval(left, row)
+                } else {
+                    Self::eval(right, row)
+                }
+            }
+        }
+    }
+
+    /// Number of leaves (diagnostics).
+    #[must_use]
+    pub fn leaves(&self) -> usize {
+        fn count(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => count(left) + count(right),
+            }
+        }
+        self.root.as_ref().map_or(0, count)
+    }
+}
+
+impl Regressor for RegressionTree {
+    fn fit(&mut self, data: &Dataset) {
+        let idx: Vec<usize> = (0..data.len()).collect();
+        self.fit_indices(data, &idx);
+    }
+
+    fn predict(&self, row: &[f64]) -> f64 {
+        let root = self.root.as_ref().expect("model not fitted");
+        Self::eval(root, row)
+    }
+
+    fn name(&self) -> &'static str {
+        "regression-tree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_data() -> Dataset {
+        // y = 1 for x < 5, y = 9 for x >= 5: a single split nails it.
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..20).map(|i| if i < 5 { 1.0 } else { 9.0 }).collect();
+        Dataset::from_rows(rows, y)
+    }
+
+    #[test]
+    fn learns_step_function() {
+        let mut t = RegressionTree::new(TreeParams::default());
+        t.fit(&step_data());
+        assert!((t.predict(&[2.0]) - 1.0).abs() < 1e-9);
+        assert!((t.predict(&[10.0]) - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn depth_zero_is_mean() {
+        let mut t = RegressionTree::new(TreeParams { max_depth: 0, min_leaf: 1 });
+        t.fit(&step_data());
+        assert_eq!(t.leaves(), 1);
+        assert!((t.predict(&[0.0]) - 7.0).abs() < 1e-9); // mean = (5*1 + 15*9)/20
+    }
+
+    #[test]
+    fn respects_min_leaf() {
+        let mut t = RegressionTree::new(TreeParams { max_depth: 10, min_leaf: 10 });
+        t.fit(&step_data());
+        assert!(t.leaves() <= 2);
+    }
+
+    #[test]
+    fn splits_on_informative_feature() {
+        // Feature 1 is the informative one.
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![(i % 3) as f64, i as f64]).collect();
+        let y: Vec<f64> = (0..20).map(|i| if i < 10 { 0.0 } else { 4.0 }).collect();
+        let mut t = RegressionTree::new(TreeParams { max_depth: 1, min_leaf: 1 });
+        t.fit(&Dataset::from_rows(rows, y));
+        assert!((t.predict(&[0.0, 3.0]) - 0.0).abs() < 1e-9);
+        assert!((t.predict(&[0.0, 15.0]) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_target_single_leaf() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y = vec![3.0; 10];
+        let mut t = RegressionTree::new(TreeParams::default());
+        t.fit(&Dataset::from_rows(rows, y));
+        assert!((t.predict(&[100.0]) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_indices_subsets() {
+        let mut t = RegressionTree::new(TreeParams::default());
+        // Only the high half: tree should predict ~9 everywhere.
+        t.fit_indices(&step_data(), &[10, 11, 12, 13, 14]);
+        assert!((t.predict(&[0.0]) - 9.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests for the learning algorithms.
+
+use proptest::prelude::*;
+
+use mct_ml::{
+    coefficient_of_determination, quadratic_expand, Dataset, GradientBoosting,
+    GradientBoostingParams, LassoRegression, Regressor, RidgeRegression, StandardScaler,
+};
+
+/// Strategy: a small well-formed regression dataset.
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    (2usize..6, 8usize..40).prop_flat_map(|(dim, n)| {
+        (
+            proptest::collection::vec(
+                proptest::collection::vec(-10.0f64..10.0, dim..=dim),
+                n..=n,
+            ),
+            proptest::collection::vec(-100.0f64..100.0, n..=n),
+        )
+            .prop_map(|(rows, y)| Dataset::from_rows(rows, y))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn r2_is_bounded(data in arb_dataset()) {
+        let mut m = RidgeRegression::new(1.0);
+        m.fit(&data);
+        let preds: Vec<f64> = data.rows().iter().map(|r| m.predict(r)).collect();
+        let r2 = coefficient_of_determination(&preds, data.targets());
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&r2));
+    }
+
+    #[test]
+    fn perfect_predictions_score_one(y in proptest::collection::vec(-5.0f64..5.0, 3..20)) {
+        let r2 = coefficient_of_determination(&y, &y);
+        prop_assert!((r2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ridge_shrinks_with_lambda(data in arb_dataset()) {
+        let norm = |m: &RidgeRegression| -> f64 {
+            m.weights().iter().map(|w| w * w).sum::<f64>().sqrt()
+        };
+        let mut small = RidgeRegression::new(0.01);
+        let mut large = RidgeRegression::new(1000.0);
+        small.fit(&data);
+        large.fit(&data);
+        prop_assert!(norm(&large) <= norm(&small) + 1e-9);
+    }
+
+    #[test]
+    fn lasso_sparsity_grows_with_lambda(data in arb_dataset()) {
+        let zeros = |m: &LassoRegression| m.weights().iter().filter(|w| w.abs() < 1e-12).count();
+        let mut small = LassoRegression::new(0.001);
+        let mut large = LassoRegression::new(1e5);
+        small.fit(&data);
+        large.fit(&data);
+        prop_assert!(zeros(&large) >= zeros(&small));
+        // At absurd lambda everything is zero.
+        prop_assert_eq!(zeros(&large), data.dim());
+    }
+
+    #[test]
+    fn gbrt_is_deterministic(data in arb_dataset(), seed in 0u64..100) {
+        let params = GradientBoostingParams { stages: 10, seed, ..GradientBoostingParams::default() };
+        let mut a = GradientBoosting::new(params);
+        let mut b = GradientBoosting::new(params);
+        a.fit(&data);
+        b.fit(&data);
+        for row in data.rows() {
+            prop_assert_eq!(a.predict(row), b.predict(row));
+        }
+    }
+
+    #[test]
+    fn gbrt_training_error_never_worse_than_mean(data in arb_dataset()) {
+        let mut m = GradientBoosting::new(GradientBoostingParams {
+            stages: 30,
+            ..GradientBoostingParams::default()
+        });
+        m.fit(&data);
+        let mean = data.target_mean();
+        let sse_model: f64 = data
+            .rows()
+            .iter()
+            .zip(data.targets())
+            .map(|(r, t)| (m.predict(r) - t).powi(2))
+            .sum();
+        let sse_mean: f64 = data.targets().iter().map(|t| (t - mean).powi(2)).sum();
+        prop_assert!(sse_model <= sse_mean * 1.001 + 1e-9);
+    }
+
+    #[test]
+    fn scaler_transform_is_affine_and_invertible_in_spirit(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-50.0f64..50.0, 3..=3), 4..20)
+    ) {
+        let sc = StandardScaler::fit(&rows);
+        // Affinity: transform(a) - transform(b) is proportional to a - b.
+        let a = &rows[0];
+        let b = &rows[rows.len() - 1];
+        let ta = sc.transform(a);
+        let tb = sc.transform(b);
+        for d in 0..3 {
+            let lhs = (ta[d] - tb[d]) * sc.stds()[d];
+            let rhs = a[d] - b[d];
+            prop_assert!((lhs - rhs).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn quadratic_expansion_dimension_formula(d in 1usize..12) {
+        let row: Vec<f64> = (0..d).map(|i| i as f64).collect();
+        let out = quadratic_expand(&row);
+        prop_assert_eq!(out.len(), 2 * d + d * (d - 1) / 2);
+        // Linear prefix preserved.
+        prop_assert_eq!(&out[..d], &row[..]);
+    }
+
+    #[test]
+    fn linear_model_recovers_linear_truth(
+        w0 in -5.0f64..5.0, w1 in -5.0f64..5.0, b in -10.0f64..10.0
+    ) {
+        let rows: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![f64::from(i), f64::from((i * 7) % 13)])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| w0 * r[0] + w1 * r[1] + b).collect();
+        let mut m = RidgeRegression::new(0.0);
+        m.fit(&Dataset::from_rows(rows.clone(), y.clone()));
+        for (r, t) in rows.iter().zip(&y) {
+            prop_assert!((m.predict(r) - t).abs() < 1e-6 * (1.0 + t.abs()));
+        }
+    }
+}

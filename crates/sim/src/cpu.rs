@@ -1,0 +1,359 @@
+//! Out-of-order core timing model.
+//!
+//! Replaces gem5's detailed OoO core with an interval-style model that
+//! captures the first-order interactions MCT's tradeoffs act through:
+//!
+//! * instructions retire at a base CPI while the pipeline is unobstructed;
+//! * LLC-miss loads are overlapped up to an MLP limit (MSHR/ROB bound);
+//!   when the limit is hit the core stalls until the oldest miss returns;
+//! * every miss additionally exposes a fixed ROB-fill penalty (even fully
+//!   overlapped misses are not free);
+//! * LLC hits expose a small fraction of the LLC hit latency;
+//! * memory write-queue backpressure stalls the core on dirty evictions
+//!   (this is how slow writes cost performance);
+//! * read-queue overflow likewise applies backpressure.
+//!
+//! The model consumes LLC-input traces (see [`crate::trace`]).
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::Cache;
+use crate::mem::{MemoryController, ReqId};
+use crate::time::{Clock, Time};
+use crate::trace::{AccessKind, TraceEvent};
+
+/// Core timing parameters (paper Table 8 flavor).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuConfig {
+    /// Core clock, MHz (Table 8: 2 GHz).
+    pub clock_mhz: u64,
+    /// Cycles per instruction with no memory obstruction (8-issue OoO).
+    pub base_cpi: f64,
+    /// Maximum overlapped outstanding LLC-miss fills (MSHR/ROB bound).
+    pub mlp: usize,
+    /// Exposed cycles per LLC hit (most of the 35-cycle LLC latency is
+    /// hidden by out-of-order execution).
+    pub llc_hit_exposed_cycles: f64,
+    /// Exposed cycles per LLC-miss load even when fully overlapped
+    /// (ROB fill / dependency chains).
+    pub miss_exposed_cycles: f64,
+    /// How often (in trace events) the eager-writeback scanner runs.
+    pub eager_scan_interval: u64,
+    /// How many LLC sets each eager scan inspects.
+    pub eager_scan_sets: usize,
+}
+
+impl Default for CpuConfig {
+    fn default() -> CpuConfig {
+        CpuConfig {
+            clock_mhz: 2000,
+            base_cpi: 0.5,
+            mlp: 8,
+            llc_hit_exposed_cycles: 10.0,
+            miss_exposed_cycles: 40.0,
+            eager_scan_interval: 16,
+            eager_scan_sets: 4,
+        }
+    }
+}
+
+/// Cumulative core statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CpuStats {
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Cycles lost waiting on saturated MLP (full-window read stalls).
+    pub read_stall_cycles: f64,
+    /// Cycles lost to memory write-queue backpressure.
+    pub write_stall_cycles: f64,
+    /// Trace events processed.
+    pub events: u64,
+}
+
+/// Per-core timing state. See the [module docs](self) for the model.
+#[derive(Debug, Clone)]
+pub struct CpuModel {
+    cfg: CpuConfig,
+    clock: Clock,
+    now: Time,
+    stats: CpuStats,
+    outstanding: VecDeque<ReqId>,
+    /// Added to every line address (isolates cores in multi-core runs).
+    addr_offset: u64,
+}
+
+impl CpuModel {
+    /// A fresh core at time zero.
+    #[must_use]
+    pub fn new(cfg: CpuConfig) -> CpuModel {
+        assert!(cfg.mlp >= 1, "mlp must be >= 1");
+        assert!(cfg.base_cpi > 0.0, "base_cpi must be positive");
+        CpuModel {
+            clock: Clock::from_mhz(cfg.clock_mhz),
+            now: Time::ZERO,
+            stats: CpuStats::default(),
+            outstanding: VecDeque::new(),
+            addr_offset: 0,
+            cfg,
+        }
+    }
+
+    /// A core whose line addresses are offset by `offset` (multi-core
+    /// address-space isolation).
+    #[must_use]
+    pub fn with_addr_offset(mut self, offset: u64) -> CpuModel {
+        self.addr_offset = offset;
+        self
+    }
+
+    /// Current core time.
+    #[must_use]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Retired instruction count.
+    #[must_use]
+    pub fn instructions(&self) -> u64 {
+        self.stats.instructions
+    }
+
+    /// Core statistics.
+    #[must_use]
+    pub fn stats(&self) -> &CpuStats {
+        &self.stats
+    }
+
+    /// The core clock.
+    #[must_use]
+    pub fn clock(&self) -> Clock {
+        self.clock
+    }
+
+    /// Zero the stall/event statistics; the absolute instruction counter
+    /// and clock are preserved (callers track their own epoch).
+    pub fn reset_stall_stats(&mut self) {
+        self.stats.read_stall_cycles = 0.0;
+        self.stats.write_stall_cycles = 0.0;
+    }
+
+    /// The instant the *next* event would begin processing, given its gap.
+    /// Used by the multi-core interleaver to pick the earliest core.
+    #[must_use]
+    pub fn next_event_time(&self, gap_insts: u64) -> Time {
+        self.now + self.clock.cycles_f(gap_insts as f64 * self.cfg.base_cpi)
+    }
+
+    /// Process one trace event against the LLC and memory controller.
+    ///
+    /// Advances this core's clock past compute, cache, and stall time.
+    pub fn process(&mut self, ev: TraceEvent, llc: &mut Cache, mem: &mut MemoryController) {
+        self.stats.events += 1;
+        self.stats.instructions += ev.gap_insts;
+        self.now += self.clock.cycles_f(ev.gap_insts as f64 * self.cfg.base_cpi);
+
+        self.reap_completed(mem);
+
+        let line = ev.line + self.addr_offset;
+        let outcome = llc.access(line, ev.kind);
+        if outcome.hit {
+            self.now += self.clock.cycles_f(self.cfg.llc_hit_exposed_cycles);
+        } else {
+            // LLC-miss fill: a memory read, overlapped up to the MLP bound.
+            if matches!(ev.kind, AccessKind::Read) {
+                self.now += self.clock.cycles_f(self.cfg.miss_exposed_cycles);
+            }
+            self.issue_fill_read(line, mem);
+            if let Some(victim) = outcome.evicted {
+                if victim.dirty {
+                    self.issue_writeback(victim.line, mem);
+                }
+            }
+        }
+
+        // Eager mellow writebacks: periodically scan the LLC for dirty
+        // lines in useless LRU positions and offer them to the controller.
+        if let Some(th) = mem.policy().eager_threshold {
+            if self.stats.events.is_multiple_of(self.cfg.eager_scan_interval) {
+                let now = self.now;
+                let sets = self.cfg.eager_scan_sets;
+                llc.scan_eager(th, sets, |dirty_line| mem.offer_eager(dirty_line, now));
+            }
+        }
+    }
+
+    /// Wait for all outstanding fills (end of run).
+    pub fn drain(&mut self, mem: &mut MemoryController) {
+        while let Some(id) = self.outstanding.pop_front() {
+            let done = mem.wait_read(id);
+            self.now = self.now.max(done);
+        }
+    }
+
+    fn reap_completed(&mut self, mem: &mut MemoryController) {
+        let now = self.now;
+        self.outstanding.retain(|&id| mem.take_completed_read(id, now).is_none());
+    }
+
+    fn issue_fill_read(&mut self, line: u64, mem: &mut MemoryController) {
+        // Saturated window: stall until the oldest fill returns.
+        while self.outstanding.len() >= self.cfg.mlp {
+            let oldest = self.outstanding.pop_front().expect("nonempty window");
+            let done = mem.wait_read(oldest);
+            if done > self.now {
+                self.stats.read_stall_cycles +=
+                    (done - self.now).0 as f64 / self.clock.ps_per_cycle() as f64;
+                self.now = done;
+            }
+            self.reap_completed(mem);
+        }
+        let id = loop {
+            match mem.issue_read(line, self.now) {
+                Some(id) => break id,
+                None => {
+                    let t = mem.wait_read_space();
+                    if t > self.now {
+                        self.stats.read_stall_cycles +=
+                            (t - self.now).0 as f64 / self.clock.ps_per_cycle() as f64;
+                        self.now = t;
+                    }
+                }
+            }
+        };
+        self.outstanding.push_back(id);
+    }
+
+    fn issue_writeback(&mut self, line: u64, mem: &mut MemoryController) {
+        while !mem.issue_write(line, self.now) {
+            let t = mem.wait_write_space();
+            if t > self.now {
+                self.stats.write_stall_cycles +=
+                    (t - self.now).0 as f64 / self.clock.ps_per_cycle() as f64;
+                self.now = t;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+    use crate::energy::EnergyModel;
+    use crate::mem::MemConfig;
+    use crate::policy::MellowPolicy;
+    use crate::wear::WearModel;
+
+    fn rig(policy: MellowPolicy) -> (CpuModel, Cache, MemoryController) {
+        (
+            CpuModel::new(CpuConfig::default()),
+            Cache::new(CacheConfig::llc()),
+            MemoryController::new(MemConfig::default(), policy, WearModel::default(), EnergyModel::default()),
+        )
+    }
+
+    fn ev(gap: u64, kind: AccessKind, line: u64) -> TraceEvent {
+        TraceEvent { gap_insts: gap, kind, line }
+    }
+
+    #[test]
+    fn compute_advances_time_at_base_cpi() {
+        let (mut cpu, mut llc, mut mem) = rig(MellowPolicy::default_fast());
+        cpu.process(ev(1000, AccessKind::Read, 0), &mut llc, &mut mem);
+        // 1000 insts at 0.5 CPI at 2GHz = 250ns, plus the cold-miss penalty.
+        assert!(cpu.now() >= Time::from_ns(250.0));
+        assert_eq!(cpu.instructions(), 1000);
+    }
+
+    #[test]
+    fn llc_hit_cheaper_than_miss() {
+        let (mut cpu_hit, mut llc_hit, mut mem_hit) = rig(MellowPolicy::default_fast());
+        // Warm the line, then hit it.
+        cpu_hit.process(ev(0, AccessKind::Read, 0), &mut llc_hit, &mut mem_hit);
+        let before = cpu_hit.now();
+        cpu_hit.process(ev(0, AccessKind::Read, 0), &mut llc_hit, &mut mem_hit);
+        let hit_cost = cpu_hit.now() - before;
+
+        let (mut cpu_miss, mut llc_miss, mut mem_miss) = rig(MellowPolicy::default_fast());
+        cpu_miss.process(ev(0, AccessKind::Read, 0), &mut llc_miss, &mut mem_miss);
+        let before = cpu_miss.now();
+        cpu_miss.process(ev(0, AccessKind::Read, 999_999), &mut llc_miss, &mut mem_miss);
+        let miss_cost = cpu_miss.now() - before;
+        assert!(miss_cost > hit_cost);
+    }
+
+    #[test]
+    fn mlp_saturation_stalls() {
+        let (mut cpu, mut llc, mut mem) = rig(MellowPolicy::default_fast());
+        // Fire many distinct-row reads with zero gap: more than MLP=8
+        // misses to the same bank must serialize and stall (lines i*256
+        // share bank 0 but live in different rows, so no row-hit shortcut).
+        for i in 0..32u64 {
+            cpu.process(ev(0, AccessKind::Read, i * 256), &mut llc, &mut mem);
+        }
+        assert!(cpu.stats().read_stall_cycles > 0.0);
+    }
+
+    #[test]
+    fn write_backpressure_stalls_under_slow_writes() {
+        // Under 4x writes the write bandwidth (16 banks / 602.5 ns) is far
+        // below the demanded eviction rate; the pressure must surface as
+        // stall cycles (write-queue waits and/or drain-mode read stalls).
+        let run = |ratio: f64| {
+            let policy = MellowPolicy {
+                fast_latency: ratio,
+                slow_latency: ratio,
+                ..MellowPolicy::default_fast()
+            };
+            let (mut cpu, mut llc, mut mem) = rig(policy);
+            for i in 0..200_000u64 {
+                cpu.process(ev(1, AccessKind::Write, i), &mut llc, &mut mem);
+            }
+            cpu.drain(&mut mem);
+            (cpu.stats().read_stall_cycles + cpu.stats().write_stall_cycles, cpu.now())
+        };
+        let (fast_stalls, fast_end) = run(1.0);
+        let (slow_stalls, slow_end) = run(4.0);
+        assert!(slow_stalls > fast_stalls, "slow={slow_stalls} fast={fast_stalls}");
+        assert!(slow_end > fast_end);
+    }
+
+    #[test]
+    fn drain_completes_outstanding() {
+        let (mut cpu, mut llc, mut mem) = rig(MellowPolicy::default_fast());
+        for i in 0..4u64 {
+            cpu.process(ev(0, AccessKind::Read, i * 1000), &mut llc, &mut mem);
+        }
+        cpu.drain(&mut mem);
+        assert_eq!(mem.counters().reads_completed, mem.counters().reads_issued);
+    }
+
+    #[test]
+    fn slow_config_is_slower_end_to_end() {
+        let run = |policy: MellowPolicy| {
+            let (mut cpu, mut llc, mut mem) = rig(policy);
+            for i in 0..50_000u64 {
+                let kind = if i % 3 == 0 { AccessKind::Write } else { AccessKind::Read };
+                cpu.process(ev(20, kind, i % 10_000), &mut llc, &mut mem);
+            }
+            cpu.drain(&mut mem);
+            cpu.now()
+        };
+        let fast = run(MellowPolicy::default_fast());
+        let slow = run(MellowPolicy {
+            fast_latency: 4.0,
+            slow_latency: 4.0,
+            ..MellowPolicy::default_fast()
+        });
+        assert!(slow >= fast, "4x writes cannot be faster: fast={fast:?} slow={slow:?}");
+    }
+
+    #[test]
+    fn addr_offset_isolates_lines() {
+        let (cpu, _, _) = rig(MellowPolicy::default_fast());
+        let cpu = cpu.with_addr_offset(1 << 40);
+        assert_eq!(cpu.addr_offset, 1 << 40);
+    }
+}

@@ -1,0 +1,44 @@
+//! Error types for the simulation substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the simulation substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A mellow-writes policy violated a structural constraint.
+    InvalidPolicy(String),
+    /// A configuration parameter was outside its legal range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidPolicy(msg) => write!(f, "invalid mellow-writes policy: {msg}"),
+            SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let e = SimError::InvalidPolicy("slow_latency must be >= fast_latency".into());
+        let s = e.to_string();
+        assert!(s.starts_with("invalid"));
+        assert!(s.contains("slow_latency"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<SimError>();
+    }
+}

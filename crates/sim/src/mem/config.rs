@@ -1,0 +1,195 @@
+//! Main-memory configuration (paper Table 9).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+use crate::time::{Clock, Duration};
+
+/// Main-memory system parameters.
+///
+/// Defaults reproduce the paper's Table 9: 400 MHz, 4 GB ReRAM, 16 banks,
+/// 64-entry read/write queues (write-drain thresholds 32/64), 32-entry
+/// eager mellow-write queue, tRCD 120 ns, base write pulse 150 ns
+/// (stretched by the policy's `wr_ratio`), tCAS 2.5 ns, write-through.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemConfig {
+    /// Memory controller clock, MHz.
+    pub clock_mhz: u64,
+    /// Number of banks.
+    pub banks: usize,
+    /// Read queue capacity (highest priority).
+    pub read_queue_cap: usize,
+    /// Write queue capacity (middle-high priority).
+    pub write_queue_cap: usize,
+    /// Write-drain low watermark: drain mode ends at or below this.
+    pub write_drain_low: usize,
+    /// Write-drain high watermark: drain mode starts at or above this.
+    pub write_drain_high: usize,
+    /// Eager mellow-write queue capacity (lowest priority, no drain).
+    pub eager_queue_cap: usize,
+    /// Row activate latency (tRCD), ns.
+    pub t_rcd_ns: f64,
+    /// Column access latency (tCAS), ns.
+    pub t_cas_ns: f64,
+    /// Base write pulse width (tWP at ratio 1.0), ns.
+    pub t_wp_base_ns: f64,
+    /// A write may only be canceled while more than this fraction of its
+    /// pulse remains (canceling a nearly-finished write is wasteful).
+    pub cancel_min_remaining: f64,
+    /// Bank-recovery overhead after a cancellation, ns.
+    pub cancel_overhead_ns: f64,
+    /// Lines per row buffer (Table 9: 1 KB rows / 64 B lines = 16).
+    /// Open-page policy: a read hitting the open row costs only tCAS.
+    pub row_buffer_lines: u64,
+    /// Four-activate window (tFAW), ns: at most `faw_activations` row
+    /// activations may start within any rolling window of this length
+    /// (Table 9: 50 ns).
+    pub t_faw_ns: f64,
+    /// Activations allowed per tFAW window.
+    pub faw_activations: usize,
+}
+
+impl Default for MemConfig {
+    fn default() -> MemConfig {
+        MemConfig {
+            clock_mhz: 400,
+            banks: 16,
+            read_queue_cap: 64,
+            write_queue_cap: 64,
+            write_drain_low: 32,
+            write_drain_high: 64,
+            eager_queue_cap: 32,
+            t_rcd_ns: 120.0,
+            t_cas_ns: 2.5,
+            t_wp_base_ns: 150.0,
+            cancel_min_remaining: 0.25,
+            cancel_overhead_ns: 2.5,
+            row_buffer_lines: 16,
+            t_faw_ns: 50.0,
+            faw_activations: 4,
+        }
+    }
+}
+
+impl MemConfig {
+    /// The memory clock domain.
+    #[must_use]
+    pub fn clock(&self) -> Clock {
+        Clock::from_mhz(self.clock_mhz)
+    }
+
+    /// Total bank-occupancy of a read that misses the open row
+    /// (tRCD + tCAS).
+    #[must_use]
+    pub fn read_latency(&self) -> Duration {
+        Duration::from_ns(self.t_rcd_ns + self.t_cas_ns)
+    }
+
+    /// Bank-occupancy of a read that hits the open row (tCAS only —
+    /// open-page policy, Table 9).
+    #[must_use]
+    pub fn read_hit_latency(&self) -> Duration {
+        Duration::from_ns(self.t_cas_ns)
+    }
+
+    /// The row (within the whole memory) a line belongs to, under
+    /// line-granularity bank interleaving.
+    #[must_use]
+    pub fn row_of(&self, line: u64) -> u64 {
+        (line / self.banks as u64) / self.row_buffer_lines
+    }
+
+    /// Total bank-occupancy of a write at pulse ratio `ratio`
+    /// (writes bypass the row buffer: pulse + command overhead).
+    #[must_use]
+    pub fn write_latency(&self, ratio: f64) -> Duration {
+        Duration::from_ns(self.t_wp_base_ns * ratio + self.t_cas_ns)
+    }
+
+    /// The bank index a line address maps to (low-order interleaving,
+    /// matching bank-granularity wear leveling).
+    #[must_use]
+    pub fn bank_of(&self, line: u64) -> usize {
+        (line % self.banks as u64) as usize
+    }
+
+    /// Validate structural invariants.
+    ///
+    /// # Errors
+    /// Returns [`SimError::InvalidConfig`] when queue sizes, watermarks or
+    /// timing parameters are inconsistent.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let fail = |m: &str| Err(SimError::InvalidConfig(m.to_string()));
+        if self.banks == 0 {
+            return fail("banks must be >= 1");
+        }
+        if self.read_queue_cap == 0 || self.write_queue_cap == 0 {
+            return fail("queue capacities must be >= 1");
+        }
+        if self.write_drain_low >= self.write_drain_high {
+            return fail("write_drain_low must be < write_drain_high");
+        }
+        if self.write_drain_high > self.write_queue_cap {
+            return fail("write_drain_high must be <= write_queue_cap");
+        }
+        if self.t_wp_base_ns <= 0.0 || self.t_rcd_ns <= 0.0 {
+            return fail("timing parameters must be positive");
+        }
+        if !(0.0..1.0).contains(&self.cancel_min_remaining) {
+            return fail("cancel_min_remaining must be in [0, 1)");
+        }
+        if self.row_buffer_lines == 0 {
+            return fail("row_buffer_lines must be >= 1");
+        }
+        if self.faw_activations == 0 || self.t_faw_ns <= 0.0 {
+            return fail("tFAW parameters must be positive");
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table9() {
+        let c = MemConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.banks, 16);
+        assert_eq!(c.write_queue_cap, 64);
+        assert_eq!(c.eager_queue_cap, 32);
+        assert!((c.read_latency().as_ns() - 122.5).abs() < 1e-9);
+        assert!((c.write_latency(1.0).as_ns() - 152.5).abs() < 1e-9);
+        assert!((c.write_latency(4.0).as_ns() - 602.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bank_interleaving_covers_all_banks() {
+        let c = MemConfig::default();
+        let mut seen = vec![false; c.banks];
+        for line in 0..64 {
+            seen[c.bank_of(line)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn bad_watermarks_rejected() {
+        let c = MemConfig { write_drain_low: 64, write_drain_high: 64, ..MemConfig::default() };
+        assert!(c.validate().is_err());
+        let c = MemConfig { write_drain_high: 128, ..MemConfig::default() };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn zero_banks_rejected() {
+        let c = MemConfig { banks: 0, ..MemConfig::default() };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn clock_is_400mhz() {
+        assert_eq!(MemConfig::default().clock().ps_per_cycle(), 2500);
+    }
+}

@@ -1,0 +1,21 @@
+//! Event-driven NVM main-memory model.
+//!
+//! Implements the paper's Table 9 memory system: a 400 MHz, 16-bank ReRAM
+//! main memory with prioritized read / write / eager-mellow-write queues,
+//! write-drain thresholds, write cancellation, bank-aware slow-write
+//! issue, wear-quota enforcement, and wear/energy accounting.
+//!
+//! The controller is *lazily* event-driven: callers (the CPU model) push
+//! requests with explicit timestamps and the controller catches its
+//! internal clock up on demand. Because the CPU is the only source of new
+//! requests and issues them in non-decreasing time order, this is exact.
+
+mod bank;
+mod config;
+mod controller;
+mod queues;
+
+pub use bank::{Bank, InFlightOp, OpKind};
+pub use config::MemConfig;
+pub use controller::{MemCounters, MemoryController, ReqId};
+pub use queues::{BankQueue, QueueKind};

@@ -1,0 +1,346 @@
+//! The mellow-writes policy: the simulator-level view of one point in the
+//! MCT configuration space.
+//!
+//! [`MellowPolicy`] bundles the five techniques of the paper's case study
+//! (Section 3.1): the default fast-write path, bank-aware mellow writes,
+//! eager mellow writebacks, write cancellation for each speed class, and
+//! wear quota. The framework crate (`mct-core`) enumerates the abstract
+//! 10-dimensional configuration space and lowers each configuration to a
+//! `MellowPolicy` for simulation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+
+/// Write-pulse speed class used by the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WriteSpeed {
+    /// The "normal" (fast) write path at `fast_latency`.
+    Fast,
+    /// A mellow (slow) write at `slow_latency`.
+    Slow,
+    /// The slowest write (4.0x), enforced while wear quota is exhausted.
+    Quota,
+}
+
+/// Which speed classes have write cancellation enabled.
+///
+/// The paper constrains the space so that enabling cancellation for fast
+/// writes forces it for slow writes too (Section 3.3.1), leaving three
+/// valid modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum CancellationMode {
+    /// No write may be canceled by an incoming read.
+    #[default]
+    None,
+    /// Only slow (mellow/quota) writes may be canceled.
+    SlowOnly,
+    /// Both fast and slow writes may be canceled.
+    Both,
+}
+
+impl CancellationMode {
+    /// Whether a write of speed class `speed` may be canceled.
+    ///
+    /// Quota-enforced writes are always cancellable: the paper states that
+    /// while wear quota restricts a slice, "write cancellation is enforced".
+    #[must_use]
+    pub fn allows(self, speed: WriteSpeed) -> bool {
+        match speed {
+            WriteSpeed::Quota => true,
+            WriteSpeed::Slow => !matches!(self, CancellationMode::None),
+            WriteSpeed::Fast => matches!(self, CancellationMode::Both),
+        }
+    }
+
+    /// Whether cancellation is enabled for fast writes.
+    #[must_use]
+    pub fn fast(self) -> bool {
+        matches!(self, CancellationMode::Both)
+    }
+
+    /// Whether cancellation is enabled for slow writes.
+    #[must_use]
+    pub fn slow(self) -> bool {
+        !matches!(self, CancellationMode::None)
+    }
+}
+
+/// Latency ratio of the wear-quota-enforced slowest write.
+pub const QUOTA_WRITE_RATIO: f64 = 4.0;
+
+/// The *Write Latency vs Retention* tradeoff (paper Table 1, refs
+/// \[24\]\[53\]\[23\]): fast writes use fewer SET pulses, shortening latency at
+/// the cost of retention — each short-retention line must be scrubbed
+/// (rewritten at full strength) after `retention` elapses, which costs
+/// extra wear and bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetentionRelax {
+    /// Multiplier on the fast-write pulse (`(0, 1)`: faster than normal).
+    pub write_speedup: f64,
+    /// Simulated time until a relaxed write must be scrubbed, ns.
+    pub retention_ns: f64,
+}
+
+impl RetentionRelax {
+    /// Validate parameter ranges.
+    ///
+    /// # Errors
+    /// Returns [`SimError::InvalidPolicy`] on out-of-range parameters.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if !(self.write_speedup > 0.0 && self.write_speedup < 1.0) {
+            return Err(SimError::InvalidPolicy(
+                "retention write_speedup must be in (0, 1)".to_string(),
+            ));
+        }
+        // `<= 0.0 || is_nan()` spelled out: NaN must be rejected too.
+        if self.retention_ns <= 0.0 || self.retention_ns.is_nan() {
+            return Err(SimError::InvalidPolicy("retention_ns must be positive".to_string()));
+        }
+        Ok(())
+    }
+}
+
+/// The *Read Latency vs Read Disturbance* tradeoff (paper Table 1, refs
+/// \[30\]\[48\]): turbo reads finish faster but disturb the cells; after
+/// `disturb_threshold` turbo reads on a bank, the most-recently-read line
+/// must be refreshed (rewritten), costing wear and bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TurboRead {
+    /// Multiplier on the read latency (`(0, 1)`: faster than normal).
+    pub read_speedup: f64,
+    /// Turbo reads per bank before a refresh write is required.
+    pub disturb_threshold: u32,
+}
+
+impl TurboRead {
+    /// Validate parameter ranges.
+    ///
+    /// # Errors
+    /// Returns [`SimError::InvalidPolicy`] on out-of-range parameters.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if !(self.read_speedup > 0.0 && self.read_speedup < 1.0) {
+            return Err(SimError::InvalidPolicy(
+                "turbo read_speedup must be in (0, 1)".to_string(),
+            ));
+        }
+        if self.disturb_threshold == 0 {
+            return Err(SimError::InvalidPolicy(
+                "disturb_threshold must be >= 1".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A complete mellow-writes policy for the memory controller.
+///
+/// Latencies are expressed as ratios of the base write pulse (150 ns at
+/// ratio 1.0, per Table 9); endurance improves quadratically with the
+/// ratio (`8e6 * ratio^2` writes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MellowPolicy {
+    /// Normalized pulse width of fast writes, in `[1.0, 4.0]`.
+    pub fast_latency: f64,
+    /// Normalized pulse width of slow writes, `>= fast_latency`.
+    pub slow_latency: f64,
+    /// Which speed classes may be canceled by an incoming read.
+    pub cancellation: CancellationMode,
+    /// Bank-aware mellow writes: issue a write as slow when fewer than
+    /// `threshold` write-queue entries target its bank. `None` disables.
+    pub bank_aware_threshold: Option<u32>,
+    /// Eager mellow writebacks: LRU stack positions whose aggregate LLC hit
+    /// share is below `1/threshold` are deemed useless and their dirty
+    /// lines are eagerly written back. `None` disables.
+    pub eager_threshold: Option<u32>,
+    /// Wear quota target lifetime in years. `None` disables wear quota.
+    pub wear_quota_target_years: Option<f64>,
+    /// Write-latency-vs-retention relaxation (extension beyond the
+    /// paper's case study; `None` = full-retention writes).
+    pub retention: Option<RetentionRelax>,
+    /// Read-latency-vs-disturbance turbo reads (extension; `None` =
+    /// normal reads).
+    pub turbo_read: Option<TurboRead>,
+}
+
+impl MellowPolicy {
+    /// The paper's *default* system: fast 1.0x writes only, no mellow
+    /// techniques, no cancellation (Table 5, row "default").
+    #[must_use]
+    pub fn default_fast() -> MellowPolicy {
+        MellowPolicy {
+            fast_latency: 1.0,
+            slow_latency: 1.0,
+            cancellation: CancellationMode::None,
+            bank_aware_threshold: None,
+            eager_threshold: None,
+            wear_quota_target_years: None,
+            retention: None,
+            turbo_read: None,
+        }
+    }
+
+    /// The paper's *best static policy* (Table 5 row "baseline"):
+    /// bank-aware (threshold 1) + eager writebacks (threshold 32) + wear
+    /// quota (8 years), fast 1.0x / slow 3.0x, cancellation on slow writes.
+    #[must_use]
+    pub fn static_baseline() -> MellowPolicy {
+        MellowPolicy {
+            fast_latency: 1.0,
+            slow_latency: 3.0,
+            cancellation: CancellationMode::SlowOnly,
+            bank_aware_threshold: Some(1),
+            eager_threshold: Some(32),
+            wear_quota_target_years: Some(8.0),
+            retention: None,
+            turbo_read: None,
+        }
+    }
+
+    /// Validate the paper's structural constraints (Section 3.3.1).
+    ///
+    /// # Errors
+    /// Returns [`SimError::InvalidPolicy`] if latencies are out of range,
+    /// `slow_latency < fast_latency`, or a threshold parameter is zero.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let fail = |what: &str| Err(SimError::InvalidPolicy(what.to_string()));
+        if !(1.0..=4.0).contains(&self.fast_latency) {
+            return fail("fast_latency must be in [1.0, 4.0]");
+        }
+        if !(1.0..=4.0).contains(&self.slow_latency) {
+            return fail("slow_latency must be in [1.0, 4.0]");
+        }
+        if self.slow_latency < self.fast_latency {
+            return fail("slow_latency must be >= fast_latency");
+        }
+        if self.bank_aware_threshold == Some(0) {
+            return fail("bank_aware_threshold must be >= 1");
+        }
+        if let Some(e) = self.eager_threshold {
+            if e < 2 {
+                return fail("eager_threshold must be >= 2");
+            }
+        }
+        if let Some(y) = self.wear_quota_target_years {
+            if y <= 0.0 || y.is_nan() {
+                return fail("wear_quota_target_years must be positive");
+            }
+        }
+        if let Some(r) = self.retention {
+            r.validate()?;
+        }
+        if let Some(t) = self.turbo_read {
+            t.validate()?;
+        }
+        Ok(())
+    }
+
+    /// Latency ratio for a speed class.
+    #[must_use]
+    pub fn ratio(&self, speed: WriteSpeed) -> f64 {
+        match speed {
+            WriteSpeed::Fast => self.fast_latency,
+            WriteSpeed::Slow => self.slow_latency,
+            WriteSpeed::Quota => QUOTA_WRITE_RATIO,
+        }
+    }
+
+    /// Whether any technique can ever issue a slow write.
+    #[must_use]
+    pub fn uses_slow_writes(&self) -> bool {
+        self.bank_aware_threshold.is_some() || self.eager_threshold.is_some()
+    }
+
+    /// This policy with wear quota forced to `years` (the paper's fixup
+    /// step, Section 5.3).
+    #[must_use]
+    pub fn with_wear_quota(mut self, years: f64) -> MellowPolicy {
+        self.wear_quota_target_years = Some(years);
+        self
+    }
+
+    /// This policy with wear quota removed (used to exclude wear quota
+    /// from the learned space, Section 4.4).
+    #[must_use]
+    pub fn without_wear_quota(mut self) -> MellowPolicy {
+        self.wear_quota_target_years = None;
+        self
+    }
+}
+
+impl Default for MellowPolicy {
+    /// Defaults to [`MellowPolicy::default_fast`].
+    fn default() -> MellowPolicy {
+        MellowPolicy::default_fast()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_fast_is_valid() {
+        MellowPolicy::default_fast().validate().unwrap();
+    }
+
+    #[test]
+    fn static_baseline_is_valid_and_uses_all_techniques() {
+        let p = MellowPolicy::static_baseline();
+        p.validate().unwrap();
+        assert!(p.uses_slow_writes());
+        assert_eq!(p.bank_aware_threshold, Some(1));
+        assert_eq!(p.eager_threshold, Some(32));
+        assert_eq!(p.wear_quota_target_years, Some(8.0));
+    }
+
+    #[test]
+    fn slow_less_than_fast_rejected() {
+        let p = MellowPolicy { fast_latency: 2.0, slow_latency: 1.5, ..MellowPolicy::default_fast() };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn out_of_range_latency_rejected() {
+        let p = MellowPolicy { fast_latency: 0.5, ..MellowPolicy::default_fast() };
+        assert!(p.validate().is_err());
+        let p = MellowPolicy { fast_latency: 4.0, slow_latency: 4.5, ..MellowPolicy::default_fast() };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn zero_thresholds_rejected() {
+        let p = MellowPolicy { bank_aware_threshold: Some(0), ..MellowPolicy::default_fast() };
+        assert!(p.validate().is_err());
+        let p = MellowPolicy { eager_threshold: Some(1), ..MellowPolicy::default_fast() };
+        assert!(p.validate().is_err());
+        let p = MellowPolicy { wear_quota_target_years: Some(0.0), ..MellowPolicy::default_fast() };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn cancellation_mode_semantics() {
+        assert!(!CancellationMode::None.allows(WriteSpeed::Fast));
+        assert!(!CancellationMode::None.allows(WriteSpeed::Slow));
+        assert!(CancellationMode::None.allows(WriteSpeed::Quota), "quota writes always cancellable");
+        assert!(CancellationMode::SlowOnly.allows(WriteSpeed::Slow));
+        assert!(!CancellationMode::SlowOnly.allows(WriteSpeed::Fast));
+        assert!(CancellationMode::Both.allows(WriteSpeed::Fast));
+        assert!(CancellationMode::Both.slow() && CancellationMode::Both.fast());
+    }
+
+    #[test]
+    fn ratio_per_speed() {
+        let p = MellowPolicy { fast_latency: 1.5, slow_latency: 3.0, ..MellowPolicy::default_fast() };
+        assert_eq!(p.ratio(WriteSpeed::Fast), 1.5);
+        assert_eq!(p.ratio(WriteSpeed::Slow), 3.0);
+        assert_eq!(p.ratio(WriteSpeed::Quota), 4.0);
+    }
+
+    #[test]
+    fn quota_fixup_round_trip() {
+        let p = MellowPolicy::default_fast().with_wear_quota(8.0);
+        assert_eq!(p.wear_quota_target_years, Some(8.0));
+        assert_eq!(p.without_wear_quota().wear_quota_target_years, None);
+    }
+}

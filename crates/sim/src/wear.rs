@@ -1,0 +1,359 @@
+//! Wear accounting, lifetime projection, and the Wear Quota technique.
+//!
+//! The endurance model follows the paper's Table 9: a cell endures
+//! `8e6 * wr_ratio^2` writes when written with pulses stretched by
+//! `wr_ratio`. We normalize by charging each completed line write
+//! `1 / wr_ratio^2` *wear units*, so the memory's total budget is
+//! `lines * 8e6 * wear_leveling_efficiency` wear units regardless of the
+//! write-speed mix. A canceled write is charged for the completed fraction
+//! of its pulse (the energy was already deposited in the cells) and is
+//! later re-issued in full — which is why write cancellation shortens
+//! lifetime (Section 2).
+//!
+//! Lifetime is projected per the paper's methodology (Section 6.1): the
+//! workload loops until the memory wears out, so
+//! `lifetime = budget / wear_rate` with `wear_rate` measured over the
+//! simulated window.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{Duration, Time};
+
+/// Seconds per (Julian) year, used for lifetime reporting.
+pub const SECONDS_PER_YEAR: f64 = 365.25 * 24.0 * 3600.0;
+
+/// Parameters of the endurance / wear-leveling model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WearModel {
+    /// Base cell endurance at ratio 1.0 (writes). Table 9: `8e6`.
+    pub base_endurance: f64,
+    /// Number of cache lines in the memory (4 GB / 64 B = 2^26).
+    pub lines: u64,
+    /// Fraction of ideal lifetime achieved by the wear-leveling scheme
+    /// (Table 9 assumes Start-Gap at bank granularity: 95%).
+    pub leveling_efficiency: f64,
+}
+
+impl WearModel {
+    /// Total wear-unit budget of the memory.
+    #[must_use]
+    pub fn budget(&self) -> f64 {
+        self.base_endurance * self.lines as f64 * self.leveling_efficiency
+    }
+}
+
+impl Default for WearModel {
+    /// Paper Table 9 parameters: 8e6 endurance, 4 GB of 64 B lines, 95%
+    /// wear-leveling efficiency.
+    fn default() -> WearModel {
+        WearModel { base_endurance: 8e6, lines: 1 << 26, leveling_efficiency: 0.95 }
+    }
+}
+
+/// Accumulates wear over a simulation run and projects lifetime.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WearMeter {
+    model: WearModel,
+    wear_units: f64,
+    completed_writes: u64,
+    canceled_writes: u64,
+}
+
+impl WearMeter {
+    /// Create a meter over the given endurance model.
+    #[must_use]
+    pub fn new(model: WearModel) -> WearMeter {
+        WearMeter { model, wear_units: 0.0, completed_writes: 0, canceled_writes: 0 }
+    }
+
+    /// Charge one completed line write at pulse ratio `ratio`.
+    ///
+    /// Ratios below 1.0 occur under the retention-relax extension
+    /// (shortened pulses); the quadratic law then charges *more* than a
+    /// full-pulse write, which is the intended endurance penalty.
+    pub fn record_write(&mut self, ratio: f64) {
+        debug_assert!(ratio > 0.0);
+        self.wear_units += 1.0 / (ratio * ratio);
+        self.completed_writes += 1;
+    }
+
+    /// Charge a canceled write for the fraction of the pulse that
+    /// completed before cancellation.
+    pub fn record_cancellation(&mut self, ratio: f64, completed_fraction: f64) {
+        debug_assert!((0.0..=1.0).contains(&completed_fraction));
+        self.wear_units += completed_fraction / (ratio * ratio);
+        self.canceled_writes += 1;
+    }
+
+    /// Total wear units charged so far.
+    #[must_use]
+    pub fn wear_units(&self) -> f64 {
+        self.wear_units
+    }
+
+    /// Completed line writes.
+    #[must_use]
+    pub fn completed_writes(&self) -> u64 {
+        self.completed_writes
+    }
+
+    /// Canceled write attempts.
+    #[must_use]
+    pub fn canceled_writes(&self) -> u64 {
+        self.canceled_writes
+    }
+
+    /// The endurance model in use.
+    #[must_use]
+    pub fn model(&self) -> &WearModel {
+        &self.model
+    }
+
+    /// Projected lifetime in years if the observed wear rate over
+    /// `elapsed` simulated time continued forever.
+    ///
+    /// Returns `f64::INFINITY` when no wear was accrued.
+    #[must_use]
+    pub fn lifetime_years(&self, elapsed: Duration) -> f64 {
+        if self.wear_units <= 0.0 {
+            return f64::INFINITY;
+        }
+        let secs = elapsed.as_secs();
+        if secs <= 0.0 {
+            return f64::INFINITY;
+        }
+        let rate = self.wear_units / secs;
+        self.model.budget() / rate / SECONDS_PER_YEAR
+    }
+
+    /// Reset counters (keeps the model).
+    pub fn reset(&mut self) {
+        self.wear_units = 0.0;
+        self.completed_writes = 0;
+        self.canceled_writes = 0;
+    }
+}
+
+/// The Wear Quota technique (Section 3.1, "last resort" of Section 5.3).
+///
+/// Execution is divided into fixed time slices; each slice is granted a
+/// wear budget proportional to `total_budget / target_lifetime`. At the
+/// start of a slice, if accumulated wear exceeds the accumulated quota,
+/// the entire slice is *restricted*: every write is forced to the slowest
+/// pulse (4.0x) with cancellation enforced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WearQuota {
+    /// Wear-unit allowance per second of simulated time.
+    allowance_per_sec: f64,
+    /// Slice length.
+    slice: Duration,
+    /// Accounting epoch: allowance accrues from this instant (rebased when
+    /// run statistics are reset after warmup).
+    epoch: Time,
+    /// Start of the current slice.
+    slice_start: Time,
+    /// Whether the current slice is restricted to slowest writes.
+    restricted: bool,
+    /// Number of restricted slices seen.
+    restricted_slices: u64,
+    /// Total slices seen.
+    total_slices: u64,
+}
+
+impl WearQuota {
+    /// Default slice length: 10 us of simulated time. The paper slices at
+    /// a coarser grain over billions of instructions; this reproduction's
+    /// detailed windows are ~0.3-3 ms of simulated time, so the slice is
+    /// scaled down proportionally to keep tens-to-hundreds of enforcement
+    /// decisions per measurement window.
+    pub const DEFAULT_SLICE: Duration = Duration(10_000_000); // 10 us in ps
+
+    /// Create a quota enforcing `target_years` lifetime under `model`.
+    ///
+    /// # Panics
+    /// Panics if `target_years` is not positive.
+    #[must_use]
+    pub fn new(model: &WearModel, target_years: f64, slice: Duration) -> WearQuota {
+        assert!(target_years > 0.0, "wear quota target must be positive");
+        let allowance_per_sec = model.budget() / (target_years * SECONDS_PER_YEAR);
+        WearQuota {
+            allowance_per_sec,
+            slice,
+            epoch: Time::ZERO,
+            slice_start: Time::ZERO,
+            restricted: false,
+            restricted_slices: 0,
+            total_slices: 1,
+        }
+    }
+
+    /// Restart accounting from `now` (used when run statistics are reset
+    /// after warmup: wear counted from the epoch must be compared against
+    /// allowance accrued from the same epoch).
+    pub fn rebase(&mut self, now: Time) {
+        self.epoch = now;
+        self.slice_start = now;
+        self.restricted = false;
+        self.restricted_slices = 0;
+        self.total_slices = 1;
+    }
+
+    /// Advance to `now`; at each slice boundary re-evaluate restriction
+    /// against the wear accrued so far (since the epoch).
+    pub fn advance(&mut self, now: Time, wear_units_so_far: f64) {
+        while now.saturating_since(self.slice_start) >= self.slice {
+            self.slice_start += self.slice;
+            self.total_slices += 1;
+            let elapsed_secs = self.slice_start.saturating_since(self.epoch).as_secs();
+            let allowed = self.allowance_per_sec * elapsed_secs;
+            self.restricted = wear_units_so_far > allowed;
+            if self.restricted {
+                self.restricted_slices += 1;
+            }
+        }
+    }
+
+    /// Whether the current slice restricts all writes to the slowest pulse.
+    #[must_use]
+    pub fn is_restricted(&self) -> bool {
+        self.restricted
+    }
+
+    /// Fraction of slices that were restricted.
+    #[must_use]
+    pub fn restricted_fraction(&self) -> f64 {
+        self.restricted_slices as f64 / self.total_slices as f64
+    }
+
+    /// The wear-unit allowance per simulated second.
+    #[must_use]
+    pub fn allowance_per_sec(&self) -> f64 {
+        self.allowance_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_matches_table9() {
+        let m = WearModel::default();
+        let expected = 8e6 * (1u64 << 26) as f64 * 0.95;
+        assert!((m.budget() - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    fn fast_writes_wear_more_than_slow() {
+        let mut fast = WearMeter::new(WearModel::default());
+        let mut slow = WearMeter::new(WearModel::default());
+        for _ in 0..100 {
+            fast.record_write(1.0);
+            slow.record_write(2.0);
+        }
+        // 2x pulses endure 4x: quarter the wear.
+        assert!((fast.wear_units() / slow.wear_units() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lifetime_scales_inversely_with_rate() {
+        let mut m = WearMeter::new(WearModel::default());
+        m.record_write(1.0);
+        let one = m.lifetime_years(Duration::from_ns(1e6));
+        m.record_write(1.0);
+        let two = m.lifetime_years(Duration::from_ns(1e6));
+        assert!((one / two - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_wear_means_infinite_lifetime() {
+        let m = WearMeter::new(WearModel::default());
+        assert!(m.lifetime_years(Duration::from_ns(1e9)).is_infinite());
+    }
+
+    #[test]
+    fn lifetime_realistic_magnitude() {
+        // ~5.4M wear units/sec should land around ~3 years (see DESIGN.md).
+        let mut m = WearMeter::new(WearModel::default());
+        for _ in 0..5_400 {
+            m.record_write(1.0);
+        }
+        // 5400 writes over 1 ms => 5.4e6/s.
+        let yrs = m.lifetime_years(Duration::from_ns(1e6));
+        assert!(yrs > 1.0 && yrs < 10.0, "unexpected lifetime {yrs}");
+    }
+
+    #[test]
+    fn cancellation_charges_fractional_wear() {
+        let mut m = WearMeter::new(WearModel::default());
+        m.record_cancellation(1.0, 0.5);
+        assert!((m.wear_units() - 0.5).abs() < 1e-12);
+        assert_eq!(m.canceled_writes(), 1);
+        assert_eq!(m.completed_writes(), 0);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut m = WearMeter::new(WearModel::default());
+        m.record_write(1.0);
+        m.reset();
+        assert_eq!(m.wear_units(), 0.0);
+        assert_eq!(m.completed_writes(), 0);
+    }
+
+    #[test]
+    fn quota_restricts_when_over_budget() {
+        let model = WearModel::default();
+        let slice = Duration::from_ns(1000.0);
+        let mut q = WearQuota::new(&model, 8.0, slice);
+        assert!(!q.is_restricted());
+        // Enormous wear in the first slice: restriction must kick in at the
+        // next boundary.
+        q.advance(Time::from_ns(1500.0), model.budget());
+        assert!(q.is_restricted());
+        assert!(q.restricted_fraction() > 0.0);
+    }
+
+    #[test]
+    fn quota_relaxes_when_under_budget() {
+        let model = WearModel::default();
+        let slice = Duration::from_ns(1000.0);
+        let mut q = WearQuota::new(&model, 8.0, slice);
+        q.advance(Time::from_ns(1500.0), model.budget()); // restrict
+        assert!(q.is_restricted());
+        // Later, with no further wear, the accumulated allowance catches up
+        // only after an absurdly long time; simulate that by passing tiny wear.
+        q.advance(Time::from_ns(10_000.0), 0.0);
+        assert!(!q.is_restricted());
+    }
+
+    #[test]
+    fn quota_allowance_scales_with_target() {
+        let model = WearModel::default();
+        let q4 = WearQuota::new(&model, 4.0, WearQuota::DEFAULT_SLICE);
+        let q8 = WearQuota::new(&model, 8.0, WearQuota::DEFAULT_SLICE);
+        assert!((q4.allowance_per_sec() / q8.allowance_per_sec() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn quota_zero_target_panics() {
+        let _ = WearQuota::new(&WearModel::default(), 0.0, WearQuota::DEFAULT_SLICE);
+    }
+
+    #[test]
+    fn quota_rebase_restarts_accounting() {
+        let model = WearModel::default();
+        let slice = Duration::from_ns(1000.0);
+        let mut q = WearQuota::new(&model, 8.0, slice);
+        q.advance(Time::from_ns(1500.0), model.budget());
+        assert!(q.is_restricted());
+        // Rebase at 2000ns: allowance now accrues from there, and the
+        // post-rebase wear (0) is under budget at the next boundary.
+        q.rebase(Time::from_ns(2000.0));
+        assert!(!q.is_restricted());
+        q.advance(Time::from_ns(3500.0), 0.0);
+        assert!(!q.is_restricted());
+        assert_eq!(q.restricted_fraction(), 0.0, "rebase clears history");
+    }
+}

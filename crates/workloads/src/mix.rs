@@ -1,0 +1,101 @@
+//! Multi-program workload mixes (paper Table 11).
+
+use crate::bench::Workload;
+use crate::source::WorkloadSource;
+
+/// One of the paper's six 4-program mixes (Table 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mix {
+    /// lbm, libquantum, stream, ocean.
+    Mix1,
+    /// leslie3d, bwaves, stream, ocean.
+    Mix2,
+    /// GemsFDTD, milc, zeusmp, bwaves.
+    Mix3,
+    /// lbm, leslie3d, zeusmp, GemsFDTD.
+    Mix4,
+    /// GemsFDTD, milc, bwaves, libquantum.
+    Mix5,
+    /// libquantum, bwaves, stream, ocean.
+    Mix6,
+}
+
+impl Mix {
+    /// All six mixes in Table 11 order.
+    #[must_use]
+    pub fn all() -> [Mix; 6] {
+        [Mix::Mix1, Mix::Mix2, Mix::Mix3, Mix::Mix4, Mix::Mix5, Mix::Mix6]
+    }
+
+    /// Conventional name ("mix1".."mix6").
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Mix::Mix1 => "mix1",
+            Mix::Mix2 => "mix2",
+            Mix::Mix3 => "mix3",
+            Mix::Mix4 => "mix4",
+            Mix::Mix5 => "mix5",
+            Mix::Mix6 => "mix6",
+        }
+    }
+
+    /// The four member workloads (Table 11).
+    #[must_use]
+    pub fn members(self) -> [Workload; 4] {
+        match self {
+            Mix::Mix1 => [Workload::Lbm, Workload::Libquantum, Workload::Stream, Workload::Ocean],
+            Mix::Mix2 => {
+                [Workload::Leslie3d, Workload::Bwaves, Workload::Stream, Workload::Ocean]
+            }
+            Mix::Mix3 => [Workload::GemsFdtd, Workload::Milc, Workload::Zeusmp, Workload::Bwaves],
+            Mix::Mix4 => [Workload::Lbm, Workload::Leslie3d, Workload::Zeusmp, Workload::GemsFdtd],
+            Mix::Mix5 => {
+                [Workload::GemsFdtd, Workload::Milc, Workload::Bwaves, Workload::Libquantum]
+            }
+            Mix::Mix6 => {
+                [Workload::Libquantum, Workload::Bwaves, Workload::Stream, Workload::Ocean]
+            }
+        }
+    }
+
+    /// Build the four per-core sources with a shared base seed.
+    #[must_use]
+    pub fn sources(self, seed: u64) -> Vec<WorkloadSource> {
+        self.members().into_iter().map(|w| w.source(seed)).collect()
+    }
+}
+
+impl std::fmt::Display for Mix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_mixes_of_four() {
+        for m in Mix::all() {
+            assert_eq!(m.members().len(), 4);
+            assert_eq!(m.sources(1).len(), 4);
+        }
+    }
+
+    #[test]
+    fn table11_membership_spotcheck() {
+        assert_eq!(
+            Mix::Mix4.members(),
+            [Workload::Lbm, Workload::Leslie3d, Workload::Zeusmp, Workload::GemsFdtd]
+        );
+        assert!(Mix::Mix3.members().contains(&Workload::Zeusmp));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Mix::Mix1.to_string(), "mix1");
+        assert_eq!(Mix::Mix6.to_string(), "mix6");
+    }
+}

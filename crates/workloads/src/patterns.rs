@@ -1,0 +1,211 @@
+//! Address-pattern primitives.
+//!
+//! Each [`Pattern`] describes a family of line-address sequences; a
+//! [`PatternState`] holds the per-instance cursor. Profiles mix several
+//! patterns with weights to shape LLC hit rates, spatial bank spread and
+//! dirty-line behaviour.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// An address-sequence family, in cache-line units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Pattern {
+    /// Pure sequential walk over `region_lines`, wrapping.
+    Sequential {
+        /// Region size in lines.
+        region_lines: u64,
+    },
+    /// Strided walk: `stride` lines per step over `region_lines`.
+    Strided {
+        /// Step in lines.
+        stride: u64,
+        /// Region size in lines.
+        region_lines: u64,
+    },
+    /// Uniform random over `region_lines` (GUPS-like).
+    Random {
+        /// Region size in lines.
+        region_lines: u64,
+    },
+    /// Zipf-ish hot set: most accesses reuse `hot_lines`, generating LLC
+    /// hits; keeps temporal locality knobs separate from region size.
+    Hot {
+        /// Number of distinct hot lines.
+        hot_lines: u64,
+    },
+}
+
+impl Pattern {
+    /// The base line-address offset that keeps this pattern's region
+    /// disjoint from other patterns in the same profile slot.
+    fn region_span(self) -> u64 {
+        match self {
+            Pattern::Sequential { region_lines }
+            | Pattern::Strided { region_lines, .. }
+            | Pattern::Random { region_lines } => region_lines,
+            Pattern::Hot { hot_lines } => hot_lines,
+        }
+    }
+}
+
+/// Runtime cursor for one pattern instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PatternState {
+    pattern: Pattern,
+    /// Base line offset (regions of co-resident patterns are disjoint).
+    base: u64,
+    cursor: u64,
+}
+
+impl PatternState {
+    /// Instantiate `pattern` at the given base offset.
+    ///
+    /// # Panics
+    /// Panics if the pattern's region is empty or a stride is zero.
+    #[must_use]
+    pub fn new(pattern: Pattern, base: u64) -> PatternState {
+        match pattern {
+            Pattern::Sequential { region_lines }
+            | Pattern::Random { region_lines } => {
+                assert!(region_lines > 0, "region must be nonempty");
+            }
+            Pattern::Strided { stride, region_lines } => {
+                assert!(region_lines > 0, "region must be nonempty");
+                assert!(stride > 0, "stride must be nonzero");
+            }
+            Pattern::Hot { hot_lines } => assert!(hot_lines > 0, "hot set must be nonempty"),
+        }
+        PatternState { pattern, base, cursor: 0 }
+    }
+
+    /// The pattern this state instantiates.
+    #[must_use]
+    pub fn pattern(&self) -> Pattern {
+        self.pattern
+    }
+
+    /// Produce the next line address.
+    pub fn next_line<R: Rng>(&mut self, rng: &mut R) -> u64 {
+        match self.pattern {
+            Pattern::Sequential { region_lines } => {
+                let line = self.base + self.cursor;
+                self.cursor = (self.cursor + 1) % region_lines;
+                line
+            }
+            Pattern::Strided { stride, region_lines } => {
+                let line = self.base + self.cursor;
+                self.cursor = (self.cursor + stride) % region_lines;
+                line
+            }
+            Pattern::Random { region_lines } => self.base + rng.gen_range(0..region_lines),
+            Pattern::Hot { hot_lines } => {
+                // An 80/20-style skew: square a uniform draw so low indices
+                // (the hottest lines) dominate.
+                let u: f64 = rng.gen::<f64>();
+                let idx = ((u * u) * hot_lines as f64) as u64;
+                self.base + idx.min(hot_lines - 1)
+            }
+        }
+    }
+
+    /// Lines spanned by this instance (for base-offset layout).
+    #[must_use]
+    pub fn span(&self) -> u64 {
+        self.pattern.region_span()
+    }
+}
+
+/// Lay out pattern instances at disjoint base offsets.
+#[must_use]
+pub fn layout(patterns: &[Pattern]) -> Vec<PatternState> {
+    let mut base = 0;
+    patterns
+        .iter()
+        .map(|&p| {
+            let st = PatternState::new(p, base);
+            // Round each region up to a large alignment so different
+            // patterns never alias.
+            base += st.span().next_power_of_two().max(1 << 20);
+            st
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn sequential_wraps() {
+        let mut st = PatternState::new(Pattern::Sequential { region_lines: 3 }, 100);
+        let mut r = rng();
+        let seq: Vec<u64> = (0..5).map(|_| st.next_line(&mut r)).collect();
+        assert_eq!(seq, vec![100, 101, 102, 100, 101]);
+    }
+
+    #[test]
+    fn strided_steps() {
+        let mut st = PatternState::new(Pattern::Strided { stride: 4, region_lines: 10 }, 0);
+        let mut r = rng();
+        let seq: Vec<u64> = (0..4).map(|_| st.next_line(&mut r)).collect();
+        assert_eq!(seq, vec![0, 4, 8, 2]);
+    }
+
+    #[test]
+    fn random_stays_in_region() {
+        let mut st = PatternState::new(Pattern::Random { region_lines: 64 }, 1000);
+        let mut r = rng();
+        for _ in 0..1000 {
+            let l = st.next_line(&mut r);
+            assert!((1000..1064).contains(&l));
+        }
+    }
+
+    #[test]
+    fn hot_skews_toward_low_indices() {
+        let mut st = PatternState::new(Pattern::Hot { hot_lines: 100 }, 0);
+        let mut r = rng();
+        let mut low = 0;
+        for _ in 0..10_000 {
+            if st.next_line(&mut r) < 25 {
+                low += 1;
+            }
+        }
+        // With the squared draw, P(idx < 25) = P(u^2 < 0.25) = 0.5.
+        assert!(low > 4_000 && low < 6_000, "low={low}");
+    }
+
+    #[test]
+    fn layout_gives_disjoint_regions() {
+        let states = layout(&[
+            Pattern::Sequential { region_lines: 1 << 10 },
+            Pattern::Random { region_lines: 1 << 12 },
+        ]);
+        let mut r = rng();
+        let mut a = states[0].clone();
+        let mut b = states[1].clone();
+        for _ in 0..100 {
+            assert!(a.next_line(&mut r) < (1 << 20));
+            assert!(b.next_line(&mut r) >= (1 << 20));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be nonzero")]
+    fn zero_stride_panics() {
+        let _ = PatternState::new(Pattern::Strided { stride: 0, region_lines: 8 }, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "region must be nonempty")]
+    fn empty_region_panics() {
+        let _ = PatternState::new(Pattern::Sequential { region_lines: 0 }, 0);
+    }
+}

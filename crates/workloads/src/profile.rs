@@ -1,0 +1,137 @@
+//! Workload profiles: the calibrated description a source is built from.
+
+use serde::{Deserialize, Serialize};
+
+use crate::patterns::Pattern;
+
+/// Burst modulation: the workload alternates between bursty periods
+/// (denser memory accesses) and quiet periods.
+///
+/// The paper observes burst lengths of at least ~10M instructions in its
+/// benchmarks (Section 5.2); profiles here scale that to the reproduction's
+/// shorter detailed windows while keeping bursts much longer than a
+/// fine-grained sampling unit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BurstSpec {
+    /// Burst length in instructions.
+    pub burst_insts: u64,
+    /// Quiet length in instructions.
+    pub quiet_insts: u64,
+    /// Gap multiplier during quiet periods (> 1: sparser accesses).
+    pub quiet_gap_factor: f64,
+}
+
+/// One coarse phase of a workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseProfile {
+    /// Phase length in instructions (the source cycles through phases).
+    pub insts: u64,
+    /// Mean instructions between LLC-input accesses.
+    pub gap_mean: f64,
+    /// Fraction of accesses that are stores.
+    pub write_frac: f64,
+    /// Weighted address patterns (weights need not sum to 1).
+    pub patterns: Vec<(f64, Pattern)>,
+    /// Optional burst modulation.
+    pub burst: Option<BurstSpec>,
+}
+
+/// A complete workload profile: one or more phases, cycled forever.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Profile {
+    /// Workload name (paper benchmark it stands in for).
+    pub name: &'static str,
+    /// The coarse phases.
+    pub phases: Vec<PhaseProfile>,
+}
+
+impl Profile {
+    /// Validate structural invariants.
+    ///
+    /// # Panics
+    /// Panics on an empty phase list, non-positive gaps, out-of-range
+    /// write fractions or empty pattern mixtures — profile constants are
+    /// code, not user input, so violations are programming errors.
+    pub fn assert_valid(&self) {
+        assert!(!self.phases.is_empty(), "{}: profile needs phases", self.name);
+        for (i, ph) in self.phases.iter().enumerate() {
+            assert!(ph.insts > 0, "{} phase {i}: zero length", self.name);
+            assert!(ph.gap_mean >= 1.0, "{} phase {i}: gap_mean < 1", self.name);
+            assert!(
+                (0.0..=1.0).contains(&ph.write_frac),
+                "{} phase {i}: bad write_frac",
+                self.name
+            );
+            assert!(!ph.patterns.is_empty(), "{} phase {i}: no patterns", self.name);
+            let total: f64 = ph.patterns.iter().map(|(w, _)| *w).sum();
+            assert!(total > 0.0, "{} phase {i}: zero pattern weight", self.name);
+            if let Some(b) = ph.burst {
+                assert!(b.burst_insts > 0 && b.quiet_insts > 0, "{} phase {i}: bad burst", self.name);
+                assert!(b.quiet_gap_factor >= 1.0, "{} phase {i}: quiet factor < 1", self.name);
+            }
+        }
+    }
+
+    /// Nominal LLC-input accesses per kilo-instruction, averaged over the
+    /// phase cycle (ignoring burst modulation).
+    #[must_use]
+    pub fn nominal_accesses_per_kinst(&self) -> f64 {
+        let total_insts: u64 = self.phases.iter().map(|p| p.insts).sum();
+        let total_accesses: f64 =
+            self.phases.iter().map(|p| p.insts as f64 / p.gap_mean).sum();
+        total_accesses / (total_insts as f64 / 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_phase() -> PhaseProfile {
+        PhaseProfile {
+            insts: 1_000_000,
+            gap_mean: 50.0,
+            write_frac: 0.3,
+            patterns: vec![(1.0, Pattern::Sequential { region_lines: 1 << 16 })],
+            burst: None,
+        }
+    }
+
+    #[test]
+    fn valid_profile_passes() {
+        let p = Profile { name: "t", phases: vec![simple_phase()] };
+        p.assert_valid();
+        assert!((p.nominal_accesses_per_kinst() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs phases")]
+    fn empty_profile_panics() {
+        Profile { name: "t", phases: vec![] }.assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "bad write_frac")]
+    fn bad_write_frac_panics() {
+        let mut ph = simple_phase();
+        ph.write_frac = 1.5;
+        Profile { name: "t", phases: vec![ph] }.assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "quiet factor")]
+    fn bad_burst_panics() {
+        let mut ph = simple_phase();
+        ph.burst = Some(BurstSpec { burst_insts: 10, quiet_insts: 10, quiet_gap_factor: 0.5 });
+        Profile { name: "t", phases: vec![ph] }.assert_valid();
+    }
+
+    #[test]
+    fn multi_phase_rate_averages() {
+        let mut fast = simple_phase();
+        fast.gap_mean = 25.0;
+        let p = Profile { name: "t", phases: vec![simple_phase(), fast] };
+        // 20/kinst and 40/kinst over equal lengths -> 30/kinst.
+        assert!((p.nominal_accesses_per_kinst() - 30.0).abs() < 1e-9);
+    }
+}

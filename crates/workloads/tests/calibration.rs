@@ -1,0 +1,64 @@
+//! Calibration integration test: under the paper's default configuration
+//! (fast 1.0x writes only), the workload suite must reproduce the shape of
+//! Figure 7 — most workloads fall short of an 8-year lifetime, `zeusmp`
+//! comfortably exceeds it — with plausible IPCs throughout.
+//!
+//! Run with `--nocapture` to see the calibration table:
+//! `cargo test -p mct-workloads --release --test calibration -- --nocapture`
+
+use mct_sim::{MellowPolicy, System, SystemConfig};
+use mct_workloads::Workload;
+
+fn default_metrics(w: Workload) -> mct_sim::stats::Metrics {
+    let mut sys = System::new(SystemConfig::default(), MellowPolicy::default_fast());
+    let mut src = w.source(1234);
+    sys.warmup(&mut src, w.warmup_insts());
+    let stats = sys.run(&mut src, w.detailed_insts(1.0));
+    stats.metrics()
+}
+
+#[test]
+fn default_config_landscape_matches_figure7_shape() {
+    let mut zeusmp_lifetime = 0.0;
+    let mut below_8y = 0;
+    println!("{:<12} {:>8} {:>12} {:>12}", "workload", "ipc", "lifetime_y", "energy_mj");
+    for w in Workload::all() {
+        let m = default_metrics(w);
+        println!(
+            "{:<12} {:>8.3} {:>12.2} {:>12.3}",
+            w.name(),
+            m.ipc,
+            m.lifetime_years,
+            m.energy_j * 1e3
+        );
+        assert!(m.ipc > 0.01 && m.ipc < 3.0, "{w}: implausible IPC {}", m.ipc);
+        assert!(
+            m.lifetime_years > 0.1 && m.lifetime_years.is_finite(),
+            "{w}: implausible lifetime {}",
+            m.lifetime_years
+        );
+        if w == Workload::Zeusmp {
+            zeusmp_lifetime = m.lifetime_years;
+        } else if m.lifetime_years < 8.0 {
+            below_8y += 1;
+        }
+    }
+    assert!(
+        zeusmp_lifetime > 8.0,
+        "zeusmp should pass the 8-year target by default (got {zeusmp_lifetime:.2}y)"
+    );
+    assert!(below_8y >= 7, "most workloads should miss 8 years by default (got {below_8y}/9)");
+}
+
+#[test]
+fn heterogeneity_across_workloads() {
+    // Per-application lifetimes must differ substantially (Table 5's
+    // premise: no single static config suits everyone).
+    let lifes: Vec<f64> = [Workload::Lbm, Workload::Zeusmp, Workload::Stream]
+        .into_iter()
+        .map(|w| default_metrics(w).lifetime_years)
+        .collect();
+    let max = lifes.iter().cloned().fold(f64::MIN, f64::max);
+    let min = lifes.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(max / min > 3.0, "lifetimes too uniform: {lifes:?}");
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the workload generators.
+
+use proptest::prelude::*;
+
+use mct_sim::trace::AccessSource;
+use mct_workloads::{Mix, Workload};
+
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    prop_oneof![
+        Just(Workload::Lbm),
+        Just(Workload::Leslie3d),
+        Just(Workload::Zeusmp),
+        Just(Workload::GemsFdtd),
+        Just(Workload::Milc),
+        Just(Workload::Bwaves),
+        Just(Workload::Libquantum),
+        Just(Workload::Ocean),
+        Just(Workload::Gups),
+        Just(Workload::Stream),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn gaps_are_positive_and_lines_bounded(w in arb_workload(), seed in 0u64..500) {
+        let mut src = w.source(seed);
+        for _ in 0..500 {
+            let ev = src.next_access();
+            prop_assert!(ev.gap_insts >= 1);
+            // All pattern regions live far below 2^48 lines.
+            prop_assert!(ev.line < (1 << 48));
+        }
+    }
+
+    #[test]
+    fn same_seed_same_stream(w in arb_workload(), seed in 0u64..500) {
+        let mut a = w.source(seed);
+        let mut b = w.source(seed);
+        for _ in 0..200 {
+            prop_assert_eq!(a.next_access(), b.next_access());
+        }
+    }
+
+    #[test]
+    fn empirical_rate_tracks_profile(w in arb_workload()) {
+        let mut src = w.source(3);
+        let n = 5_000;
+        let total_gap: u64 = (0..n).map(|_| src.next_access().gap_insts).sum();
+        let measured_per_kinst = n as f64 / (total_gap as f64 / 1e3);
+        let nominal = w.profile().nominal_accesses_per_kinst();
+        // Burst modulation and phase mixing allow wide but bounded drift.
+        prop_assert!(
+            measured_per_kinst > nominal * 0.3 && measured_per_kinst < nominal * 3.0,
+            "{w}: measured {measured_per_kinst:.2}/kinst vs nominal {nominal:.2}"
+        );
+    }
+
+    #[test]
+    fn write_fraction_tracks_profile(w in arb_workload()) {
+        let mut src = w.source(4);
+        // Enough accesses to cover a full phase cycle (ocean's is ~46k).
+        let n = 60_000;
+        let writes = (0..n).filter(|_| src.next_access().kind.is_write()).count();
+        let measured = writes as f64 / n as f64;
+        let profile = w.profile();
+        // Weight phases by how many accesses each contributes per cycle.
+        let (mut wsum, mut asum) = (0.0, 0.0);
+        for p in &profile.phases {
+            let accesses = p.insts.min(4_000_000) as f64 / p.gap_mean;
+            wsum += p.write_frac * accesses;
+            asum += accesses;
+        }
+        let nominal = wsum / asum;
+        prop_assert!((measured - nominal).abs() < 0.12,
+            "{w}: measured write frac {measured:.3} vs nominal {nominal:.3}");
+    }
+
+    #[test]
+    fn mix_sources_are_decorrelated(seed in 0u64..200) {
+        for mix in Mix::all() {
+            let mut sources = mix.sources(seed);
+            if sources.len() >= 2 {
+                let (left, right) = sources.split_at_mut(1);
+                let a = &mut left[0];
+                let b = &mut right[0];
+                let same = (0..100)
+                    .filter(|_| a.next_access().line == b.next_access().line)
+                    .count();
+                prop_assert!(same < 30, "{mix}: correlated member streams");
+            }
+        }
+    }
+}

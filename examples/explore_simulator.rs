@@ -1,0 +1,90 @@
+//! Substrate tour: drive the NVM simulator directly — no learning — to
+//! see the raw tradeoffs MCT optimizes over (paper Section 2's Table 1).
+//!
+//! ```sh
+//! cargo run --release --example explore_simulator
+//! ```
+
+use memory_cocktail_therapy::framework::NvmConfig;
+use memory_cocktail_therapy::sim::{System, SystemConfig};
+use memory_cocktail_therapy::workloads::Workload;
+
+fn measure(workload: Workload, cfg: &NvmConfig) -> memory_cocktail_therapy::sim::stats::RunStats {
+    let mut sys = System::new(SystemConfig::default(), cfg.to_policy());
+    let mut src = workload.source(7);
+    sys.warmup(&mut src, workload.warmup_insts());
+    sys.run(&mut src, workload.detailed_insts(0.5))
+}
+
+fn main() {
+    let workload = Workload::Stream;
+    println!("workload: {workload}; exercising individual mellow-writes techniques\n");
+    println!(
+        "{:<34} {:>7} {:>9} {:>8} {:>7} {:>7} {:>7}",
+        "configuration", "ipc", "life(y)", "mJ", "slow%", "cancel", "eager"
+    );
+
+    let variants: Vec<(&str, NvmConfig)> = vec![
+        ("default (fast 1.0x only)", NvmConfig::default_config()),
+        (
+            "slower pulses (2.0x)",
+            NvmConfig { fast_latency: 2.0, slow_latency: 2.0, ..NvmConfig::default_config() },
+        ),
+        (
+            "bank-aware mellow writes",
+            NvmConfig {
+                bank_aware: true,
+                bank_aware_threshold: 2,
+                slow_latency: 3.0,
+                ..NvmConfig::default_config()
+            },
+        ),
+        (
+            "+ write cancellation (slow)",
+            NvmConfig {
+                bank_aware: true,
+                bank_aware_threshold: 2,
+                slow_latency: 3.0,
+                slow_cancellation: true,
+                ..NvmConfig::default_config()
+            },
+        ),
+        (
+            "eager mellow writebacks",
+            NvmConfig {
+                eager_writebacks: true,
+                eager_threshold: 4,
+                slow_latency: 2.0,
+                ..NvmConfig::default_config()
+            },
+        ),
+        ("best static policy", NvmConfig::static_baseline()),
+        (
+            "wear quota only (8y)",
+            NvmConfig::default_config().with_wear_quota(8.0),
+        ),
+    ];
+
+    for (name, cfg) in variants {
+        let stats = measure(workload, &cfg);
+        let m = stats.metrics();
+        let writes = stats.mem.writes_completed().max(1);
+        println!(
+            "{:<34} {:>7.3} {:>9.2} {:>8.2} {:>6.1}% {:>7} {:>7}",
+            name,
+            m.ipc,
+            m.lifetime_years.min(999.0),
+            m.energy_j * 1e3,
+            100.0 * (stats.mem.writes_slow + stats.mem.writes_quota) as f64 / writes as f64,
+            stats.mem.cancellations,
+            stats.mem.eager_writes,
+        );
+    }
+
+    println!(
+        "\nThe tradeoff surface: slower pulses multiply lifetime quadratically but\n\
+         cost IPC; cancellation buys read latency back at a wear cost; eager\n\
+         writebacks use idle banks; wear quota enforces a floor by brute force.\n\
+         MCT's job is picking the right cocktail per application."
+    );
+}

@@ -1,0 +1,42 @@
+//! Lifetime-target sweep: how MCT's chosen configuration shifts as the
+//! user demands 4 → 10 years of NVM lifetime (the paper's Section 3.3.2
+//! motivation and Figure 8 scenario).
+//!
+//! ```sh
+//! cargo run --release --example lifetime_targets [workload]
+//! ```
+
+use memory_cocktail_therapy::framework::{Controller, ControllerConfig, Objective};
+use memory_cocktail_therapy::workloads::Workload;
+
+fn main() {
+    let workload = std::env::args()
+        .nth(1)
+        .and_then(|n| Workload::from_name(&n))
+        .unwrap_or(Workload::Leslie3d);
+    println!("workload: {workload}\n");
+    println!(
+        "{:<8} {:>9} {:>12} {:>11}   chosen configuration",
+        "target", "ipc", "lifetime_y", "energy_mJ"
+    );
+
+    for target in [4.0, 6.0, 8.0, 10.0] {
+        let mut cfg = ControllerConfig::paper_scaled();
+        cfg.total_insts = 2_000_000;
+        cfg.warmup_insts = workload.warmup_insts();
+        let mut controller = Controller::new(cfg, Objective::paper_default(target));
+        let outcome = controller.run(&mut workload.source(42));
+        println!(
+            "{:<8} {:>9.3} {:>12.1} {:>11.2}   [{}]",
+            format!("{target:.0}y"),
+            outcome.final_metrics.ipc,
+            outcome.final_metrics.lifetime_years.min(999.0),
+            outcome.final_metrics.energy_j * 1e3,
+            outcome.chosen_config,
+        );
+    }
+    println!(
+        "\nStricter targets generally push MCT toward slower write pulses (more\n\
+         endurance) at some IPC cost; the wear-quota fixup backstops the floor."
+    );
+}

@@ -1,0 +1,48 @@
+//! Multi-program mixes on the 4-core system (paper Section 6.2.5):
+//! default vs static vs MCT on one of Table 11's mixes.
+//!
+//! ```sh
+//! cargo run --release --example multiprogram [mix1..mix6]
+//! ```
+
+use memory_cocktail_therapy::framework::NvmConfig;
+use memory_cocktail_therapy::sim::system::{MultiSystem, SystemConfig};
+use memory_cocktail_therapy::workloads::Mix;
+
+fn main() {
+    let mix = std::env::args()
+        .nth(1)
+        .and_then(|n| Mix::all().into_iter().find(|m| m.name() == n))
+        .unwrap_or(Mix::Mix1);
+    let members: Vec<&str> = mix.members().iter().map(|w| w.name()).collect();
+    println!("mix: {mix} = {}\n", members.join(" + "));
+
+    println!(
+        "{:<18} {:>12} {:>10} {:>9}   per-core IPC",
+        "policy", "geomean IPC", "life(y)", "mJ"
+    );
+    for (name, cfg) in [
+        ("default", NvmConfig::default_config()),
+        ("static baseline", NvmConfig::static_baseline()),
+    ] {
+        let mut sys = MultiSystem::new(SystemConfig::multicore_4(), cfg.to_policy(), 4);
+        let mut sources = mix.sources(42);
+        sys.warmup(&mut sources, 2_000_000);
+        let stats = sys.run(&mut sources, 500_000);
+        let per_core: Vec<String> =
+            stats.per_core_ipc.iter().map(|i| format!("{i:.2}")).collect();
+        println!(
+            "{:<18} {:>12.3} {:>10.1} {:>9.2}   [{}]",
+            name,
+            stats.geomean_ipc(),
+            stats.lifetime_years.min(999.0),
+            stats.energy.total() * 1e3,
+            per_core.join(", "),
+        );
+    }
+
+    println!(
+        "\nFor the full MCT-on-mixes comparison (Figure 10), run:\n\
+         cargo run --release -p mct-experiments --bin figure10"
+    );
+}

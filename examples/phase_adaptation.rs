@@ -1,0 +1,53 @@
+//! Phase adaptation: watch MCT detect ocean's coarse compute/communicate
+//! phases and re-run its sampling→predict→optimize pipeline per phase.
+//!
+//! ```sh
+//! cargo run --release --example phase_adaptation
+//! ```
+
+use memory_cocktail_therapy::framework::{
+    Controller, ControllerConfig, Objective, PhaseDetectorConfig,
+};
+use memory_cocktail_therapy::workloads::Workload;
+
+fn main() {
+    let workload = Workload::Ocean;
+    println!("workload: {workload} (alternating 2M-instruction coarse phases)\n");
+
+    let mut cfg = ControllerConfig::paper_scaled();
+    cfg.total_insts = 9_000_000;
+    cfg.warmup_insts = workload.warmup_insts();
+    cfg.phase = PhaseDetectorConfig {
+        window_insts: 50_000,
+        history_windows: 60,
+        recent_windows: 6,
+        score_threshold: 15.0,
+    };
+    let mut controller = Controller::new(cfg, Objective::paper_default(8.0));
+    let outcome = controller.run(&mut workload.source(42));
+
+    println!("segments (one per detected phase):");
+    for (i, seg) in outcome.segments.iter().enumerate() {
+        println!(
+            "  {}: sampled {:>7} insts, tested {:>8} insts -> [{}] (measured IPC {:.3}{})",
+            i,
+            seg.sampling_insts,
+            seg.testing_insts,
+            seg.optimization.config,
+            seg.testing.ipc,
+            if seg.health_fallback { "; fell back to baseline" } else { "" },
+        );
+    }
+    println!("\nphases detected: {}", outcome.phases_detected);
+    println!(
+        "aggregate testing metrics: IPC {:.3}, lifetime {:.1}y, energy {:.2} mJ",
+        outcome.final_metrics.ipc,
+        outcome.final_metrics.lifetime_years.min(999.0),
+        outcome.final_metrics.energy_j * 1e3,
+    );
+    println!(
+        "\nEach dramatic phase change clears the learned state and triggers a\n\
+         fresh sampling period (paper Section 5.1/Figure 5); minor fluctuations\n\
+         are absorbed by normalization and cyclic fine-grained sampling."
+    );
+}

@@ -1,0 +1,62 @@
+//! Quickstart: run Memory Cocktail Therapy on one workload.
+//!
+//! MCT samples a handful of NVM configurations at runtime, learns
+//! IPC/lifetime/energy models, and picks the configuration that maximizes
+//! performance under an 8-year lifetime floor while minimizing energy —
+//! then keeps monitoring with health checks and phase detection.
+//!
+//! ```sh
+//! cargo run --release --example quickstart [workload]
+//! ```
+
+use memory_cocktail_therapy::framework::{Controller, ControllerConfig, NvmConfig, Objective};
+use memory_cocktail_therapy::workloads::Workload;
+
+fn main() {
+    let workload = std::env::args()
+        .nth(1)
+        .and_then(|n| Workload::from_name(&n))
+        .unwrap_or(Workload::Lbm);
+    println!("workload: {workload}");
+    println!("objective: lifetime >= 8 years, IPC within 95% of max, minimize energy\n");
+
+    let mut cfg = ControllerConfig::paper_scaled();
+    cfg.total_insts = 3_000_000;
+    cfg.warmup_insts = workload.warmup_insts();
+    let mut controller = Controller::new(cfg, Objective::paper_default(8.0));
+    println!(
+        "learnable space: {} configurations; runtime samples: {}",
+        controller.space().len(),
+        controller.samples().len()
+    );
+
+    let outcome = controller.run(&mut workload.source(42));
+
+    println!("\n--- result ---");
+    println!("chosen configuration: [{}]", outcome.chosen_config);
+    println!("  (static baseline:   [{}])", NvmConfig::static_baseline());
+    println!(
+        "testing-period metrics: IPC {:.3}, lifetime {:.1} years, energy {:.2} mJ",
+        outcome.final_metrics.ipc,
+        outcome.final_metrics.lifetime_years,
+        outcome.final_metrics.energy_j * 1e3,
+    );
+    println!(
+        "sampling overhead: {} insts of sampling vs {} insts of testing (IPC {:.3} vs {:.3})",
+        outcome.sampling_insts,
+        outcome.testing_insts,
+        outcome.sampling_metrics.ipc,
+        outcome.final_metrics.ipc,
+    );
+    println!("phases detected: {}", outcome.phases_detected);
+    for (i, seg) in outcome.segments.iter().enumerate() {
+        println!(
+            "segment {}: chose [{}] (predicted IPC {:.3}, measured {:.3}{})",
+            i,
+            seg.optimization.config,
+            seg.optimization.predicted.ipc,
+            seg.testing.ipc,
+            if seg.health_fallback { ", health-check fell back to baseline" } else { "" },
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! `mct` — command-line driver for the Memory Cocktail Therapy
+//! reproduction.
+//!
+//! ```text
+//! mct run      <workload> [--target <years>] [--model gb|ql] [--insts N]
+//! mct measure  <workload> [--fast R] [--slow R] [--bank N] [--eager N]
+//!                         [--quota Y] [--cancel none|slow|both]
+//! mct workloads
+//! mct space
+//! ```
+
+use std::process::ExitCode;
+
+use memory_cocktail_therapy::framework::{
+    ConfigSpace, Controller, ControllerConfig, ModelKind, NvmConfig, Objective,
+};
+use memory_cocktail_therapy::sim::{System, SystemConfig};
+use memory_cocktail_therapy::workloads::Workload;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  mct run <workload> [--target YEARS] [--model gb|ql] [--insts N]\n  \
+         mct measure <workload> [--fast R] [--slow R] [--bank N] [--eager N] [--quota Y] [--cancel none|slow|both]\n  \
+         mct workloads\n  mct space"
+    );
+    ExitCode::FAILURE
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let Some(workload) = args.first().and_then(|n| Workload::from_name(n)) else {
+        eprintln!("unknown workload; try `mct workloads`");
+        return ExitCode::FAILURE;
+    };
+    let target: f64 = flag(args, "--target").and_then(|v| v.parse().ok()).unwrap_or(8.0);
+    let model = match flag(args, "--model").as_deref() {
+        Some("ql") => ModelKind::QuadraticLasso,
+        _ => ModelKind::GradientBoosting,
+    };
+    let insts: u64 = flag(args, "--insts").and_then(|v| v.parse().ok()).unwrap_or(3_000_000);
+
+    let mut cfg = ControllerConfig::paper_scaled();
+    cfg.model = model;
+    cfg.total_insts = insts;
+    cfg.warmup_insts = workload.warmup_insts();
+    let mut controller = Controller::new(cfg, Objective::paper_default(target));
+    println!(
+        "MCT on {workload}: target {target}y, model {}, {insts} insts, {} samples over {} configs",
+        model.label(),
+        controller.samples().len(),
+        controller.space().len()
+    );
+    let outcome = controller.run(&mut workload.source(2017));
+    println!("chosen: [{}]", outcome.chosen_config);
+    println!(
+        "metrics: IPC {:.3} | lifetime {:.1}y | energy {:.3} mJ | phases {}",
+        outcome.final_metrics.ipc,
+        outcome.final_metrics.lifetime_years.min(999.0),
+        outcome.final_metrics.energy_j * 1e3,
+        outcome.phases_detected
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_measure(args: &[String]) -> ExitCode {
+    let Some(workload) = args.first().and_then(|n| Workload::from_name(n)) else {
+        eprintln!("unknown workload; try `mct workloads`");
+        return ExitCode::FAILURE;
+    };
+    let mut cfg = NvmConfig::default_config();
+    if let Some(v) = flag(args, "--fast").and_then(|v| v.parse().ok()) {
+        cfg.fast_latency = v;
+        cfg.slow_latency = cfg.slow_latency.max(v);
+    }
+    if let Some(v) = flag(args, "--slow").and_then(|v| v.parse().ok()) {
+        cfg.slow_latency = v;
+    }
+    if let Some(v) = flag(args, "--bank").and_then(|v| v.parse().ok()) {
+        cfg.bank_aware = true;
+        cfg.bank_aware_threshold = v;
+    }
+    if let Some(v) = flag(args, "--eager").and_then(|v| v.parse().ok()) {
+        cfg.eager_writebacks = true;
+        cfg.eager_threshold = v;
+    }
+    if let Some(v) = flag(args, "--quota").and_then(|v| v.parse().ok()) {
+        cfg = cfg.with_wear_quota(v);
+    }
+    match flag(args, "--cancel").as_deref() {
+        Some("slow") => cfg.slow_cancellation = true,
+        Some("both") => {
+            cfg.fast_cancellation = true;
+            cfg.slow_cancellation = true;
+        }
+        _ => {}
+    }
+    if let Err(e) = cfg.validate() {
+        eprintln!("invalid configuration: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("measuring [{cfg}] on {workload} ...");
+    let mut sys = System::new(SystemConfig::default(), cfg.to_policy());
+    let mut src = workload.source(2017);
+    sys.warmup(&mut src, workload.warmup_insts());
+    let stats = sys.run(&mut src, workload.detailed_insts(1.0));
+    let m = stats.metrics();
+    println!(
+        "IPC {:.3} | lifetime {:.1}y | energy {:.3} mJ | reads {} | writes {} (slow {}, quota {}) | cancels {} | eager {}",
+        m.ipc,
+        m.lifetime_years.min(999.0),
+        m.energy_j * 1e3,
+        stats.mem.reads_completed,
+        stats.mem.writes_completed(),
+        stats.mem.writes_slow,
+        stats.mem.writes_quota,
+        stats.mem.cancellations,
+        stats.mem.eager_writes
+    );
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("measure") => cmd_measure(&args[1..]),
+        Some("workloads") => {
+            for w in Workload::all() {
+                println!(
+                    "{:<12} ~{:>5.1} LLC accesses/kinst, warmup {} insts",
+                    w.name(),
+                    w.profile().nominal_accesses_per_kinst(),
+                    w.warmup_insts()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Some("space") => {
+            println!("full space: {} configurations", ConfigSpace::full(8.0).len());
+            println!("learnable (no wear quota): {}", ConfigSpace::without_wear_quota().len());
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,43 @@
+//! # Memory Cocktail Therapy — reproduction
+//!
+//! An open-source Rust reproduction of *Memory Cocktail Therapy: A General
+//! Learning-Based Framework to Optimize Dynamic Tradeoffs in NVMs*
+//! (Deng, Zhang, Mishra, Hoffmann, Chong — MICRO 2017), including the full
+//! simulation substrate the paper ran on.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`sim`] — the NVM main-memory / cache / OoO-core simulation substrate
+//!   (replaces gem5 + NVMain + McPAT/NVSim);
+//! * [`workloads`] — calibrated synthetic stand-ins for the paper's ten
+//!   benchmarks plus the multi-program mixes;
+//! * [`ml`] — from-scratch learning algorithms (lasso, quadratic
+//!   regression, gradient boosting, hierarchical shrinkage);
+//! * [`framework`] — the MCT framework itself: configuration space,
+//!   objectives, phase detection, runtime sampling, prediction,
+//!   constrained optimization, wear-quota fixup and health checking.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use memory_cocktail_therapy::framework::{Controller, ControllerConfig, Objective};
+//! use memory_cocktail_therapy::workloads::Workload;
+//!
+//! # fn main() {
+//! let mut controller = Controller::new(
+//!     ControllerConfig::quick_demo(),
+//!     Objective::paper_default(8.0),
+//! );
+//! let outcome = controller.run(&mut Workload::Stream.source(42));
+//! println!("chosen: {}", outcome.chosen_config);
+//! println!("ipc={:.3} lifetime={:.1}y energy={:.3}J",
+//!     outcome.final_metrics.ipc,
+//!     outcome.final_metrics.lifetime_years,
+//!     outcome.final_metrics.energy_j);
+//! # }
+//! ```
+
+pub use mct_core as framework;
+pub use mct_ml as ml;
+pub use mct_sim as sim;
+pub use mct_workloads as workloads;

@@ -1,0 +1,148 @@
+//! Shape-level claims from the paper, verified on the real substrate.
+//!
+//! These encode the qualitative relationships of Table 1 (which tradeoffs
+//! help performance vs lifetime) and the Section 6 methodology.
+
+use memory_cocktail_therapy::framework::NvmConfig;
+use memory_cocktail_therapy::sim::stats::{Metrics, RunStats};
+use memory_cocktail_therapy::sim::{System, SystemConfig};
+use memory_cocktail_therapy::workloads::Workload;
+
+fn run(workload: Workload, cfg: &NvmConfig, insts: u64) -> RunStats {
+    let mut sys = System::new(SystemConfig::default(), cfg.to_policy());
+    let mut src = workload.source(11);
+    // Calibrated warmup: the LLC must reach steady state so dirty
+    // evictions (memory writes) flow during measurement.
+    sys.warmup(&mut src, workload.warmup_insts());
+    sys.run(&mut src, insts)
+}
+
+fn metrics(workload: Workload, cfg: &NvmConfig) -> Metrics {
+    run(workload, cfg, workload.detailed_insts(0.2)).metrics()
+}
+
+#[test]
+fn slow_writes_trade_performance_for_lifetime() {
+    // Table 1 row "Write Latency vs Endurance".
+    let fast = metrics(Workload::Stream, &NvmConfig::default_config());
+    let slow = metrics(
+        Workload::Stream,
+        &NvmConfig { fast_latency: 3.0, slow_latency: 3.0, ..NvmConfig::default_config() },
+    );
+    assert!(slow.lifetime_years > fast.lifetime_years * 3.0, "endurance gain ~9x expected");
+    assert!(slow.ipc < fast.ipc, "slow writes cost IPC on a write-heavy stream");
+}
+
+#[test]
+fn endurance_scales_quadratically_with_pulse_width() {
+    // Same completed work, wear ratio ~ (r1/r2)^2 per Table 9.
+    let window = Workload::Stream.detailed_insts(0.2);
+    let one = run(Workload::Stream, &NvmConfig::default_config(), window);
+    let two = run(
+        Workload::Stream,
+        &NvmConfig { fast_latency: 2.0, slow_latency: 2.0, ..NvmConfig::default_config() },
+        window,
+    );
+    let wear_per_write_1 = one.wear_units / one.mem.writes_completed() as f64;
+    let wear_per_write_2 = two.wear_units / two.mem.writes_completed() as f64;
+    assert!(
+        (wear_per_write_1 / wear_per_write_2 - 4.0).abs() < 0.2,
+        "2x pulses should wear 4x less per write: {}",
+        wear_per_write_1 / wear_per_write_2
+    );
+}
+
+#[test]
+fn write_cancellation_improves_performance_costs_lifetime() {
+    // Table 1 row "With or without Write Cancellation", measured where
+    // cancellation matters: slow writes in the read path.
+    let base = NvmConfig {
+        bank_aware: true,
+        bank_aware_threshold: 4,
+        fast_latency: 1.0,
+        slow_latency: 4.0,
+        ..NvmConfig::default_config()
+    };
+    let with = NvmConfig { slow_cancellation: true, ..base };
+    let off = metrics(Workload::Milc, &base);
+    let on = metrics(Workload::Milc, &with);
+    assert!(on.ipc >= off.ipc, "cancellation lets reads jump writes: {on:?} vs {off:?}");
+    assert!(
+        on.lifetime_years <= off.lifetime_years * 1.02,
+        "canceled writes burn extra wear"
+    );
+}
+
+#[test]
+fn wear_quota_enforces_a_lifetime_floor() {
+    // An aggressive all-fast config on a write-heavy stream busts 8 years;
+    // adding wear quota must push projected lifetime toward the target.
+    let without = metrics(Workload::Gups, &NvmConfig::default_config());
+    assert!(without.lifetime_years < 6.0, "premise: gups busts the floor ({without:?})");
+    let with = metrics(Workload::Gups, &NvmConfig::default_config().with_wear_quota(8.0));
+    assert!(
+        with.lifetime_years > without.lifetime_years * 1.5,
+        "quota must extend lifetime substantially: {} -> {}",
+        without.lifetime_years,
+        with.lifetime_years
+    );
+    assert!(with.ipc <= without.ipc, "quota throttling costs performance");
+}
+
+#[test]
+fn eager_writebacks_recruit_idle_banks() {
+    let base = NvmConfig {
+        slow_latency: 2.0,
+        ..NvmConfig::default_config()
+    };
+    let eager = NvmConfig { eager_writebacks: true, eager_threshold: 4, ..base };
+    // zeusmp has reuse (dirty lines linger) and idle memory: eager
+    // writebacks should fire.
+    let stats = run(Workload::Zeusmp, &eager, Workload::Zeusmp.detailed_insts(0.3));
+    assert!(stats.mem.eager_writes > 0, "{:?}", stats.mem);
+    assert!(stats.llc.eager_cleaned >= stats.mem.eager_writes);
+}
+
+#[test]
+fn per_application_heterogeneity_in_best_config() {
+    // Section 3.3.3: different applications prefer different configs.
+    // Compare two candidate configs on two very different workloads: the
+    // winner flips (or at least the margins differ wildly).
+    let a = NvmConfig::default_config();
+    let b = NvmConfig {
+        fast_latency: 1.5,
+        slow_latency: 3.0,
+        bank_aware: true,
+        bank_aware_threshold: 4,
+        slow_cancellation: true,
+        ..NvmConfig::default_config()
+    };
+    let gap = |w: Workload| {
+        let ma = metrics(w, &a);
+        let mb = metrics(w, &b);
+        (mb.ipc / ma.ipc, mb.lifetime_years / ma.lifetime_years)
+    };
+    let (ipc_gups, life_gups) = gap(Workload::Gups);
+    let (ipc_zeusmp, life_zeusmp) = gap(Workload::Zeusmp);
+    // The lifetime benefit and IPC cost of config b must differ strongly
+    // across applications.
+    assert!(
+        (life_gups / life_zeusmp - 1.0).abs() > 0.15
+            || (ipc_gups / ipc_zeusmp - 1.0).abs() > 0.05,
+        "gups ({ipc_gups:.3}, {life_gups:.2}) vs zeusmp ({ipc_zeusmp:.3}, {life_zeusmp:.2})"
+    );
+}
+
+#[test]
+fn zeusmp_is_the_lifetime_outlier() {
+    // Figure 7 premise at small scale: zeusmp's default lifetime must be
+    // several times longer than stream's.
+    let zeusmp = metrics(Workload::Zeusmp, &NvmConfig::default_config());
+    let stream = metrics(Workload::Stream, &NvmConfig::default_config());
+    assert!(
+        zeusmp.lifetime_years > 3.0 * stream.lifetime_years,
+        "zeusmp {} vs stream {}",
+        zeusmp.lifetime_years,
+        stream.lifetime_years
+    );
+}

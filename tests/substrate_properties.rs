@@ -1,0 +1,176 @@
+//! Property-based tests over the substrate's core invariants.
+
+use proptest::prelude::*;
+
+use memory_cocktail_therapy::framework::{ConfigSpace, NvmConfig, Objective};
+use memory_cocktail_therapy::sim::cache::{Cache, CacheConfig};
+use memory_cocktail_therapy::sim::energy::EnergyModel;
+use memory_cocktail_therapy::sim::mem::{MemConfig, MemoryController};
+use memory_cocktail_therapy::sim::stats::Metrics;
+use memory_cocktail_therapy::sim::time::Time;
+use memory_cocktail_therapy::sim::trace::AccessKind;
+use memory_cocktail_therapy::sim::wear::WearModel;
+use memory_cocktail_therapy::sim::MellowPolicy;
+
+/// Strategy: a structurally-valid NvmConfig.
+fn arb_config() -> impl Strategy<Value = NvmConfig> {
+    (
+        proptest::option::of(1u32..=4),
+        proptest::option::of(prop_oneof![Just(4u32), Just(8), Just(16), Just(32)]),
+        proptest::option::of(4.0f64..=10.0),
+        0usize..7,
+        0usize..7,
+        prop_oneof![Just((false, false)), Just((false, true)), Just((true, true))],
+    )
+        .prop_map(|(bank, eager, quota, fi, si_extra, (fc, sc))| {
+            let grid = [1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0];
+            let fast = grid[fi];
+            let slow = grid[(fi + si_extra).min(6)];
+            NvmConfig {
+                bank_aware: bank.is_some(),
+                bank_aware_threshold: bank.unwrap_or(0),
+                eager_writebacks: eager.is_some(),
+                eager_threshold: eager.unwrap_or(0),
+                wear_quota: quota.is_some(),
+                wear_quota_target: quota.unwrap_or(0.0),
+                fast_latency: fast,
+                slow_latency: slow,
+                fast_cancellation: fc,
+                slow_cancellation: sc,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_configs_are_valid_and_lower_to_policies(cfg in arb_config()) {
+        cfg.validate().unwrap();
+        let policy = cfg.to_policy();
+        policy.validate().unwrap();
+        prop_assert_eq!(policy.uses_slow_writes(), cfg.uses_slow_writes());
+    }
+
+    #[test]
+    fn config_vector_round_trips_structure(cfg in arb_config()) {
+        let v = cfg.to_vector();
+        prop_assert_eq!(v.len(), 10);
+        prop_assert_eq!(v[6], cfg.fast_latency);
+        prop_assert_eq!(v[7], cfg.slow_latency);
+        prop_assert!(v[7] >= v[6]);
+        // Disabled techniques contribute zeros.
+        if !cfg.bank_aware {
+            prop_assert_eq!(v[0], 0.0);
+            prop_assert_eq!(v[1], 0.0);
+        }
+    }
+
+    #[test]
+    fn memory_controller_conserves_requests(
+        ops in proptest::collection::vec((0u64..512, any::<bool>()), 1..150)
+    ) {
+        let mut m = MemoryController::new(
+            MemConfig::default(),
+            MellowPolicy::static_baseline().without_wear_quota(),
+            WearModel::default(),
+            EnergyModel::default(),
+        );
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+        for (i, (line, is_write)) in ops.iter().enumerate() {
+            let t = Time::from_ns(i as f64 * 25.0);
+            if *is_write {
+                if m.issue_write(*line, t) {
+                    writes += 1;
+                } else {
+                    let now = m.wait_write_space();
+                    prop_assert!(m.issue_write(*line, now));
+                    writes += 1;
+                }
+            } else if m.issue_read(*line, t).is_some() {
+                reads += 1;
+            } else {
+                let _ = m.wait_read_space();
+                prop_assert!(m.issue_read(*line, m.now()).is_some());
+                reads += 1;
+            }
+        }
+        m.drain_all();
+        prop_assert_eq!(m.counters().reads_completed, reads);
+        prop_assert_eq!(m.counters().writes_completed(), writes);
+        // Wear is charged for every completed write at minimum 1/16 unit.
+        prop_assert!(m.wear().wear_units() >= writes as f64 / 16.0 - 1e-9);
+    }
+
+    #[test]
+    fn cache_never_exceeds_capacity_and_tracks_hits(
+        lines in proptest::collection::vec(0u64..4096, 1..400)
+    ) {
+        let cfg = CacheConfig { size_bytes: 16 << 10, ways: 4, line_bytes: 64, hit_latency_cycles: 1 };
+        let mut c = Cache::new(cfg);
+        let mut resident: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        for (i, &line) in lines.iter().enumerate() {
+            let kind = if i % 3 == 0 { AccessKind::Write } else { AccessKind::Read };
+            let out = c.access(line, kind);
+            prop_assert_eq!(out.hit, resident.contains(&line));
+            resident.insert(line);
+            if let Some(ev) = out.evicted {
+                resident.remove(&ev.line);
+            }
+            prop_assert!(resident.len() <= (cfg.size_bytes / cfg.line_bytes) as usize);
+        }
+        let stats = c.stats();
+        prop_assert_eq!(stats.hits + stats.misses, lines.len() as u64);
+        prop_assert_eq!(stats.stack_hits.iter().sum::<u64>(), stats.hits);
+    }
+
+    #[test]
+    fn objective_selection_is_feasible_and_in_slack_window(
+        target in 0.5f64..20.0,
+        seed in 0u64..1000
+    ) {
+        use rand::Rng;
+        let mut rng = rand_chacha_shim(seed);
+        let candidates: Vec<Metrics> = (0..50)
+            .map(|_| Metrics {
+                ipc: rng.gen_range(0.1..2.0),
+                lifetime_years: rng.gen_range(0.5..25.0),
+                energy_j: rng.gen_range(1.0..10.0),
+            })
+            .collect();
+        let obj = Objective::paper_default(target);
+        if let Some(i) = obj.select(&candidates) {
+            prop_assert!(candidates[i].lifetime_years >= target);
+            let best_ipc = candidates
+                .iter()
+                .filter(|m| m.lifetime_years >= target)
+                .map(|m| m.ipc)
+                .fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(candidates[i].ipc >= best_ipc * 0.95 - 1e-12);
+            // No feasible config in the window has strictly lower energy.
+            for m in &candidates {
+                if m.lifetime_years >= target && m.ipc >= best_ipc * 0.95 {
+                    prop_assert!(candidates[i].energy_j <= m.energy_j + 1e-12);
+                }
+            }
+        } else {
+            prop_assert!(candidates.iter().all(|m| m.lifetime_years < target));
+        }
+    }
+
+    #[test]
+    fn space_membership_is_closed_under_quota_toggle(idx in 0usize..2030) {
+        let space = ConfigSpace::without_wear_quota();
+        let full = ConfigSpace::full(8.0);
+        let cfg = space.configs()[idx % space.len()];
+        prop_assert!(full.position_of(&cfg).is_some());
+        prop_assert!(full.position_of(&cfg.with_wear_quota(8.0)).is_some());
+    }
+}
+
+/// Small local RNG helper so the proptest body controls its own seeds.
+fn rand_chacha_shim(seed: u64) -> impl rand::Rng {
+    use rand::SeedableRng;
+    rand_chacha::ChaCha8Rng::seed_from_u64(seed)
+}
