@@ -44,7 +44,11 @@ fn bench_eager_scan(c: &mut Criterion) {
     // Cost of the LLC eager-candidate scan at different thresholds.
     let mut llc = Cache::new(CacheConfig::llc());
     for i in 0..100_000u64 {
-        let kind = if i % 2 == 0 { AccessKind::Write } else { AccessKind::Read };
+        let kind = if i % 2 == 0 {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
         llc.access(i % 40_000, kind);
     }
     let mut group = c.benchmark_group("eager_scan");

@@ -57,5 +57,11 @@ fn bench_objective_select(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_space, bench_sampling, bench_phase_detector, bench_objective_select);
+criterion_group!(
+    benches,
+    bench_space,
+    bench_sampling,
+    bench_phase_detector,
+    bench_objective_select
+);
 criterion_main!(benches);

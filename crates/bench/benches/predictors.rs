@@ -20,16 +20,20 @@ fn bench_fit_predict(c: &mut Criterion) {
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(3));
     for kind in ModelKind::all() {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
-            b.iter(|| {
-                let mut p = MetricsPredictor::new(kind);
-                if kind.needs_offline_data() {
-                    p = p.with_corpus(corpus.clone());
-                }
-                p.fit(&samples, None);
-                std::hint::black_box(p.predict_all(&space));
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut p = MetricsPredictor::new(kind);
+                    if kind.needs_offline_data() {
+                        p = p.with_corpus(corpus.clone());
+                    }
+                    p.fit(&samples, None);
+                    std::hint::black_box(p.predict_all(&space));
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -49,16 +53,20 @@ fn bench_fit_only(c: &mut Criterion) {
         ModelKind::GradientBoosting,
         ModelKind::Hierarchical,
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
-            b.iter(|| {
-                let mut p = MetricsPredictor::new(kind);
-                if kind.needs_offline_data() {
-                    p = p.with_corpus(corpus.clone());
-                }
-                p.fit(&samples, None);
-                std::hint::black_box(&p);
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut p = MetricsPredictor::new(kind);
+                    if kind.needs_offline_data() {
+                        p = p.with_corpus(corpus.clone());
+                    }
+                    p.fit(&samples, None);
+                    std::hint::black_box(&p);
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -71,21 +79,22 @@ fn bench_convergence_sample_sizes(c: &mut Criterion) {
     for n in [20usize, 80, 160] {
         let samples = synthetic_samples(n, 7);
         for kind in [ModelKind::QuadraticLasso, ModelKind::GradientBoosting] {
-            group.bench_with_input(
-                BenchmarkId::new(kind.label(), n),
-                &samples,
-                |b, samples| {
-                    b.iter(|| {
-                        let mut p = MetricsPredictor::new(kind);
-                        p.fit(samples, None);
-                        std::hint::black_box(&p);
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.label(), n), &samples, |b, samples| {
+                b.iter(|| {
+                    let mut p = MetricsPredictor::new(kind);
+                    p.fit(samples, None);
+                    std::hint::black_box(&p);
+                });
+            });
         }
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_fit_predict, bench_fit_only, bench_convergence_sample_sizes);
+criterion_group!(
+    benches,
+    bench_fit_predict,
+    bench_fit_only,
+    bench_convergence_sample_sizes
+);
 criterion_main!(benches);

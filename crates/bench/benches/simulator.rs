@@ -17,8 +17,7 @@ fn bench_system_run(c: &mut Criterion) {
     for w in [Workload::Stream, Workload::Gups, Workload::Zeusmp] {
         group.bench_with_input(BenchmarkId::from_parameter(w.name()), &w, |b, &w| {
             b.iter(|| {
-                let mut sys =
-                    System::new(SystemConfig::default(), MellowPolicy::default_fast());
+                let mut sys = System::new(SystemConfig::default(), MellowPolicy::default_fast());
                 let mut src = w.source(1);
                 sys.run_window(&mut src, INSTS);
                 std::hint::black_box(sys.finalize())
@@ -36,11 +35,14 @@ fn bench_policy_cost(c: &mut Criterion) {
     let policies = [
         ("default", NvmConfig::default_config()),
         ("static_baseline", NvmConfig::static_baseline()),
-        ("all_slow_4x", NvmConfig {
-            fast_latency: 4.0,
-            slow_latency: 4.0,
-            ..NvmConfig::default_config()
-        }),
+        (
+            "all_slow_4x",
+            NvmConfig {
+                fast_latency: 4.0,
+                slow_latency: 4.0,
+                ..NvmConfig::default_config()
+            },
+        ),
     ];
     for (name, cfg) in policies {
         group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {

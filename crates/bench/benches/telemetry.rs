@@ -1,0 +1,53 @@
+//! Telemetry overhead: a full quick-demo controller run with the default
+//! disabled recorder vs. an attached JSONL trace sink. The disabled path
+//! is the zero-cost contract — it must sit within noise of an
+//! uninstrumented run; the JSONL path prices the full decision trace.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mct_core::{Controller, ControllerConfig, ModelKind, Objective};
+use mct_telemetry::{JsonlRecorder, VecRecorder};
+use mct_workloads::Workload;
+
+fn quick_config() -> ControllerConfig {
+    let mut cfg = ControllerConfig::quick_demo();
+    cfg.model = ModelKind::QuadraticLasso;
+    cfg
+}
+
+fn bench_recorder_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_run");
+    group.sample_size(10);
+
+    group.bench_function("null_recorder", |b| {
+        b.iter(|| {
+            let mut ctl = Controller::new(quick_config(), Objective::paper_default(8.0));
+            std::hint::black_box(ctl.run(&mut Workload::Stream.source(3)))
+        });
+    });
+
+    group.bench_function("vec_recorder", |b| {
+        b.iter(|| {
+            let rec = VecRecorder::shared();
+            let mut ctl = Controller::new(quick_config(), Objective::paper_default(8.0))
+                .with_recorder(rec.clone());
+            std::hint::black_box(ctl.run(&mut Workload::Stream.source(3)))
+        });
+    });
+
+    let trace_path = std::env::temp_dir().join(format!("mct-bench-{}.jsonl", std::process::id()));
+    group.bench_function("jsonl_recorder", |b| {
+        b.iter(|| {
+            let recorder = JsonlRecorder::create(&trace_path).expect("trace file");
+            let mut ctl = Controller::new(quick_config(), Objective::paper_default(8.0))
+                .with_recorder(recorder.handle());
+            std::hint::black_box(ctl.run(&mut Workload::Stream.source(3)))
+        });
+    });
+    let _ = std::fs::remove_file(&trace_path);
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_recorder_overhead);
+criterion_main!(benches);

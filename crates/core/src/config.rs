@@ -111,11 +111,23 @@ impl NvmConfig {
     pub fn to_vector(&self) -> [f64; 10] {
         [
             f64::from(u8::from(self.bank_aware)),
-            if self.bank_aware { f64::from(self.bank_aware_threshold) } else { 0.0 },
+            if self.bank_aware {
+                f64::from(self.bank_aware_threshold)
+            } else {
+                0.0
+            },
             f64::from(u8::from(self.eager_writebacks)),
-            if self.eager_writebacks { f64::from(self.eager_threshold) } else { 0.0 },
+            if self.eager_writebacks {
+                f64::from(self.eager_threshold)
+            } else {
+                0.0
+            },
             f64::from(u8::from(self.wear_quota)),
-            if self.wear_quota { self.wear_quota_target } else { 0.0 },
+            if self.wear_quota {
+                self.wear_quota_target
+            } else {
+                0.0
+            },
             self.fast_latency,
             self.slow_latency,
             f64::from(u8::from(self.fast_cancellation)),
@@ -128,7 +140,11 @@ impl NvmConfig {
     /// slow_latency, cancellation (0..=2)]`.
     #[must_use]
     pub fn to_compressed_vector(&self) -> [f64; 5] {
-        let bank = if self.bank_aware { f64::from(self.bank_aware_threshold) } else { 0.0 };
+        let bank = if self.bank_aware {
+            f64::from(self.bank_aware_threshold)
+        } else {
+            0.0
+        };
         // Eager thresholds {4, 8, 16, 32} map to levels {1, 2, 3, 4}.
         let eager = if self.eager_writebacks {
             match self.eager_threshold {
@@ -165,7 +181,13 @@ impl NvmConfig {
     /// Names of the 5 compressed dimensions.
     #[must_use]
     pub fn compressed_feature_names() -> [&'static str; 5] {
-        ["bank_aware", "eager_writebacks", "fast_latency", "slow_latency", "cancellation"]
+        [
+            "bank_aware",
+            "eager_writebacks",
+            "fast_latency",
+            "slow_latency",
+            "cancellation",
+        ]
     }
 
     /// Lower to the simulator's policy representation.
@@ -259,7 +281,10 @@ mod tests {
             fast_cancellation: false,
             slow_cancellation: true,
         };
-        assert_eq!(c.to_vector(), [1.0, 1.0, 1.0, 32.0, 0.0, 0.0, 1.5, 3.0, 0.0, 1.0]);
+        assert_eq!(
+            c.to_vector(),
+            [1.0, 1.0, 1.0, 32.0, 0.0, 0.0, 1.5, 3.0, 0.0, 1.0]
+        );
     }
 
     #[test]

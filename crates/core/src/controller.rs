@@ -21,12 +21,13 @@ use serde::{Deserialize, Serialize};
 use mct_sim::stats::{Metrics, RunStats};
 use mct_sim::system::{System, SystemConfig};
 use mct_sim::trace::AccessSource;
+use mct_telemetry::{Event, RecorderHandle, Telemetry};
 
 use crate::config::NvmConfig;
 use crate::objective::Objective;
 use crate::optimizer::{optimize, OptimizationResult};
 use crate::phase::{PhaseDetector, PhaseDetectorConfig};
-use crate::predictor::{MetricsPredictor, ModelKind};
+use crate::predictor::{lasso_feature_report, MetricsPredictor, ModelKind};
 use crate::sampling::{feature_based_samples, random_samples, with_anchors};
 use crate::space::ConfigSpace;
 
@@ -141,14 +142,21 @@ impl MetricAccum {
     }
 
     fn metrics(&self, wear_budget: f64) -> Metrics {
-        let ipc = if self.cycles > 0.0 { self.insts as f64 / self.cycles } else { 0.0 };
+        let ipc = if self.cycles > 0.0 {
+            self.insts as f64 / self.cycles
+        } else {
+            0.0
+        };
         let lifetime_years = if self.wear_units > 0.0 && self.elapsed_secs > 0.0 {
-            wear_budget / (self.wear_units / self.elapsed_secs)
-                / mct_sim::wear::SECONDS_PER_YEAR
+            wear_budget / (self.wear_units / self.elapsed_secs) / mct_sim::wear::SECONDS_PER_YEAR
         } else {
             f64::INFINITY
         };
-        Metrics { ipc, lifetime_years, energy_j: self.energy_j }
+        Metrics {
+            ipc,
+            lifetime_years,
+            energy_j: self.energy_j,
+        }
     }
 
     fn is_empty(&self) -> bool {
@@ -232,6 +240,7 @@ pub struct Controller {
     space: ConfigSpace,
     samples: Vec<NvmConfig>,
     baseline_config: NvmConfig,
+    telemetry: Telemetry,
 }
 
 impl Controller {
@@ -252,8 +261,10 @@ impl Controller {
         } else {
             random_samples(&space, cfg.n_random_samples.min(space.len()), cfg.seed)
         };
-        let anchors =
-            [NvmConfig::default_config(), NvmConfig::static_baseline().without_wear_quota()];
+        let anchors = [
+            NvmConfig::default_config(),
+            NvmConfig::static_baseline().without_wear_quota(),
+        ];
         let samples = with_anchors(raw_samples, &anchors);
         Controller {
             cfg,
@@ -261,7 +272,17 @@ impl Controller {
             space,
             samples,
             baseline_config: NvmConfig::static_baseline(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a telemetry recorder for decision traces and registry
+    /// metrics. The default is a disabled [`mct_telemetry::NullRecorder`],
+    /// which skips all instrumentation work.
+    #[must_use]
+    pub fn with_recorder(mut self, handle: RecorderHandle) -> Controller {
+        self.telemetry = Telemetry::attached(handle);
+        self
     }
 
     /// The sample configurations the controller will exercise.
@@ -286,32 +307,76 @@ impl Controller {
     pub fn run<S: AccessSource>(&mut self, source: &mut S) -> Outcome {
         let wear_budget = self.cfg.system.wear.budget();
         let mut sys = System::new(self.cfg.system.clone(), self.baseline_config.to_policy());
+        let warmup_timer = self.telemetry.stage("warmup", 0);
         sys.warmup(source, self.cfg.warmup_insts);
+        self.telemetry
+            .finish_stage(warmup_timer, self.cfg.warmup_insts);
 
         let mut detector = PhaseDetector::new(self.cfg.phase);
         let mut segments: Vec<SegmentReport> = Vec::new();
         let mut total_sampling = MetricAccum::default();
         let mut total_testing = MetricAccum::default();
         let mut executed: u64 = 0;
-        let mut last_baseline = Metrics { ipc: 1.0, lifetime_years: 1.0, energy_j: 1.0 };
+        let mut last_baseline = Metrics {
+            ipc: 1.0,
+            lifetime_years: 1.0,
+            energy_j: 1.0,
+        };
         let mut chosen = self.baseline_config;
 
         while executed < self.cfg.total_insts {
+            // The first segment is the trivially-detected initial phase;
+            // later segments are announced by the detector at the moment
+            // it fires, inside the testing loop below.
+            if self.telemetry.enabled() && segments.is_empty() {
+                self.telemetry.emit(
+                    executed,
+                    Event::PhaseDetected {
+                        score: 0.0,
+                        phases_detected: 0,
+                        mean_workload: detector.mean_workload(),
+                    },
+                );
+            }
+
             // --- Baseline measurement (normalization reference). ---
-            let mut baseline_stats =
-                self.measure(&mut sys, source, self.baseline_config, self.cfg.baseline_insts);
+            let baseline_timer = self.telemetry.stage("baseline", executed);
+            let mut baseline_stats = self.measure(
+                &mut sys,
+                source,
+                self.baseline_config,
+                self.cfg.baseline_insts,
+            );
             // Sparse phases need a longer window before the measurement
             // means anything; extend until ~1000 accesses were observed.
             let observed =
                 baseline_stats.mem.reads_completed + baseline_stats.mem.writes_completed();
+            let mut extended = false;
             if observed < 1_000 && observed > 0 {
                 let extend = self.cfg.baseline_insts * (1_000 / observed.max(50)).min(50);
                 let more = self.measure(&mut sys, source, self.baseline_config, extend);
                 executed += more.instructions;
                 baseline_stats = more;
+                extended = true;
             }
             executed += self.cfg.baseline_insts;
             last_baseline = baseline_stats.metrics();
+            self.telemetry.finish_stage(baseline_timer, executed);
+            if self.telemetry.enabled() {
+                self.telemetry.emit(
+                    executed,
+                    Event::BaselineMeasured {
+                        config: self.baseline_config.to_string(),
+                        metrics: last_baseline,
+                        insts: baseline_stats.instructions,
+                        extended,
+                    },
+                );
+                for (name, v) in baseline_stats.mem_counter_snapshot() {
+                    self.telemetry
+                        .observe(&format!("mem.baseline.{name}"), v as f64);
+                }
+            }
 
             // Size the fine-grained sampling unit from the phase's mean
             // memory workload (Section 5.2): dense phases use small units,
@@ -330,9 +395,10 @@ impl Controller {
                 .max(1_000);
 
             // --- Sampling period: cyclic fine-grained sampling. ---
+            let sampling_timer = self.telemetry.stage("sampling", executed);
             let mut accums = vec![MetricAccum::default(); self.samples.len()];
             let mut seg_sampling = MetricAccum::default();
-            for _round in 0..rounds {
+            for round in 0..rounds {
                 for (i, cfg) in self.samples.clone().into_iter().enumerate() {
                     let stats = self.measure(&mut sys, source, cfg, unit_insts);
                     executed += stats.instructions;
@@ -340,7 +406,20 @@ impl Controller {
                     seg_sampling.add(&stats);
                     total_sampling.add(&stats);
                 }
+                if self.telemetry.enabled() {
+                    self.telemetry.incr("samples_taken", n_samples);
+                    self.telemetry.emit(
+                        executed,
+                        Event::SamplingRound {
+                            round: round as u64,
+                            total_rounds: rounds as u64,
+                            samples: n_samples,
+                            unit_insts,
+                        },
+                    );
+                }
             }
+            self.telemetry.finish_stage(sampling_timer, executed);
             let sample_data: Vec<(NvmConfig, Metrics)> = self
                 .samples
                 .iter()
@@ -364,11 +443,40 @@ impl Controller {
             let mut health_checks = 0u32;
 
             // --- Prediction over the full space. ---
+            let fit_timer = self.telemetry.stage("fit", executed);
             let mut predictor = MetricsPredictor::new(self.cfg.model);
             predictor.fit(&sample_data, Some(last_baseline));
             let predictions = predictor.predict_all(&self.space);
+            self.telemetry.finish_stage(fit_timer, executed);
+            if self.telemetry.enabled() {
+                // Diagnostics-only work (k-fold refits, a lasso report)
+                // runs solely when a recorder is attached.
+                self.telemetry.incr("predictor_refits", 1);
+                let lasso_features = if matches!(
+                    self.cfg.model,
+                    ModelKind::LinearLasso | ModelKind::QuadraticLasso
+                ) {
+                    let quadratic = self.cfg.model == ModelKind::QuadraticLasso;
+                    lasso_feature_report(&sample_data, 0, quadratic, 0.01)
+                        .into_iter()
+                        .filter(|(_, w)| w.abs() > 1e-6)
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                self.telemetry.emit(
+                    executed,
+                    Event::PredictorFitted {
+                        model: self.cfg.model.label().to_string(),
+                        n_samples: sample_data.len() as u64,
+                        cv_r2_ipc: predictor.cv_r2_ipc(&sample_data, 4),
+                        lasso_features,
+                    },
+                );
+            }
 
             // --- Constrained optimization + wear-quota fixup. ---
+            let optimize_timer = self.telemetry.stage("optimize", executed);
             let opt = optimize(
                 &self.space,
                 &predictions,
@@ -377,6 +485,26 @@ impl Controller {
                 self.cfg.quota_fixup,
             );
             chosen = opt.config;
+            self.telemetry.finish_stage(optimize_timer, executed);
+            if self.telemetry.enabled() {
+                if opt.fell_back {
+                    self.telemetry.incr("optimizer_fallbacks", 1);
+                }
+                let floor = self.objective.lifetime_floor();
+                self.telemetry.emit(
+                    executed,
+                    Event::ConfigSelected {
+                        config: chosen.to_string(),
+                        config_before_fixup: opt
+                            .fixup_changed()
+                            .then(|| opt.config_before_fixup.to_string()),
+                        predicted: opt.predicted,
+                        lifetime_slack_years: opt.predicted.lifetime_years - floor.unwrap_or(0.0),
+                        quota_fixup_applied: self.cfg.quota_fixup && floor.is_some(),
+                        fell_back: opt.fell_back,
+                    },
+                );
+            }
 
             // --- Testing period with health checks & phase detection. ---
             // The measured region is finalized only at health-check and
@@ -389,6 +517,7 @@ impl Controller {
             executed += self.cfg.phase.window_insts / 4;
             sys.reset_stats();
             detector.reset();
+            let testing_timer = self.telemetry.stage("testing", executed);
             let mut seg_testing = MetricAccum::default();
             let mut health_fallback = false;
             let mut windows: u64 = 0;
@@ -402,6 +531,17 @@ impl Controller {
                 let workload = after.workload_since(&before) as f64;
                 if detector.observe(workload) {
                     phase_change = true;
+                    if self.telemetry.enabled() {
+                        self.telemetry.incr("phase_changes", 1);
+                        self.telemetry.emit(
+                            executed,
+                            Event::PhaseDetected {
+                                score: detector.last_score(),
+                                phases_detected: detector.phases_detected(),
+                                mean_workload: workload * 1e3 / self.cfg.phase.window_insts as f64,
+                            },
+                        );
+                    }
                 }
                 if phase_change {
                     let stats = sys.finalize();
@@ -435,9 +575,26 @@ impl Controller {
                     health_checks += 1;
                     let health_baseline = base_accum.metrics(wear_budget);
                     let testing_so_far = seg_testing.metrics(wear_budget);
-                    if health_checks >= 2 && testing_so_far.ipc < health_baseline.ipc * 0.95 {
+                    let failed =
+                        health_checks >= 2 && testing_so_far.ipc < health_baseline.ipc * 0.95;
+                    if failed {
                         health_fallback = true;
                         chosen = self.baseline_config;
+                    }
+                    if self.telemetry.enabled() {
+                        self.telemetry.incr("health_checks", 1);
+                        if failed {
+                            self.telemetry.incr("health_fallbacks", 1);
+                        }
+                        self.telemetry.emit(
+                            executed,
+                            Event::HealthCheck {
+                                testing_ipc: testing_so_far.ipc,
+                                baseline_ipc: health_baseline.ipc,
+                                passed: !failed,
+                                fallback_taken: failed,
+                            },
+                        );
                     }
                     sys.set_policy(chosen.to_policy());
                     sys.run_window(source, self.cfg.phase.window_insts / 4);
@@ -453,6 +610,24 @@ impl Controller {
                     total_testing.add(&stats);
                 }
                 sys.reset_stats();
+            }
+            self.telemetry.finish_stage(testing_timer, executed);
+            if self.telemetry.enabled() {
+                let realized = if seg_testing.is_empty() {
+                    seg_sampling.metrics(wear_budget)
+                } else {
+                    seg_testing.metrics(wear_budget)
+                };
+                self.telemetry.emit(
+                    executed,
+                    Event::SegmentCompleted {
+                        segment: segments.len() as u64,
+                        config: chosen.to_string(),
+                        predicted: (!opt.fell_back).then_some(opt.predicted),
+                        realized,
+                        insts: seg_sampling.insts + seg_testing.insts,
+                    },
+                );
             }
 
             segments.push(SegmentReport {
@@ -475,6 +650,22 @@ impl Controller {
         } else {
             total_testing.metrics(wear_budget)
         };
+        if self.telemetry.enabled() {
+            let fallbacks = segments
+                .iter()
+                .filter(|s| s.health_fallback || s.optimization.fell_back)
+                .count() as u64;
+            self.telemetry.emit(
+                executed,
+                Event::RunCompleted {
+                    segments: segments.len() as u64,
+                    total_insts: executed,
+                    fallbacks,
+                    metrics: final_metrics,
+                },
+            );
+            self.telemetry.finish(executed);
+        }
         Outcome {
             chosen_config: chosen,
             final_metrics,
@@ -544,7 +735,10 @@ mod tests {
     #[test]
     fn samples_include_anchors() {
         let c = Controller::new(quick(), Objective::paper_default(8.0));
-        assert!(c.samples().iter().any(|s| *s == NvmConfig::default_config()));
+        assert!(c
+            .samples()
+            .iter()
+            .any(|s| *s == NvmConfig::default_config()));
         assert!(c
             .samples()
             .iter()
@@ -563,9 +757,21 @@ mod tests {
     fn extrapolation_formula() {
         let outcome = Outcome {
             chosen_config: NvmConfig::default_config(),
-            final_metrics: Metrics { ipc: 1.0, lifetime_years: 8.0, energy_j: 10.0 },
-            sampling_metrics: Metrics { ipc: 0.5, lifetime_years: 8.0, energy_j: 2.0 },
-            baseline_metrics: Metrics { ipc: 0.9, lifetime_years: 8.0, energy_j: 9.0 },
+            final_metrics: Metrics {
+                ipc: 1.0,
+                lifetime_years: 8.0,
+                energy_j: 10.0,
+            },
+            sampling_metrics: Metrics {
+                ipc: 0.5,
+                lifetime_years: 8.0,
+                energy_j: 2.0,
+            },
+            baseline_metrics: Metrics {
+                ipc: 0.9,
+                lifetime_years: 8.0,
+                energy_j: 9.0,
+            },
             phases_detected: 0,
             segments: vec![],
             sampling_insts: 1000,

@@ -46,7 +46,11 @@ impl ExtendedNvmConfig {
     /// A plain (paper-space) configuration.
     #[must_use]
     pub fn plain(base: NvmConfig) -> ExtendedNvmConfig {
-        ExtendedNvmConfig { base, retention_speedup: None, turbo: None }
+        ExtendedNvmConfig {
+            base,
+            retention_speedup: None,
+            turbo: None,
+        }
     }
 
     /// Validate base constraints plus extension ranges.
@@ -80,8 +84,9 @@ impl ExtendedNvmConfig {
             write_speedup,
             retention_ns: RETENTION_WINDOW_NS,
         });
-        policy.turbo_read =
-            self.turbo.map(|(read_speedup, disturb_threshold)| TurboRead {
+        policy.turbo_read = self
+            .turbo
+            .map(|(read_speedup, disturb_threshold)| TurboRead {
                 read_speedup,
                 disturb_threshold,
             });
@@ -128,14 +133,20 @@ pub fn extended_space(base_stride: usize) -> Vec<ExtendedNvmConfig> {
         .chain(RETENTION_SPEEDUPS.into_iter().map(Some))
         .collect();
     let turbo_opts: Vec<Option<(f64, u32)>> = std::iter::once(None)
-        .chain(TURBO_SPEEDUPS.into_iter().flat_map(|s| {
-            DISTURB_THRESHOLDS.into_iter().map(move |th| Some((s, th)))
-        }))
+        .chain(
+            TURBO_SPEEDUPS
+                .into_iter()
+                .flat_map(|s| DISTURB_THRESHOLDS.into_iter().map(move |th| Some((s, th)))),
+        )
         .collect();
     for cfg in base.configs().iter().step_by(base_stride.max(1)) {
         for &retention_speedup in &retention_opts {
             for &turbo in &turbo_opts {
-                let ext = ExtendedNvmConfig { base: *cfg, retention_speedup, turbo };
+                let ext = ExtendedNvmConfig {
+                    base: *cfg,
+                    retention_speedup,
+                    turbo,
+                };
                 debug_assert!(ext.validate().is_ok());
                 out.push(ext);
             }
@@ -195,7 +206,9 @@ mod tests {
         let space = extended_space(64);
         // 4 retention options x 5 turbo options per base config.
         assert_eq!(space.len() % 20, 0);
-        assert!(space.iter().any(|e| e.retention_speedup.is_some() && e.turbo.is_some()));
+        assert!(space
+            .iter()
+            .any(|e| e.retention_speedup.is_some() && e.turbo.is_some()));
         for e in &space {
             e.validate().unwrap();
         }

@@ -139,7 +139,9 @@ impl Objective {
     /// `(0, 1]`.
     pub fn validate(&self) -> Result<(), MctError> {
         if !(self.slack > 0.0 && self.slack <= 1.0) {
-            return Err(MctError::InvalidObjective("slack must be in (0, 1]".to_string()));
+            return Err(MctError::InvalidObjective(
+                "slack must be in (0, 1]".to_string(),
+            ));
         }
         Ok(())
     }
@@ -160,7 +162,11 @@ impl Objective {
     #[must_use]
     pub fn select(&self, candidates: &[Metrics]) -> Option<usize> {
         let feasible: Vec<usize> = (0..candidates.len())
-            .filter(|&i| self.constraints.iter().all(|c| c.satisfied_by(&candidates[i])))
+            .filter(|&i| {
+                self.constraints
+                    .iter()
+                    .all(|c| c.satisfied_by(&candidates[i]))
+            })
             .collect();
         if feasible.is_empty() {
             return None;
@@ -193,7 +199,11 @@ mod tests {
     use super::*;
 
     fn m(ipc: f64, life: f64, e: f64) -> Metrics {
-        Metrics { ipc, lifetime_years: life, energy_j: e }
+        Metrics {
+            ipc,
+            lifetime_years: life,
+            energy_j: e,
+        }
     }
 
     #[test]

@@ -22,6 +22,14 @@ pub struct OptimizationResult {
     pub fell_back: bool,
 }
 
+impl OptimizationResult {
+    /// Whether the wear-quota fixup actually rewrote the selection.
+    #[must_use]
+    pub fn fixup_changed(&self) -> bool {
+        self.config != self.config_before_fixup
+    }
+}
+
 /// Select the objective-optimal configuration from per-configuration
 /// predictions.
 ///
@@ -46,12 +54,20 @@ pub fn optimize(
     fallback: NvmConfig,
     quota_fixup: bool,
 ) -> OptimizationResult {
-    assert_eq!(space.len(), predictions.len(), "predictions must cover the space");
+    assert_eq!(
+        space.len(),
+        predictions.len(),
+        "predictions must cover the space"
+    );
     let (config_before_fixup, predicted, fell_back) = match objective.select(predictions) {
         Some(i) => (space.configs()[i], predictions[i], false),
         None => (
             fallback,
-            Metrics { ipc: 0.0, lifetime_years: 0.0, energy_j: 0.0 },
+            Metrics {
+                ipc: 0.0,
+                lifetime_years: 0.0,
+                energy_j: 0.0,
+            },
             true,
         ),
     };
@@ -59,7 +75,12 @@ pub fn optimize(
         (true, Some(target)) => config_before_fixup.with_wear_quota(target),
         _ => config_before_fixup,
     };
-    OptimizationResult { config, config_before_fixup, predicted, fell_back }
+    OptimizationResult {
+        config,
+        config_before_fixup,
+        predicted,
+        fell_back,
+    }
 }
 
 #[cfg(test)]
@@ -85,6 +106,7 @@ mod tests {
         let obj = Objective::paper_default(8.0);
         let res = optimize(&space, &preds, &obj, NvmConfig::static_baseline(), true);
         assert!(!res.fell_back);
+        assert!(res.fixup_changed());
         // Fixup: wear quota at the 8-year floor.
         assert!(res.config.wear_quota);
         assert_eq!(res.config.wear_quota_target, 8.0);
@@ -111,7 +133,10 @@ mod tests {
         let res = optimize(&space, &preds, &obj, NvmConfig::static_baseline(), true);
         assert!(res.fell_back);
         // Fallback keeps the baseline, with quota at the floor.
-        assert_eq!(res.config.without_wear_quota(), NvmConfig::static_baseline().without_wear_quota());
+        assert_eq!(
+            res.config.without_wear_quota(),
+            NvmConfig::static_baseline().without_wear_quota()
+        );
     }
 
     #[test]

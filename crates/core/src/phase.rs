@@ -79,7 +79,12 @@ impl PhaseDetector {
             "history must exceed the recent set (>= 2)"
         );
         assert!(cfg.score_threshold > 0.0, "threshold must be positive");
-        PhaseDetector { cfg, history: VecDeque::new(), phases_detected: 0, last_score: 0.0 }
+        PhaseDetector {
+            cfg,
+            history: VecDeque::new(),
+            phases_detected: 0,
+            last_score: 0.0,
+        }
     }
 
     /// The configuration.
@@ -103,10 +108,18 @@ impl PhaseDetector {
             return false;
         }
         let n = self.history.len();
-        let recent: Vec<f64> =
-            self.history.iter().skip(n - self.cfg.recent_windows).copied().collect();
-        let older: Vec<f64> =
-            self.history.iter().take(n - self.cfg.recent_windows).copied().collect();
+        let recent: Vec<f64> = self
+            .history
+            .iter()
+            .skip(n - self.cfg.recent_windows)
+            .copied()
+            .collect();
+        let older: Vec<f64> = self
+            .history
+            .iter()
+            .take(n - self.cfg.recent_windows)
+            .copied()
+            .collect();
         self.last_score = Self::t_score(&recent, &older);
         if self.last_score > self.cfg.score_threshold {
             self.phases_detected += 1;
@@ -129,7 +142,11 @@ impl PhaseDetector {
             // Identical variance-free windows: no evidence of change
             // unless the means differ, in which case the evidence is
             // overwhelming.
-            return if (ma - mb).abs() < 1e-12 { 0.0 } else { f64::INFINITY };
+            return if (ma - mb).abs() < 1e-12 {
+                0.0
+            } else {
+                f64::INFINITY
+            };
         }
         (ma - mb).abs() / denom
     }

@@ -6,9 +6,8 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use mct_ml::{
-    quadratic_expand, quadratic_feature_names, Dataset, GradientBoosting,
-    GradientBoostingParams, HierarchicalPredictor, LassoRegression, OfflineMeanPredictor,
-    Regressor, RidgeRegression,
+    quadratic_expand, quadratic_feature_names, Dataset, GradientBoosting, GradientBoostingParams,
+    HierarchicalPredictor, LassoRegression, OfflineMeanPredictor, Regressor, RidgeRegression,
 };
 use mct_sim::stats::Metrics;
 
@@ -125,7 +124,13 @@ impl MetricsPredictor {
     /// A predictor of the given kind.
     #[must_use]
     pub fn new(kind: ModelKind) -> MetricsPredictor {
-        MetricsPredictor { kind, models: Vec::new(), baseline: None, corpus: Vec::new(), fitted: false }
+        MetricsPredictor {
+            kind,
+            models: Vec::new(),
+            baseline: None,
+            corpus: Vec::new(),
+            fitted: false,
+        }
     }
 
     /// Attach an offline corpus (required for [`ModelKind::Offline`] and
@@ -176,8 +181,10 @@ impl MetricsPredictor {
                 None => c,
             }
         };
-        let target_arrays: Vec<[f64; 3]> =
-            samples.iter().map(|(_, m)| to_target(m).to_array()).collect();
+        let target_arrays: Vec<[f64; 3]> = samples
+            .iter()
+            .map(|(_, m)| to_target(m).to_array())
+            .collect();
 
         match self.kind {
             ModelKind::Offline => {
@@ -268,6 +275,33 @@ impl MetricsPredictor {
     pub fn predict_all(&self, space: &ConfigSpace) -> Vec<Metrics> {
         space.iter().map(|c| self.predict(c)).collect()
     }
+
+    /// Out-of-fold R² of this predictor family on the (normalized) IPC
+    /// dimension of `samples`, via deterministic k-fold CV.
+    ///
+    /// Returns `None` for corpus-backed kinds or when `samples` cannot
+    /// fill `k` folds. This refits `k` throwaway models, so callers
+    /// treating it as diagnostics (the telemetry layer) must gate it
+    /// behind their enabled flag.
+    #[must_use]
+    pub fn cv_r2_ipc(&self, samples: &[(NvmConfig, Metrics)], k: usize) -> Option<f64> {
+        if self.kind.needs_offline_data() || k < 2 || samples.len() < 2 * k {
+            return None;
+        }
+        let rows: Vec<Vec<f64>> = samples.iter().map(|(c, _)| self.features(c)).collect();
+        let y: Vec<f64> = samples
+            .iter()
+            .map(|(_, m)| {
+                let c = Self::clamp(m);
+                match &self.baseline {
+                    Some(b) => c.normalized_to(&Self::clamp(b)).ipc,
+                    None => c.ipc,
+                }
+            })
+            .collect();
+        let data = Dataset::from_rows(rows, y);
+        Some(mct_ml::cross_val_r2(&data, k, || self.kind.build()))
+    }
 }
 
 /// Fit a lasso on (optionally compressed) features and report
@@ -307,8 +341,10 @@ pub fn lasso_feature_report(
         .collect();
     let mut lasso = LassoRegression::new(lambda);
     lasso.fit(&Dataset::from_rows(rows, y));
-    let mut out: Vec<(String, f64)> =
-        names.into_iter().zip(lasso.weights().iter().copied()).collect();
+    let mut out: Vec<(String, f64)> = names
+        .into_iter()
+        .zip(lasso.weights().iter().copied())
+        .collect();
     out.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).expect("finite weights"));
     out
 }
@@ -329,7 +365,11 @@ mod tests {
             + 0.5 * c.fast_latency
             + if c.bank_aware { 1.0 } else { 0.0 };
         let energy = 5.0 * (1.0 + slowdown);
-        Metrics { ipc, lifetime_years: lifetime, energy_j: energy }
+        Metrics {
+            ipc,
+            lifetime_years: lifetime,
+            energy_j: energy,
+        }
     }
 
     fn sampled(n: usize) -> Vec<(NvmConfig, Metrics)> {
@@ -342,8 +382,10 @@ mod tests {
 
     fn r2_over_space(pred: &MetricsPredictor, dim: usize) -> f64 {
         let space = ConfigSpace::without_wear_quota();
-        let predictions: Vec<f64> =
-            space.iter().map(|c| pred.predict(c).to_array()[dim]).collect();
+        let predictions: Vec<f64> = space
+            .iter()
+            .map(|c| pred.predict(c).to_array()[dim])
+            .collect();
         let actual: Vec<f64> = space.iter().map(|c| truth(c).to_array()[dim]).collect();
         mct_ml::coefficient_of_determination(&predictions, &actual)
     }
@@ -352,15 +394,27 @@ mod tests {
     fn quadratic_lasso_learns_quadratic_truth() {
         let mut p = MetricsPredictor::new(ModelKind::QuadraticLasso);
         p.fit(&sampled(80), None);
-        assert!(r2_over_space(&p, 0) > 0.9, "ipc r2 {}", r2_over_space(&p, 0));
-        assert!(r2_over_space(&p, 1) > 0.9, "lifetime r2 {}", r2_over_space(&p, 1));
+        assert!(
+            r2_over_space(&p, 0) > 0.9,
+            "ipc r2 {}",
+            r2_over_space(&p, 0)
+        );
+        assert!(
+            r2_over_space(&p, 1) > 0.9,
+            "lifetime r2 {}",
+            r2_over_space(&p, 1)
+        );
     }
 
     #[test]
     fn gradient_boosting_learns_truth() {
         let mut p = MetricsPredictor::new(ModelKind::GradientBoosting);
         p.fit(&sampled(80), None);
-        assert!(r2_over_space(&p, 0) > 0.8, "ipc r2 {}", r2_over_space(&p, 0));
+        assert!(
+            r2_over_space(&p, 0) > 0.8,
+            "ipc r2 {}",
+            r2_over_space(&p, 0)
+        );
     }
 
     #[test]
@@ -380,7 +434,12 @@ mod tests {
         // Predictions come back in absolute units.
         let c = NvmConfig::default_config();
         let m = p.predict(&c);
-        assert!((m.ipc - truth(&c).ipc).abs() < 0.2, "pred {} truth {}", m.ipc, truth(&c).ipc);
+        assert!(
+            (m.ipc - truth(&c).ipc).abs() < 0.2,
+            "pred {} truth {}",
+            m.ipc,
+            truth(&c).ipc
+        );
     }
 
     #[test]
@@ -396,8 +455,7 @@ mod tests {
     #[test]
     fn offline_kind_uses_corpus() {
         let space = ConfigSpace::without_wear_quota();
-        let corpus: Vec<AppCorpus> =
-            vec![space.iter().map(|c| (*c, truth(c))).collect::<Vec<_>>()];
+        let corpus: Vec<AppCorpus> = vec![space.iter().map(|c| (*c, truth(c))).collect::<Vec<_>>()];
         let mut p = MetricsPredictor::new(ModelKind::Offline).with_corpus(corpus);
         p.fit(&sampled(5), None);
         // With a single corpus app equal to the truth, offline is exact.
@@ -447,9 +505,26 @@ mod tests {
         // bank_aware should carry (near-)zero weight in the linear report
         // for IPC, mirroring Figure 4a.
         let lin = lasso_feature_report(&samples, 0, false, 0.05);
-        let bank = lin.iter().find(|(n, _)| n == "bank_aware").expect("present");
-        let fast = lin.iter().find(|(n, _)| n == "fast_latency").expect("present");
+        let bank = lin
+            .iter()
+            .find(|(n, _)| n == "bank_aware")
+            .expect("present");
+        let fast = lin
+            .iter()
+            .find(|(n, _)| n == "fast_latency")
+            .expect("present");
         assert!(bank.1.abs() < fast.1.abs());
+    }
+
+    #[test]
+    fn cv_r2_reflects_fit_quality() {
+        let samples = sampled(80);
+        let mut p = MetricsPredictor::new(ModelKind::QuadraticLasso);
+        p.fit(&samples, None);
+        let r2 = p.cv_r2_ipc(&samples, 4).expect("enough samples");
+        assert!(r2 > 0.8, "cv r2 {r2}");
+        // Too few samples for the fold count: no score.
+        assert!(p.cv_r2_ipc(&samples[..5], 4).is_none());
     }
 
     #[test]

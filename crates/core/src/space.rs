@@ -38,7 +38,10 @@ impl ConfigSpace {
         for quota in [None, Some(quota_target)] {
             Self::push_variants(&mut configs, quota);
         }
-        ConfigSpace { configs, includes_wear_quota: true }
+        ConfigSpace {
+            configs,
+            includes_wear_quota: true,
+        }
     }
 
     /// The space with wear quota excluded — the space MCT actually learns
@@ -47,7 +50,10 @@ impl ConfigSpace {
     pub fn without_wear_quota() -> ConfigSpace {
         let mut configs = Vec::new();
         Self::push_variants(&mut configs, None);
-        ConfigSpace { configs, includes_wear_quota: false }
+        ConfigSpace {
+            configs,
+            includes_wear_quota: false,
+        }
     }
 
     fn push_variants(out: &mut Vec<NvmConfig>, quota: Option<f64>) {

@@ -49,7 +49,11 @@ fn no_quota_fixup_when_disabled() {
     let outcome = c.run(&mut Workload::Gups.source(3));
     // A 0.1-year floor is trivially satisfied; without fixup the chosen
     // config stays quota-free (the learned space has no quota configs).
-    if !outcome.segments.iter().any(|s| s.health_fallback || s.optimization.fell_back) {
+    if !outcome
+        .segments
+        .iter()
+        .any(|s| s.health_fallback || s.optimization.fell_back)
+    {
         assert!(!outcome.chosen_config.wear_quota);
     }
 }
@@ -112,8 +116,10 @@ fn sampling_rounds_multiply_sampling_insts() {
 
 #[test]
 fn segments_account_all_instructions() {
-    let mut c =
-        Controller::new(quick(ModelKind::QuadraticLasso), Objective::paper_default(8.0));
+    let mut c = Controller::new(
+        quick(ModelKind::QuadraticLasso),
+        Objective::paper_default(8.0),
+    );
     let outcome = c.run(&mut Workload::Leslie3d.source(7));
     let seg_total: u64 = outcome
         .segments

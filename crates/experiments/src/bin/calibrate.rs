@@ -19,7 +19,11 @@ fn main() {
             format!("{:.3}", m.ipc),
             format!("{:.2}", m.lifetime_years),
             format!("{:.2}", m.energy_j * 1e3),
-            if m.lifetime_years >= 8.0 { "yes".into() } else { "no".into() },
+            if m.lifetime_years >= 8.0 {
+                "yes".into()
+            } else {
+                "no".into()
+            },
         ]);
     }
     table.print();

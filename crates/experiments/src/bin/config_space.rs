@@ -10,7 +10,10 @@ fn main() {
 
     let mut params = Table::new(["parameter", "values"]);
     params.row(["fast_cancellation", "true/false"]);
-    params.row(["slow_cancellation", "true/false (true if fast_cancellation)"]);
+    params.row([
+        "slow_cancellation",
+        "true/false (true if fast_cancellation)",
+    ]);
     params.row(["fast_latency", "{1.0, 1.5, ..., 4.0}"]);
     params.row(["slow_latency", "same grid, >= fast_latency"]);
     params.row(["bank_aware_threshold", "{1, 2, 3, 4} or off"]);
@@ -21,7 +24,10 @@ fn main() {
     let full = ConfigSpace::full(8.0);
     let learn = ConfigSpace::without_wear_quota();
     println!("\nfull space: {} configurations (paper: 3,164)", full.len());
-    println!("learned space (wear quota excluded, Section 4.4): {}", learn.len());
+    println!(
+        "learned space (wear quota excluded, Section 4.4): {}",
+        learn.len()
+    );
     println!("latency grid: {:?}", space::LATENCY_GRID);
     println!(
         "\nanchors: default = [{}], static baseline = [{}]",

@@ -31,11 +31,17 @@ struct Rig {
 
 impl Rig {
     fn new(w: Workload, scale: Scale) -> Rig {
-        let mut sys =
-            System::new(SystemConfig::default(), NvmConfig::default_config().to_policy());
+        let mut sys = System::new(
+            SystemConfig::default(),
+            NvmConfig::default_config().to_policy(),
+        );
         let mut src = w.source(EXPERIMENT_SEED);
         sys.warmup(&mut src, w.warmup_insts());
-        Rig { sys, src, insts: w.detailed_insts(scale.detailed_factor() * 0.7) }
+        Rig {
+            sys,
+            src,
+            insts: w.detailed_insts(scale.detailed_factor() * 0.7),
+        }
     }
 
     fn measure(&self, cfg: &ExtendedNvmConfig) -> Metrics {
@@ -114,7 +120,10 @@ fn mct_over_extended_space(scale: Scale) {
     // Fit one GBRT per objective on the 13-dim extended vectors.
     let rows: Vec<Vec<f64>> = measured.iter().map(|(c, _)| c.to_vector()).collect();
     let fit = |dim: usize| {
-        let y: Vec<f64> = measured.iter().map(|(_, m)| m.to_array()[dim].min(1e3)).collect();
+        let y: Vec<f64> = measured
+            .iter()
+            .map(|(_, m)| m.to_array()[dim].min(1e3))
+            .collect();
         let mut g = GradientBoosting::new(GradientBoostingParams::default());
         g.fit(&Dataset::from_rows(rows.clone(), y));
         g

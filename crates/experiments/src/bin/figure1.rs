@@ -34,8 +34,12 @@ fn main() {
     let mut geo: Vec<(f64, f64)> = Vec::new(); // (ideal/base ipc, ideal/base energy)
     for w in Workload::all() {
         let ds = load_or_compute_sweep(w, &configs, scale, EXPERIMENT_SEED);
-        let def = ds.metrics_of(&NvmConfig::default_config()).expect("default measured");
-        let base = ds.metrics_of(&NvmConfig::static_baseline()).expect("baseline measured");
+        let def = ds
+            .metrics_of(&NvmConfig::default_config())
+            .expect("default measured");
+        let base = ds
+            .metrics_of(&NvmConfig::static_baseline())
+            .expect("baseline measured");
         let ideal = ideal_for(&ds, &objective);
         fig.row([
             w.name().to_string(),
@@ -49,8 +53,14 @@ fn main() {
             format!("{:.2}", base.energy_j * 1e3),
             format!("{:.2}", ideal.metrics.energy_j * 1e3),
         ]);
-        table5.row(config_table_row(&format!("{}_ideal", w.name()), &ideal.config));
-        geo.push((ideal.metrics.ipc / base.ipc, ideal.metrics.energy_j / base.energy_j));
+        table5.row(config_table_row(
+            &format!("{}_ideal", w.name()),
+            &ideal.config,
+        ));
+        geo.push((
+            ideal.metrics.ipc / base.ipc,
+            ideal.metrics.energy_j / base.energy_j,
+        ));
     }
     fig.print();
 

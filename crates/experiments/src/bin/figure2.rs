@@ -79,8 +79,12 @@ fn main() {
             for &n in &SAMPLE_SIZES {
                 let mut sum = 0.0;
                 for (ai, ds) in datasets.iter().enumerate() {
-                    let corpus: Vec<&SweepDataset> =
-                        datasets.iter().enumerate().filter(|(j, _)| *j != ai).map(|(_, d)| d).collect();
+                    let corpus: Vec<&SweepDataset> = datasets
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| *j != ai)
+                        .map(|(_, d)| d)
+                        .collect();
                     sum += r2_for(kind, ds, &corpus, n, dim, 7 + n as u64);
                 }
                 cells.push(format!("{:.3}", sum / datasets.len() as f64));

@@ -45,9 +45,16 @@ fn accuracy(ds: &SweepDataset, dim: usize, seed: u64) -> f64 {
     let mut predictor = MetricsPredictor::new(ModelKind::GradientBoosting);
     predictor.fit(&train, None);
     let clamp = mct_core::predictor::LIFETIME_CLAMP_YEARS;
-    let preds: Vec<f64> =
-        ds.configs.iter().map(|c| predictor.predict(c).to_array()[dim]).collect();
-    let truth: Vec<f64> = ds.metrics.iter().map(|m| m.to_array()[dim].min(clamp)).collect();
+    let preds: Vec<f64> = ds
+        .configs
+        .iter()
+        .map(|c| predictor.predict(c).to_array()[dim])
+        .collect();
+    let truth: Vec<f64> = ds
+        .metrics
+        .iter()
+        .map(|m| m.to_array()[dim].min(clamp))
+        .collect();
     coefficient_of_determination(&preds, &truth)
 }
 
@@ -59,10 +66,18 @@ fn main() {
     let full_configs = strided_configs(full_space.configs(), scale);
     let free_configs = strided_configs(free_space.configs(), scale);
 
-    for (dim, obj) in ["ipc", "energy"].iter().enumerate().map(|(i, o)| (i * 2, o)) {
+    for (dim, obj) in ["ipc", "energy"]
+        .iter()
+        .enumerate()
+        .map(|(i, o)| (i * 2, o))
+    {
         println!("-- objective: {obj} --\n");
-        let mut table =
-            Table::new(["workload", "R2 excl. quota", "R2 incl. quota", "degradation"]);
+        let mut table = Table::new([
+            "workload",
+            "R2 excl. quota",
+            "R2 incl. quota",
+            "degradation",
+        ]);
         for w in [Workload::Lbm, Workload::Leslie3d, Workload::Stream] {
             let ds_free = load_or_compute_sweep(w, &free_configs, scale, EXPERIMENT_SEED);
             let ds_full = load_or_compute_sweep(w, &full_configs, scale, EXPERIMENT_SEED);

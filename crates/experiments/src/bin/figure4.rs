@@ -3,8 +3,7 @@
 //! gradient boosting.
 
 use mct_core::{
-    predictor::lasso_feature_report, sampling, ConfigSpace, MetricsPredictor, ModelKind,
-    NvmConfig,
+    predictor::lasso_feature_report, sampling, ConfigSpace, MetricsPredictor, ModelKind, NvmConfig,
 };
 use mct_experiments::cache::{load_or_compute_sweep, strided_configs, SweepDataset};
 use mct_experiments::report::Table;
@@ -25,8 +24,16 @@ fn train_eval(ds: &SweepDataset, train_cfgs: &[NvmConfig], dim: usize) -> f64 {
     let mut p = MetricsPredictor::new(ModelKind::GradientBoosting);
     p.fit(&train, None);
     let clamp = mct_core::predictor::LIFETIME_CLAMP_YEARS;
-    let preds: Vec<f64> = ds.configs.iter().map(|c| p.predict(c).to_array()[dim]).collect();
-    let truth: Vec<f64> = ds.metrics.iter().map(|m| m.to_array()[dim].min(clamp)).collect();
+    let preds: Vec<f64> = ds
+        .configs
+        .iter()
+        .map(|c| p.predict(c).to_array()[dim])
+        .collect();
+    let truth: Vec<f64> = ds
+        .metrics
+        .iter()
+        .map(|m| m.to_array()[dim].min(clamp))
+        .collect();
     coefficient_of_determination(&preds, &truth)
 }
 
@@ -35,7 +42,9 @@ fn main() {
     let space = ConfigSpace::without_wear_quota();
     let configs = strided_configs(space.configs(), scale);
 
-    println!("== Figure 4a: lasso-linear coefficients on compressed features (scale: {scale}) ==\n");
+    println!(
+        "== Figure 4a: lasso-linear coefficients on compressed features (scale: {scale}) ==\n"
+    );
     let mut coef = Table::new([
         "workload/objective",
         "bank_aware",
@@ -45,13 +54,21 @@ fn main() {
         "cancellation",
     ]);
     let names = NvmConfig::compressed_feature_names();
-    for w in [Workload::Lbm, Workload::Leslie3d, Workload::GemsFdtd, Workload::Stream] {
+    for w in [
+        Workload::Lbm,
+        Workload::Leslie3d,
+        Workload::GemsFdtd,
+        Workload::Stream,
+    ] {
         let ds = load_or_compute_sweep(w, &configs, scale, EXPERIMENT_SEED);
         for (dim, obj) in ["ipc", "lifetime", "energy"].iter().enumerate() {
             let report = lasso_feature_report(&ds.pairs(), dim, false, 0.01);
             let mut cells = vec![format!("{}/{}", w.name(), obj)];
             for n in names {
-                let v = report.iter().find(|(rn, _)| rn == n).map_or(0.0, |(_, v)| *v);
+                let v = report
+                    .iter()
+                    .find(|(rn, _)| rn == n)
+                    .map_or(0.0, |(_, v)| *v);
                 cells.push(format!("{v:+.3}"));
             }
             coef.row(cells);

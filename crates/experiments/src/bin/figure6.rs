@@ -13,7 +13,10 @@ use mct_workloads::Workload;
 fn main() {
     let scale = Scale::from_args();
     println!("== Figure 6: phase detection on ocean (scale: {scale}) ==\n");
-    let mut sys = System::new(SystemConfig::default(), NvmConfig::static_baseline().to_policy());
+    let mut sys = System::new(
+        SystemConfig::default(),
+        NvmConfig::static_baseline().to_policy(),
+    );
     let mut src = Workload::Ocean.source(2017);
     sys.warmup(&mut src, Workload::Ocean.warmup_insts());
 

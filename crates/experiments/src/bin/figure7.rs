@@ -20,7 +20,12 @@ use mct_workloads::Workload;
 /// instructions — long enough that short-window drain artifacts vanish;
 /// our scaled windows are not, so the deployed choice is re-measured on
 /// the shared rig; the runtime-overhead story lives in figure9).
-fn run_mct(w: Workload, kind: ModelKind, scale: Scale, rig: &WarmedRig) -> (Metrics, NvmConfig, f64) {
+fn run_mct(
+    w: Workload,
+    kind: ModelKind,
+    scale: Scale,
+    rig: &WarmedRig,
+) -> (Metrics, NvmConfig, f64) {
     let mut cfg = ControllerConfig::paper_scaled();
     cfg.model = kind;
     cfg.total_insts = scale.controller_insts();
@@ -34,7 +39,9 @@ fn run_mct(w: Workload, kind: ModelKind, scale: Scale, rig: &WarmedRig) -> (Metr
 
 fn main() {
     let scale = Scale::from_args();
-    println!("== Figure 7 / Table 10: MCT vs default/static/ideal, 8-year target (scale: {scale}) ==\n");
+    println!(
+        "== Figure 7 / Table 10: MCT vs default/static/ideal, 8-year target (scale: {scale}) ==\n"
+    );
     let full_configs = strided_configs(mct_core::ConfigSpace::full(8.0).configs(), scale);
     let objective = Objective::paper_default(8.0);
 
@@ -65,8 +72,12 @@ fn main() {
         let ds = load_or_compute_sweep(w, &full_configs, scale, EXPERIMENT_SEED);
         let sweep_insts = w.detailed_insts(scale.detailed_factor()) as f64;
         let rig = WarmedRig::new(w, scale, EXPERIMENT_SEED);
-        let def = ds.metrics_of(&NvmConfig::default_config()).expect("default");
-        let stat = ds.metrics_of(&NvmConfig::static_baseline()).expect("static");
+        let def = ds
+            .metrics_of(&NvmConfig::default_config())
+            .expect("default");
+        let stat = ds
+            .metrics_of(&NvmConfig::static_baseline())
+            .expect("static");
         let ideal = ideal_for(&ds, &objective);
         let (gb, gb_cfg, gb_epi) = run_mct(w, ModelKind::GradientBoosting, scale, &rig);
         let (ql, _, ql_epi) = run_mct(w, ModelKind::QuadraticLasso, scale, &rig);

@@ -6,11 +6,11 @@
 //! cached quota-on half enforces a fixed 8-year quota and would bias
 //! other targets.
 
-use mct_core::{Controller, ControllerConfig, ConfigSpace, ModelKind, Objective};
+use mct_core::{ConfigSpace, Controller, ControllerConfig, ModelKind, Objective};
 use mct_experiments::cache::{load_or_compute_sweep, strided_configs};
 use mct_experiments::report::Table;
-use mct_experiments::runner::EXPERIMENT_SEED;
 use mct_experiments::runner::WarmedRig;
+use mct_experiments::runner::EXPERIMENT_SEED;
 use mct_experiments::{ideal_for, Scale};
 use mct_workloads::Workload;
 
@@ -20,7 +20,12 @@ fn main() {
     let space = ConfigSpace::without_wear_quota();
     let configs = strided_configs(space.configs(), scale);
 
-    for w in [Workload::Lbm, Workload::Leslie3d, Workload::GemsFdtd, Workload::Stream] {
+    for w in [
+        Workload::Lbm,
+        Workload::Leslie3d,
+        Workload::GemsFdtd,
+        Workload::Stream,
+    ] {
         let ds = load_or_compute_sweep(w, &configs, scale, EXPERIMENT_SEED);
         let rig = WarmedRig::new(w, scale, EXPERIMENT_SEED);
         let mut table = Table::new([

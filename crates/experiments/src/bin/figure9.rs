@@ -26,7 +26,9 @@ fn main() {
     for w in Workload::all() {
         let ds = load_or_compute_sweep(w, &full_configs, scale, EXPERIMENT_SEED);
         let sweep_insts = w.detailed_insts(scale.detailed_factor()) as f64;
-        let stat = ds.metrics_of(&NvmConfig::static_baseline()).expect("static");
+        let stat = ds
+            .metrics_of(&NvmConfig::static_baseline())
+            .expect("static");
         let stat_epi = stat.energy_j / sweep_insts;
 
         let mut cfg = ControllerConfig::paper_scaled();
@@ -36,8 +38,7 @@ fn main() {
         let mut controller = Controller::new(cfg, Objective::paper_default(8.0));
         let outcome = controller.run(&mut w.source(EXPERIMENT_SEED));
 
-        let sampling_epi =
-            outcome.sampling_metrics.energy_j / outcome.sampling_insts.max(1) as f64;
+        let sampling_epi = outcome.sampling_metrics.energy_j / outcome.sampling_insts.max(1) as f64;
         let testing_epi = outcome.final_metrics.energy_j / outcome.testing_insts.max(1) as f64;
         fig9a.row([
             w.name().to_string(),

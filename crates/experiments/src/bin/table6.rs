@@ -18,7 +18,12 @@ fn main() {
     let configs = strided_configs(space.configs(), scale);
 
     let mut table = Table::new(["application", "top-3 most effective features"]);
-    for w in [Workload::Lbm, Workload::Leslie3d, Workload::GemsFdtd, Workload::Stream] {
+    for w in [
+        Workload::Lbm,
+        Workload::Leslie3d,
+        Workload::GemsFdtd,
+        Workload::Stream,
+    ] {
         let ds = load_or_compute_sweep(w, &configs, scale, EXPERIMENT_SEED);
         let report = lasso_feature_report(&ds.pairs(), 0, true, 0.002);
         let top: Vec<String> = report

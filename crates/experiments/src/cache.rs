@@ -41,13 +41,20 @@ impl SweepDataset {
     /// Pairs of (config, metrics).
     #[must_use]
     pub fn pairs(&self) -> Vec<(NvmConfig, Metrics)> {
-        self.configs.iter().copied().zip(self.metrics.iter().copied()).collect()
+        self.configs
+            .iter()
+            .copied()
+            .zip(self.metrics.iter().copied())
+            .collect()
     }
 
     /// Metrics of the first configuration equal to `cfg`, if measured.
     #[must_use]
     pub fn metrics_of(&self, cfg: &NvmConfig) -> Option<Metrics> {
-        self.configs.iter().position(|c| c == cfg).map(|i| self.metrics[i])
+        self.configs
+            .iter()
+            .position(|c| c == cfg)
+            .map(|i| self.metrics[i])
     }
 }
 
@@ -55,8 +62,7 @@ impl SweepDataset {
 /// `MCT_DATA_DIR`.
 #[must_use]
 pub fn data_dir() -> PathBuf {
-    std::env::var_os("MCT_DATA_DIR")
-        .map_or_else(|| PathBuf::from("data"), PathBuf::from)
+    std::env::var_os("MCT_DATA_DIR").map_or_else(|| PathBuf::from("data"), PathBuf::from)
 }
 
 /// Cache files are keyed by workload, scale, stride *and* the number of
@@ -129,8 +135,7 @@ pub fn load_or_compute_sweep(
 #[must_use]
 pub fn strided_configs(all: &[NvmConfig], scale: Scale) -> Vec<NvmConfig> {
     let stride = scale.space_stride();
-    let mut out: Vec<NvmConfig> =
-        all.iter().step_by(stride).copied().collect();
+    let mut out: Vec<NvmConfig> = all.iter().step_by(stride).copied().collect();
     for anchor in [
         NvmConfig::default_config(),
         NvmConfig::static_baseline(),
@@ -190,7 +195,11 @@ mod tests {
             scale: "quick".into(),
             stride: 1,
             configs: vec![NvmConfig::default_config()],
-            metrics: vec![Metrics { ipc: 1.0, lifetime_years: 2.0, energy_j: 3.0 }],
+            metrics: vec![Metrics {
+                ipc: 1.0,
+                lifetime_years: 2.0,
+                energy_j: 3.0,
+            }],
         };
         assert!(ds.metrics_of(&NvmConfig::default_config()).is_some());
         assert!(ds.metrics_of(&NvmConfig::static_baseline()).is_none());

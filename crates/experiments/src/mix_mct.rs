@@ -8,9 +8,9 @@
 //! `default` and `static` references.
 
 use mct_core::{
-    optimize, MetricsPredictor, ModelKind, NvmConfig, Objective,
+    optimize,
     sampling::{random_samples, with_anchors},
-    ConfigSpace,
+    ConfigSpace, MetricsPredictor, ModelKind, NvmConfig, Objective,
 };
 use mct_sim::stats::Metrics;
 use mct_sim::system::{MultiSystem, SystemConfig};
@@ -130,14 +130,22 @@ fn run_on_rig(
             let unit = (detailed / 16).max(10_000);
             let (baseline, _, _) =
                 rig.measure(&NvmConfig::static_baseline().without_wear_quota(), unit);
-            let measured: Vec<(NvmConfig, Metrics)> =
-                samples.iter().map(|c| (*c, rig.measure(c, unit).0)).collect();
+            let measured: Vec<(NvmConfig, Metrics)> = samples
+                .iter()
+                .map(|c| (*c, rig.measure(c, unit).0))
+                .collect();
             let mut predictor = MetricsPredictor::new(ModelKind::GradientBoosting);
             predictor.fit(&measured, Some(baseline));
             let predictions = predictor.predict_all(&space);
             let objective = Objective::paper_default(target_years);
-            optimize(&space, &predictions, &objective, NvmConfig::static_baseline(), true)
-                .config
+            optimize(
+                &space,
+                &predictions,
+                &objective,
+                NvmConfig::static_baseline(),
+                true,
+            )
+            .config
         }
     };
     let (metrics, geomean, fairness) = rig.measure(&chosen, detailed);

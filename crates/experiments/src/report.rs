@@ -19,7 +19,10 @@ impl Table {
     /// A table with the given column headers.
     #[must_use]
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Table {
-        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row.
@@ -78,7 +81,10 @@ pub fn ascii_series(values: &[f64], width: usize) -> String {
     if values.is_empty() {
         return String::new();
     }
-    const GLYPHS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+    const GLYPHS: [char; 8] = [
+        '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+        '\u{2588}',
+    ];
     let max = values.iter().cloned().fold(f64::MIN, f64::max);
     let min = values.iter().cloned().fold(f64::MAX, f64::min);
     let span = (max - min).max(1e-12);
@@ -102,8 +108,17 @@ pub fn ascii_series(values: &[f64], width: usize) -> String {
 #[must_use]
 pub fn config_table_header() -> Vec<&'static str> {
     vec![
-        "", "bank_aware", "ba_thresh", "eager_wb", "eager_thresh", "wear_quota", "wq_target",
-        "fast_lat", "slow_lat", "fast_canc", "slow_canc",
+        "",
+        "bank_aware",
+        "ba_thresh",
+        "eager_wb",
+        "eager_thresh",
+        "wear_quota",
+        "wq_target",
+        "fast_lat",
+        "slow_lat",
+        "fast_canc",
+        "slow_canc",
     ]
 }
 
@@ -111,7 +126,13 @@ pub fn config_table_header() -> Vec<&'static str> {
 /// row label).
 #[must_use]
 pub fn config_table_row(label: &str, cfg: &mct_core::NvmConfig) -> Vec<String> {
-    let tf = |b: bool| if b { "True".to_string() } else { "False".to_string() };
+    let tf = |b: bool| {
+        if b {
+            "True".to_string()
+        } else {
+            "False".to_string()
+        }
+    };
     let na_if = |enabled: bool, v: String| if enabled { v } else { "N/A".to_string() };
     vec![
         label.to_string(),

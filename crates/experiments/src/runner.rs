@@ -40,7 +40,11 @@ impl WarmedRig {
         );
         let mut src = workload.source(seed);
         sys.warmup(&mut src, workload.warmup_insts());
-        WarmedRig { sys, src, detailed_insts: workload.detailed_insts(scale.detailed_factor()) }
+        WarmedRig {
+            sys,
+            src,
+            detailed_insts: workload.detailed_insts(scale.detailed_factor()),
+        }
     }
 
     /// Measure one configuration over the shared detailed window.
@@ -74,7 +78,11 @@ pub fn sweep(workload: Workload, configs: &[NvmConfig], scale: Scale, seed: u64)
     let rig = WarmedRig::new(workload, scale, seed);
     let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let results = Mutex::new(vec![
-        Metrics { ipc: 0.0, lifetime_years: 0.0, energy_j: 0.0 };
+        Metrics {
+            ipc: 0.0,
+            lifetime_years: 0.0,
+            energy_j: 0.0
+        };
         configs.len()
     ]);
     let next = AtomicUsize::new(0);
@@ -96,11 +104,7 @@ pub fn sweep(workload: Workload, configs: &[NvmConfig], scale: Scale, seed: u64)
 
 /// A tiny helper for replaying the shared stream through an arbitrary
 /// source type in tests.
-pub fn run_detailed<S: AccessSource>(
-    sys: &mut System,
-    src: &mut S,
-    insts: u64,
-) -> Metrics {
+pub fn run_detailed<S: AccessSource>(sys: &mut System, src: &mut S, insts: u64) -> Metrics {
     sys.reset_stats();
     sys.run_window(src, insts);
     sys.finalize().metrics()

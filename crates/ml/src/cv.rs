@@ -44,8 +44,10 @@ pub fn cross_val_r2<M: Regressor, F: Fn() -> M>(data: &Dataset, k: usize, make_m
     for (train_idx, test_idx) in &folds {
         let mut model = make_model();
         model.fit(&data.subset(train_idx));
-        let preds: Vec<f64> =
-            test_idx.iter().map(|&i| model.predict(&data.rows()[i])).collect();
+        let preds: Vec<f64> = test_idx
+            .iter()
+            .map(|&i| model.predict(&data.rows()[i]))
+            .collect();
         let truth: Vec<f64> = test_idx.iter().map(|&i| data.targets()[i]).collect();
         total += coefficient_of_determination(&preds, &truth);
     }
@@ -107,9 +109,7 @@ mod tests {
 
     fn sparse_data() -> Dataset {
         let rows: Vec<Vec<f64>> = (0..60)
-            .map(|i| {
-                vec![(i % 7) as f64, ((i * 13) % 11) as f64, ((i * 5) % 9) as f64]
-            })
+            .map(|i| vec![(i % 7) as f64, ((i * 13) % 11) as f64, ((i * 5) % 9) as f64])
             .collect();
         let y: Vec<f64> = rows.iter().map(|r| 4.0 * r[0] - 2.0 * r[2] + 1.0).collect();
         Dataset::from_rows(rows, y)
@@ -126,7 +126,10 @@ mod tests {
                 seen[i] += 1;
             }
         }
-        assert!(seen.iter().all(|&c| c == 1), "each index tested exactly once");
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "each index tested exactly once"
+        );
     }
 
     #[test]

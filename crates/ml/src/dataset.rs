@@ -68,7 +68,10 @@ impl Dataset {
     #[must_use]
     pub fn with_targets(&self, targets: Vec<f64>) -> Dataset {
         assert_eq!(targets.len(), self.rows.len());
-        Dataset { rows: self.rows.clone(), targets }
+        Dataset {
+            rows: self.rows.clone(),
+            targets,
+        }
     }
 
     /// Subset by index list.
@@ -87,7 +90,10 @@ impl Dataset {
     /// Map every feature row through `f` (e.g. quadratic expansion).
     #[must_use]
     pub fn map_features<F: Fn(&[f64]) -> Vec<f64>>(&self, f: F) -> Dataset {
-        Dataset { rows: self.rows.iter().map(|r| f(r)).collect(), targets: self.targets.clone() }
+        Dataset {
+            rows: self.rows.iter().map(|r| f(r)).collect(),
+            targets: self.targets.clone(),
+        }
     }
 
     /// Mean of the targets.
@@ -102,7 +108,10 @@ mod tests {
     use super::*;
 
     fn data() -> Dataset {
-        Dataset::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]], vec![1.0, 2.0, 3.0])
+        Dataset::from_rows(
+            vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]],
+            vec![1.0, 2.0, 3.0],
+        )
     }
 
     #[test]

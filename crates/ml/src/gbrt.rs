@@ -58,7 +58,11 @@ impl GradientBoosting {
             params.subsample > 0.0 && params.subsample <= 1.0,
             "subsample must be in (0, 1]"
         );
-        GradientBoosting { params, base: 0.0, stages: Vec::new() }
+        GradientBoosting {
+            params,
+            base: 0.0,
+            stages: Vec::new(),
+        }
     }
 
     /// Number of fitted stages.
@@ -80,8 +84,12 @@ impl Regressor for GradientBoosting {
         let take = ((n as f64) * self.params.subsample).ceil().max(1.0) as usize;
         for _ in 0..self.params.stages {
             // Least-squares negative gradient = residual.
-            let residuals: Vec<f64> =
-                data.targets().iter().zip(&pred).map(|(y, p)| y - p).collect();
+            let residuals: Vec<f64> = data
+                .targets()
+                .iter()
+                .zip(&pred)
+                .map(|(y, p)| y - p)
+                .collect();
             let stage_data = data.with_targets(residuals);
             let mut idx = all.clone();
             idx.shuffle(&mut rng);
@@ -98,8 +106,7 @@ impl Regressor for GradientBoosting {
     fn predict(&self, row: &[f64]) -> f64 {
         assert!(!self.stages.is_empty(), "model not fitted");
         self.base
-            + self.params.learning_rate
-                * self.stages.iter().map(|t| t.predict(row)).sum::<f64>()
+            + self.params.learning_rate * self.stages.iter().map(|t| t.predict(row)).sum::<f64>()
     }
 
     fn name(&self) -> &'static str {
@@ -116,8 +123,10 @@ mod tests {
         let rows: Vec<Vec<f64>> = (0..100)
             .map(|i| vec![(i % 10) as f64, (i / 10) as f64])
             .collect();
-        let y: Vec<f64> =
-            rows.iter().map(|r| (r[0] * r[1]).sin() * 3.0 + r[0] - 0.5 * r[1]).collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| (r[0] * r[1]).sin() * 3.0 + r[0] - 0.5 * r[1])
+            .collect();
         Dataset::from_rows(rows, y)
     }
 
@@ -137,7 +146,12 @@ mod tests {
                 })
                 .sum()
         };
-        assert!(sse(&gb) < 0.5 * sse(&tree), "gb={} tree={}", sse(&gb), sse(&tree));
+        assert!(
+            sse(&gb) < 0.5 * sse(&tree),
+            "gb={} tree={}",
+            sse(&gb),
+            sse(&tree)
+        );
     }
 
     #[test]
@@ -148,7 +162,10 @@ mod tests {
         a.fit(&d);
         b.fit(&d);
         for i in 0..d.len() {
-            assert_eq!(a.predict(d.rows()[i].as_slice()), b.predict(d.rows()[i].as_slice()));
+            assert_eq!(
+                a.predict(d.rows()[i].as_slice()),
+                b.predict(d.rows()[i].as_slice())
+            );
         }
     }
 

@@ -165,7 +165,11 @@ mod tests {
             vec![0.0, 5.0, 10.0, 15.0],
         );
         m.fit(&samples);
-        assert!(m.weights()[0] > 5.0 * m.weights()[1].max(1e-6), "{:?}", m.weights());
+        assert!(
+            m.weights()[0] > 5.0 * m.weights()[1].max(1e-6),
+            "{:?}",
+            m.weights()
+        );
         assert!((m.predict(&[7.0]) - 7.0).abs() < 1.0);
     }
 
@@ -181,7 +185,11 @@ mod tests {
             vec![4.0, 6.0, 8.0, 10.0],
         );
         m.fit(&samples);
-        assert!((m.predict(&[6.0]) - 7.0).abs() < 0.8, "{}", m.predict(&[6.0]));
+        assert!(
+            (m.predict(&[6.0]) - 7.0).abs() < 0.8,
+            "{}",
+            m.predict(&[6.0])
+        );
     }
 
     #[test]
@@ -190,8 +198,7 @@ mod tests {
         let a = Dataset::from_rows(rows.clone(), rows.iter().map(|r| r[0]).collect());
         let b = Dataset::from_rows(rows.clone(), rows.iter().map(|r| -r[0]).collect());
         let mut m = HierarchicalPredictor::from_applications(&[a, b]);
-        let samples =
-            Dataset::from_rows(vec![vec![1.0], vec![2.0]], vec![1.0, 2.0]);
+        let samples = Dataset::from_rows(vec![vec![1.0], vec![2.0]], vec![1.0, 2.0]);
         m.fit(&samples);
         assert!(m.weights().iter().all(|w| *w >= 0.0));
     }

@@ -105,7 +105,11 @@ impl Regressor for LassoRegression {
             .sum::<f64>()
             / n_raw as f64;
         let y_scale = var.sqrt().max(1e-12);
-        let y: Vec<f64> = data.targets().iter().map(|t| (t - y_mean) / y_scale).collect();
+        let y: Vec<f64> = data
+            .targets()
+            .iter()
+            .map(|t| (t - y_mean) / y_scale)
+            .collect();
 
         // Column norms (constant across iterations).
         let mut col_sq = vec![0.0f64; d];
@@ -185,8 +189,16 @@ mod tests {
         let mut m = LassoRegression::new(0.05);
         m.fit(&sparse_data());
         let sel = m.selected_features(0.1);
-        assert!(sel.contains(&0) && sel.contains(&2), "weights: {:?}", m.weights());
-        assert!(!sel.contains(&1), "noise feature should be dropped: {:?}", m.weights());
+        assert!(
+            sel.contains(&0) && sel.contains(&2),
+            "weights: {:?}",
+            m.weights()
+        );
+        assert!(
+            !sel.contains(&1),
+            "noise feature should be dropped: {:?}",
+            m.weights()
+        );
     }
 
     #[test]
@@ -196,7 +208,12 @@ mod tests {
         m.fit(&d);
         for i in 0..d.len() {
             let (r, t) = d.example(i);
-            assert!((m.predict(r) - t).abs() < 0.5, "pred {} vs {}", m.predict(r), t);
+            assert!(
+                (m.predict(r) - t).abs() < 0.5,
+                "pred {} vs {}",
+                m.predict(r),
+                t
+            );
         }
     }
 

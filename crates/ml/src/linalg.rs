@@ -22,7 +22,11 @@ impl Matrix {
     #[must_use]
     pub fn zeros(rows: usize, cols: usize) -> Matrix {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be nonzero");
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Build from nested rows.
@@ -31,11 +35,18 @@ impl Matrix {
     /// Panics on empty or ragged input.
     #[must_use]
     pub fn from_rows(rows: Vec<Vec<f64>>) -> Matrix {
-        assert!(!rows.is_empty() && !rows[0].is_empty(), "matrix must be non-empty");
+        assert!(
+            !rows.is_empty() && !rows[0].is_empty(),
+            "matrix must be non-empty"
+        );
         let cols = rows[0].len();
         assert!(rows.iter().all(|r| r.len() == cols), "ragged rows");
         let r = rows.len();
-        Matrix { rows: r, cols, data: rows.into_iter().flatten().collect() }
+        Matrix {
+            rows: r,
+            cols,
+            data: rows.into_iter().flatten().collect(),
+        }
     }
 
     /// Row count.

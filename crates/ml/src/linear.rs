@@ -28,7 +28,12 @@ impl RidgeRegression {
     #[must_use]
     pub fn new(lambda: f64) -> RidgeRegression {
         assert!(lambda >= 0.0, "lambda must be non-negative");
-        RidgeRegression { lambda, scaler: None, weights: Vec::new(), intercept: 0.0 }
+        RidgeRegression {
+            lambda,
+            scaler: None,
+            weights: Vec::new(),
+            intercept: 0.0,
+        }
     }
 
     /// Fitted weights in standardized feature space (empty before fit).

@@ -15,7 +15,11 @@ pub fn coefficient_of_determination(predicted: &[f64], truth: &[f64]) -> f64 {
     assert_eq!(predicted.len(), truth.len(), "length mismatch");
     assert!(!truth.is_empty(), "empty inputs");
     let mean = truth.iter().sum::<f64>() / truth.len() as f64;
-    let ss_res: f64 = predicted.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum();
+    let ss_res: f64 = predicted
+        .iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum();
     let ss_tot: f64 = truth.iter().map(|t| (t - mean) * (t - mean)).sum();
     if ss_tot <= 1e-30 {
         return if ss_res <= 1e-30 { 1.0 } else { 0.0 };
@@ -48,7 +52,12 @@ pub fn root_mean_squared_error(predicted: &[f64], truth: &[f64]) -> f64 {
 pub fn mean_absolute_error(predicted: &[f64], truth: &[f64]) -> f64 {
     assert_eq!(predicted.len(), truth.len(), "length mismatch");
     assert!(!truth.is_empty(), "empty inputs");
-    predicted.iter().zip(truth).map(|(p, t)| (p - t).abs()).sum::<f64>() / truth.len() as f64
+    predicted
+        .iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f64>()
+        / truth.len() as f64
 }
 
 #[cfg(test)]

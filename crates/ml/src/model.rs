@@ -26,6 +26,24 @@ pub trait Regressor {
     fn name(&self) -> &'static str;
 }
 
+impl<R: Regressor + ?Sized> Regressor for Box<R> {
+    fn fit(&mut self, data: &Dataset) {
+        (**self).fit(data);
+    }
+
+    fn predict(&self, row: &[f64]) -> f64 {
+        (**self).predict(row)
+    }
+
+    fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        (**self).predict_batch(rows)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -49,7 +67,10 @@ mod tests {
     #[test]
     fn default_batch_maps_predict() {
         let mut m = Const(0.0);
-        m.fit(&Dataset::from_rows(vec![vec![0.0], vec![0.0]], vec![2.0, 4.0]));
+        m.fit(&Dataset::from_rows(
+            vec![vec![0.0], vec![0.0]],
+            vec![2.0, 4.0],
+        ));
         assert_eq!(m.predict_batch(&[vec![1.0], vec![2.0]]), vec![3.0, 3.0]);
         assert_eq!(m.name(), "const");
     }
@@ -58,5 +79,16 @@ mod tests {
     fn trait_is_object_safe() {
         let b: Box<dyn Regressor> = Box::new(Const(1.0));
         assert_eq!(b.predict(&[]), 1.0);
+    }
+
+    #[test]
+    fn boxed_regressor_delegates() {
+        let mut b: Box<dyn Regressor> = Box::new(Const(0.0));
+        Regressor::fit(
+            &mut b,
+            &Dataset::from_rows(vec![vec![0.0], vec![0.0]], vec![4.0, 6.0]),
+        );
+        assert_eq!(b.predict(&[]), 5.0);
+        assert_eq!(Regressor::name(&b), "const");
     }
 }

@@ -24,7 +24,11 @@ impl OfflineMeanPredictor {
     /// An empty predictor.
     #[must_use]
     pub fn new() -> OfflineMeanPredictor {
-        OfflineMeanPredictor { table: HashMap::new(), global_mean: 0.0, fitted: false }
+        OfflineMeanPredictor {
+            table: HashMap::new(),
+            global_mean: 0.0,
+            fitted: false,
+        }
     }
 
     /// Fit from per-application datasets over the same configuration
@@ -45,7 +49,10 @@ impl OfflineMeanPredictor {
                 count += 1;
             }
         }
-        self.table = sums.into_iter().map(|(k, (s, n))| (k, s / n as f64)).collect();
+        self.table = sums
+            .into_iter()
+            .map(|(k, (s, n))| (k, s / n as f64))
+            .collect();
         self.global_mean = total / count as f64;
         self.fitted = true;
     }

@@ -17,7 +17,10 @@ pub struct TreeParams {
 impl Default for TreeParams {
     /// Shallow trees: the gradient-boosting weak learner of Section 4.3.
     fn default() -> TreeParams {
-        TreeParams { max_depth: 3, min_leaf: 2 }
+        TreeParams {
+            max_depth: 3,
+            min_leaf: 2,
+        }
     }
 }
 
@@ -59,8 +62,7 @@ impl RegressionTree {
     }
 
     fn build(&self, data: &Dataset, idx: &[usize], depth: usize) -> Node {
-        let mean =
-            idx.iter().map(|&i| data.targets()[i]).sum::<f64>() / idx.len() as f64;
+        let mean = idx.iter().map(|&i| data.targets()[i]).sum::<f64>() / idx.len() as f64;
         if depth >= self.params.max_depth || idx.len() < 2 * self.params.min_leaf {
             return Node::Leaf { value: mean };
         }
@@ -108,8 +110,8 @@ impl RegressionTree {
                 let nl = (k + 1) as f64;
                 let nr = n - nl;
                 // Maximizing sum-of-squares of children means minimizing SSE.
-                let score = left_sum * left_sum / nl
-                    + (total_sum - left_sum) * (total_sum - left_sum) / nr;
+                let score =
+                    left_sum * left_sum / nl + (total_sum - left_sum) * (total_sum - left_sum) / nr;
                 if best.is_none_or(|(_, _, s)| score > s) {
                     best = Some((f, (vals[k].0 + vals[k + 1].0) / 2.0, score));
                 }
@@ -121,7 +123,12 @@ impl RegressionTree {
     fn eval(node: &Node, row: &[f64]) -> f64 {
         match node {
             Node::Leaf { value } => *value,
-            Node::Split { feature, threshold, left, right } => {
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
                 if row[*feature] <= *threshold {
                     Self::eval(left, row)
                 } else {
@@ -181,7 +188,10 @@ mod tests {
 
     #[test]
     fn depth_zero_is_mean() {
-        let mut t = RegressionTree::new(TreeParams { max_depth: 0, min_leaf: 1 });
+        let mut t = RegressionTree::new(TreeParams {
+            max_depth: 0,
+            min_leaf: 1,
+        });
         t.fit(&step_data());
         assert_eq!(t.leaves(), 1);
         assert!((t.predict(&[0.0]) - 7.0).abs() < 1e-9); // mean = (5*1 + 15*9)/20
@@ -189,7 +199,10 @@ mod tests {
 
     #[test]
     fn respects_min_leaf() {
-        let mut t = RegressionTree::new(TreeParams { max_depth: 10, min_leaf: 10 });
+        let mut t = RegressionTree::new(TreeParams {
+            max_depth: 10,
+            min_leaf: 10,
+        });
         t.fit(&step_data());
         assert!(t.leaves() <= 2);
     }
@@ -199,7 +212,10 @@ mod tests {
         // Feature 1 is the informative one.
         let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![(i % 3) as f64, i as f64]).collect();
         let y: Vec<f64> = (0..20).map(|i| if i < 10 { 0.0 } else { 4.0 }).collect();
-        let mut t = RegressionTree::new(TreeParams { max_depth: 1, min_leaf: 1 });
+        let mut t = RegressionTree::new(TreeParams {
+            max_depth: 1,
+            min_leaf: 1,
+        });
         t.fit(&Dataset::from_rows(rows, y));
         assert!((t.predict(&[0.0, 3.0]) - 0.0).abs() < 1e-9);
         assert!((t.predict(&[0.0, 15.0]) - 4.0).abs() < 1e-9);

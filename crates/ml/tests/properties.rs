@@ -11,10 +11,7 @@ use mct_ml::{
 fn arb_dataset() -> impl Strategy<Value = Dataset> {
     (2usize..6, 8usize..40).prop_flat_map(|(dim, n)| {
         (
-            proptest::collection::vec(
-                proptest::collection::vec(-10.0f64..10.0, dim..=dim),
-                n..=n,
-            ),
+            proptest::collection::vec(proptest::collection::vec(-10.0f64..10.0, dim..=dim), n..=n),
             proptest::collection::vec(-100.0f64..100.0, n..=n),
         )
             .prop_map(|(rows, y)| Dataset::from_rows(rows, y))

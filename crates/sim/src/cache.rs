@@ -38,25 +38,45 @@ impl CacheConfig {
     /// Paper Table 8 L1 data cache: 32 KB, 4-way, 2-cycle.
     #[must_use]
     pub fn l1d() -> CacheConfig {
-        CacheConfig { size_bytes: 32 << 10, ways: 4, line_bytes: 64, hit_latency_cycles: 2 }
+        CacheConfig {
+            size_bytes: 32 << 10,
+            ways: 4,
+            line_bytes: 64,
+            hit_latency_cycles: 2,
+        }
     }
 
     /// Paper Table 8 L2: 256 KB, 8-way, 12-cycle.
     #[must_use]
     pub fn l2() -> CacheConfig {
-        CacheConfig { size_bytes: 256 << 10, ways: 8, line_bytes: 64, hit_latency_cycles: 12 }
+        CacheConfig {
+            size_bytes: 256 << 10,
+            ways: 8,
+            line_bytes: 64,
+            hit_latency_cycles: 12,
+        }
     }
 
     /// Paper Table 8 L3 (LLC): 2 MB, 16-way, 35-cycle.
     #[must_use]
     pub fn llc() -> CacheConfig {
-        CacheConfig { size_bytes: 2 << 20, ways: 16, line_bytes: 64, hit_latency_cycles: 35 }
+        CacheConfig {
+            size_bytes: 2 << 20,
+            ways: 16,
+            line_bytes: 64,
+            hit_latency_cycles: 35,
+        }
     }
 
     /// The multi-core shared LLC of Section 6.2.5: 8 MB, 16-way.
     #[must_use]
     pub fn llc_shared_8mb() -> CacheConfig {
-        CacheConfig { size_bytes: 8 << 20, ways: 16, line_bytes: 64, hit_latency_cycles: 40 }
+        CacheConfig {
+            size_bytes: 8 << 20,
+            ways: 16,
+            line_bytes: 64,
+            hit_latency_cycles: 40,
+        }
     }
 
     /// Number of sets.
@@ -75,7 +95,10 @@ impl CacheConfig {
         if self.size_bytes == 0 || self.ways == 0 || self.line_bytes == 0 {
             return fail("cache dimensions must be nonzero");
         }
-        if !self.size_bytes.is_multiple_of(self.line_bytes * self.ways as u64) {
+        if !self
+            .size_bytes
+            .is_multiple_of(self.line_bytes * self.ways as u64)
+        {
             return fail("cache size must divide into ways * line_bytes");
         }
         let sets = self.sets();
@@ -175,7 +198,10 @@ impl Cache {
         Cache {
             sets: vec![CacheSet::default(); sets],
             set_mask: sets as u64 - 1,
-            stats: CacheStats { stack_hits: vec![0; cfg.ways], ..CacheStats::default() },
+            stats: CacheStats {
+                stack_hits: vec![0; cfg.ways],
+                ..CacheStats::default()
+            },
             scan_cursor: 0,
             cfg,
         }
@@ -216,7 +242,11 @@ impl Cache {
                 entry.eager_cleaned = false;
             }
             set.lines.insert(0, entry);
-            return AccessOutcome { hit: true, evicted: None, eager_rewrite };
+            return AccessOutcome {
+                hit: true,
+                evicted: None,
+                eager_rewrite,
+            };
         }
         // Miss: write-allocate for both kinds.
         self.stats.misses += 1;
@@ -226,13 +256,24 @@ impl Cache {
             if victim.dirty {
                 self.stats.writebacks += 1;
             }
-            evicted = Some(Evicted { line: victim.tag, dirty: victim.dirty });
+            evicted = Some(Evicted {
+                line: victim.tag,
+                dirty: victim.dirty,
+            });
         }
         set.lines.insert(
             0,
-            LineState { tag: line, dirty: kind.is_write(), eager_cleaned: false },
+            LineState {
+                tag: line,
+                dirty: kind.is_write(),
+                eager_cleaned: false,
+            },
         );
-        AccessOutcome { hit: false, evicted, eager_rewrite: false }
+        AccessOutcome {
+            hit: false,
+            evicted,
+            eager_rewrite: false,
+        }
     }
 
     /// The size of the "useless" LRU-stack suffix for a given
@@ -306,13 +347,19 @@ impl Cache {
     /// Zero the statistics while keeping cache contents (end-of-warmup
     /// boundary).
     pub fn reset_stats(&mut self) {
-        self.stats = CacheStats { stack_hits: vec![0; self.cfg.ways], ..CacheStats::default() };
+        self.stats = CacheStats {
+            stack_hits: vec![0; self.cfg.ways],
+            ..CacheStats::default()
+        };
     }
 
     /// Whether `line` is currently resident (test/diagnostic helper).
     #[must_use]
     pub fn contains(&self, line: u64) -> bool {
-        self.sets[self.set_index(line)].lines.iter().any(|l| l.tag == line)
+        self.sets[self.set_index(line)]
+            .lines
+            .iter()
+            .any(|l| l.tag == line)
     }
 
     /// Whether `line` is resident and dirty (test/diagnostic helper).
@@ -340,13 +387,19 @@ impl FrontEnd {
     /// Build with the paper's Table 8 L1/L2 geometries.
     #[must_use]
     pub fn new() -> FrontEnd {
-        FrontEnd { l1: Cache::new(CacheConfig::l1d()), l2: Cache::new(CacheConfig::l2()) }
+        FrontEnd {
+            l1: Cache::new(CacheConfig::l1d()),
+            l2: Cache::new(CacheConfig::l2()),
+        }
     }
 
     /// Build from explicit configs.
     #[must_use]
     pub fn with_configs(l1: CacheConfig, l2: CacheConfig) -> FrontEnd {
-        FrontEnd { l1: Cache::new(l1), l2: Cache::new(l2) }
+        FrontEnd {
+            l1: Cache::new(l1),
+            l2: Cache::new(l2),
+        }
     }
 
     /// Filter one CPU access; returns the accesses that reach the LLC
@@ -409,7 +462,12 @@ mod tests {
 
     fn tiny() -> Cache {
         // 4 sets x 2 ways x 64B = 512B.
-        Cache::new(CacheConfig { size_bytes: 512, ways: 2, line_bytes: 64, hit_latency_cycles: 1 })
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+            hit_latency_cycles: 1,
+        })
     }
 
     #[test]
@@ -421,9 +479,19 @@ mod tests {
 
     #[test]
     fn invalid_geometry_rejected() {
-        let bad = CacheConfig { size_bytes: 0, ways: 4, line_bytes: 64, hit_latency_cycles: 1 };
+        let bad = CacheConfig {
+            size_bytes: 0,
+            ways: 4,
+            line_bytes: 64,
+            hit_latency_cycles: 1,
+        };
         assert!(bad.validate().is_err());
-        let bad = CacheConfig { size_bytes: 96 * 64, ways: 2, line_bytes: 64, hit_latency_cycles: 1 };
+        let bad = CacheConfig {
+            size_bytes: 96 * 64,
+            ways: 2,
+            line_bytes: 64,
+            hit_latency_cycles: 1,
+        };
         assert!(bad.validate().is_err(), "48 sets is not a power of two");
     }
 
@@ -443,7 +511,13 @@ mod tests {
         c.access(0, AccessKind::Read);
         c.access(4, AccessKind::Read);
         let out = c.access(8, AccessKind::Read);
-        assert_eq!(out.evicted, Some(Evicted { line: 0, dirty: false }));
+        assert_eq!(
+            out.evicted,
+            Some(Evicted {
+                line: 0,
+                dirty: false
+            })
+        );
         assert!(!c.contains(0));
         assert!(c.contains(4) && c.contains(8));
     }
@@ -454,7 +528,13 @@ mod tests {
         c.access(0, AccessKind::Write);
         c.access(4, AccessKind::Read);
         let out = c.access(8, AccessKind::Read);
-        assert_eq!(out.evicted, Some(Evicted { line: 0, dirty: true }));
+        assert_eq!(
+            out.evicted,
+            Some(Evicted {
+                line: 0,
+                dirty: true
+            })
+        );
         assert_eq!(c.stats().writebacks, 1);
     }
 
@@ -481,8 +561,14 @@ mod tests {
         }
         let n4 = c.useless_suffix(4);
         let n32 = c.useless_suffix(32);
-        assert!(n4 >= n32, "smaller threshold => larger (or equal) useless region");
-        assert!(n4 >= 15, "with all hits at MRU nearly all positions are useless");
+        assert!(
+            n4 >= n32,
+            "smaller threshold => larger (or equal) useless region"
+        );
+        assert!(
+            n4 >= 15,
+            "with all hits at MRU nearly all positions are useless"
+        );
     }
 
     #[test]
@@ -534,7 +620,10 @@ mod tests {
         c.scan_eager(4, 4, |_| true);
         assert!(!c.is_dirty(0));
         let out = c.access(0, AccessKind::Write);
-        assert!(out.eager_rewrite, "re-dirtying an eagerly-cleaned line is a rewrite");
+        assert!(
+            out.eager_rewrite,
+            "re-dirtying an eagerly-cleaned line is a rewrite"
+        );
         assert_eq!(c.stats().eager_rewrites, 1);
     }
 

@@ -176,7 +176,11 @@ impl CpuModel {
         // Eager mellow writebacks: periodically scan the LLC for dirty
         // lines in useless LRU positions and offer them to the controller.
         if let Some(th) = mem.policy().eager_threshold {
-            if self.stats.events.is_multiple_of(self.cfg.eager_scan_interval) {
+            if self
+                .stats
+                .events
+                .is_multiple_of(self.cfg.eager_scan_interval)
+            {
                 let now = self.now;
                 let sets = self.cfg.eager_scan_sets;
                 llc.scan_eager(th, sets, |dirty_line| mem.offer_eager(dirty_line, now));
@@ -194,7 +198,8 @@ impl CpuModel {
 
     fn reap_completed(&mut self, mem: &mut MemoryController) {
         let now = self.now;
-        self.outstanding.retain(|&id| mem.take_completed_read(id, now).is_none());
+        self.outstanding
+            .retain(|&id| mem.take_completed_read(id, now).is_none());
     }
 
     fn issue_fill_read(&mut self, line: u64, mem: &mut MemoryController) {
@@ -250,12 +255,21 @@ mod tests {
         (
             CpuModel::new(CpuConfig::default()),
             Cache::new(CacheConfig::llc()),
-            MemoryController::new(MemConfig::default(), policy, WearModel::default(), EnergyModel::default()),
+            MemoryController::new(
+                MemConfig::default(),
+                policy,
+                WearModel::default(),
+                EnergyModel::default(),
+            ),
         )
     }
 
     fn ev(gap: u64, kind: AccessKind, line: u64) -> TraceEvent {
-        TraceEvent { gap_insts: gap, kind, line }
+        TraceEvent {
+            gap_insts: gap,
+            kind,
+            line,
+        }
     }
 
     #[test]
@@ -279,7 +293,11 @@ mod tests {
         let (mut cpu_miss, mut llc_miss, mut mem_miss) = rig(MellowPolicy::default_fast());
         cpu_miss.process(ev(0, AccessKind::Read, 0), &mut llc_miss, &mut mem_miss);
         let before = cpu_miss.now();
-        cpu_miss.process(ev(0, AccessKind::Read, 999_999), &mut llc_miss, &mut mem_miss);
+        cpu_miss.process(
+            ev(0, AccessKind::Read, 999_999),
+            &mut llc_miss,
+            &mut mem_miss,
+        );
         let miss_cost = cpu_miss.now() - before;
         assert!(miss_cost > hit_cost);
     }
@@ -312,11 +330,17 @@ mod tests {
                 cpu.process(ev(1, AccessKind::Write, i), &mut llc, &mut mem);
             }
             cpu.drain(&mut mem);
-            (cpu.stats().read_stall_cycles + cpu.stats().write_stall_cycles, cpu.now())
+            (
+                cpu.stats().read_stall_cycles + cpu.stats().write_stall_cycles,
+                cpu.now(),
+            )
         };
         let (fast_stalls, fast_end) = run(1.0);
         let (slow_stalls, slow_end) = run(4.0);
-        assert!(slow_stalls > fast_stalls, "slow={slow_stalls} fast={fast_stalls}");
+        assert!(
+            slow_stalls > fast_stalls,
+            "slow={slow_stalls} fast={fast_stalls}"
+        );
         assert!(slow_end > fast_end);
     }
 
@@ -335,7 +359,11 @@ mod tests {
         let run = |policy: MellowPolicy| {
             let (mut cpu, mut llc, mut mem) = rig(policy);
             for i in 0..50_000u64 {
-                let kind = if i % 3 == 0 { AccessKind::Write } else { AccessKind::Read };
+                let kind = if i % 3 == 0 {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
                 cpu.process(ev(20, kind, i % 10_000), &mut llc, &mut mem);
             }
             cpu.drain(&mut mem);
@@ -347,7 +375,10 @@ mod tests {
             slow_latency: 4.0,
             ..MellowPolicy::default_fast()
         });
-        assert!(slow >= fast, "4x writes cannot be faster: fast={fast:?} slow={slow:?}");
+        assert!(
+            slow >= fast,
+            "4x writes cannot be faster: fast={fast:?} slow={slow:?}"
+        );
     }
 
     #[test]

@@ -92,7 +92,10 @@ impl EnergyMeter {
     /// Create a meter over `model`.
     #[must_use]
     pub fn new(model: EnergyModel) -> EnergyMeter {
-        EnergyMeter { model, breakdown: EnergyBreakdown::default() }
+        EnergyMeter {
+            model,
+            breakdown: EnergyBreakdown::default(),
+        }
     }
 
     /// Charge one line read.

@@ -129,7 +129,10 @@ impl Bank {
     /// Panics if idle or if the op is not a cancellable write.
     pub fn cancel(&mut self, now: Time) -> InFlightOp {
         let op = self.current.take().expect("cancel on idle bank");
-        assert!(op.is_write() && op.cancellable, "cancel on non-cancellable op");
+        assert!(
+            op.is_write() && op.cancellable,
+            "cancel on non-cancellable op"
+        );
         // start() pre-charged the full op; refund the unexecuted tail.
         let unexecuted = op.end.saturating_since(now.max(op.start)).0;
         self.busy_ps = self.busy_ps.saturating_sub(unexecuted);

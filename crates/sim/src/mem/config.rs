@@ -176,15 +176,25 @@ mod tests {
 
     #[test]
     fn bad_watermarks_rejected() {
-        let c = MemConfig { write_drain_low: 64, write_drain_high: 64, ..MemConfig::default() };
+        let c = MemConfig {
+            write_drain_low: 64,
+            write_drain_high: 64,
+            ..MemConfig::default()
+        };
         assert!(c.validate().is_err());
-        let c = MemConfig { write_drain_high: 128, ..MemConfig::default() };
+        let c = MemConfig {
+            write_drain_high: 128,
+            ..MemConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 
     #[test]
     fn zero_banks_rejected() {
-        let c = MemConfig { banks: 0, ..MemConfig::default() };
+        let c = MemConfig {
+            banks: 0,
+            ..MemConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

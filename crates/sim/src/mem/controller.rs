@@ -68,6 +68,27 @@ impl MemCounters {
         }
         self.read_latency_ps as f64 / self.reads_completed as f64 / 1e3
     }
+
+    /// Named counter values, in declaration order (telemetry snapshots).
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("reads_issued", self.reads_issued),
+            ("reads_completed", self.reads_completed),
+            ("writes_fast", self.writes_fast),
+            ("writes_slow", self.writes_slow),
+            ("writes_quota", self.writes_quota),
+            ("eager_writes", self.eager_writes),
+            ("cancellations", self.cancellations),
+            ("drain_entries", self.drain_entries),
+            ("eager_rejected", self.eager_rejected),
+            ("eager_accepted", self.eager_accepted),
+            ("scrub_writes", self.scrub_writes),
+            ("disturb_refreshes", self.disturb_refreshes),
+            ("row_hits", self.row_hits),
+            ("activations", self.activations),
+        ]
+    }
 }
 
 /// The event-driven NVM memory controller.
@@ -271,8 +292,7 @@ impl MemoryController {
     pub fn drain_all(&mut self) -> Time {
         loop {
             // Completing writes can arm new scrubs; flush each round.
-            let pending: Vec<(Time, u64)> =
-                self.scrubs.drain().map(|Reverse(e)| e).collect();
+            let pending: Vec<(Time, u64)> = self.scrubs.drain().map(|Reverse(e)| e).collect();
             for (due, line) in pending {
                 if self.scrub_due.get(&line) != Some(&due) {
                     continue; // stale (superseded) entry
@@ -394,7 +414,9 @@ impl MemoryController {
     /// Fraction of quota slices that were restricted (0 when quota off).
     #[must_use]
     pub fn quota_restricted_fraction(&self) -> f64 {
-        self.quota.as_ref().map_or(0.0, WearQuota::restricted_fraction)
+        self.quota
+            .as_ref()
+            .map_or(0.0, WearQuota::restricted_fraction)
     }
 
     /// Aggregate bank-busy picoseconds (utilization numerator).
@@ -447,7 +469,10 @@ impl MemoryController {
         self.harvest();
         self.schedule();
         let next = self.next_event();
-        assert!(next != Time::NEVER, "memory controller deadlock while {ctx}");
+        assert!(
+            next != Time::NEVER,
+            "memory controller deadlock while {ctx}"
+        );
         self.now = next;
         self.harvest();
         self.schedule();
@@ -646,8 +671,7 @@ impl MemoryController {
         let open_rows: Vec<Option<u64>> = self.banks.iter().map(Bank::open_row).collect();
         let cfg_rows = &self.cfg;
         let Some(p) = self.read_q.pop_first_matching(|p| {
-            free[p.bank]
-                && (!faw_blocked || open_rows[p.bank] == Some(cfg_rows.row_of(p.line)))
+            free[p.bank] && (!faw_blocked || open_rows[p.bank] == Some(cfg_rows.row_of(p.line)))
         }) else {
             return false;
         };
@@ -799,15 +823,22 @@ impl MemoryController {
             return;
         }
         let op = self.banks[bank].cancel(self.now);
-        let OpKind::Write(speed) = op.kind else { unreachable!() };
+        let OpKind::Write(speed) = op.kind else {
+            unreachable!()
+        };
         let ratio = self.policy.ratio(speed);
         let frac = op.completed_fraction(self.now);
         self.wear.record_cancellation(ratio, frac);
         self.energy.record_cancellation(ratio, frac);
         self.counters.cancellations += 1;
-        self.bank_ready[bank] = self.now + crate::time::Duration::from_ns(self.cfg.cancel_overhead_ns);
+        self.bank_ready[bank] =
+            self.now + crate::time::Duration::from_ns(self.cfg.cancel_overhead_ns);
         // The canceled write returns to the head of its origin queue.
-        let pending = Pending { id: op.id, line: op.line, bank };
+        let pending = Pending {
+            id: op.id,
+            line: op.line,
+            bank,
+        };
         match op.origin {
             QueueKind::Write => self.write_q.push_front(pending),
             QueueKind::Eager => self.eager_q.push_front(pending),
@@ -886,7 +917,11 @@ mod tests {
         m.drain_all();
         let b = m.issue_read(16, m.now()).unwrap();
         let _ = m.wait_read(b);
-        assert_eq!(m.counters().row_hits, 1, "row 0 stayed open across the write");
+        assert_eq!(
+            m.counters().row_hits,
+            1,
+            "row 0 stayed open across the write"
+        );
     }
 
     #[test]
@@ -945,7 +980,11 @@ mod tests {
             assert!(m.issue_write(i * 16, Time::ZERO));
         }
         m.drain_all();
-        assert!(m.counters().writes_fast >= 4, "deep queue => fast writes: {:?}", m.counters());
+        assert!(
+            m.counters().writes_fast >= 4,
+            "deep queue => fast writes: {:?}",
+            m.counters()
+        );
         assert!(m.counters().writes_slow <= 2);
     }
 
@@ -979,7 +1018,7 @@ mod tests {
         };
         let mut m = controller(policy);
         assert!(m.issue_write(0, Time::ZERO)); // slow write, 602.5ns
-        // Let it start, then read the same bank at 100ns.
+                                               // Let it start, then read the same bank at 100ns.
         let id = m.issue_read(0, Time::from_ns(100.0)).unwrap();
         let done = m.wait_read(id);
         let expected = Time::from_ns(100.0 + 2.5 + 122.5); // cancel overhead + read
@@ -1019,7 +1058,7 @@ mod tests {
         };
         let mut m = controller(policy);
         assert!(m.issue_write(0, Time::ZERO)); // fast write: 152.5ns
-        // At 140ns, <25% remains: no cancellation.
+                                               // At 140ns, <25% remains: no cancellation.
         let id = m.issue_read(0, Time::from_ns(140.0)).unwrap();
         let done = m.wait_read(id);
         assert_eq!(done, Time::from_ns(152.5 + 122.5));
@@ -1050,7 +1089,10 @@ mod tests {
         });
         assert!(m.issue_write(0, Time::ZERO));
         assert!(!m.offer_eager(0, Time::from_ns(1.0)), "bank busy: reject");
-        assert!(m.offer_eager(1, Time::from_ns(1.0)), "other bank idle: accept");
+        assert!(
+            m.offer_eager(1, Time::from_ns(1.0)),
+            "other bank idle: accept"
+        );
         m.drain_all();
         assert_eq!(m.counters().eager_writes, 1);
         assert_eq!(m.counters().writes_slow, 1, "eager writes are slow");
@@ -1060,7 +1102,11 @@ mod tests {
     fn quota_forces_slowest_writes_when_exhausted() {
         // A tiny quota target over an artificially tiny memory makes the
         // quota trip almost immediately.
-        let wear_model = WearModel { base_endurance: 10.0, lines: 16, leveling_efficiency: 1.0 };
+        let wear_model = WearModel {
+            base_endurance: 10.0,
+            lines: 16,
+            leveling_efficiency: 1.0,
+        };
         let policy = MellowPolicy::default_fast().with_wear_quota(10.0);
         let mut m = MemoryController::new(
             MemConfig::default(),
@@ -1078,7 +1124,11 @@ mod tests {
             }
         }
         m.drain_all();
-        assert!(m.counters().writes_quota > 0, "quota writes expected: {:?}", m.counters());
+        assert!(
+            m.counters().writes_quota > 0,
+            "quota writes expected: {:?}",
+            m.counters()
+        );
         assert!(m.quota_restricted_fraction() > 0.0);
     }
 
@@ -1101,13 +1151,18 @@ mod tests {
         let mut m = controller(MellowPolicy::default_fast());
         // Five row-miss reads to five different banks at t=0: only four
         // activations fit in the 50ns window; the fifth waits.
-        let ids: Vec<_> =
-            (0..5).map(|b| m.issue_read(b, Time::ZERO).unwrap()).collect();
+        let ids: Vec<_> = (0..5)
+            .map(|b| m.issue_read(b, Time::ZERO).unwrap())
+            .collect();
         let times: Vec<Time> = ids.into_iter().map(|id| m.wait_read(id)).collect();
         for t in &times[..4] {
             assert_eq!(*t, Time::from_ns(122.5));
         }
-        assert_eq!(times[4], Time::from_ns(50.0 + 122.5), "fifth activation gated by tFAW");
+        assert_eq!(
+            times[4],
+            Time::from_ns(50.0 + 122.5),
+            "fifth activation gated by tFAW"
+        );
         assert_eq!(m.counters().activations, 5);
     }
 
@@ -1131,7 +1186,10 @@ mod tests {
     fn retention_relax_speeds_writes_but_scrubs_later() {
         use crate::policy::RetentionRelax;
         let policy = MellowPolicy {
-            retention: Some(RetentionRelax { write_speedup: 0.5, retention_ns: 5_000.0 }),
+            retention: Some(RetentionRelax {
+                write_speedup: 0.5,
+                retention_ns: 5_000.0,
+            }),
             ..MellowPolicy::default_fast()
         };
         let mut m = controller(policy);
@@ -1155,13 +1213,20 @@ mod tests {
     fn drain_flushes_pending_scrubs() {
         use crate::policy::RetentionRelax;
         let policy = MellowPolicy {
-            retention: Some(RetentionRelax { write_speedup: 0.5, retention_ns: 1e9 }),
+            retention: Some(RetentionRelax {
+                write_speedup: 0.5,
+                retention_ns: 1e9,
+            }),
             ..MellowPolicy::default_fast()
         };
         let mut m = controller(policy);
         assert!(m.issue_write(0, Time::ZERO));
         let end = m.drain_all();
-        assert_eq!(m.counters().scrub_writes, 1, "drain converts pending scrubs");
+        assert_eq!(
+            m.counters().scrub_writes,
+            1,
+            "drain converts pending scrubs"
+        );
         assert_eq!(m.counters().writes_completed(), 2);
         // End time stays bounded (scrub flushed, not simulated to +1s).
         assert!(end < Time::from_ns(1e6));
@@ -1171,16 +1236,25 @@ mod tests {
     fn turbo_reads_are_faster_but_refresh() {
         use crate::policy::TurboRead;
         let policy = MellowPolicy {
-            turbo_read: Some(TurboRead { read_speedup: 0.5, disturb_threshold: 4 }),
+            turbo_read: Some(TurboRead {
+                read_speedup: 0.5,
+                disturb_threshold: 4,
+            }),
             ..MellowPolicy::default_fast()
         };
         let mut m = controller(policy);
         let id = m.issue_read(0, Time::ZERO).unwrap();
         let done = m.wait_read(id);
-        assert_eq!(done, Time::from_ns(122.5 / 2.0), "turbo read at half latency");
+        assert_eq!(
+            done,
+            Time::from_ns(122.5 / 2.0),
+            "turbo read at half latency"
+        );
         // Three more reads on the same bank trip the disturb threshold.
         for i in 1..4 {
-            let id = m.issue_read(i * 16, Time::from_ns(i as f64 * 200.0)).unwrap();
+            let id = m
+                .issue_read(i * 16, Time::from_ns(i as f64 * 200.0))
+                .unwrap();
             let _ = m.wait_read(id);
         }
         m.drain_all();

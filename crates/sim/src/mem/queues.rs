@@ -43,7 +43,11 @@ impl BankQueue {
     #[must_use]
     pub fn new(cap: usize, banks: usize) -> BankQueue {
         assert!(cap > 0 && banks > 0);
-        BankQueue { items: VecDeque::with_capacity(cap), per_bank: vec![0; banks], cap }
+        BankQueue {
+            items: VecDeque::with_capacity(cap),
+            per_bank: vec![0; banks],
+            cap,
+        }
     }
 
     /// Number of queued requests.
@@ -109,7 +113,10 @@ impl BankQueue {
             return None;
         }
         let idx = self.items.iter().position(|p| p.bank == bank)?;
-        let p = self.items.remove(idx).expect("index from position is valid");
+        let p = self
+            .items
+            .remove(idx)
+            .expect("index from position is valid");
         self.per_bank[bank] -= 1;
         Some(p)
     }
@@ -126,7 +133,10 @@ impl BankQueue {
         pred: F,
     ) -> Option<Pending> {
         let idx = self.items.iter().position(pred)?;
-        let p = self.items.remove(idx).expect("index from position is valid");
+        let p = self
+            .items
+            .remove(idx)
+            .expect("index from position is valid");
         self.per_bank[p.bank] -= 1;
         Some(p)
     }
@@ -143,7 +153,11 @@ mod tests {
     use super::*;
 
     fn p(id: u64, bank: usize) -> Pending {
-        Pending { id: ReqId(id), line: bank as u64, bank }
+        Pending {
+            id: ReqId(id),
+            line: bank as u64,
+            bank,
+        }
     }
 
     #[test]
@@ -168,7 +182,11 @@ mod tests {
         assert!(q.is_full());
         assert!(!q.push_back(p(3, 0)), "push beyond capacity must fail");
         assert_eq!(q.len(), 2);
-        assert_eq!(q.count_for_bank(0), 1, "rejected push must not corrupt counts");
+        assert_eq!(
+            q.count_for_bank(0),
+            1,
+            "rejected push must not corrupt counts"
+        );
     }
 
     #[test]

@@ -95,7 +95,9 @@ impl RetentionRelax {
         }
         // `<= 0.0 || is_nan()` spelled out: NaN must be rejected too.
         if self.retention_ns <= 0.0 || self.retention_ns.is_nan() {
-            return Err(SimError::InvalidPolicy("retention_ns must be positive".to_string()));
+            return Err(SimError::InvalidPolicy(
+                "retention_ns must be positive".to_string(),
+            ));
         }
         Ok(())
     }
@@ -296,25 +298,45 @@ mod tests {
 
     #[test]
     fn slow_less_than_fast_rejected() {
-        let p = MellowPolicy { fast_latency: 2.0, slow_latency: 1.5, ..MellowPolicy::default_fast() };
+        let p = MellowPolicy {
+            fast_latency: 2.0,
+            slow_latency: 1.5,
+            ..MellowPolicy::default_fast()
+        };
         assert!(p.validate().is_err());
     }
 
     #[test]
     fn out_of_range_latency_rejected() {
-        let p = MellowPolicy { fast_latency: 0.5, ..MellowPolicy::default_fast() };
+        let p = MellowPolicy {
+            fast_latency: 0.5,
+            ..MellowPolicy::default_fast()
+        };
         assert!(p.validate().is_err());
-        let p = MellowPolicy { fast_latency: 4.0, slow_latency: 4.5, ..MellowPolicy::default_fast() };
+        let p = MellowPolicy {
+            fast_latency: 4.0,
+            slow_latency: 4.5,
+            ..MellowPolicy::default_fast()
+        };
         assert!(p.validate().is_err());
     }
 
     #[test]
     fn zero_thresholds_rejected() {
-        let p = MellowPolicy { bank_aware_threshold: Some(0), ..MellowPolicy::default_fast() };
+        let p = MellowPolicy {
+            bank_aware_threshold: Some(0),
+            ..MellowPolicy::default_fast()
+        };
         assert!(p.validate().is_err());
-        let p = MellowPolicy { eager_threshold: Some(1), ..MellowPolicy::default_fast() };
+        let p = MellowPolicy {
+            eager_threshold: Some(1),
+            ..MellowPolicy::default_fast()
+        };
         assert!(p.validate().is_err());
-        let p = MellowPolicy { wear_quota_target_years: Some(0.0), ..MellowPolicy::default_fast() };
+        let p = MellowPolicy {
+            wear_quota_target_years: Some(0.0),
+            ..MellowPolicy::default_fast()
+        };
         assert!(p.validate().is_err());
     }
 
@@ -322,7 +344,10 @@ mod tests {
     fn cancellation_mode_semantics() {
         assert!(!CancellationMode::None.allows(WriteSpeed::Fast));
         assert!(!CancellationMode::None.allows(WriteSpeed::Slow));
-        assert!(CancellationMode::None.allows(WriteSpeed::Quota), "quota writes always cancellable");
+        assert!(
+            CancellationMode::None.allows(WriteSpeed::Quota),
+            "quota writes always cancellable"
+        );
         assert!(CancellationMode::SlowOnly.allows(WriteSpeed::Slow));
         assert!(!CancellationMode::SlowOnly.allows(WriteSpeed::Fast));
         assert!(CancellationMode::Both.allows(WriteSpeed::Fast));
@@ -331,7 +356,11 @@ mod tests {
 
     #[test]
     fn ratio_per_speed() {
-        let p = MellowPolicy { fast_latency: 1.5, slow_latency: 3.0, ..MellowPolicy::default_fast() };
+        let p = MellowPolicy {
+            fast_latency: 1.5,
+            slow_latency: 3.0,
+            ..MellowPolicy::default_fast()
+        };
         assert_eq!(p.ratio(WriteSpeed::Fast), 1.5);
         assert_eq!(p.ratio(WriteSpeed::Slow), 3.0);
         assert_eq!(p.ratio(WriteSpeed::Quota), 4.0);

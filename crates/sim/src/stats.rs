@@ -19,40 +19,66 @@ pub struct Metrics {
     pub energy_j: f64,
 }
 
+/// Sentinel magnitude for normalization ratios that would otherwise be
+/// non-finite (zero or infinite baseline components). Downstream
+/// regression requires finite targets.
+const NORM_SENTINEL: f64 = 1e3;
+
+/// `x / base` with degenerate cases mapped to finite sentinels:
+/// inf/inf and 0/0 are "no change" (1.0), a blowup (`inf/finite`,
+/// `finite/0`) saturates at [`NORM_SENTINEL`], a collapse
+/// (`finite/inf`) at its reciprocal.
+fn safe_ratio(x: f64, base: f64) -> f64 {
+    match (x.is_infinite(), base.is_infinite()) {
+        (true, true) => 1.0,
+        (true, false) => NORM_SENTINEL,
+        (false, true) => 1.0 / NORM_SENTINEL,
+        (false, false) => {
+            if base == 0.0 || x.is_nan() || base.is_nan() {
+                if x == base {
+                    1.0
+                } else {
+                    NORM_SENTINEL
+                }
+            } else {
+                x / base
+            }
+        }
+    }
+}
+
 impl Metrics {
     /// Element-wise ratio `self / base` (the paper's normalization to the
     /// baseline configuration, Section 4.4).
     ///
-    /// Infinite lifetimes normalize to a large finite sentinel so that
-    /// downstream regression stays finite.
+    /// Degenerate baselines (zero or infinite components — an idle phase
+    /// can measure zero IPC and infinite lifetime) normalize to finite
+    /// sentinels so that downstream regression stays finite.
     #[must_use]
     pub fn normalized_to(&self, base: &Metrics) -> Metrics {
-        let norm_life = if self.lifetime_years.is_infinite() || base.lifetime_years.is_infinite()
-        {
-            if self.lifetime_years.is_infinite() && base.lifetime_years.is_infinite() {
-                1.0
-            } else if self.lifetime_years.is_infinite() {
-                1e3
-            } else {
-                1e-3
-            }
-        } else {
-            self.lifetime_years / base.lifetime_years
-        };
         Metrics {
-            ipc: self.ipc / base.ipc,
-            lifetime_years: norm_life,
-            energy_j: self.energy_j / base.energy_j,
+            ipc: safe_ratio(self.ipc, base.ipc),
+            lifetime_years: safe_ratio(self.lifetime_years, base.lifetime_years),
+            energy_j: safe_ratio(self.energy_j, base.energy_j),
         }
     }
 
-    /// Element-wise product `self * base` (denormalization).
+    /// Element-wise product `self * base` (denormalization). `0 * inf`
+    /// products collapse to zero rather than NaN.
     #[must_use]
     pub fn denormalized_by(&self, base: &Metrics) -> Metrics {
+        let safe_product = |x: f64, b: f64| {
+            let p = x * b;
+            if p.is_nan() {
+                0.0
+            } else {
+                p
+            }
+        };
         Metrics {
-            ipc: self.ipc * base.ipc,
-            lifetime_years: self.lifetime_years * base.lifetime_years,
-            energy_j: self.energy_j * base.energy_j,
+            ipc: safe_product(self.ipc, base.ipc),
+            lifetime_years: safe_product(self.lifetime_years, base.lifetime_years),
+            energy_j: safe_product(self.energy_j, base.energy_j),
         }
     }
 
@@ -65,7 +91,11 @@ impl Metrics {
     /// Build from a `[ipc, lifetime, energy]` array.
     #[must_use]
     pub fn from_array(a: [f64; 3]) -> Metrics {
-        Metrics { ipc: a[0], lifetime_years: a[1], energy_j: a[2] }
+        Metrics {
+            ipc: a[0],
+            lifetime_years: a[1],
+            energy_j: a[2],
+        }
     }
 }
 
@@ -154,6 +184,14 @@ impl RunStats {
         (self.mem.reads_completed + self.mem.writes_completed()) as f64
             / (self.instructions as f64 / 1e3)
     }
+
+    /// Named memory-controller counter snapshot, in declaration order.
+    /// The telemetry layer records these into its registry without
+    /// needing to know the [`MemCounters`] layout.
+    #[must_use]
+    pub fn mem_counter_snapshot(&self) -> Vec<(&'static str, u64)> {
+        self.mem.snapshot()
+    }
 }
 
 /// A snapshot of the performance counters MCT's phase detector consumes
@@ -182,7 +220,11 @@ mod tests {
     use super::*;
 
     fn m(ipc: f64, life: f64, e: f64) -> Metrics {
-        Metrics { ipc, lifetime_years: life, energy_j: e }
+        Metrics {
+            ipc,
+            lifetime_years: life,
+            energy_j: e,
+        }
     }
 
     #[test]
@@ -203,6 +245,55 @@ mod tests {
         assert!(inf.normalized_to(&base).lifetime_years.is_finite());
         assert!(base.normalized_to(&inf).lifetime_years.is_finite());
         assert!((inf.normalized_to(&inf).lifetime_years - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_guards_zero_baseline() {
+        // An idle phase can measure ipc 0, energy 0 — normalization must
+        // still produce finite regression targets.
+        let zero = m(0.0, 0.0, 0.0);
+        let x = m(1.0, 4.0, 2.0);
+        let n = x.normalized_to(&zero);
+        assert!(n.ipc.is_finite());
+        assert!(n.lifetime_years.is_finite());
+        assert!(n.energy_j.is_finite());
+        // Zero over zero is "no change".
+        let id = zero.normalized_to(&zero);
+        assert_eq!(id, m(1.0, 1.0, 1.0));
+        // Denormalizing against the degenerate baseline stays finite too.
+        let back = n.denormalized_by(&zero);
+        assert!(back.ipc.is_finite() && back.energy_j.is_finite());
+    }
+
+    #[test]
+    fn denormalize_zero_times_infinity_is_zero() {
+        let base = m(1.0, f64::INFINITY, 1.0);
+        let x = m(1.0, 0.0, 1.0);
+        assert_eq!(x.denormalized_by(&base).lifetime_years, 0.0);
+    }
+
+    #[test]
+    fn mem_counter_snapshot_names_are_unique() {
+        let stats = RunStats {
+            instructions: 0,
+            elapsed: Duration::ZERO,
+            cpu_cycles: 0.0,
+            mem: MemCounters::default(),
+            llc: CacheStats::default(),
+            wear_units: 0.0,
+            lifetime_years: 0.0,
+            energy: EnergyBreakdown::default(),
+            per_core_ipc: vec![],
+            read_stall_cycles: 0.0,
+            write_stall_cycles: 0.0,
+            quota_restricted_fraction: 0.0,
+        };
+        let snap = stats.mem_counter_snapshot();
+        assert!(snap.len() >= 10);
+        let mut names: Vec<&str> = snap.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), snap.len());
     }
 
     #[test]
@@ -255,8 +346,16 @@ mod tests {
 
     #[test]
     fn perf_counter_deltas() {
-        let a = PerfCounters { instructions: 100, mem_reads: 10, mem_writes: 5 };
-        let b = PerfCounters { instructions: 200, mem_reads: 25, mem_writes: 10 };
+        let a = PerfCounters {
+            instructions: 100,
+            mem_reads: 10,
+            mem_writes: 5,
+        };
+        let b = PerfCounters {
+            instructions: 200,
+            mem_reads: 25,
+            mem_writes: 10,
+        };
         assert_eq!(b.workload_since(&a), 20);
     }
 }

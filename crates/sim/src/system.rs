@@ -51,8 +51,14 @@ impl SystemConfig {
         SystemConfig {
             cpu: CpuConfig::default(),
             llc: CacheConfig::llc_shared_8mb(),
-            mem: MemConfig { banks: 32, ..MemConfig::default() },
-            wear: WearModel { lines: 1 << 27, ..WearModel::default() },
+            mem: MemConfig {
+                banks: 32,
+                ..MemConfig::default()
+            },
+            wear: WearModel {
+                lines: 1 << 27,
+                ..WearModel::default()
+            },
             energy: EnergyModel::default(),
         }
     }
@@ -165,7 +171,11 @@ impl System {
         let mut energy = self.mem.energy().clone();
         energy.record_run(elapsed, insts);
         let cpu_cycles = elapsed.0 as f64 / self.cpu.clock().ps_per_cycle() as f64;
-        let ipc = if cpu_cycles > 0.0 { insts as f64 / cpu_cycles } else { 0.0 };
+        let ipc = if cpu_cycles > 0.0 {
+            insts as f64 / cpu_cycles
+        } else {
+            0.0
+        };
         RunStats {
             instructions: insts,
             elapsed,
@@ -186,6 +196,13 @@ impl System {
     #[must_use]
     pub fn mem(&self) -> &MemoryController {
         &self.mem
+    }
+
+    /// Named memory-controller counter snapshot at the current instant,
+    /// without finalizing the measurement epoch (live telemetry).
+    #[must_use]
+    pub fn mem_counter_snapshot(&self) -> Vec<(&'static str, u64)> {
+        self.mem.counters().snapshot()
     }
 
     /// The LLC (statistics inspection).
@@ -272,8 +289,11 @@ impl MultiSystem {
     /// Panics if `sources.len()` differs from the core count.
     pub fn run_window<S: AccessSource>(&mut self, sources: &mut [S], insts_per_core: u64) {
         assert_eq!(sources.len(), self.cores.len(), "one source per core");
-        let targets: Vec<u64> =
-            self.cores.iter().map(|c| c.instructions() + insts_per_core).collect();
+        let targets: Vec<u64> = self
+            .cores
+            .iter()
+            .map(|c| c.instructions() + insts_per_core)
+            .collect();
         // Peek-ahead: per-core next event and its start time.
         let mut pending: Vec<_> = sources.iter_mut().map(|s| s.next_access()).collect();
         loop {
@@ -339,8 +359,8 @@ impl MultiSystem {
             .iter()
             .enumerate()
             .map(|(i, c)| {
-                let cycles = c.now().saturating_since(epoch_time).0 as f64
-                    / clock.ps_per_cycle() as f64;
+                let cycles =
+                    c.now().saturating_since(epoch_time).0 as f64 / clock.ps_per_cycle() as f64;
                 if cycles > 0.0 {
                     (c.instructions() - epoch_insts[i]) as f64 / cycles
                 } else {
@@ -405,16 +425,28 @@ mod tests {
                 AccessKind::Read
             };
             // A simple LCG walk over the working set.
-            let line = (self.i.wrapping_mul(2862933555777941757).wrapping_add(3037000493))
+            let line = (self
+                .i
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493))
                 % self.working_set;
-            TraceEvent { gap_insts: self.gap, kind, line }
+            TraceEvent {
+                gap_insts: self.gap,
+                kind,
+                line,
+            }
         }
     }
 
     /// Working set of 4x the LLC so demand misses and dirty evictions flow
     /// steadily; gap 5 makes the stream memory-intensive.
     fn source() -> Synthetic {
-        Synthetic { i: 0, working_set: 1 << 17, write_every: 3, gap: 5 }
+        Synthetic {
+            i: 0,
+            working_set: 1 << 17,
+            write_every: 3,
+            gap: 5,
+        }
     }
 
     #[test]
@@ -422,7 +454,11 @@ mod tests {
         let mut sys = System::new(SystemConfig::default(), MellowPolicy::default_fast());
         let stats = sys.run(&mut source(), 400_000);
         assert!(stats.instructions >= 400_000);
-        assert!(stats.ipc() > 0.01 && stats.ipc() < 2.5, "ipc={}", stats.ipc());
+        assert!(
+            stats.ipc() > 0.01 && stats.ipc() < 2.5,
+            "ipc={}",
+            stats.ipc()
+        );
         assert!(stats.lifetime_years > 0.0);
         assert!(stats.energy.total() > 0.0);
         assert_eq!(stats.mem.reads_completed, stats.mem.reads_issued);
@@ -448,7 +484,10 @@ mod tests {
             fast.lifetime_years,
             slow.lifetime_years
         );
-        assert!(slow.ipc <= fast.ipc, "slow writes cannot speed the system up");
+        assert!(
+            slow.ipc <= fast.ipc,
+            "slow writes cannot speed the system up"
+        );
     }
 
     #[test]
@@ -476,10 +515,18 @@ mod tests {
             self.i += 1;
             if self.i.is_multiple_of(8) {
                 self.cold += 1;
-                TraceEvent { gap_insts: 50, kind: AccessKind::Write, line: (1 << 30) + self.cold }
+                TraceEvent {
+                    gap_insts: 50,
+                    kind: AccessKind::Write,
+                    line: (1 << 30) + self.cold,
+                }
             } else {
                 let hot = (self.i.wrapping_mul(2862933555777941757)) % 4096;
-                TraceEvent { gap_insts: 50, kind: AccessKind::Read, line: hot }
+                TraceEvent {
+                    gap_insts: 50,
+                    kind: AccessKind::Read,
+                    line: hot,
+                }
             }
         }
     }
@@ -517,7 +564,10 @@ mod tests {
         let mut sources = vec![source(), source(), source(), source()];
         let stats = sys.run(&mut sources, 50_000);
         let mean: f64 = stats.per_core_ipc.iter().sum::<f64>() / 4.0;
-        assert!(mean <= solo_ipc * 1.05, "contention: mean={mean} solo={solo_ipc}");
+        assert!(
+            mean <= solo_ipc * 1.05,
+            "contention: mean={mean} solo={solo_ipc}"
+        );
     }
 
     #[test]

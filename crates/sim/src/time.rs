@@ -11,7 +11,9 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// An absolute simulated instant, in picoseconds since simulation start.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Time(pub u64);
 
 impl Time {
@@ -70,7 +72,9 @@ impl fmt::Display for Time {
 }
 
 /// A span of simulated time, in picoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Duration(pub u64);
 
 impl Duration {
@@ -163,7 +167,9 @@ impl Clock {
     #[must_use]
     pub fn from_mhz(mhz: u64) -> Clock {
         assert!(mhz > 0, "clock frequency must be nonzero");
-        Clock { ps_per_cycle: 1_000_000 / mhz }
+        Clock {
+            ps_per_cycle: 1_000_000 / mhz,
+        }
     }
 
     /// Picoseconds per cycle.

@@ -146,7 +146,11 @@ mod tests {
     use super::*;
 
     fn ev(gap: u64, kind: AccessKind, line: u64) -> TraceEvent {
-        TraceEvent { gap_insts: gap, kind, line }
+        TraceEvent {
+            gap_insts: gap,
+            kind,
+            line,
+        }
     }
 
     #[test]
@@ -177,7 +181,8 @@ mod tests {
 
     #[test]
     fn rewind_restarts() {
-        let mut t = RecordedTrace::new(vec![ev(1, AccessKind::Read, 7), ev(1, AccessKind::Read, 8)]);
+        let mut t =
+            RecordedTrace::new(vec![ev(1, AccessKind::Read, 7), ev(1, AccessKind::Read, 8)]);
         let _ = t.next_access();
         t.rewind();
         assert_eq!(t.next_access().line, 7);

@@ -46,7 +46,11 @@ impl Default for WearModel {
     /// Paper Table 9 parameters: 8e6 endurance, 4 GB of 64 B lines, 95%
     /// wear-leveling efficiency.
     fn default() -> WearModel {
-        WearModel { base_endurance: 8e6, lines: 1 << 26, leveling_efficiency: 0.95 }
+        WearModel {
+            base_endurance: 8e6,
+            lines: 1 << 26,
+            leveling_efficiency: 0.95,
+        }
     }
 }
 
@@ -63,7 +67,12 @@ impl WearMeter {
     /// Create a meter over the given endurance model.
     #[must_use]
     pub fn new(model: WearModel) -> WearMeter {
-        WearMeter { model, wear_units: 0.0, completed_writes: 0, canceled_writes: 0 }
+        WearMeter {
+            model,
+            wear_units: 0.0,
+            completed_writes: 0,
+            canceled_writes: 0,
+        }
     }
 
     /// Charge one completed line write at pulse ratio `ratio`.

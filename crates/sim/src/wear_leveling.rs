@@ -43,7 +43,14 @@ impl StartGap {
     pub fn new(lines: u64, interval: u64) -> StartGap {
         assert!(lines > 0, "region must be nonempty");
         assert!(interval > 0, "gap interval must be nonzero");
-        StartGap { lines, start: 0, gap: lines, writes_since_move: 0, interval, moves: 0 }
+        StartGap {
+            lines,
+            start: 0,
+            gap: lines,
+            writes_since_move: 0,
+            interval,
+            moves: 0,
+        }
     }
 
     /// Number of logical lines.

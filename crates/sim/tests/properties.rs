@@ -48,7 +48,11 @@ fn arb_trace() -> impl Strategy<Value = RecordedTrace> {
                     .into_iter()
                     .map(|(gap, w, line)| TraceEvent {
                         gap_insts: gap,
-                        kind: if w { AccessKind::Write } else { AccessKind::Read },
+                        kind: if w {
+                            AccessKind::Write
+                        } else {
+                            AccessKind::Read
+                        },
                         line,
                     })
                     .collect(),

@@ -1,0 +1,31 @@
+//! Structured decision-trace telemetry for the MCT runtime.
+//!
+//! Three pieces, one contract:
+//!
+//! - [`event`]: the typed decision-trace — what the controller decided
+//!   (phases, baselines, sampling rounds, fits, selections, health
+//!   checks) wrapped in a [`Record`] envelope with a sequence number and
+//!   both simulated-instruction and wall-clock timestamps;
+//! - [`registry`]: counters and histograms for how much work the
+//!   adaptive machinery did (samples taken, refits, fallbacks, per-stage
+//!   instruction and wall-clock budgets);
+//! - [`recorder`]: the sinks — [`NullRecorder`] (the default; disabled
+//!   and free), [`JsonlRecorder`] (one JSON event per line), and
+//!   [`VecRecorder`] (in-memory, for tests) — behind the [`Telemetry`]
+//!   session handle whose cached `enabled()` flag gates every
+//!   instrumentation site.
+//!
+//! [`report`] renders a trace file back into a per-phase decision
+//! timeline (`mct report <trace.jsonl>`).
+
+pub mod event;
+pub mod recorder;
+pub mod registry;
+pub mod report;
+
+pub use event::{Event, Record};
+pub use recorder::{
+    null_recorder, JsonlRecorder, NullRecorder, Recorder, RecorderHandle, Telemetry, VecRecorder,
+};
+pub use registry::{HistogramSummary, Registry, RegistrySnapshot, StageTimer};
+pub use report::{parse_jsonl, render_report};

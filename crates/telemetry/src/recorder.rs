@@ -1,0 +1,395 @@
+//! Recorder sinks and the [`Telemetry`] session handle.
+//!
+//! The contract is zero-cost-when-disabled: the controller caches
+//! [`Telemetry::enabled`] once and skips event construction (and any
+//! telemetry-only computation, like cross-validation error) entirely when
+//! the sink is a [`NullRecorder`].
+
+use crate::event::{Event, Record};
+use crate::registry::{Registry, StageTimer};
+use std::io::Write;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A telemetry sink. Implementations receive fully-formed [`Record`]s and
+/// own the counters/histograms [`Registry`].
+pub trait Recorder: Send {
+    /// Whether events should be constructed at all. Instrumented code must
+    /// check this (via [`Telemetry::enabled`]) before doing any
+    /// telemetry-only work.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Consume one record.
+    fn record(&mut self, record: &Record);
+
+    /// The registry backing this sink.
+    fn registry_mut(&mut self) -> &mut Registry;
+
+    /// Flush buffered output, if any.
+    fn flush(&mut self) {}
+}
+
+/// Shared handle to a recorder; cheap to clone, locked per emission.
+pub type RecorderHandle = Arc<Mutex<dyn Recorder>>;
+
+/// Discards everything; reports `enabled() == false`.
+#[derive(Debug, Default)]
+pub struct NullRecorder {
+    registry: Registry,
+}
+
+impl Recorder for NullRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _record: &Record) {}
+
+    fn registry_mut(&mut self) -> &mut Registry {
+        &mut self.registry
+    }
+}
+
+/// A fresh disabled recorder handle — the default wiring.
+#[must_use]
+pub fn null_recorder() -> RecorderHandle {
+    Arc::new(Mutex::new(NullRecorder::default()))
+}
+
+/// Keeps records in memory; the sink used by tests.
+#[derive(Debug, Default)]
+pub struct VecRecorder {
+    records: Vec<Record>,
+    registry: Registry,
+}
+
+impl VecRecorder {
+    #[must_use]
+    pub fn new() -> Self {
+        VecRecorder::default()
+    }
+
+    /// A typed shared recorder. Keep the returned `Arc` to read the
+    /// captured records after the run; a clone coerces to
+    /// [`RecorderHandle`] for attaching to the runtime:
+    ///
+    /// ```
+    /// use mct_telemetry::{RecorderHandle, VecRecorder};
+    /// let rec = VecRecorder::shared();
+    /// let handle: RecorderHandle = rec.clone();
+    /// // ... run instrumented code against `handle` ...
+    /// assert!(rec.lock().unwrap().records().is_empty());
+    /// ```
+    #[must_use]
+    pub fn shared() -> Arc<Mutex<VecRecorder>> {
+        Arc::new(Mutex::new(VecRecorder::new()))
+    }
+
+    /// Wrap into a type-erased shareable handle.
+    #[must_use]
+    pub fn handle(self) -> RecorderHandle {
+        Arc::new(Mutex::new(self))
+    }
+
+    #[must_use]
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    #[must_use]
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    pub fn take_records(&mut self) -> Vec<Record> {
+        std::mem::take(&mut self.records)
+    }
+}
+
+impl Recorder for VecRecorder {
+    fn record(&mut self, record: &Record) {
+        self.records.push(record.clone());
+    }
+
+    fn registry_mut(&mut self) -> &mut Registry {
+        &mut self.registry
+    }
+}
+
+/// Streams one JSON object per line to a file.
+pub struct JsonlRecorder {
+    writer: std::io::BufWriter<std::fs::File>,
+    registry: Registry,
+    write_errors: u64,
+}
+
+impl JsonlRecorder {
+    /// Create (truncate) the trace file at `path`.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlRecorder {
+            writer: std::io::BufWriter::new(file),
+            registry: Registry::new(),
+            write_errors: 0,
+        })
+    }
+
+    /// Wrap into a shareable handle.
+    #[must_use]
+    pub fn handle(self) -> RecorderHandle {
+        Arc::new(Mutex::new(self))
+    }
+}
+
+impl Recorder for JsonlRecorder {
+    fn record(&mut self, record: &Record) {
+        match serde_json::to_string(record) {
+            Ok(line) => {
+                // Trace I/O must never abort a simulation; count failures
+                // instead of propagating them.
+                if writeln!(self.writer, "{line}").is_err() {
+                    self.write_errors += 1;
+                }
+            }
+            Err(_) => self.write_errors += 1,
+        }
+    }
+
+    fn registry_mut(&mut self) -> &mut Registry {
+        &mut self.registry
+    }
+
+    fn flush(&mut self) {
+        if self.writer.flush().is_err() {
+            self.write_errors += 1;
+        }
+    }
+}
+
+impl Drop for JsonlRecorder {
+    fn drop(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+/// The runtime's telemetry session: a recorder handle plus the envelope
+/// state (sequence counter, wall-clock origin, cached enabled flag).
+///
+/// `Telemetry::default()` is fully disabled and costs one branch per
+/// instrumentation site.
+pub struct Telemetry {
+    handle: RecorderHandle,
+    enabled: bool,
+    seq: u64,
+    origin: Instant,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::disabled()
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.enabled)
+            .field("seq", &self.seq)
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// A no-op session around a [`NullRecorder`].
+    #[must_use]
+    pub fn disabled() -> Self {
+        Telemetry {
+            handle: null_recorder(),
+            enabled: false,
+            seq: 0,
+            origin: Instant::now(),
+        }
+    }
+
+    /// Attach to a recorder; caches its `enabled()` answer.
+    #[must_use]
+    pub fn attached(handle: RecorderHandle) -> Self {
+        let enabled = handle.lock().expect("recorder lock").enabled();
+        Telemetry {
+            handle,
+            enabled,
+            seq: 0,
+            origin: Instant::now(),
+        }
+    }
+
+    /// Cached enabled flag — the gate every instrumentation site checks.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Emit one event at simulated-instruction time `sim_insts`.
+    pub fn emit(&mut self, sim_insts: u64, event: Event) {
+        if !self.enabled {
+            return;
+        }
+        let record = Record {
+            seq: self.seq,
+            sim_insts,
+            wall_us: self.origin.elapsed().as_micros() as u64,
+            event,
+        };
+        self.seq += 1;
+        let mut guard = self.handle.lock().expect("recorder lock");
+        guard
+            .registry_mut()
+            .incr(&format!("events.{}", record.event.kind()), 1);
+        guard.record(&record);
+    }
+
+    /// Bump a registry counter.
+    pub fn incr(&mut self, name: &str, delta: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.handle
+            .lock()
+            .expect("recorder lock")
+            .registry_mut()
+            .incr(name, delta);
+    }
+
+    /// Record a histogram observation.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.handle
+            .lock()
+            .expect("recorder lock")
+            .registry_mut()
+            .observe(name, value);
+    }
+
+    /// Start a stage timer, or `None` when disabled.
+    #[must_use]
+    pub fn stage(&self, stage: &'static str, insts_start: u64) -> Option<StageTimer> {
+        if self.enabled {
+            Some(StageTimer::start(stage, insts_start))
+        } else {
+            None
+        }
+    }
+
+    /// Finish a stage timer started with [`Telemetry::stage`].
+    pub fn finish_stage(&mut self, timer: Option<StageTimer>, insts_end: u64) {
+        if let Some(timer) = timer {
+            timer.finish(
+                self.handle.lock().expect("recorder lock").registry_mut(),
+                insts_end,
+            );
+        }
+    }
+
+    /// Emit the registry snapshot as a `MetricsRegistry` event and flush.
+    pub fn finish(&mut self, sim_insts: u64) {
+        if !self.enabled {
+            return;
+        }
+        let snapshot = self
+            .handle
+            .lock()
+            .expect("recorder lock")
+            .registry_mut()
+            .snapshot();
+        self.emit(sim_insts, Event::MetricsRegistry { snapshot });
+        self.handle.lock().expect("recorder lock").flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mct_sim::stats::Metrics;
+
+    fn sample_event() -> Event {
+        Event::RunCompleted {
+            segments: 1,
+            total_insts: 100,
+            fallbacks: 0,
+            metrics: Metrics {
+                ipc: 1.0,
+                lifetime_years: 5.0,
+                energy_j: 0.1,
+            },
+        }
+    }
+
+    #[test]
+    fn disabled_session_emits_nothing() {
+        let mut t = Telemetry::disabled();
+        assert!(!t.enabled());
+        t.emit(0, sample_event());
+        t.incr("x", 1);
+        let timer = t.stage("sampling", 0);
+        assert!(timer.is_none());
+    }
+
+    #[test]
+    fn vec_recorder_captures_sequenced_records() {
+        let rec = VecRecorder::shared();
+        let handle: RecorderHandle = rec.clone();
+        let mut t = Telemetry::attached(handle);
+        assert!(t.enabled());
+        t.emit(10, sample_event());
+        t.emit(20, sample_event());
+        let guard = rec.lock().expect("lock");
+        let records = guard.records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].seq, 0);
+        assert_eq!(records[1].seq, 1);
+        assert_eq!(records[0].sim_insts, 10);
+        assert!(records[1].wall_us >= records[0].wall_us);
+        assert_eq!(guard.registry().counter("events.run_completed"), 2);
+    }
+
+    #[test]
+    fn jsonl_recorder_writes_parseable_lines() {
+        let path =
+            std::env::temp_dir().join(format!("mct-telemetry-test-{}.jsonl", std::process::id()));
+        {
+            let recorder = JsonlRecorder::create(&path).expect("create trace file");
+            let mut t = Telemetry::attached(recorder.handle());
+            t.emit(5, sample_event());
+            t.finish(5);
+        }
+        let text = std::fs::read_to_string(&path).expect("read trace");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "event + registry snapshot");
+        let first: Record = serde_json::from_str(lines[0]).expect("line 0 parses");
+        assert_eq!(first.seq, 0);
+        assert_eq!(first.sim_insts, 5);
+        let second: Record = serde_json::from_str(lines[1]).expect("line 1 parses");
+        assert!(matches!(second.event, Event::MetricsRegistry { .. }));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stage_timers_flow_into_registry() {
+        let handle = VecRecorder::new().handle();
+        let mut t = Telemetry::attached(Arc::clone(&handle));
+        let timer = t.stage("fit", 100);
+        assert!(timer.is_some());
+        t.finish_stage(timer, 400);
+        let mut guard = handle.lock().expect("lock");
+        let h = guard
+            .registry_mut()
+            .histogram("stage.fit.insts")
+            .expect("recorded");
+        assert_eq!(h.sum, 300.0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Counters and histograms for runtime self-accounting.
+//!
+//! The registry tracks *how much work* the adaptive machinery does —
+//! samples taken, predictor refits, fallbacks, and per-stage instruction
+//! and wall-clock budgets — complementing the decision-trace events, which
+//! record *what was decided*.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Summary statistics for one histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl HistogramSummary {
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    fn observe(&mut self, value: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            sum: self.sum,
+            min: self.min,
+            max: self.max,
+        }
+    }
+}
+
+/// Named counters and histograms. BTreeMaps keep snapshots deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Add `delta` to the named counter, creating it at zero.
+    pub fn incr(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Record one observation into the named histogram.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    }
+
+    /// Current value of a counter (0 if never incremented).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Summary of a histogram, if it has any observations.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<HistogramSummary> {
+        self.histograms.get(name).map(Histogram::summary)
+    }
+
+    /// Immutable, serializable view of everything recorded so far.
+    #[must_use]
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.summary()))
+                .collect(),
+        }
+    }
+}
+
+/// Serializable registry state, embedded in `Event::MetricsRegistry`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegistrySnapshot {
+    /// (name, value) pairs in name order.
+    pub counters: Vec<(String, u64)>,
+    /// (name, summary) pairs in name order.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+/// Measures one pipeline stage's wall-clock and instruction budget.
+///
+/// Create with [`StageTimer::start`] at stage entry, and call
+/// [`StageTimer::finish`] at exit; the elapsed wall time lands in
+/// `stage.<name>.wall_us` and the instruction delta in
+/// `stage.<name>.insts`.
+#[derive(Debug)]
+pub struct StageTimer {
+    stage: &'static str,
+    started: Instant,
+    insts_start: u64,
+}
+
+impl StageTimer {
+    #[must_use]
+    pub fn start(stage: &'static str, insts_start: u64) -> Self {
+        StageTimer {
+            stage,
+            started: Instant::now(),
+            insts_start,
+        }
+    }
+
+    pub fn finish(self, registry: &mut Registry, insts_end: u64) {
+        let wall_us = self.started.elapsed().as_micros() as f64;
+        registry.observe(&format!("stage.{}.wall_us", self.stage), wall_us);
+        registry.observe(
+            &format!("stage.{}.insts", self.stage),
+            insts_end.saturating_sub(self.insts_start) as f64,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut r = Registry::new();
+        assert_eq!(r.counter("samples_taken"), 0);
+        r.incr("samples_taken", 3);
+        r.incr("samples_taken", 4);
+        assert_eq!(r.counter("samples_taken"), 7);
+    }
+
+    #[test]
+    fn histograms_track_extrema_and_mean() {
+        let mut r = Registry::new();
+        r.observe("lat", 2.0);
+        r.observe("lat", 6.0);
+        r.observe("lat", 4.0);
+        let h = r.histogram("lat").expect("recorded");
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, 2.0);
+        assert_eq!(h.max, 6.0);
+        assert!((h.mean() - 4.0).abs() < 1e-12);
+        assert!(r.histogram("missing").is_none());
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_and_round_trips() {
+        let mut r = Registry::new();
+        r.incr("b", 2);
+        r.incr("a", 1);
+        r.observe("z", 1.0);
+        r.observe("y", 5.0);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters[0].0, "a");
+        assert_eq!(snap.counters[1].0, "b");
+        assert_eq!(snap.histograms[0].0, "y");
+        let json = serde_json::to_string(&snap).expect("serialize");
+        let back: RegistrySnapshot = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn stage_timer_records_both_budgets() {
+        let mut r = Registry::new();
+        let t = StageTimer::start("sampling", 1_000);
+        t.finish(&mut r, 5_000);
+        let insts = r.histogram("stage.sampling.insts").expect("insts recorded");
+        assert_eq!(insts.count, 1);
+        assert_eq!(insts.sum, 4_000.0);
+        assert!(r.histogram("stage.sampling.wall_us").is_some());
+    }
+}

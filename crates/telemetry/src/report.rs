@@ -1,0 +1,396 @@
+//! Rendering of decision-trace files: `mct report <trace.jsonl>`.
+//!
+//! Parses a JSONL trace back into [`Record`]s and renders a per-phase
+//! decision timeline — chosen configuration vs. predicted vs. realized
+//! metrics, health checks, and fallbacks — followed by the metrics
+//! registry, when the trace carries a snapshot.
+
+use crate::event::{Event, Record};
+use mct_sim::stats::Metrics;
+use std::fmt::Write as _;
+
+/// Parse a JSONL trace. Blank lines are skipped; a malformed line aborts
+/// with its line number.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Record>, String> {
+    let mut records = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let record: Record =
+            serde_json::from_str(line).map_err(|e| format!("line {}: {}", i + 1, e))?;
+        records.push(record);
+    }
+    Ok(records)
+}
+
+fn fmt_metrics(m: &Metrics) -> String {
+    format!(
+        "ipc {:.4}, lifetime {:.2} y, energy {:.4} J",
+        m.ipc, m.lifetime_years, m.energy_j
+    )
+}
+
+fn pct_delta(realized: f64, predicted: f64) -> String {
+    if predicted.abs() < 1e-12 || !predicted.is_finite() || !realized.is_finite() {
+        "n/a".to_string()
+    } else {
+        format!("{:+.1}%", (realized / predicted - 1.0) * 100.0)
+    }
+}
+
+/// Render the decision timeline as human-readable text.
+#[must_use]
+pub fn render_report(records: &[Record]) -> String {
+    let mut out = String::new();
+    let mut segment = 0u64;
+    let _ = writeln!(out, "MCT decision trace: {} records", records.len());
+
+    for record in records {
+        let t = format!("[{:>12} insts {:>9} us]", record.sim_insts, record.wall_us);
+        match &record.event {
+            Event::PhaseDetected {
+                score,
+                phases_detected,
+                mean_workload,
+            } => {
+                if *phases_detected == 0 {
+                    let _ = writeln!(out, "{t} initial phase (monitoring begins)");
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "{t} phase change #{phases_detected} detected (t-score {score:.1}, \
+                         mean workload {mean_workload:.2}/kinst)"
+                    );
+                }
+            }
+            Event::BaselineMeasured {
+                config,
+                metrics,
+                insts,
+                extended,
+            } => {
+                segment += 1;
+                let ext = if *extended { ", extended" } else { "" };
+                let _ = writeln!(out, "\n=== segment {segment} ===");
+                let _ = writeln!(
+                    out,
+                    "{t}   baseline {config} over {insts} insts{ext}: {}",
+                    fmt_metrics(metrics)
+                );
+            }
+            Event::SamplingRound {
+                round,
+                total_rounds,
+                samples,
+                unit_insts,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{t}   sampling round {}/{} ({} configs x {} insts)",
+                    round + 1,
+                    total_rounds,
+                    samples,
+                    unit_insts
+                );
+            }
+            Event::PredictorFitted {
+                model,
+                n_samples,
+                cv_r2_ipc,
+                lasso_features,
+            } => {
+                let cv = match cv_r2_ipc {
+                    Some(r2) => format!("cv R2(ipc) {r2:.3}"),
+                    None => "cv R2 not computed".to_string(),
+                };
+                let _ = writeln!(
+                    out,
+                    "{t}   predictor fitted: {model} on {n_samples} samples, {cv}"
+                );
+                if !lasso_features.is_empty() {
+                    let feats: Vec<String> = lasso_features
+                        .iter()
+                        .take(6)
+                        .map(|(name, w)| format!("{name} ({w:+.3})"))
+                        .collect();
+                    let _ = writeln!(
+                        out,
+                        "{:width$}   lasso kept {}: {}",
+                        "",
+                        lasso_features.len(),
+                        feats.join(", "),
+                        width = t.len()
+                    );
+                }
+            }
+            Event::ConfigSelected {
+                config,
+                config_before_fixup,
+                predicted,
+                lifetime_slack_years,
+                quota_fixup_applied,
+                fell_back,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{t}   selected {config}: predicted {}, lifetime slack {:+.2} y",
+                    fmt_metrics(predicted),
+                    lifetime_slack_years
+                );
+                if let Some(before) = config_before_fixup {
+                    let _ = writeln!(
+                        out,
+                        "{:width$}   quota fixup rewrote selection (was {before})",
+                        "",
+                        width = t.len()
+                    );
+                } else if *quota_fixup_applied {
+                    let _ = writeln!(
+                        out,
+                        "{:width$}   quota fixup checked, selection unchanged",
+                        "",
+                        width = t.len()
+                    );
+                }
+                if *fell_back {
+                    let _ = writeln!(
+                        out,
+                        "{:width$}   !! optimizer fell back to baseline (constraints unmet)",
+                        "",
+                        width = t.len()
+                    );
+                }
+            }
+            Event::HealthCheck {
+                testing_ipc,
+                baseline_ipc,
+                passed,
+                fallback_taken,
+            } => {
+                let verdict = if *passed { "ok" } else { "FAIL" };
+                let _ = writeln!(
+                    out,
+                    "{t}   health check {verdict}: testing ipc {testing_ipc:.4} vs baseline {baseline_ipc:.4}"
+                );
+                if *fallback_taken {
+                    let _ = writeln!(
+                        out,
+                        "{:width$}   !! fallback to baseline configuration",
+                        "",
+                        width = t.len()
+                    );
+                }
+            }
+            Event::SegmentCompleted {
+                segment: seg,
+                config,
+                predicted,
+                realized,
+                insts,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{t}   segment {} done under {config} ({insts} insts): realized {}",
+                    seg + 1,
+                    fmt_metrics(realized)
+                );
+                if let Some(p) = predicted {
+                    let _ = writeln!(
+                        out,
+                        "{:width$}   vs predicted: ipc {}, lifetime {}, energy {}",
+                        "",
+                        pct_delta(realized.ipc, p.ipc),
+                        pct_delta(realized.lifetime_years, p.lifetime_years),
+                        pct_delta(realized.energy_j, p.energy_j),
+                        width = t.len()
+                    );
+                }
+            }
+            Event::RunCompleted {
+                segments,
+                total_insts,
+                fallbacks,
+                metrics,
+            } => {
+                let _ = writeln!(out, "\n=== run completed ===");
+                let _ = writeln!(
+                    out,
+                    "{t}   {segments} segment(s), {total_insts} insts, {fallbacks} fallback(s)"
+                );
+                let _ = writeln!(
+                    out,
+                    "{:width$}   aggregate: {}",
+                    "",
+                    fmt_metrics(metrics),
+                    width = t.len()
+                );
+            }
+            Event::MetricsRegistry { snapshot } => {
+                let _ = writeln!(out, "\n--- metrics registry ---");
+                for (name, value) in &snapshot.counters {
+                    let _ = writeln!(out, "  {name:<42} {value}");
+                }
+                for (name, h) in &snapshot.histograms {
+                    let _ = writeln!(
+                        out,
+                        "  {name:<42} n={} mean={:.1} min={:.1} max={:.1}",
+                        h.count,
+                        h.mean(),
+                        h.min,
+                        h.max
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{RecorderHandle, Telemetry, VecRecorder};
+
+    fn metrics(ipc: f64) -> Metrics {
+        Metrics {
+            ipc,
+            lifetime_years: 8.0,
+            energy_j: 0.02,
+        }
+    }
+
+    fn sample_trace() -> Vec<Record> {
+        let rec = VecRecorder::shared();
+        let handle: RecorderHandle = rec.clone();
+        let mut t = Telemetry::attached(handle);
+        t.emit(
+            0,
+            Event::PhaseDetected {
+                score: 0.0,
+                phases_detected: 0,
+                mean_workload: 0.0,
+            },
+        );
+        t.emit(
+            0,
+            Event::BaselineMeasured {
+                config: "baseline".into(),
+                metrics: metrics(1.0),
+                insts: 50_000,
+                extended: false,
+            },
+        );
+        t.emit(
+            60_000,
+            Event::SamplingRound {
+                round: 0,
+                total_rounds: 2,
+                samples: 12,
+                unit_insts: 2_000,
+            },
+        );
+        t.emit(
+            90_000,
+            Event::PredictorFitted {
+                model: "quadratic-lasso".into(),
+                n_samples: 24,
+                cv_r2_ipc: Some(0.91),
+                lasso_features: vec![("fast_latency".into(), -0.4)],
+            },
+        );
+        t.emit(
+            95_000,
+            Event::ConfigSelected {
+                config: "F1.5/S2.5".into(),
+                config_before_fixup: Some("F1.0/S2.0".into()),
+                predicted: metrics(1.2),
+                lifetime_slack_years: 1.5,
+                quota_fixup_applied: true,
+                fell_back: false,
+            },
+        );
+        t.emit(
+            200_000,
+            Event::HealthCheck {
+                testing_ipc: 1.19,
+                baseline_ipc: 1.0,
+                passed: true,
+                fallback_taken: false,
+            },
+        );
+        t.emit(
+            400_000,
+            Event::SegmentCompleted {
+                segment: 0,
+                config: "F1.5/S2.5".into(),
+                predicted: Some(metrics(1.2)),
+                realized: metrics(1.18),
+                insts: 400_000,
+            },
+        );
+        t.emit(
+            400_000,
+            Event::RunCompleted {
+                segments: 1,
+                total_insts: 400_000,
+                fallbacks: 0,
+                metrics: metrics(1.18),
+            },
+        );
+        t.finish(400_000);
+        let mut guard = rec.lock().expect("lock");
+        guard.take_records()
+    }
+
+    #[test]
+    fn jsonl_round_trip_and_render() {
+        let records = sample_trace();
+        let jsonl: String = records
+            .iter()
+            .map(|r| serde_json::to_string(r).expect("serialize") + "\n")
+            .collect();
+        let parsed = parse_jsonl(&jsonl).expect("parse");
+        assert_eq!(parsed, records);
+
+        let report = render_report(&parsed);
+        assert!(report.contains("initial phase"));
+        assert!(report.contains("segment 1"));
+        assert!(report.contains("quadratic-lasso"));
+        assert!(report.contains("selected F1.5/S2.5"));
+        assert!(report.contains("quota fixup rewrote selection"));
+        assert!(report.contains("health check ok"));
+        assert!(report.contains("vs predicted"));
+        assert!(report.contains("run completed"));
+        assert!(report.contains("metrics registry"));
+        assert!(report.contains("events.config_selected"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines_with_position() {
+        let err = parse_jsonl("{\"seq\":0}\nnot json\n").expect_err("must fail");
+        assert!(
+            err.starts_with("line 1") || err.starts_with("line 2"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let records = sample_trace();
+        let jsonl = format!(
+            "\n{}\n\n",
+            serde_json::to_string(&records[0]).expect("serialize")
+        );
+        let parsed = parse_jsonl(&jsonl).expect("parse");
+        assert_eq!(parsed.len(), 1);
+    }
+
+    #[test]
+    fn pct_delta_guards_degenerate_predictions() {
+        assert_eq!(pct_delta(1.0, 0.0), "n/a");
+        assert_eq!(pct_delta(1.0, f64::NAN), "n/a");
+        assert_eq!(pct_delta(1.1, 1.0), "+10.0%");
+    }
+}

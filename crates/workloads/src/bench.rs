@@ -94,8 +94,19 @@ impl Workload {
                     gap_mean: 40.0,
                     write_frac: 0.45,
                     patterns: vec![
-                        (0.75, Pattern::Sequential { region_lines: 1 << 19 }),
-                        (0.15, Pattern::Strided { stride: 16, region_lines: 1 << 19 }),
+                        (
+                            0.75,
+                            Pattern::Sequential {
+                                region_lines: 1 << 19,
+                            },
+                        ),
+                        (
+                            0.15,
+                            Pattern::Strided {
+                                stride: 16,
+                                region_lines: 1 << 19,
+                            },
+                        ),
                         (0.10, Pattern::Hot { hot_lines: 8 << 10 }),
                     ],
                     burst: Some(BurstSpec {
@@ -112,9 +123,25 @@ impl Workload {
                     gap_mean: 60.0,
                     write_frac: 0.35,
                     patterns: vec![
-                        (0.5, Pattern::Strided { stride: 8, region_lines: 1 << 18 }),
-                        (0.3, Pattern::Sequential { region_lines: 1 << 18 }),
-                        (0.2, Pattern::Hot { hot_lines: 16 << 10 }),
+                        (
+                            0.5,
+                            Pattern::Strided {
+                                stride: 8,
+                                region_lines: 1 << 18,
+                            },
+                        ),
+                        (
+                            0.3,
+                            Pattern::Sequential {
+                                region_lines: 1 << 18,
+                            },
+                        ),
+                        (
+                            0.2,
+                            Pattern::Hot {
+                                hot_lines: 16 << 10,
+                            },
+                        ),
                     ],
                     burst: None,
                 }],
@@ -126,8 +153,19 @@ impl Workload {
                     gap_mean: 260.0,
                     write_frac: 0.25,
                     patterns: vec![
-                        (0.6, Pattern::Hot { hot_lines: 24 << 10 }),
-                        (0.4, Pattern::Strided { stride: 4, region_lines: 1 << 17 }),
+                        (
+                            0.6,
+                            Pattern::Hot {
+                                hot_lines: 24 << 10,
+                            },
+                        ),
+                        (
+                            0.4,
+                            Pattern::Strided {
+                                stride: 4,
+                                region_lines: 1 << 17,
+                            },
+                        ),
                     ],
                     burst: None,
                 }],
@@ -139,9 +177,25 @@ impl Workload {
                     gap_mean: 56.0,
                     write_frac: 0.36,
                     patterns: vec![
-                        (0.55, Pattern::Strided { stride: 32, region_lines: 1 << 19 }),
-                        (0.30, Pattern::Sequential { region_lines: 1 << 18 }),
-                        (0.15, Pattern::Hot { hot_lines: 12 << 10 }),
+                        (
+                            0.55,
+                            Pattern::Strided {
+                                stride: 32,
+                                region_lines: 1 << 19,
+                            },
+                        ),
+                        (
+                            0.30,
+                            Pattern::Sequential {
+                                region_lines: 1 << 18,
+                            },
+                        ),
+                        (
+                            0.15,
+                            Pattern::Hot {
+                                hot_lines: 12 << 10,
+                            },
+                        ),
                     ],
                     burst: None,
                 }],
@@ -153,8 +207,18 @@ impl Workload {
                     gap_mean: 65.0,
                     write_frac: 0.35,
                     patterns: vec![
-                        (0.6, Pattern::Random { region_lines: 1 << 21 }),
-                        (0.25, Pattern::Sequential { region_lines: 1 << 18 }),
+                        (
+                            0.6,
+                            Pattern::Random {
+                                region_lines: 1 << 21,
+                            },
+                        ),
+                        (
+                            0.25,
+                            Pattern::Sequential {
+                                region_lines: 1 << 18,
+                            },
+                        ),
                         (0.15, Pattern::Hot { hot_lines: 8 << 10 }),
                     ],
                     burst: Some(BurstSpec {
@@ -171,8 +235,19 @@ impl Workload {
                     gap_mean: 80.0,
                     write_frac: 0.25,
                     patterns: vec![
-                        (0.7, Pattern::Sequential { region_lines: 1 << 19 }),
-                        (0.3, Pattern::Strided { stride: 64, region_lines: 1 << 19 }),
+                        (
+                            0.7,
+                            Pattern::Sequential {
+                                region_lines: 1 << 19,
+                            },
+                        ),
+                        (
+                            0.3,
+                            Pattern::Strided {
+                                stride: 64,
+                                region_lines: 1 << 19,
+                            },
+                        ),
                     ],
                     burst: None,
                 }],
@@ -183,7 +258,12 @@ impl Workload {
                     insts: u64::MAX,
                     gap_mean: 45.0,
                     write_frac: 0.30,
-                    patterns: vec![(1.0, Pattern::Sequential { region_lines: 1 << 20 })],
+                    patterns: vec![(
+                        1.0,
+                        Pattern::Sequential {
+                            region_lines: 1 << 20,
+                        },
+                    )],
                     burst: Some(BurstSpec {
                         burst_insts: 700_000,
                         quiet_insts: 350_000,
@@ -200,8 +280,19 @@ impl Workload {
                         gap_mean: 50.0,
                         write_frac: 0.40,
                         patterns: vec![
-                            (0.7, Pattern::Sequential { region_lines: 1 << 18 }),
-                            (0.3, Pattern::Strided { stride: 8, region_lines: 1 << 18 }),
+                            (
+                                0.7,
+                                Pattern::Sequential {
+                                    region_lines: 1 << 18,
+                                },
+                            ),
+                            (
+                                0.3,
+                                Pattern::Strided {
+                                    stride: 8,
+                                    region_lines: 1 << 18,
+                                },
+                            ),
                         ],
                         burst: None,
                     },
@@ -210,7 +301,12 @@ impl Workload {
                         insts: 2_000_000,
                         gap_mean: 350.0,
                         write_frac: 0.15,
-                        patterns: vec![(1.0, Pattern::Hot { hot_lines: 20 << 10 })],
+                        patterns: vec![(
+                            1.0,
+                            Pattern::Hot {
+                                hot_lines: 20 << 10,
+                            },
+                        )],
                         burst: None,
                     },
                 ],
@@ -221,7 +317,12 @@ impl Workload {
                     insts: u64::MAX,
                     gap_mean: 35.0,
                     write_frac: 0.50,
-                    patterns: vec![(1.0, Pattern::Random { region_lines: 1 << 24 })],
+                    patterns: vec![(
+                        1.0,
+                        Pattern::Random {
+                            region_lines: 1 << 24,
+                        },
+                    )],
                     burst: None,
                 }],
             },
@@ -231,7 +332,12 @@ impl Workload {
                     insts: u64::MAX,
                     gap_mean: 30.0,
                     write_frac: 0.33,
-                    patterns: vec![(1.0, Pattern::Sequential { region_lines: 1 << 20 })],
+                    patterns: vec![(
+                        1.0,
+                        Pattern::Sequential {
+                            region_lines: 1 << 20,
+                        },
+                    )],
                     burst: None,
                 }],
             },
@@ -363,9 +469,7 @@ mod tests {
     #[test]
     fn warmup_targets_forty_thousand_accesses() {
         for w in Workload::all() {
-            let accesses = w.warmup_insts() as f64
-                * w.profile().nominal_accesses_per_kinst()
-                / 1e3;
+            let accesses = w.warmup_insts() as f64 * w.profile().nominal_accesses_per_kinst() / 1e3;
             assert!(
                 (accesses - 40_000.0).abs() < 2_000.0,
                 "{w}: warmup covers {accesses:.0} accesses"

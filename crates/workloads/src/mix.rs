@@ -24,7 +24,14 @@ impl Mix {
     /// All six mixes in Table 11 order.
     #[must_use]
     pub fn all() -> [Mix; 6] {
-        [Mix::Mix1, Mix::Mix2, Mix::Mix3, Mix::Mix4, Mix::Mix5, Mix::Mix6]
+        [
+            Mix::Mix1,
+            Mix::Mix2,
+            Mix::Mix3,
+            Mix::Mix4,
+            Mix::Mix5,
+            Mix::Mix6,
+        ]
     }
 
     /// Conventional name ("mix1".."mix6").
@@ -44,18 +51,42 @@ impl Mix {
     #[must_use]
     pub fn members(self) -> [Workload; 4] {
         match self {
-            Mix::Mix1 => [Workload::Lbm, Workload::Libquantum, Workload::Stream, Workload::Ocean],
-            Mix::Mix2 => {
-                [Workload::Leslie3d, Workload::Bwaves, Workload::Stream, Workload::Ocean]
-            }
-            Mix::Mix3 => [Workload::GemsFdtd, Workload::Milc, Workload::Zeusmp, Workload::Bwaves],
-            Mix::Mix4 => [Workload::Lbm, Workload::Leslie3d, Workload::Zeusmp, Workload::GemsFdtd],
-            Mix::Mix5 => {
-                [Workload::GemsFdtd, Workload::Milc, Workload::Bwaves, Workload::Libquantum]
-            }
-            Mix::Mix6 => {
-                [Workload::Libquantum, Workload::Bwaves, Workload::Stream, Workload::Ocean]
-            }
+            Mix::Mix1 => [
+                Workload::Lbm,
+                Workload::Libquantum,
+                Workload::Stream,
+                Workload::Ocean,
+            ],
+            Mix::Mix2 => [
+                Workload::Leslie3d,
+                Workload::Bwaves,
+                Workload::Stream,
+                Workload::Ocean,
+            ],
+            Mix::Mix3 => [
+                Workload::GemsFdtd,
+                Workload::Milc,
+                Workload::Zeusmp,
+                Workload::Bwaves,
+            ],
+            Mix::Mix4 => [
+                Workload::Lbm,
+                Workload::Leslie3d,
+                Workload::Zeusmp,
+                Workload::GemsFdtd,
+            ],
+            Mix::Mix5 => [
+                Workload::GemsFdtd,
+                Workload::Milc,
+                Workload::Bwaves,
+                Workload::Libquantum,
+            ],
+            Mix::Mix6 => [
+                Workload::Libquantum,
+                Workload::Bwaves,
+                Workload::Stream,
+                Workload::Ocean,
+            ],
         }
     }
 
@@ -88,7 +119,12 @@ mod tests {
     fn table11_membership_spotcheck() {
         assert_eq!(
             Mix::Mix4.members(),
-            [Workload::Lbm, Workload::Leslie3d, Workload::Zeusmp, Workload::GemsFdtd]
+            [
+                Workload::Lbm,
+                Workload::Leslie3d,
+                Workload::Zeusmp,
+                Workload::GemsFdtd
+            ]
         );
         assert!(Mix::Mix3.members().contains(&Workload::Zeusmp));
     }

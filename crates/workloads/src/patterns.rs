@@ -66,17 +66,23 @@ impl PatternState {
     #[must_use]
     pub fn new(pattern: Pattern, base: u64) -> PatternState {
         match pattern {
-            Pattern::Sequential { region_lines }
-            | Pattern::Random { region_lines } => {
+            Pattern::Sequential { region_lines } | Pattern::Random { region_lines } => {
                 assert!(region_lines > 0, "region must be nonempty");
             }
-            Pattern::Strided { stride, region_lines } => {
+            Pattern::Strided {
+                stride,
+                region_lines,
+            } => {
                 assert!(region_lines > 0, "region must be nonempty");
                 assert!(stride > 0, "stride must be nonzero");
             }
             Pattern::Hot { hot_lines } => assert!(hot_lines > 0, "hot set must be nonempty"),
         }
-        PatternState { pattern, base, cursor: 0 }
+        PatternState {
+            pattern,
+            base,
+            cursor: 0,
+        }
     }
 
     /// The pattern this state instantiates.
@@ -93,7 +99,10 @@ impl PatternState {
                 self.cursor = (self.cursor + 1) % region_lines;
                 line
             }
-            Pattern::Strided { stride, region_lines } => {
+            Pattern::Strided {
+                stride,
+                region_lines,
+            } => {
                 let line = self.base + self.cursor;
                 self.cursor = (self.cursor + stride) % region_lines;
                 line
@@ -152,7 +161,13 @@ mod tests {
 
     #[test]
     fn strided_steps() {
-        let mut st = PatternState::new(Pattern::Strided { stride: 4, region_lines: 10 }, 0);
+        let mut st = PatternState::new(
+            Pattern::Strided {
+                stride: 4,
+                region_lines: 10,
+            },
+            0,
+        );
         let mut r = rng();
         let seq: Vec<u64> = (0..4).map(|_| st.next_line(&mut r)).collect();
         assert_eq!(seq, vec![0, 4, 8, 2]);
@@ -185,8 +200,12 @@ mod tests {
     #[test]
     fn layout_gives_disjoint_regions() {
         let states = layout(&[
-            Pattern::Sequential { region_lines: 1 << 10 },
-            Pattern::Random { region_lines: 1 << 12 },
+            Pattern::Sequential {
+                region_lines: 1 << 10,
+            },
+            Pattern::Random {
+                region_lines: 1 << 12,
+            },
         ]);
         let mut r = rng();
         let mut a = states[0].clone();
@@ -200,7 +219,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "stride must be nonzero")]
     fn zero_stride_panics() {
-        let _ = PatternState::new(Pattern::Strided { stride: 0, region_lines: 8 }, 0);
+        let _ = PatternState::new(
+            Pattern::Strided {
+                stride: 0,
+                region_lines: 8,
+            },
+            0,
+        );
     }
 
     #[test]

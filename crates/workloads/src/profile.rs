@@ -53,7 +53,11 @@ impl Profile {
     /// write fractions or empty pattern mixtures — profile constants are
     /// code, not user input, so violations are programming errors.
     pub fn assert_valid(&self) {
-        assert!(!self.phases.is_empty(), "{}: profile needs phases", self.name);
+        assert!(
+            !self.phases.is_empty(),
+            "{}: profile needs phases",
+            self.name
+        );
         for (i, ph) in self.phases.iter().enumerate() {
             assert!(ph.insts > 0, "{} phase {i}: zero length", self.name);
             assert!(ph.gap_mean >= 1.0, "{} phase {i}: gap_mean < 1", self.name);
@@ -62,12 +66,24 @@ impl Profile {
                 "{} phase {i}: bad write_frac",
                 self.name
             );
-            assert!(!ph.patterns.is_empty(), "{} phase {i}: no patterns", self.name);
+            assert!(
+                !ph.patterns.is_empty(),
+                "{} phase {i}: no patterns",
+                self.name
+            );
             let total: f64 = ph.patterns.iter().map(|(w, _)| *w).sum();
             assert!(total > 0.0, "{} phase {i}: zero pattern weight", self.name);
             if let Some(b) = ph.burst {
-                assert!(b.burst_insts > 0 && b.quiet_insts > 0, "{} phase {i}: bad burst", self.name);
-                assert!(b.quiet_gap_factor >= 1.0, "{} phase {i}: quiet factor < 1", self.name);
+                assert!(
+                    b.burst_insts > 0 && b.quiet_insts > 0,
+                    "{} phase {i}: bad burst",
+                    self.name
+                );
+                assert!(
+                    b.quiet_gap_factor >= 1.0,
+                    "{} phase {i}: quiet factor < 1",
+                    self.name
+                );
             }
         }
     }
@@ -77,8 +93,11 @@ impl Profile {
     #[must_use]
     pub fn nominal_accesses_per_kinst(&self) -> f64 {
         let total_insts: u64 = self.phases.iter().map(|p| p.insts).sum();
-        let total_accesses: f64 =
-            self.phases.iter().map(|p| p.insts as f64 / p.gap_mean).sum();
+        let total_accesses: f64 = self
+            .phases
+            .iter()
+            .map(|p| p.insts as f64 / p.gap_mean)
+            .sum();
         total_accesses / (total_insts as f64 / 1e3)
     }
 }
@@ -92,14 +111,22 @@ mod tests {
             insts: 1_000_000,
             gap_mean: 50.0,
             write_frac: 0.3,
-            patterns: vec![(1.0, Pattern::Sequential { region_lines: 1 << 16 })],
+            patterns: vec![(
+                1.0,
+                Pattern::Sequential {
+                    region_lines: 1 << 16,
+                },
+            )],
             burst: None,
         }
     }
 
     #[test]
     fn valid_profile_passes() {
-        let p = Profile { name: "t", phases: vec![simple_phase()] };
+        let p = Profile {
+            name: "t",
+            phases: vec![simple_phase()],
+        };
         p.assert_valid();
         assert!((p.nominal_accesses_per_kinst() - 20.0).abs() < 1e-9);
     }
@@ -107,7 +134,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "needs phases")]
     fn empty_profile_panics() {
-        Profile { name: "t", phases: vec![] }.assert_valid();
+        Profile {
+            name: "t",
+            phases: vec![],
+        }
+        .assert_valid();
     }
 
     #[test]
@@ -115,22 +146,37 @@ mod tests {
     fn bad_write_frac_panics() {
         let mut ph = simple_phase();
         ph.write_frac = 1.5;
-        Profile { name: "t", phases: vec![ph] }.assert_valid();
+        Profile {
+            name: "t",
+            phases: vec![ph],
+        }
+        .assert_valid();
     }
 
     #[test]
     #[should_panic(expected = "quiet factor")]
     fn bad_burst_panics() {
         let mut ph = simple_phase();
-        ph.burst = Some(BurstSpec { burst_insts: 10, quiet_insts: 10, quiet_gap_factor: 0.5 });
-        Profile { name: "t", phases: vec![ph] }.assert_valid();
+        ph.burst = Some(BurstSpec {
+            burst_insts: 10,
+            quiet_insts: 10,
+            quiet_gap_factor: 0.5,
+        });
+        Profile {
+            name: "t",
+            phases: vec![ph],
+        }
+        .assert_valid();
     }
 
     #[test]
     fn multi_phase_rate_averages() {
         let mut fast = simple_phase();
         fast.gap_mean = 25.0;
-        let p = Profile { name: "t", phases: vec![simple_phase(), fast] };
+        let p = Profile {
+            name: "t",
+            phases: vec![simple_phase(), fast],
+        };
         // 20/kinst and 40/kinst over equal lengths -> 30/kinst.
         assert!((p.nominal_accesses_per_kinst() - 30.0).abs() < 1e-9);
     }

@@ -116,7 +116,10 @@ impl AccessSource for WorkloadSource {
         let weights = &self.phase_weights[self.phase_idx];
         let total = *weights.last().expect("nonempty patterns");
         let draw = self.rng.gen::<f64>() * total;
-        let pi = weights.iter().position(|&w| draw < w).unwrap_or(weights.len() - 1);
+        let pi = weights
+            .iter()
+            .position(|&w| draw < w)
+            .unwrap_or(weights.len() - 1);
         let line = self.phase_patterns[self.phase_idx][pi].next_line(&mut self.rng);
 
         let kind = if self.rng.gen::<f64>() < phase.write_frac {
@@ -125,7 +128,11 @@ impl AccessSource for WorkloadSource {
             AccessKind::Read
         };
         self.advance_phase(gap);
-        TraceEvent { gap_insts: gap, kind, line }
+        TraceEvent {
+            gap_insts: gap,
+            kind,
+            line,
+        }
     }
 
     fn mean_gap_hint(&self) -> Option<f64> {
@@ -151,8 +158,18 @@ mod tests {
                     gap_mean: 50.0,
                     write_frac: 0.4,
                     patterns: vec![
-                        (0.7, Pattern::Sequential { region_lines: 1 << 14 }),
-                        (0.3, Pattern::Random { region_lines: 1 << 16 }),
+                        (
+                            0.7,
+                            Pattern::Sequential {
+                                region_lines: 1 << 14,
+                            },
+                        ),
+                        (
+                            0.3,
+                            Pattern::Random {
+                                region_lines: 1 << 16,
+                            },
+                        ),
                     ],
                     burst: None,
                 },
@@ -180,14 +197,19 @@ mod tests {
     fn different_seed_differs() {
         let mut a = WorkloadSource::new(profile(), 1);
         let mut b = WorkloadSource::new(profile(), 2);
-        let same = (0..100).filter(|_| a.next_access() == b.next_access()).count();
+        let same = (0..100)
+            .filter(|_| a.next_access() == b.next_access())
+            .count();
         assert!(same < 10);
     }
 
     #[test]
     fn gap_mean_approximately_honored() {
         let mut s = WorkloadSource::new(
-            Profile { name: "t", phases: vec![profile().phases[0].clone()] },
+            Profile {
+                name: "t",
+                phases: vec![profile().phases[0].clone()],
+            },
             3,
         );
         let n = 20_000;
@@ -199,10 +221,15 @@ mod tests {
     #[test]
     fn write_fraction_approximately_honored() {
         let mut s = WorkloadSource::new(
-            Profile { name: "t", phases: vec![profile().phases[0].clone()] },
+            Profile {
+                name: "t",
+                phases: vec![profile().phases[0].clone()],
+            },
             4,
         );
-        let writes = (0..10_000).filter(|_| s.next_access().kind.is_write()).count();
+        let writes = (0..10_000)
+            .filter(|_| s.next_access().kind.is_write())
+            .count();
         assert!((writes as f64 / 10_000.0 - 0.4).abs() < 0.05);
     }
 
@@ -228,7 +255,12 @@ mod tests {
                 insts: u64::MAX,
                 gap_mean: 20.0,
                 write_frac: 0.0,
-                patterns: vec![(1.0, Pattern::Sequential { region_lines: 1 << 20 })],
+                patterns: vec![(
+                    1.0,
+                    Pattern::Sequential {
+                        region_lines: 1 << 20,
+                    },
+                )],
                 burst: Some(BurstSpec {
                     burst_insts: 50_000,
                     quiet_insts: 50_000,
@@ -252,7 +284,10 @@ mod tests {
                 in_quiet += 1;
             }
         }
-        assert!(in_burst as f64 > 3.0 * in_quiet as f64, "burst={in_burst} quiet={in_quiet}");
+        assert!(
+            in_burst as f64 > 3.0 * in_quiet as f64,
+            "burst={in_burst} quiet={in_quiet}"
+        );
     }
 
     #[test]

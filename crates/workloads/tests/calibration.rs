@@ -21,7 +21,10 @@ fn default_metrics(w: Workload) -> mct_sim::stats::Metrics {
 fn default_config_landscape_matches_figure7_shape() {
     let mut zeusmp_lifetime = 0.0;
     let mut below_8y = 0;
-    println!("{:<12} {:>8} {:>12} {:>12}", "workload", "ipc", "lifetime_y", "energy_mj");
+    println!(
+        "{:<12} {:>8} {:>12} {:>12}",
+        "workload", "ipc", "lifetime_y", "energy_mj"
+    );
     for w in Workload::all() {
         let m = default_metrics(w);
         println!(
@@ -31,7 +34,11 @@ fn default_config_landscape_matches_figure7_shape() {
             m.lifetime_years,
             m.energy_j * 1e3
         );
-        assert!(m.ipc > 0.01 && m.ipc < 3.0, "{w}: implausible IPC {}", m.ipc);
+        assert!(
+            m.ipc > 0.01 && m.ipc < 3.0,
+            "{w}: implausible IPC {}",
+            m.ipc
+        );
         assert!(
             m.lifetime_years > 0.1 && m.lifetime_years.is_finite(),
             "{w}: implausible lifetime {}",
@@ -47,7 +54,10 @@ fn default_config_landscape_matches_figure7_shape() {
         zeusmp_lifetime > 8.0,
         "zeusmp should pass the 8-year target by default (got {zeusmp_lifetime:.2}y)"
     );
-    assert!(below_8y >= 7, "most workloads should miss 8 years by default (got {below_8y}/9)");
+    assert!(
+        below_8y >= 7,
+        "most workloads should miss 8 years by default (got {below_8y}/9)"
+    );
 }
 
 #[test]

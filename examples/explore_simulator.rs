@@ -28,7 +28,11 @@ fn main() {
         ("default (fast 1.0x only)", NvmConfig::default_config()),
         (
             "slower pulses (2.0x)",
-            NvmConfig { fast_latency: 2.0, slow_latency: 2.0, ..NvmConfig::default_config() },
+            NvmConfig {
+                fast_latency: 2.0,
+                slow_latency: 2.0,
+                ..NvmConfig::default_config()
+            },
         ),
         (
             "bank-aware mellow writes",

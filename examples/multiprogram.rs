@@ -29,8 +29,11 @@ fn main() {
         let mut sources = mix.sources(42);
         sys.warmup(&mut sources, 2_000_000);
         let stats = sys.run(&mut sources, 500_000);
-        let per_core: Vec<String> =
-            stats.per_core_ipc.iter().map(|i| format!("{i:.2}")).collect();
+        let per_core: Vec<String> = stats
+            .per_core_ipc
+            .iter()
+            .map(|i| format!("{i:.2}"))
+            .collect();
         println!(
             "{:<18} {:>12.3} {:>10.1} {:>9.2}   [{}]",
             name,

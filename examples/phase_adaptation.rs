@@ -35,7 +35,11 @@ fn main() {
             seg.testing_insts,
             seg.optimization.config,
             seg.testing.ipc,
-            if seg.health_fallback { "; fell back to baseline" } else { "" },
+            if seg.health_fallback {
+                "; fell back to baseline"
+            } else {
+                ""
+            },
         );
     }
     println!("\nphases detected: {}", outcome.phases_detected);

@@ -56,7 +56,11 @@ fn main() {
             seg.optimization.config,
             seg.optimization.predicted.ipc,
             seg.testing.ipc,
-            if seg.health_fallback { ", health-check fell back to baseline" } else { "" },
+            if seg.health_fallback {
+                ", health-check fell back to baseline"
+            } else {
+                ""
+            },
         );
     }
 }

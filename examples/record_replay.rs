@@ -47,7 +47,11 @@ fn main() {
     for &(line, kind) in &cpu_stream {
         gap += 12; // ~12 instructions between CPU memory ops
         for (l, k) in fe.filter(line, kind) {
-            events.push(TraceEvent { gap_insts: gap.max(1), kind: k, line: l });
+            events.push(TraceEvent {
+                gap_insts: gap.max(1),
+                kind: k,
+                line: l,
+            });
             gap = 0;
         }
     }
@@ -61,12 +65,19 @@ fn main() {
     let trace = RecordedTrace::new(events);
 
     // Phase 2: replay the same trace against different policies.
-    println!("\n{:<28} {:>7} {:>10} {:>9}", "policy", "ipc", "life(y)", "rowhit%");
+    println!(
+        "\n{:<28} {:>7} {:>10} {:>9}",
+        "policy", "ipc", "life(y)", "rowhit%"
+    );
     for (name, cfg) in [
         ("default", NvmConfig::default_config()),
         (
             "slow 2.5x",
-            NvmConfig { fast_latency: 2.5, slow_latency: 2.5, ..NvmConfig::default_config() },
+            NvmConfig {
+                fast_latency: 2.5,
+                slow_latency: 2.5,
+                ..NvmConfig::default_config()
+            },
         ),
         ("static baseline", NvmConfig::static_baseline()),
     ] {

@@ -3,8 +3,10 @@
 //!
 //! ```text
 //! mct run      <workload> [--target <years>] [--model gb|ql] [--insts N]
+//!                         [--seed N] [--trace <out.jsonl>] [--quiet]
+//! mct report   <trace.jsonl>
 //! mct measure  <workload> [--fast R] [--slow R] [--bank N] [--eager N]
-//!                         [--quota Y] [--cancel none|slow|both]
+//!                         [--quota Y] [--cancel none|slow|both] [--seed N]
 //! mct workloads
 //! mct space
 //! ```
@@ -15,45 +17,102 @@ use memory_cocktail_therapy::framework::{
     ConfigSpace, Controller, ControllerConfig, ModelKind, NvmConfig, Objective,
 };
 use memory_cocktail_therapy::sim::{System, SystemConfig};
+use memory_cocktail_therapy::telemetry::{parse_jsonl, render_report, JsonlRecorder};
 use memory_cocktail_therapy::workloads::Workload;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  mct run <workload> [--target YEARS] [--model gb|ql] [--insts N]\n  \
-         mct measure <workload> [--fast R] [--slow R] [--bank N] [--eager N] [--quota Y] [--cancel none|slow|both]\n  \
+        "usage:\n  mct run <workload> [--target YEARS] [--model gb|ql] [--insts N] [--seed N] [--trace OUT.jsonl] [--quiet]\n  \
+         mct report <trace.jsonl>\n  \
+         mct measure <workload> [--fast R] [--slow R] [--bank N] [--eager N] [--quota Y] [--cancel none|slow|both] [--seed N]\n  \
          mct workloads\n  mct space"
     );
     ExitCode::FAILURE
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// Reject unknown `--flags` and value flags missing their value.
+fn check_flags(args: &[String], value_flags: &[&str], bool_flags: &[&str]) -> Result<(), String> {
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a.starts_with("--") {
+            if value_flags.contains(&a.as_str()) {
+                match args.get(i + 1) {
+                    Some(v) if !v.starts_with("--") => i += 1,
+                    _ => return Err(format!("flag {a} needs a value")),
+                }
+            } else if !bool_flags.contains(&a.as_str()) {
+                return Err(format!("unknown flag {a}"));
+            }
+        }
+        i += 1;
+    }
+    Ok(())
 }
 
 fn cmd_run(args: &[String]) -> ExitCode {
+    if let Err(e) = check_flags(
+        args,
+        &["--target", "--model", "--insts", "--seed", "--trace"],
+        &["--quiet"],
+    ) {
+        eprintln!("{e}");
+        return usage();
+    }
     let Some(workload) = args.first().and_then(|n| Workload::from_name(n)) else {
         eprintln!("unknown workload; try `mct workloads`");
         return ExitCode::FAILURE;
     };
-    let target: f64 = flag(args, "--target").and_then(|v| v.parse().ok()).unwrap_or(8.0);
+    let target: f64 = flag(args, "--target")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8.0);
     let model = match flag(args, "--model").as_deref() {
         Some("ql") => ModelKind::QuadraticLasso,
         _ => ModelKind::GradientBoosting,
     };
-    let insts: u64 = flag(args, "--insts").and_then(|v| v.parse().ok()).unwrap_or(3_000_000);
+    let insts: u64 = flag(args, "--insts")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3_000_000);
+    let seed: u64 = flag(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2017);
+    let quiet = has_flag(args, "--quiet");
 
     let mut cfg = ControllerConfig::paper_scaled();
     cfg.model = model;
     cfg.total_insts = insts;
     cfg.warmup_insts = workload.warmup_insts();
+    cfg.seed = seed;
     let mut controller = Controller::new(cfg, Objective::paper_default(target));
-    println!(
-        "MCT on {workload}: target {target}y, model {}, {insts} insts, {} samples over {} configs",
-        model.label(),
-        controller.samples().len(),
-        controller.space().len()
-    );
-    let outcome = controller.run(&mut workload.source(2017));
+    let trace = flag(args, "--trace");
+    if let Some(path) = &trace {
+        match JsonlRecorder::create(std::path::Path::new(path)) {
+            Ok(recorder) => controller = controller.with_recorder(recorder.handle()),
+            Err(e) => {
+                eprintln!("cannot create trace file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if !quiet {
+        println!(
+            "MCT on {workload}: target {target}y, model {}, {insts} insts, {} samples over {} configs",
+            model.label(),
+            controller.samples().len(),
+            controller.space().len()
+        );
+    }
+    let outcome = controller.run(&mut workload.source(seed));
     println!("chosen: [{}]", outcome.chosen_config);
     println!(
         "metrics: IPC {:.3} | lifetime {:.1}y | energy {:.3} mJ | phases {}",
@@ -62,14 +121,60 @@ fn cmd_run(args: &[String]) -> ExitCode {
         outcome.final_metrics.energy_j * 1e3,
         outcome.phases_detected
     );
+    if let Some(path) = &trace {
+        if !quiet {
+            println!("decision trace written to {path} (render with `mct report {path}`)");
+        }
+    }
     ExitCode::SUCCESS
 }
 
+fn cmd_report(args: &[String]) -> ExitCode {
+    if let Err(e) = check_flags(args, &[], &[]) {
+        eprintln!("{e}");
+        return usage();
+    }
+    let Some(path) = args.first() else {
+        eprintln!("usage: mct report <trace.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match parse_jsonl(&text) {
+        Ok(records) => {
+            print!("{}", render_report(&records));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("malformed trace {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn cmd_measure(args: &[String]) -> ExitCode {
+    if let Err(e) = check_flags(
+        args,
+        &[
+            "--fast", "--slow", "--bank", "--eager", "--quota", "--cancel", "--seed",
+        ],
+        &[],
+    ) {
+        eprintln!("{e}");
+        return usage();
+    }
     let Some(workload) = args.first().and_then(|n| Workload::from_name(n)) else {
         eprintln!("unknown workload; try `mct workloads`");
         return ExitCode::FAILURE;
     };
+    let seed: u64 = flag(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2017);
     let mut cfg = NvmConfig::default_config();
     if let Some(v) = flag(args, "--fast").and_then(|v| v.parse().ok()) {
         cfg.fast_latency = v;
@@ -103,7 +208,7 @@ fn cmd_measure(args: &[String]) -> ExitCode {
     }
     println!("measuring [{cfg}] on {workload} ...");
     let mut sys = System::new(SystemConfig::default(), cfg.to_policy());
-    let mut src = workload.source(2017);
+    let mut src = workload.source(seed);
     sys.warmup(&mut src, workload.warmup_insts());
     let stats = sys.run(&mut src, workload.detailed_insts(1.0));
     let m = stats.metrics();
@@ -126,6 +231,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
         Some("measure") => cmd_measure(&args[1..]),
         Some("workloads") => {
             for w in Workload::all() {
@@ -139,8 +245,14 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("space") => {
-            println!("full space: {} configurations", ConfigSpace::full(8.0).len());
-            println!("learnable (no wear quota): {}", ConfigSpace::without_wear_quota().len());
+            println!(
+                "full space: {} configurations",
+                ConfigSpace::full(8.0).len()
+            );
+            println!(
+                "learnable (no wear quota): {}",
+                ConfigSpace::without_wear_quota().len()
+            );
             ExitCode::SUCCESS
         }
         _ => usage(),

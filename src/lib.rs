@@ -15,7 +15,9 @@
 //!   regression, gradient boosting, hierarchical shrinkage);
 //! * [`framework`] — the MCT framework itself: configuration space,
 //!   objectives, phase detection, runtime sampling, prediction,
-//!   constrained optimization, wear-quota fixup and health checking.
+//!   constrained optimization, wear-quota fixup and health checking;
+//! * [`telemetry`] — structured decision traces (JSONL), counters and
+//!   histograms, and the report renderer behind `mct report`.
 //!
 //! ## Quickstart
 //!
@@ -40,4 +42,5 @@
 pub use mct_core as framework;
 pub use mct_ml as ml;
 pub use mct_sim as sim;
+pub use mct_telemetry as telemetry;
 pub use mct_workloads as workloads;

@@ -14,7 +14,10 @@ fn small_config(model: ModelKind) -> ControllerConfig {
 
 #[test]
 fn mct_with_quadratic_lasso_completes() {
-    let mut c = Controller::new(small_config(ModelKind::QuadraticLasso), Objective::paper_default(8.0));
+    let mut c = Controller::new(
+        small_config(ModelKind::QuadraticLasso),
+        Objective::paper_default(8.0),
+    );
     let outcome = c.run(&mut Workload::Gups.source(1));
     assert!(outcome.final_metrics.ipc > 0.0);
     outcome.chosen_config.validate().unwrap();
@@ -22,8 +25,10 @@ fn mct_with_quadratic_lasso_completes() {
 
 #[test]
 fn mct_with_gradient_boosting_completes() {
-    let mut c =
-        Controller::new(small_config(ModelKind::GradientBoosting), Objective::paper_default(8.0));
+    let mut c = Controller::new(
+        small_config(ModelKind::GradientBoosting),
+        Objective::paper_default(8.0),
+    );
     let outcome = c.run(&mut Workload::Stream.source(1));
     assert!(outcome.final_metrics.ipc > 0.0);
     assert!(outcome.segments.iter().all(|s| s.sampling_insts > 0));
@@ -48,8 +53,10 @@ fn mct_is_deterministic() {
 fn quota_fixup_guarantees_lifetime_mechanism() {
     // Whatever MCT picks, the fixup must attach an 8-year wear quota
     // (unless it fell back to the baseline, which carries one already).
-    let mut c =
-        Controller::new(small_config(ModelKind::QuadraticLasso), Objective::paper_default(8.0));
+    let mut c = Controller::new(
+        small_config(ModelKind::QuadraticLasso),
+        Objective::paper_default(8.0),
+    );
     let outcome = c.run(&mut Workload::Lbm.source(4));
     assert!(outcome.chosen_config.wear_quota);
     assert!((outcome.chosen_config.wear_quota_target - 8.0).abs() < 1e-9);
@@ -79,8 +86,13 @@ fn objective_variants_select_differently_on_real_system() {
             sys.run(&mut src, 300_000).metrics()
         })
         .collect();
-    // Loose objective: prefer IPC -> default config wins.
-    let perf = Objective::paper_default(0.1).select(&metrics).expect("feasible");
+    // Loose objective with no slack: pure IPC preference -> the all-fast
+    // default config wins. (With the default 95% slack both fast configs
+    // fall in the window and the energy tiebreak decides on sub-0.1%
+    // margins, which is not what this test is about.)
+    let mut perf_obj = Objective::paper_default(0.1);
+    perf_obj.slack = 1.0;
+    let perf = perf_obj.select(&metrics).expect("feasible");
     assert_eq!(perf, 0, "metrics: {metrics:?}");
     // Strict lifetime floor: default (all-fast) must lose.
     if let Some(strict) = Objective::paper_default(metrics[0].lifetime_years * 2.0).select(&metrics)
@@ -99,8 +111,10 @@ fn health_check_prevents_regression_below_baseline() {
     // controller uses its own accumulated health-check windows, and this
     // test only asserts the fallback machinery engaged when the gap was
     // extreme.
-    let mut c =
-        Controller::new(small_config(ModelKind::QuadraticLasso), Objective::paper_default(8.0));
+    let mut c = Controller::new(
+        small_config(ModelKind::QuadraticLasso),
+        Objective::paper_default(8.0),
+    );
     let outcome = c.run(&mut Workload::Leslie3d.source(6));
     assert!(!outcome.segments.is_empty());
     for seg in &outcome.segments {
@@ -123,8 +137,10 @@ fn health_check_prevents_regression_below_baseline() {
 
 #[test]
 fn sampling_metrics_are_plausible_overhead() {
-    let mut c =
-        Controller::new(small_config(ModelKind::QuadraticLasso), Objective::paper_default(8.0));
+    let mut c = Controller::new(
+        small_config(ModelKind::QuadraticLasso),
+        Objective::paper_default(8.0),
+    );
     let outcome = c.run(&mut Workload::Bwaves.source(3));
     // Sampling mixes good and bad configs: its IPC sits within a broad
     // band of the final choice (paper Fig. 9a: ~94% of baseline).

@@ -27,10 +27,20 @@ fn slow_writes_trade_performance_for_lifetime() {
     let fast = metrics(Workload::Stream, &NvmConfig::default_config());
     let slow = metrics(
         Workload::Stream,
-        &NvmConfig { fast_latency: 3.0, slow_latency: 3.0, ..NvmConfig::default_config() },
+        &NvmConfig {
+            fast_latency: 3.0,
+            slow_latency: 3.0,
+            ..NvmConfig::default_config()
+        },
     );
-    assert!(slow.lifetime_years > fast.lifetime_years * 3.0, "endurance gain ~9x expected");
-    assert!(slow.ipc < fast.ipc, "slow writes cost IPC on a write-heavy stream");
+    assert!(
+        slow.lifetime_years > fast.lifetime_years * 3.0,
+        "endurance gain ~9x expected"
+    );
+    assert!(
+        slow.ipc < fast.ipc,
+        "slow writes cost IPC on a write-heavy stream"
+    );
 }
 
 #[test]
@@ -40,7 +50,11 @@ fn endurance_scales_quadratically_with_pulse_width() {
     let one = run(Workload::Stream, &NvmConfig::default_config(), window);
     let two = run(
         Workload::Stream,
-        &NvmConfig { fast_latency: 2.0, slow_latency: 2.0, ..NvmConfig::default_config() },
+        &NvmConfig {
+            fast_latency: 2.0,
+            slow_latency: 2.0,
+            ..NvmConfig::default_config()
+        },
         window,
     );
     let wear_per_write_1 = one.wear_units / one.mem.writes_completed() as f64;
@@ -63,10 +77,16 @@ fn write_cancellation_improves_performance_costs_lifetime() {
         slow_latency: 4.0,
         ..NvmConfig::default_config()
     };
-    let with = NvmConfig { slow_cancellation: true, ..base };
+    let with = NvmConfig {
+        slow_cancellation: true,
+        ..base
+    };
     let off = metrics(Workload::Milc, &base);
     let on = metrics(Workload::Milc, &with);
-    assert!(on.ipc >= off.ipc, "cancellation lets reads jump writes: {on:?} vs {off:?}");
+    assert!(
+        on.ipc >= off.ipc,
+        "cancellation lets reads jump writes: {on:?} vs {off:?}"
+    );
     assert!(
         on.lifetime_years <= off.lifetime_years * 1.02,
         "canceled writes burn extra wear"
@@ -78,15 +98,24 @@ fn wear_quota_enforces_a_lifetime_floor() {
     // An aggressive all-fast config on a write-heavy stream busts 8 years;
     // adding wear quota must push projected lifetime toward the target.
     let without = metrics(Workload::Gups, &NvmConfig::default_config());
-    assert!(without.lifetime_years < 6.0, "premise: gups busts the floor ({without:?})");
-    let with = metrics(Workload::Gups, &NvmConfig::default_config().with_wear_quota(8.0));
+    assert!(
+        without.lifetime_years < 6.0,
+        "premise: gups busts the floor ({without:?})"
+    );
+    let with = metrics(
+        Workload::Gups,
+        &NvmConfig::default_config().with_wear_quota(8.0),
+    );
     assert!(
         with.lifetime_years > without.lifetime_years * 1.5,
         "quota must extend lifetime substantially: {} -> {}",
         without.lifetime_years,
         with.lifetime_years
     );
-    assert!(with.ipc <= without.ipc, "quota throttling costs performance");
+    assert!(
+        with.ipc <= without.ipc,
+        "quota throttling costs performance"
+    );
 }
 
 #[test]
@@ -95,10 +124,18 @@ fn eager_writebacks_recruit_idle_banks() {
         slow_latency: 2.0,
         ..NvmConfig::default_config()
     };
-    let eager = NvmConfig { eager_writebacks: true, eager_threshold: 4, ..base };
+    let eager = NvmConfig {
+        eager_writebacks: true,
+        eager_threshold: 4,
+        ..base
+    };
     // zeusmp has reuse (dirty lines linger) and idle memory: eager
     // writebacks should fire.
-    let stats = run(Workload::Zeusmp, &eager, Workload::Zeusmp.detailed_insts(0.3));
+    let stats = run(
+        Workload::Zeusmp,
+        &eager,
+        Workload::Zeusmp.detailed_insts(0.3),
+    );
     assert!(stats.mem.eager_writes > 0, "{:?}", stats.mem);
     assert!(stats.llc.eager_cleaned >= stats.mem.eager_writes);
 }
@@ -127,8 +164,7 @@ fn per_application_heterogeneity_in_best_config() {
     // The lifetime benefit and IPC cost of config b must differ strongly
     // across applications.
     assert!(
-        (life_gups / life_zeusmp - 1.0).abs() > 0.15
-            || (ipc_gups / ipc_zeusmp - 1.0).abs() > 0.05,
+        (life_gups / life_zeusmp - 1.0).abs() > 0.15 || (ipc_gups / ipc_zeusmp - 1.0).abs() > 0.05,
         "gups ({ipc_gups:.3}, {life_gups:.2}) vs zeusmp ({ipc_zeusmp:.3}, {life_zeusmp:.2})"
     );
 }

@@ -20,7 +20,11 @@ fn arb_config() -> impl Strategy<Value = NvmConfig> {
         proptest::option::of(4.0f64..=10.0),
         0usize..7,
         0usize..7,
-        prop_oneof![Just((false, false)), Just((false, true)), Just((true, true))],
+        prop_oneof![
+            Just((false, false)),
+            Just((false, true)),
+            Just((true, true))
+        ],
     )
         .prop_map(|(bank, eager, quota, fi, si_extra, (fc, sc))| {
             let grid = [1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0];

@@ -1,0 +1,312 @@
+//! Offline stand-in for `criterion`, covering the API surface this
+//! workspace's benches use: `Criterion::bench_function`/`benchmark_group`,
+//! `BenchmarkGroup` (`sample_size`, `measurement_time`, `throughput`,
+//! `bench_function`, `bench_with_input`, `finish`), `Bencher::iter`,
+//! `BenchmarkId`, `Throughput`, and the `criterion_group!`/
+//! `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: a short warm-up, then `sample_size`
+//! timed samples whose per-iteration mean/min/max are printed as a
+//! plain-text report. There is no statistical outlier analysis, HTML
+//! output, or baseline comparison — but relative numbers between two
+//! benches in the same process are meaningful, which is all the in-repo
+//! benches (and the telemetry-overhead bench) need.
+//!
+//! Honors `--bench` (ignored filter args are fine: harness = false targets
+//! receive cargo's extra CLI args, which we accept and treat as substring
+//! filters on benchmark names).
+
+#![allow(clippy::all, clippy::pedantic, clippy::nursery)]
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation; only affects the printed report.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to the closure under test; `iter` times the supplied routine.
+pub struct Bencher<'a> {
+    samples: u64,
+    /// Mean per-iteration nanoseconds for each sample, filled by `iter`.
+    recorded: &'a mut Vec<f64>,
+}
+
+impl Bencher<'_> {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run the routine a few times untimed.
+        for _ in 0..2 {
+            std::hint::black_box(routine());
+        }
+        // Calibrate iterations per sample so each sample spans >= ~1ms.
+        let probe = Instant::now();
+        std::hint::black_box(routine());
+        let once = probe.elapsed().as_nanos().max(1) as u64;
+        let iters_per_sample = (1_000_000 / once).clamp(1, 10_000);
+
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let nanos = start.elapsed().as_nanos() as f64;
+            self.recorded.push(nanos / iters_per_sample as f64);
+        }
+    }
+}
+
+fn human_nanos(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// The harness entry point; mirrors `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: u64,
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes extra CLI args (e.g. `--bench`, name filters)
+        // straight to harness = false targets.
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Criterion {
+            sample_size: 20,
+            filters,
+        }
+    }
+}
+
+impl Criterion {
+    fn matches(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f.as_str()))
+    }
+
+    fn report(&self, name: &str, recorded: &[f64], throughput: Option<Throughput>) {
+        if recorded.is_empty() {
+            return;
+        }
+        let mean = recorded.iter().sum::<f64>() / recorded.len() as f64;
+        let min = recorded.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = recorded.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut line = format!(
+            "{name:<55} time: [{} {} {}]",
+            human_nanos(min),
+            human_nanos(mean),
+            human_nanos(max)
+        );
+        if let Some(tp) = throughput {
+            let (count, unit) = match tp {
+                Throughput::Elements(n) => (n as f64, "elem/s"),
+                Throughput::Bytes(n) => (n as f64, "B/s"),
+            };
+            let per_sec = count / (mean / 1e9);
+            line.push_str(&format!("  thrpt: {per_sec:.3e} {unit}"));
+        }
+        println!("{line}");
+    }
+
+    fn run_one<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        name: &str,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        if !self.matches(name) {
+            return;
+        }
+        let mut recorded = Vec::new();
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            recorded: &mut recorded,
+        };
+        f(&mut bencher);
+        self.report(name, &recorded, throughput);
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_one(name, None, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks; mirrors `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n as u64);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        // The stand-in sizes samples by iteration count, not wall-clock
+        // budget; accepted for API compatibility.
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    fn scoped_name(&self, id: &str) -> String {
+        format!("{}/{}", self.name, id)
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = self.scoped_name(id);
+        let saved = self.criterion.sample_size;
+        if let Some(n) = self.sample_size {
+            self.criterion.sample_size = n;
+        }
+        self.criterion.run_one(&full, self.throughput, f);
+        self.criterion.sample_size = saved;
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let full = self.scoped_name(&id.id);
+        let saved = self.criterion.sample_size;
+        if let Some(n) = self.sample_size {
+            self.criterion.sample_size = n;
+        }
+        self.criterion
+            .run_one(&full, self.throughput, |b| f(b, input));
+        self.criterion.sample_size = saved;
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Re-export for benches that use `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut recorded = Vec::new();
+        let mut b = Bencher {
+            samples: 5,
+            recorded: &mut recorded,
+        };
+        b.iter(|| std::hint::black_box(17u64.wrapping_mul(31)));
+        assert_eq!(recorded.len(), 5);
+        assert!(recorded.iter().all(|&ns| ns > 0.0));
+    }
+
+    #[test]
+    fn group_runs_and_restores_sample_size() {
+        let mut c = Criterion {
+            sample_size: 3,
+            filters: vec![],
+        };
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2);
+            g.throughput(Throughput::Elements(10));
+            g.bench_function("one", |b| b.iter(|| ran += 1));
+            g.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| {
+                b.iter(|| std::hint::black_box(x * 2))
+            });
+            g.finish();
+        }
+        assert!(ran > 0);
+        assert_eq!(c.sample_size, 3);
+    }
+
+    #[test]
+    fn filters_skip_nonmatching_names() {
+        let mut c = Criterion {
+            sample_size: 2,
+            filters: vec!["match_me".into()],
+        };
+        let mut ran = false;
+        c.bench_function("other_bench", |b| b.iter(|| ran = true));
+        assert!(!ran);
+        c.bench_function("yes_match_me_now", |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("fit", 40).id, "fit/40");
+        assert_eq!(BenchmarkId::from_parameter("lasso").id, "lasso");
+    }
+}

@@ -1,0 +1,95 @@
+//! Offline stand-in for `crossbeam`, covering `crossbeam::scope`.
+//!
+//! Built on `std::thread::scope` (stable since 1.63), but preserving
+//! crossbeam's API shape: the closure receives a `&Scope` whose `spawn`
+//! passes the scope back to the worker closure, and `scope(...)` returns
+//! `Result<R, Box<dyn Any + Send>>` where `Err` carries the payload of a
+//! panicked worker (std's scope would instead propagate the panic).
+
+#![allow(clippy::all, clippy::pedantic, clippy::nursery)]
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A handle for spawning scoped threads; mirrors `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped worker. The closure receives this scope again, as in
+    /// crossbeam, so workers can spawn further workers.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || {
+            let scope = Scope { inner };
+            f(&scope)
+        })
+    }
+}
+
+/// Run `f` with a scope handle, joining all spawned threads before
+/// returning. Worker panics are collected into `Err` rather than unwound.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| {
+            let scope = Scope { inner: s };
+            f(&scope)
+        })
+    }))
+}
+
+/// Parity with the real crate's module layout.
+pub mod thread {
+    pub use super::{scope, Scope};
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_workers_share_stack_state() {
+        let counter = AtomicUsize::new(0);
+        let result = super::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            "done"
+        })
+        .expect("no worker panicked");
+        assert_eq!(result, "done");
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn worker_panic_becomes_err() {
+        let result = super::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_handle() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .expect("no panic");
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}

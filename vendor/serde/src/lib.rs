@@ -1,0 +1,504 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so the workspace vendors a minimal serialization framework under the
+//! `serde` name. It exposes the subset this workspace actually uses:
+//!
+//! * the [`Serialize`] / [`Deserialize`] traits (via a self-describing
+//!   [`Content`] tree rather than serde's visitor-based data model);
+//! * `#[derive(Serialize, Deserialize)]` for non-generic structs and
+//!   enums, including `#[serde(skip)]` / `#[serde(default)]` field
+//!   attributes (re-exported from the companion `serde_derive` crate);
+//! * impls for the std types the workspace serializes (numbers, strings,
+//!   `Option`, `Vec`, `VecDeque`, `Box`, tuples, arrays, maps).
+//!
+//! Enum representation follows serde's externally-tagged default: unit
+//! variants serialize as strings, data variants as single-entry maps.
+
+#![allow(clippy::all, clippy::pedantic, clippy::nursery)]
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value (the stand-in's data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence.
+    Seq(Vec<Content>),
+    /// A string-keyed map, insertion-ordered.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// View as a map, if this is one.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// View as a sequence, if this is one.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// View as a string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Look up a field by name in a serialized map.
+pub fn content_field<'a>(map: &'a [(String, Content)], name: &str) -> Option<&'a Content> {
+    map.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// An error with a custom message.
+    pub fn custom(msg: impl fmt::Display) -> Error {
+        Error(msg.to_string())
+    }
+
+    /// A missing-field error.
+    pub fn missing(ty: &str, field: &str) -> Error {
+        Error(format!("missing field `{field}` in `{ty}`"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be serialized into a [`Content`] tree.
+pub trait Serialize {
+    /// Serialize `self` into the data model.
+    fn serialize_content(&self) -> Content;
+}
+
+/// Types that can be reconstructed from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Deserialize a value from the data model.
+    ///
+    /// # Errors
+    /// Returns an [`Error`] when `content` does not describe `Self`.
+    fn deserialize_content(content: &Content) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------- numbers
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                Content::U64(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(c: &Content) -> Result<Self, Error> {
+                let v = match *c {
+                    Content::U64(v) => v,
+                    Content::I64(v) if v >= 0 => v as u64,
+                    _ => return Err(Error::custom(concat!("expected ", stringify!($t)))),
+                };
+                <$t>::try_from(v).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn serialize_content(&self) -> Content {
+        Content::U64(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        u64::deserialize_content(c)
+            .and_then(|v| usize::try_from(v).map_err(|_| Error::custom("usize out of range")))
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                Content::I64(i64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(c: &Content) -> Result<Self, Error> {
+                let v = match *c {
+                    Content::I64(v) => v,
+                    Content::U64(v) => {
+                        i64::try_from(v).map_err(|_| Error::custom("integer out of range"))?
+                    }
+                    _ => return Err(Error::custom(concat!("expected ", stringify!($t)))),
+                };
+                <$t>::try_from(v).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn serialize_content(&self) -> Content {
+        Content::I64(*self as i64)
+    }
+}
+
+impl Deserialize for isize {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        i64::deserialize_content(c)
+            .and_then(|v| isize::try_from(v).map_err(|_| Error::custom("isize out of range")))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        match *c {
+            Content::F64(v) => Ok(v),
+            Content::U64(v) => Ok(v as f64),
+            Content::I64(v) => Ok(v as f64),
+            // serde_json has no representation for non-finite floats;
+            // the stand-in writes them as null and reads null back as NaN.
+            Content::Null => Ok(f64::NAN),
+            _ => Err(Error::custom("expected f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        f64::deserialize_content(c).map(|v| v as f32)
+    }
+}
+
+// ------------------------------------------------------- bool and strings
+
+impl Serialize for bool {
+    fn serialize_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        match *c {
+            Content::Bool(b) => Ok(b),
+            _ => Err(Error::custom("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        c.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Deserializing into `&'static str` leaks the string. The real serde
+    /// expresses this as a `'de: 'static` borrow; with an owned data model
+    /// the only honest equivalent is `Box::leak`. Fields of this type are
+    /// interned name constants in practice, so the leak is bounded.
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        c.as_str()
+            .map(|s| &*Box::leak(s.to_string().into_boxed_str()))
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for char {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        let s = c.as_str().ok_or_else(|| Error::custom("expected char"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(ch), None) => Ok(ch),
+            _ => Err(Error::custom("expected single-character string")),
+        }
+    }
+}
+
+// ------------------------------------------------------------- containers
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_content(&self) -> Content {
+        match self {
+            Some(v) => v.serialize_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::deserialize_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        c.as_seq()
+            .ok_or_else(|| Error::custom("expected sequence"))?
+            .iter()
+            .map(T::deserialize_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        Vec::<T>::deserialize_content(c).map(VecDeque::from)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        let v = Vec::<T>::deserialize_content(c)?;
+        <[T; N]>::try_from(v).map_err(|_| Error::custom("wrong array length"))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        T::deserialize_content(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $i:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_content(&self) -> Content {
+                Content::Seq(vec![$(self.$i.serialize_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_content(c: &Content) -> Result<Self, Error> {
+                let s = c.as_seq().ok_or_else(|| Error::custom("expected tuple sequence"))?;
+                let mut it = s.iter();
+                Ok(($(
+                    $t::deserialize_content(
+                        it.next().ok_or_else(|| Error::custom("tuple too short"))?,
+                    )?,
+                )+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+// Maps serialize as sequences of `[key, value]` pairs so that non-string
+// keys (used by in-memory model state) stay representable.
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(
+            self.iter()
+                .map(|(k, v)| Content::Seq(vec![k.serialize_content(), v.serialize_content()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V> Deserialize for HashMap<K, V>
+where
+    K: Deserialize + Eq + std::hash::Hash,
+    V: Deserialize,
+{
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        Vec::<(K, V)>::deserialize_content(c).map(HashMap::from_iter)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(
+            self.iter()
+                .map(|(k, v)| Content::Seq(vec![k.serialize_content(), v.serialize_content()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        Vec::<(K, V)>::deserialize_content(c).map(BTreeMap::from_iter)
+    }
+}
+
+impl Serialize for () {
+    fn serialize_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize_content(_: &Content) -> Result<Self, Error> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::deserialize_content(&42u64.serialize_content()), Ok(42));
+        assert_eq!(
+            i32::deserialize_content(&(-7i32).serialize_content()),
+            Ok(-7)
+        );
+        assert_eq!(
+            bool::deserialize_content(&true.serialize_content()),
+            Ok(true)
+        );
+        assert_eq!(
+            String::deserialize_content(&"hi".to_string().serialize_content()),
+            Ok("hi".to_string())
+        );
+        let x = f64::deserialize_content(&1.5f64.serialize_content()).unwrap();
+        assert!((x - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(
+            Vec::<u64>::deserialize_content(&v.serialize_content()),
+            Ok(v)
+        );
+        let o: Option<u64> = None;
+        assert_eq!(
+            Option::<u64>::deserialize_content(&o.serialize_content()),
+            Ok(None)
+        );
+        let t = (1u64, "x".to_string());
+        assert_eq!(
+            <(u64, String)>::deserialize_content(&t.serialize_content()),
+            Ok(t)
+        );
+        let mut m = HashMap::new();
+        m.insert(vec![1u64, 2], 3.0f64);
+        let back = HashMap::<Vec<u64>, f64>::deserialize_content(&m.serialize_content()).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[&vec![1u64, 2]], 3.0);
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        assert!(f64::deserialize_content(&Content::Null).unwrap().is_nan());
+    }
+}

@@ -1,0 +1,483 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Supports non-generic structs (named, tuple, unit) and enums (unit,
+//! tuple, struct variants) with serde's externally-tagged default
+//! representation, plus the `#[serde(skip)]` and `#[serde(default)]`
+//! field attributes. Anything outside that subset is a compile error, so
+//! unsupported shapes fail loudly rather than misbehaving.
+//!
+//! Implemented directly on `proc_macro` (no `syn`/`quote` available
+//! offline): the input item is parsed with a small hand-rolled scanner
+//! and the generated impl is assembled as source text.
+
+#![allow(clippy::all, clippy::pedantic, clippy::nursery)]
+
+use std::fmt::Write as _;
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Item {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+/// Derive `serde::Serialize` (see the crate docs for the supported
+/// subset).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derive `serde::Deserialize` (see the crate docs for the supported
+/// subset).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, generate: fn(&str, &Item) -> String) -> TokenStream {
+    let (name, item) = match parse_item(input) {
+        Ok(parsed) => parsed,
+        Err(msg) => return compile_error(&msg),
+    };
+    generate(&name, &item)
+        .parse()
+        .unwrap_or_else(|e| compile_error(&format!("serde_derive internal error: {e}")))
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("literal compile_error")
+}
+
+// ------------------------------------------------------------- parsing
+
+/// Attributes found on a field or item: `(skip, default)`.
+#[derive(Default, Clone, Copy)]
+struct SerdeAttrs {
+    skip: bool,
+    default: bool,
+}
+
+fn parse_item(input: TokenStream) -> Result<(String, Item), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Leading attributes and visibility.
+    skip_attrs_and_vis(&tokens, &mut i)?;
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stand-in derive does not support generic type `{name}`"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Item::NamedStruct(parse_named_fields(g.stream())?)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok((name, Item::TupleStruct(count_tuple_fields(g.stream()))))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok((name, Item::UnitStruct)),
+            other => Err(format!("unsupported struct body for `{name}`: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Item::Enum(parse_variants(g.stream())?)))
+            }
+            other => Err(format!("unsupported enum body for `{name}`: {other:?}")),
+        },
+        kw => Err(format!("cannot derive serde traits for `{kw}` items")),
+    }
+}
+
+/// Advance past `#[...]` attributes and `pub` / `pub(...)` visibility.
+/// Returns the serde attrs seen, for callers that care.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> Result<SerdeAttrs, String> {
+    let mut attrs = SerdeAttrs::default();
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                let Some(TokenTree::Group(g)) = tokens.get(*i + 1) else {
+                    return Err("malformed attribute".to_string());
+                };
+                let parsed = parse_serde_attr(g.stream())?;
+                attrs.skip |= parsed.skip;
+                attrs.default |= parsed.default;
+                *i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return Ok(attrs),
+        }
+    }
+}
+
+/// Parse the inside of one `#[...]` attribute; non-serde attributes (doc
+/// comments etc.) are ignored.
+fn parse_serde_attr(stream: TokenStream) -> Result<SerdeAttrs, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut attrs = SerdeAttrs::default();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return Ok(attrs),
+    }
+    let Some(TokenTree::Group(g)) = tokens.get(1) else {
+        return Err("malformed #[serde(...)] attribute".to_string());
+    };
+    for t in g.stream() {
+        match t {
+            TokenTree::Ident(id) => match id.to_string().as_str() {
+                "skip" => attrs.skip = true,
+                "default" => attrs.default = true,
+                other => {
+                    return Err(format!(
+                        "serde stand-in derive does not support #[serde({other})]"
+                    ))
+                }
+            },
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            other => return Err(format!("unsupported serde attribute token {other:?}")),
+        }
+    }
+    Ok(attrs)
+}
+
+/// Skip one field type: tokens up to a top-level comma, tracking angle
+/// brackets (`Vec<HashMap<K, V>>` has commas that are not separators).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(t) = tokens.get(*i) {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = skip_attrs_and_vis(&tokens, &mut i)?;
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after `{name}`, found {other:?}")),
+        }
+        skip_type(&tokens, &mut i);
+        i += 1; // separating comma (or end)
+        fields.push(Field {
+            name,
+            skip: attrs.skip,
+            default: attrs.default,
+        });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        // Visibility and attributes may precede each element type.
+        let _ = skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        i += 1; // separating comma (or end)
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i)?;
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip `= discriminant` if present, then the separating comma.
+        while i < tokens.len() && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+            i += 1;
+        }
+        i += 1;
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ------------------------------------------------------------- codegen
+
+fn gen_serialize(name: &str, item: &Item) -> String {
+    let body = match item {
+        Item::NamedStruct(fields) => {
+            let mut s =
+                String::from("let mut __m: Vec<(String, ::serde::Content)> = Vec::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                let _ = writeln!(
+                    s,
+                    "__m.push(({:?}.to_string(), ::serde::Serialize::serialize_content(&self.{})));",
+                    f.name, f.name
+                );
+            }
+            s.push_str("::serde::Content::Map(__m)");
+            s
+        }
+        Item::TupleStruct(1) => "::serde::Serialize::serialize_content(&self.0)".to_string(),
+        Item::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(vec![{}])", elems.join(", "))
+        }
+        Item::UnitStruct => "::serde::Content::Null".to_string(),
+        Item::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                let arm = match &v.kind {
+                    VariantKind::Unit => format!(
+                        "{name}::{v} => ::serde::Content::Str({v:?}.to_string()),",
+                        v = v.name
+                    ),
+                    VariantKind::Tuple(1) => format!(
+                        "{name}::{v}(__f0) => ::serde::Content::Map(vec![({v:?}.to_string(), \
+                         ::serde::Serialize::serialize_content(__f0))]),",
+                        v = v.name
+                    ),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let sers: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::serialize_content(__f{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({binds}) => ::serde::Content::Map(vec![({v:?}.to_string(), \
+                             ::serde::Content::Seq(vec![{sers}]))]),",
+                            v = v.name,
+                            binds = binds.join(", "),
+                            sers = sers.join(", ")
+                        )
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "({:?}.to_string(), ::serde::Serialize::serialize_content({}))",
+                                    f.name, f.name
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Content::Map(vec![({v:?}.to_string(), \
+                             ::serde::Content::Map(vec![{pushes}]))]),",
+                            v = v.name,
+                            binds = binds.join(", "),
+                            pushes = pushes.join(", ")
+                        )
+                    }
+                };
+                s.push_str(&arm);
+                s.push('\n');
+            }
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_content(&self) -> ::serde::Content {{\n{body}\n}}\n}}"
+    )
+}
+
+fn gen_named_field_inits(ty: &str, fields: &[Field], map_var: &str) -> String {
+    let mut s = String::new();
+    for f in fields {
+        if f.skip {
+            let _ = writeln!(s, "{}: ::std::default::Default::default(),", f.name);
+        } else if f.default {
+            let _ = writeln!(
+                s,
+                "{field}: match ::serde::content_field({map_var}, {field:?}) {{\n\
+                 Some(__v) => ::serde::Deserialize::deserialize_content(__v)?,\n\
+                 None => ::std::default::Default::default(),\n}},",
+                field = f.name
+            );
+        } else {
+            let _ = writeln!(
+                s,
+                "{field}: match ::serde::content_field({map_var}, {field:?}) {{\n\
+                 Some(__v) => ::serde::Deserialize::deserialize_content(__v)?,\n\
+                 None => return Err(::serde::Error::missing({ty:?}, {field:?})),\n}},",
+                field = f.name
+            );
+        }
+    }
+    s
+}
+
+fn gen_tuple_inits(n: usize, seq_var: &str) -> String {
+    (0..n)
+        .map(|i| format!("::serde::Deserialize::deserialize_content(&{seq_var}[{i}])?"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn gen_deserialize(name: &str, item: &Item) -> String {
+    let body = match item {
+        Item::NamedStruct(fields) => format!(
+            "let __map = __c.as_map().ok_or_else(|| \
+             ::serde::Error::custom(concat!(\"expected map for \", {name:?})))?;\n\
+             Ok({name} {{\n{inits}}})",
+            inits = gen_named_field_inits(name, fields, "__map")
+        ),
+        Item::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::deserialize_content(__c)?))")
+        }
+        Item::TupleStruct(n) => format!(
+            "let __s = __c.as_seq().ok_or_else(|| \
+             ::serde::Error::custom(concat!(\"expected sequence for \", {name:?})))?;\n\
+             if __s.len() != {n} {{\n\
+             return Err(::serde::Error::custom(\"wrong tuple length\"));\n}}\n\
+             Ok({name}({inits}))",
+            inits = gen_tuple_inits(*n, "__s")
+        ),
+        Item::UnitStruct => format!("Ok({name})"),
+        Item::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = writeln!(unit_arms, "{v:?} => Ok({name}::{v}),", v = v.name);
+                    }
+                    VariantKind::Tuple(1) => {
+                        let _ = writeln!(
+                            data_arms,
+                            "{v:?} => Ok({name}::{v}(::serde::Deserialize::deserialize_content(__v)?)),",
+                            v = v.name
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let _ = writeln!(
+                            data_arms,
+                            "{v:?} => {{\n\
+                             let __s = __v.as_seq().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected variant sequence\"))?;\n\
+                             if __s.len() != {n} {{\n\
+                             return Err(::serde::Error::custom(\"wrong variant arity\"));\n}}\n\
+                             Ok({name}::{v}({inits}))\n}}",
+                            v = v.name,
+                            inits = gen_tuple_inits(*n, "__s")
+                        );
+                    }
+                    VariantKind::Struct(fields) => {
+                        let _ = writeln!(
+                            data_arms,
+                            "{v:?} => {{\n\
+                             let __vm = __v.as_map().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected variant map\"))?;\n\
+                             Ok({name}::{v} {{\n{inits}}})\n}}",
+                            v = v.name,
+                            inits = gen_named_field_inits(name, fields, "__vm")
+                        );
+                    }
+                }
+            }
+            format!(
+                "match __c {{\n\
+                 ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{__other}}` of {name}\"))),\n}},\n\
+                 ::serde::Content::Map(__m) if __m.len() == 1 => {{\n\
+                 let (__k, __v) = &__m[0];\n\
+                 let _ = __v;\n\
+                 match __k.as_str() {{\n\
+                 {data_arms}\
+                 __other => Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{__other}}` of {name}\"))),\n}}\n}},\n\
+                 _ => Err(::serde::Error::custom(concat!(\"expected \", {name:?}))),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_content(__c: &::serde::Content) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}"
+    )
+}
