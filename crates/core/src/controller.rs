@@ -443,10 +443,18 @@ impl Controller {
             let mut health_checks = 0u32;
 
             // --- Prediction over the full space. ---
+            // Decision latency (fit + predict_all + optimize, host time)
+            // accumulates across the two spans so the diagnostics block
+            // between them — refits, lasso reports — is not charged to it.
+            let mut decision_us = 0.0;
             let fit_timer = self.telemetry.stage("fit", executed);
+            let decision_start = self.telemetry.enabled().then(std::time::Instant::now);
             let mut predictor = MetricsPredictor::new(self.cfg.model);
             predictor.fit(&sample_data, Some(last_baseline));
             let predictions = predictor.predict_all(&self.space);
+            if let Some(start) = decision_start {
+                decision_us += start.elapsed().as_secs_f64() * 1e6;
+            }
             self.telemetry.finish_stage(fit_timer, executed);
             if self.telemetry.enabled() {
                 // Diagnostics-only work (k-fold refits, a lasso report)
@@ -477,6 +485,7 @@ impl Controller {
 
             // --- Constrained optimization + wear-quota fixup. ---
             let optimize_timer = self.telemetry.stage("optimize", executed);
+            let decision_start = self.telemetry.enabled().then(std::time::Instant::now);
             let opt = optimize(
                 &self.space,
                 &predictions,
@@ -485,6 +494,10 @@ impl Controller {
                 self.cfg.quota_fixup,
             );
             chosen = opt.config;
+            if let Some(start) = decision_start {
+                decision_us += start.elapsed().as_secs_f64() * 1e6;
+                self.telemetry.observe("decision.latency_us", decision_us);
+            }
             self.telemetry.finish_stage(optimize_timer, executed);
             if self.telemetry.enabled() {
                 if opt.fell_back {
@@ -684,8 +697,13 @@ impl Controller {
     /// policy switch and the measured region: switching drains the memory
     /// queues, and queue-occupancy-dependent behaviour (bank-aware issue,
     /// drain mode) is unrepresentative until they refill.
+    ///
+    /// With a recorder attached, each window also feeds the registry's
+    /// `sim.accesses` counter and `sim.accesses_per_sec` histogram (host
+    /// wall-clock simulator throughput), so `mct report` can surface what
+    /// the measurement machinery itself costs.
     fn measure<S: AccessSource>(
-        &self,
+        &mut self,
         sys: &mut System,
         source: &mut S,
         config: NvmConfig,
@@ -694,9 +712,19 @@ impl Controller {
         sys.set_policy(config.to_policy());
         sys.run_window(source, (insts / 4).max(500));
         sys.reset_stats();
+        let host_start = self.telemetry.enabled().then(std::time::Instant::now);
         sys.run_window(source, insts);
         let stats = sys.finalize();
         sys.reset_stats();
+        if let Some(start) = host_start {
+            let accesses = stats.mem.reads_completed + stats.mem.writes_completed();
+            self.telemetry.incr("sim.accesses", accesses);
+            let host_secs = start.elapsed().as_secs_f64();
+            if host_secs > 0.0 && accesses > 0 {
+                self.telemetry
+                    .observe("sim.accesses_per_sec", accesses as f64 / host_secs);
+            }
+        }
         stats
     }
 }

@@ -270,10 +270,36 @@ impl MetricsPredictor {
         }
     }
 
-    /// Predict the whole space.
+    /// Predict the whole space in one batched pass per objective.
+    ///
+    /// Uses the space's cached feature matrix and each model's
+    /// `predict_batch`, which is bit-identical to calling
+    /// [`MetricsPredictor::predict`] per configuration — just without
+    /// re-deriving features or walking boxed tree nodes per call.
+    ///
+    /// # Panics
+    /// Panics before [`MetricsPredictor::fit`].
     #[must_use]
     pub fn predict_all(&self, space: &ConfigSpace) -> Vec<Metrics> {
-        space.iter().map(|c| self.predict(c)).collect()
+        assert!(self.fitted, "predictor not fitted");
+        if space.is_empty() {
+            return Vec::new();
+        }
+        let rows = space.feature_matrix(self.kind.expands_quadratically());
+        let ipc = self.models[0].predict_batch(rows);
+        let lifetime = self.models[1].predict_batch(rows);
+        let energy = self.models[2].predict_batch(rows);
+        ipc.into_iter()
+            .zip(lifetime)
+            .zip(energy)
+            .map(|((i, l), e)| {
+                let raw = Metrics::from_array([i, l, e]);
+                match &self.baseline {
+                    Some(b) => raw.denormalized_by(&Self::clamp(b)),
+                    None => raw,
+                }
+            })
+            .collect()
     }
 
     /// Out-of-fold R² of this predictor family on the (normalized) IPC
@@ -525,6 +551,43 @@ mod tests {
         assert!(r2 > 0.8, "cv r2 {r2}");
         // Too few samples for the fold count: no score.
         assert!(p.cv_r2_ipc(&samples[..5], 4).is_none());
+    }
+
+    #[test]
+    fn predict_all_bit_identical_to_pointwise_predict() {
+        // The batched path must be a pure optimization: same bits out as
+        // predicting each configuration individually, with and without
+        // baseline denormalization.
+        let space = ConfigSpace::without_wear_quota();
+        let baseline = truth(&NvmConfig::static_baseline().without_wear_quota());
+        for kind in [
+            ModelKind::Linear,
+            ModelKind::LinearLasso,
+            ModelKind::Quadratic,
+            ModelKind::QuadraticLasso,
+            ModelKind::GradientBoosting,
+        ] {
+            for base in [None, Some(baseline)] {
+                let mut p = MetricsPredictor::new(kind);
+                p.fit(&sampled(40), base);
+                let batched = p.predict_all(&space);
+                assert_eq!(batched.len(), space.len());
+                for (c, b) in space.iter().zip(&batched).step_by(97) {
+                    let one = p.predict(c);
+                    assert_eq!(one.ipc.to_bits(), b.ipc.to_bits(), "{kind:?} ipc");
+                    assert_eq!(
+                        one.lifetime_years.to_bits(),
+                        b.lifetime_years.to_bits(),
+                        "{kind:?} lifetime"
+                    );
+                    assert_eq!(
+                        one.energy_j.to_bits(),
+                        b.energy_j.to_bits(),
+                        "{kind:?} energy"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

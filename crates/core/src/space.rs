@@ -8,7 +8,11 @@
 //! cancellation pairs, wear quota off/on — which lands within a few
 //! percent of the paper's count (see [`ConfigSpace::len`]).
 
+use std::sync::OnceLock;
+
 use serde::{Deserialize, Serialize};
+
+use mct_ml::{quadratic_expand, Matrix};
 
 use crate::config::NvmConfig;
 
@@ -22,10 +26,28 @@ pub const BANK_AWARE_THRESHOLDS: [u32; 4] = [1, 2, 3, 4];
 pub const EAGER_THRESHOLDS: [u32; 4] = [4, 8, 16, 32];
 
 /// The enumerated configuration space.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ConfigSpace {
     configs: Vec<NvmConfig>,
     includes_wear_quota: bool,
+    /// Feature matrices over the whole space, built once per instance on
+    /// first use and shared by every predictor (a derived cache: never
+    /// serialized, never part of equality).
+    #[serde(skip, default)]
+    features: OnceLock<SpaceFeatures>,
+}
+
+/// Precomputed per-space feature matrices (linear and quadratic).
+#[derive(Debug, Clone)]
+struct SpaceFeatures {
+    linear: Matrix,
+    quadratic: Matrix,
+}
+
+impl PartialEq for ConfigSpace {
+    fn eq(&self, other: &ConfigSpace) -> bool {
+        self.configs == other.configs && self.includes_wear_quota == other.includes_wear_quota
+    }
 }
 
 impl ConfigSpace {
@@ -41,6 +63,7 @@ impl ConfigSpace {
         ConfigSpace {
             configs,
             includes_wear_quota: true,
+            features: OnceLock::new(),
         }
     }
 
@@ -53,6 +76,7 @@ impl ConfigSpace {
         ConfigSpace {
             configs,
             includes_wear_quota: false,
+            features: OnceLock::new(),
         }
     }
 
@@ -145,6 +169,38 @@ impl ConfigSpace {
     pub fn iter(&self) -> impl Iterator<Item = &NvmConfig> {
         self.configs.iter()
     }
+
+    /// The feature matrix for the whole space — one row per
+    /// configuration, either the 10 raw knob features or their
+    /// 65-dimension quadratic expansion.
+    ///
+    /// Both matrices are built on first call and cached for the lifetime
+    /// of this instance, so batched predictors (`predict_all`) never
+    /// re-derive per-configuration features.
+    ///
+    /// # Panics
+    /// Panics if the space is empty (never the case for the built-in
+    /// constructors).
+    #[must_use]
+    pub fn feature_matrix(&self, quadratic: bool) -> &Matrix {
+        let f = self.features.get_or_init(|| {
+            let linear: Vec<Vec<f64>> = self
+                .configs
+                .iter()
+                .map(|c| c.to_vector().to_vec())
+                .collect();
+            let quadratic: Vec<Vec<f64>> = linear.iter().map(|r| quadratic_expand(r)).collect();
+            SpaceFeatures {
+                linear: Matrix::from_rows(linear),
+                quadratic: Matrix::from_rows(quadratic),
+            }
+        });
+        if quadratic {
+            &f.quadratic
+        } else {
+            &f.linear
+        }
+    }
 }
 
 #[cfg(test)]
@@ -208,5 +264,34 @@ mod tests {
         for c in ConfigSpace::full(8.0).iter() {
             assert!(!c.fast_cancellation || c.slow_cancellation);
         }
+    }
+
+    #[test]
+    fn feature_matrix_rows_match_per_config_features() {
+        let space = ConfigSpace::without_wear_quota();
+        let lin = space.feature_matrix(false);
+        assert_eq!(lin.rows(), space.len());
+        assert_eq!(lin.cols(), 10);
+        let quad = space.feature_matrix(true);
+        assert_eq!(quad.rows(), space.len());
+        assert_eq!(quad.cols(), 65);
+        for (i, c) in space.iter().enumerate().step_by(211) {
+            let base = c.to_vector().to_vec();
+            assert_eq!(lin.row(i), base.as_slice());
+            assert_eq!(quad.row(i), quadratic_expand(&base).as_slice());
+        }
+    }
+
+    #[test]
+    fn equality_and_serde_ignore_feature_cache() {
+        let a = ConfigSpace::without_wear_quota();
+        let b = ConfigSpace::without_wear_quota();
+        let _ = a.feature_matrix(true); // warm only one side's cache
+        assert_eq!(a, b);
+        let json = serde_json::to_string(&a).unwrap();
+        let back: ConfigSpace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, a);
+        // The deserialized copy rebuilds its own cache on demand.
+        assert_eq!(back.feature_matrix(false).rows(), a.len());
     }
 }

@@ -124,6 +124,17 @@ fn registry_snapshot_accounts_for_the_trace() {
             "missing stage timer {name}"
         );
     }
+    // Hot-path instrumentation: simulated accesses are counted, simulator
+    // throughput and end-to-end decision latency land in histograms.
+    assert!(counter("sim.accesses") > 0);
+    for name in ["sim.accesses_per_sec", "decision.latency_us"] {
+        let hist = snapshot
+            .histograms
+            .iter()
+            .find(|(n, h)| n.as_str() == name && h.count > 0)
+            .unwrap_or_else(|| panic!("missing histogram {name}"));
+        assert!(hist.1.min > 0.0, "{name} records positive observations");
+    }
 }
 
 #[test]

@@ -39,5 +39,5 @@ pub use cache::{load_or_compute_sweep, SweepDataset};
 pub use ideal::{ideal_for, IdealSearch};
 pub use mix_mct::{run_mix_all, run_mix_mct};
 pub use report::{fmt_cell, Table};
-pub use runner::{measure_one, sweep, WarmedRig};
+pub use runner::{measure_one, par_map, sweep, sweep_with_threads, WarmedRig, EXPERIMENT_SEED};
 pub use scale::Scale;

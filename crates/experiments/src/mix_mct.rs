@@ -16,6 +16,7 @@ use mct_sim::stats::Metrics;
 use mct_sim::system::{MultiSystem, SystemConfig};
 use mct_workloads::{Mix, WorkloadSource};
 
+use crate::runner::par_map;
 use crate::scale::Scale;
 
 /// Which policy a mix run uses.
@@ -130,9 +131,12 @@ fn run_on_rig(
             let unit = (detailed / 16).max(10_000);
             let (baseline, _, _) =
                 rig.measure(&NvmConfig::static_baseline().without_wear_quota(), unit);
+            let threads =
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
             let measured: Vec<(NvmConfig, Metrics)> = samples
                 .iter()
-                .map(|c| (*c, rig.measure(c, unit).0))
+                .copied()
+                .zip(par_map(&samples, threads, |c| rig.measure(c, unit).0))
                 .collect();
             let mut predictor = MetricsPredictor::new(ModelKind::GradientBoosting);
             predictor.fit(&measured, Some(baseline));

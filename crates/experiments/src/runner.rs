@@ -7,10 +7,6 @@
 //! window. All candidates therefore measure over exactly the same access
 //! stream — the paper's per-benchmark methodology.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
-
 use mct_core::NvmConfig;
 use mct_sim::stats::Metrics;
 use mct_sim::system::{System, SystemConfig};
@@ -71,35 +67,87 @@ pub fn measure_one(workload: Workload, cfg: &NvmConfig, scale: Scale, seed: u64)
     WarmedRig::new(workload, scale, seed).measure(cfg)
 }
 
+/// Map `f` over `items` on `threads` scoped threads, writing results
+/// lock-free into disjoint output chunks.
+///
+/// Chunks are sized at ~1/8 of an even per-thread share (work-stealing-
+/// friendly granularity without a queue) and dealt round-robin so a run
+/// of slow items does not land on one worker. Output order matches input
+/// order exactly.
+///
+/// Unlike a shared-results + claim-counter pool, no slot can be skipped:
+/// every input chunk is owned by exactly one worker, a panicking worker
+/// propagates through [`std::thread::scope`], and any unfilled slot (a
+/// logic bug) is caught by the final unwrap instead of silently yielding
+/// a zeroed row.
+///
+/// # Panics
+/// Propagates any panic raised by `f`.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads * 8).max(1);
+    let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        let f = &f;
+        // One worker's share: (input chunk, matching output chunk) pairs.
+        type Share<'a, T, R> = Vec<(&'a [T], &'a mut [Option<R>])>;
+        let mut assignments: Vec<Share<'_, T, R>> = (0..threads).map(|_| Vec::new()).collect();
+        for (ci, pair) in items
+            .chunks(chunk)
+            .zip(results.chunks_mut(chunk))
+            .enumerate()
+        {
+            assignments[ci % threads].push(pair);
+        }
+        for worker_chunks in assignments {
+            scope.spawn(move || {
+                for (in_chunk, out_chunk) in worker_chunks {
+                    for (item, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
+                        *slot = Some(f(item));
+                    }
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("par_map filled every slot"))
+        .collect()
+}
+
 /// Brute-force sweep: metrics for every configuration in `configs`,
 /// parallelized over the available cores.
 #[must_use]
 pub fn sweep(workload: Workload, configs: &[NvmConfig], scale: Scale, seed: u64) -> Vec<Metrics> {
-    let rig = WarmedRig::new(workload, scale, seed);
     let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    let results = Mutex::new(vec![
-        Metrics {
-            ipc: 0.0,
-            lifetime_years: 0.0,
-            energy_j: 0.0
-        };
-        configs.len()
-    ]);
-    let next = AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= configs.len() {
-                    break;
-                }
-                let m = rig.measure(&configs[i]);
-                results.lock()[i] = m;
-            });
-        }
-    })
-    .expect("sweep worker panicked");
-    results.into_inner()
+    sweep_with_threads(workload, configs, scale, seed, threads)
+}
+
+/// [`sweep`] with an explicit worker count (determinism tests compare
+/// thread counts; production callers use [`sweep`]).
+#[must_use]
+pub fn sweep_with_threads(
+    workload: Workload,
+    configs: &[NvmConfig],
+    scale: Scale,
+    seed: u64,
+    threads: usize,
+) -> Vec<Metrics> {
+    let rig = WarmedRig::new(workload, scale, seed);
+    par_map(configs, threads, |cfg| rig.measure(cfg))
 }
 
 /// A tiny helper for replaying the shared stream through an arbitrary
@@ -140,6 +188,40 @@ mod tests {
         });
         assert!(slow.lifetime_years > fast.lifetime_years * 4.0);
         assert!(slow.ipc <= fast.ipc);
+    }
+
+    #[test]
+    fn par_map_preserves_order_for_all_shapes() {
+        // Regression for the zeroed-row bug: lengths that leave ragged
+        // tail chunks must still fill every output slot, in input order.
+        for n in [1usize, 2, 3, 7, 13, 64, 100] {
+            for threads in [1usize, 2, 3, 8, 200] {
+                let items: Vec<usize> = (0..n).collect();
+                let got = par_map(&items, threads, |&x| x * 2 + 1);
+                let want: Vec<usize> = items.iter().map(|&x| x * 2 + 1).collect();
+                assert_eq!(got, want, "n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_empty_input_yields_empty_output() {
+        let empty: [u32; 0] = [];
+        assert!(par_map(&empty, 4, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn par_map_propagates_worker_panics() {
+        // A panicking worker must fail the whole call — never return a
+        // partially-zeroed result vector.
+        let items: Vec<u32> = (0..32).collect();
+        let result = std::panic::catch_unwind(|| {
+            par_map(&items, 4, |&x| {
+                assert!(x != 17, "injected failure");
+                x
+            })
+        });
+        assert!(result.is_err(), "panic must propagate to the caller");
     }
 
     #[test]

@@ -1,0 +1,61 @@
+//! Parallel sweeps must be bit-identical to a serial measurement loop.
+//!
+//! The sweep engine hands disjoint `&mut` result chunks to scoped
+//! threads; nothing about scheduling may leak into the physics. This
+//! test measures 64+ configurations serially on one warmed rig, then
+//! replays the same sweep at several worker counts and demands
+//! bit-for-bit equal metrics.
+
+use mct_core::{ConfigSpace, NvmConfig};
+use mct_experiments::{sweep_with_threads, Scale, WarmedRig, EXPERIMENT_SEED};
+use mct_workloads::Workload;
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow in debug builds; CI runs this suite under --release"
+)]
+fn parallel_sweep_is_bit_identical_to_serial() {
+    let space = ConfigSpace::without_wear_quota();
+    let stride = (space.len() / 64).max(1);
+    let configs: Vec<NvmConfig> = space
+        .configs()
+        .iter()
+        .step_by(stride)
+        .take(64)
+        .copied()
+        .collect();
+    assert!(configs.len() >= 64, "need at least 64 configurations");
+
+    // The reference: one warmed rig, measured strictly serially.
+    let rig = WarmedRig::new(Workload::Gups, Scale::Quick, EXPERIMENT_SEED);
+    let serial: Vec<_> = configs.iter().map(|c| rig.measure(c)).collect();
+
+    for threads in [1usize, 2, 3, 8] {
+        let par = sweep_with_threads(
+            Workload::Gups,
+            &configs,
+            Scale::Quick,
+            EXPERIMENT_SEED,
+            threads,
+        );
+        assert_eq!(par.len(), serial.len(), "threads={threads}");
+        for (i, (a, b)) in serial.iter().zip(&par).enumerate() {
+            assert_eq!(
+                a.ipc.to_bits(),
+                b.ipc.to_bits(),
+                "ipc differs at config {i} with {threads} threads"
+            );
+            assert_eq!(
+                a.lifetime_years.to_bits(),
+                b.lifetime_years.to_bits(),
+                "lifetime differs at config {i} with {threads} threads"
+            );
+            assert_eq!(
+                a.energy_j.to_bits(),
+                b.energy_j.to_bits(),
+                "energy differs at config {i} with {threads} threads"
+            );
+        }
+    }
+}

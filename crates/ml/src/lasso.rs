@@ -8,7 +8,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::dataset::Dataset;
-use crate::linalg::dot;
+use crate::linalg::{dot, Matrix};
 use crate::model::Regressor;
 use crate::scale::StandardScaler;
 
@@ -161,6 +161,33 @@ impl Regressor for LassoRegression {
         self.intercept + self.target_scale * dot(&self.weights, &z)
     }
 
+    fn predict_batch(&self, rows: &Matrix) -> Vec<f64> {
+        let scaler = self.scaler.as_ref().expect("model not fitted");
+        assert_eq!(rows.cols(), scaler.means().len(), "dimension mismatch");
+        // Lasso weights are sparse: skip exactly-zero coefficients. A
+        // zero-weight term contributes `0.0 * z` = ±0.0, and adding ±0.0
+        // to a non-negative-zero accumulator is a no-op (the running sum
+        // starts at +0.0 and can never become -0.0), so the sparse sum is
+        // bit-identical to the dense `transform` + `dot` in `predict`.
+        let nz: Vec<(usize, f64)> = self
+            .weights
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| **w != 0.0)
+            .map(|(j, &w)| (j, w))
+            .collect();
+        let (means, stds) = (scaler.means(), scaler.stds());
+        rows.row_iter()
+            .map(|row| {
+                let z: f64 = nz
+                    .iter()
+                    .map(|&(j, w)| w * ((row[j] - means[j]) / stds[j]))
+                    .sum();
+                self.intercept + self.target_scale * z
+            })
+            .collect()
+    }
+
     fn name(&self) -> &'static str {
         "lasso"
     }
@@ -272,5 +299,16 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_lambda_panics() {
         let _ = LassoRegression::new(0.0);
+    }
+
+    #[test]
+    fn batch_matches_pointwise_bit_for_bit() {
+        let d = sparse_data();
+        let mut m = LassoRegression::new(0.05);
+        m.fit(&d);
+        let batch = m.predict_batch(&Matrix::from_rows(d.rows().to_vec()));
+        for (i, b) in batch.iter().enumerate() {
+            assert_eq!(m.predict(&d.rows()[i]).to_bits(), b.to_bits(), "row {i}");
+        }
     }
 }

@@ -67,6 +67,17 @@ impl Matrix {
         self.data[r * self.cols + c]
     }
 
+    /// Borrow row `r` as a contiguous slice.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterate over all rows as contiguous slices.
+    pub fn row_iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols)
+    }
+
     /// Element setter.
     pub fn set(&mut self, r: usize, c: usize, v: f64) {
         self.data[r * self.cols + c] = v;
@@ -221,6 +232,13 @@ mod tests {
     #[test]
     fn dot_product() {
         assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn row_slices_are_contiguous_views() {
+        let x = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(x.row(0), &[1.0, 2.0]);
+        assert_eq!(x.row(1), &[3.0, 4.0]);
     }
 
     #[test]

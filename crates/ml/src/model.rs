@@ -1,6 +1,7 @@
 //! The common regressor interface.
 
 use crate::dataset::Dataset;
+use crate::linalg::Matrix;
 
 /// A trainable single-output regressor.
 ///
@@ -17,9 +18,17 @@ pub trait Regressor {
     /// with a row of the wrong dimensionality.
     fn predict(&self, row: &[f64]) -> f64;
 
-    /// Predict a batch of rows.
-    fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<f64> {
-        rows.iter().map(|r| self.predict(r)).collect()
+    /// Predict every row of a feature matrix.
+    ///
+    /// The default maps [`Regressor::predict`] row by row; models with a
+    /// cheaper vectorized path (flattened trees, folded linear weights)
+    /// override it. Overrides must return bit-identical values to the
+    /// row-by-row map — callers rely on batch and pointwise predictions
+    /// agreeing exactly.
+    fn predict_batch(&self, rows: &Matrix) -> Vec<f64> {
+        (0..rows.rows())
+            .map(|r| self.predict(rows.row(r)))
+            .collect()
     }
 
     /// A short human-readable name (Table 7 row label).
@@ -35,7 +44,7 @@ impl<R: Regressor + ?Sized> Regressor for Box<R> {
         (**self).predict(row)
     }
 
-    fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+    fn predict_batch(&self, rows: &Matrix) -> Vec<f64> {
         (**self).predict_batch(rows)
     }
 
@@ -71,7 +80,8 @@ mod tests {
             vec![vec![0.0], vec![0.0]],
             vec![2.0, 4.0],
         ));
-        assert_eq!(m.predict_batch(&[vec![1.0], vec![2.0]]), vec![3.0, 3.0]);
+        let rows = Matrix::from_rows(vec![vec![1.0], vec![2.0]]);
+        assert_eq!(m.predict_batch(&rows), vec![3.0, 3.0]);
         assert_eq!(m.name(), "const");
     }
 

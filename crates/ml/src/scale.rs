@@ -77,6 +77,22 @@ impl StandardScaler {
         rows.iter().map(|r| self.transform(r)).collect()
     }
 
+    /// Dot product of `weights` with the standardized `row`, without
+    /// materializing the transformed row. Each term is
+    /// `w_j * ((x_j - m_j) / s_j)` — the same float operations in the
+    /// same order as [`StandardScaler::transform`] followed by a dot
+    /// product, so batched linear predictions stay bit-identical to
+    /// pointwise ones.
+    pub(crate) fn standardized_dot(&self, weights: &[f64], row: &[f64]) -> f64 {
+        debug_assert_eq!(weights.len(), row.len());
+        weights
+            .iter()
+            .zip(row)
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|((w, x), (m, s))| w * ((x - m) / s))
+            .sum()
+    }
+
     /// Feature means.
     #[must_use]
     pub fn means(&self) -> &[f64] {

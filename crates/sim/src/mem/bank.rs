@@ -31,6 +31,9 @@ pub struct InFlightOp {
     pub cancellable: bool,
     /// The queue the request came from (writes return there on cancel).
     pub origin: QueueKind,
+    /// Maintenance (scrub/refresh) write — excluded from retention re-arm
+    /// and from retention write speedup.
+    pub maintenance: bool,
 }
 
 impl InFlightOp {
@@ -170,6 +173,7 @@ mod tests {
             end: Time(end),
             cancellable,
             origin: QueueKind::Write,
+            maintenance: false,
         }
     }
 

@@ -123,6 +123,9 @@ impl MemConfig {
         if self.banks == 0 {
             return fail("banks must be >= 1");
         }
+        if self.banks > 64 {
+            return fail("banks must be <= 64 (controller uses u64 bank masks)");
+        }
         if self.read_queue_cap == 0 || self.write_queue_cap == 0 {
             return fail("queue capacities must be >= 1");
         }
@@ -193,6 +196,20 @@ mod tests {
     fn zero_banks_rejected() {
         let c = MemConfig {
             banks: 0,
+            ..MemConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn bank_count_bounded_by_mask_width() {
+        let c = MemConfig {
+            banks: 64,
+            ..MemConfig::default()
+        };
+        assert!(c.validate().is_ok());
+        let c = MemConfig {
+            banks: 65,
             ..MemConfig::default()
         };
         assert!(c.validate().is_err());

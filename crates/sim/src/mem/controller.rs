@@ -1,15 +1,36 @@
 //! The NVM memory controller: prioritized scheduling, write drain, write
 //! cancellation, bank-aware mellow writes, eager mellow writes and wear
 //! quota — the machinery of the paper's Section 3.1 techniques.
+//!
+//! # Hot-path design
+//!
+//! The controller sits on the per-access critical path of every sweep, so
+//! its steady state is allocation-free and hash-free:
+//!
+//! - Outstanding reads live in a dense open-addressed [`ReadTable`]
+//!   indexed by `id & mask` (read ids are dense and monotonic), replacing
+//!   two SipHash maps consulted several times per access.
+//! - Bank idleness is a `u64` bitmask; the earliest in-flight completion
+//!   is cached so [`Self::next_event`] and the completion harvest are O(1)
+//!   when nothing is due, instead of rescanning every bank.
+//! - A `settled` flag records that harvest + schedule have reached a
+//!   fixpoint at the current instant, so same-time re-entry (the CPU model
+//!   polls completions once per outstanding read per event) returns
+//!   immediately.
+//! - Maintenance status rides on the request itself ([`Pending`] /
+//!   [`InFlightOp`]) instead of an id set, and scheduling eligibility is
+//!   tested with bitmask closures instead of per-call `Vec<bool>` maps.
 
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::energy::{EnergyMeter, EnergyModel};
 use crate::mem::bank::{Bank, InFlightOp, OpKind};
 use crate::mem::config::MemConfig;
+use crate::mem::fasthash::FxHashMap;
 use crate::mem::queues::{BankQueue, Pending, QueueKind};
+use crate::mem::read_table::ReadTable;
 use crate::policy::{MellowPolicy, WriteSpeed};
 use crate::time::Time;
 use crate::wear::{WearMeter, WearModel, WearQuota};
@@ -17,6 +38,13 @@ use crate::wear::{WearMeter, WearModel, WearQuota};
 /// Identity of an outstanding memory request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ReqId(pub u64);
+
+/// Write/maintenance ids live in a disjoint range from read ids so the
+/// read table can stay dense (read ids are 1, 2, 3, ...).
+const WRITE_ID_BASE: u64 = 1 << 63;
+
+/// Initial read-table capacity (grows if a caller never reaps).
+const READ_TABLE_CAP: usize = 512;
 
 /// Raw event counters maintained by the controller.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -108,10 +136,14 @@ pub struct MemoryController {
     write_q: BankQueue,
     eager_q: BankQueue,
     drain: bool,
-    next_id: u64,
-    completed_reads: HashMap<ReqId, Time>,
-    /// Arrival times of in-flight reads, for latency statistics.
-    read_arrivals: HashMap<ReqId, Time>,
+    /// Read ids are dense (1, 2, 3, ...) so the read table slots them
+    /// without hashing.
+    next_read_id: u64,
+    /// Write/maintenance ids count separately, offset by [`WRITE_ID_BASE`]
+    /// (they are never looked up, only carried).
+    next_write_id: u64,
+    /// In-flight and completed-but-unreaped reads (arrival + done times).
+    reads: ReadTable,
     wear: WearMeter,
     quota: Option<WearQuota>,
     energy: EnergyMeter,
@@ -121,17 +153,29 @@ pub struct MemoryController {
     /// rewritten before its deadline (the new write re-arms retention).
     scrubs: BinaryHeap<Reverse<(Time, u64)>>,
     /// Authoritative scrub deadline per line (heap entries not matching
-    /// this map are stale).
-    scrub_due: HashMap<u64, Time>,
+    /// this map are stale). Line keys are sparse, so this stays a hash
+    /// map — but with a non-keyed multiply-rotate hash.
+    scrub_due: FxHashMap<u64, Time>,
     /// Scrub/refresh lines awaiting write-queue space.
     deferred_maintenance: VecDeque<u64>,
-    /// Request ids of maintenance writes (issued at the slow class, never
-    /// re-armed for retention scrubbing).
-    maintenance_ids: HashSet<ReqId>,
     /// Per-bank turbo-read counters toward the disturb threshold.
     turbo_counts: Vec<u32>,
     /// Start times of the most recent row activations (tFAW tracking).
     activations: VecDeque<Time>,
+    /// Harvest + schedule have reached a fixpoint at `now`: re-entry at
+    /// the same instant is a no-op.
+    settled: bool,
+    /// Bit i set = bank i idle.
+    idle_mask: u64,
+    /// Mask with one bit per configured bank.
+    full_mask: u64,
+    /// Minimum `busy_until` over busy banks ([`Time::NEVER`] if all idle).
+    earliest_end: Time,
+    /// Banks whose `bank_ready` may still be in the future (set on
+    /// cancellation, cleared lazily once the recovery window passes).
+    ready_waiters: u64,
+    /// Reusable buffer for flushing the scrub heap in [`Self::drain_all`].
+    scrub_scratch: Vec<(Time, u64)>,
 }
 
 impl MemoryController {
@@ -152,6 +196,7 @@ impl MemoryController {
         let quota = policy
             .wear_quota_target_years
             .map(|yrs| WearQuota::new(&wear_model, yrs, WearQuota::DEFAULT_SLICE));
+        let full_mask = u64::MAX >> (64 - cfg.banks);
         MemoryController {
             banks: (0..cfg.banks).map(|_| Bank::new()).collect(),
             bank_ready: vec![Time::ZERO; cfg.banks],
@@ -159,20 +204,25 @@ impl MemoryController {
             write_q: BankQueue::new(cfg.write_queue_cap, cfg.banks),
             eager_q: BankQueue::new(cfg.eager_queue_cap, cfg.banks),
             drain: false,
-            next_id: 0,
-            completed_reads: HashMap::new(),
-            read_arrivals: HashMap::new(),
+            next_read_id: 0,
+            next_write_id: 0,
+            reads: ReadTable::new(READ_TABLE_CAP),
             wear: WearMeter::new(wear_model),
             quota,
             energy: EnergyMeter::new(energy_model),
             counters: MemCounters::default(),
             scrubs: BinaryHeap::new(),
-            scrub_due: HashMap::new(),
+            scrub_due: FxHashMap::default(),
             deferred_maintenance: VecDeque::new(),
-            maintenance_ids: HashSet::new(),
             turbo_counts: vec![0; cfg.banks],
             activations: VecDeque::new(),
             now: Time::ZERO,
+            settled: false,
+            idle_mask: full_mask,
+            full_mask,
+            earliest_end: Time::NEVER,
+            ready_waiters: 0,
+            scrub_scratch: Vec::new(),
             cfg,
             policy,
         }
@@ -194,11 +244,16 @@ impl MemoryController {
         }
         let bank = self.cfg.bank_of(line);
         self.maybe_cancel_write(bank);
-        let id = self.fresh_id();
-        let ok = self.read_q.push_back(Pending { id, line, bank });
+        let id = self.fresh_read_id();
+        let ok = self.read_q.push_back(Pending {
+            id,
+            line,
+            bank,
+            maintenance: false,
+        });
         debug_assert!(ok);
         self.counters.reads_issued += 1;
-        self.pending_arrivals_insert(id, now);
+        self.reads.insert(id, now);
         self.schedule();
         Some(id)
     }
@@ -214,8 +269,13 @@ impl MemoryController {
             return false;
         }
         let bank = self.cfg.bank_of(line);
-        let id = self.fresh_id();
-        let ok = self.write_q.push_back(Pending { id, line, bank });
+        let id = self.fresh_write_id();
+        let ok = self.write_q.push_back(Pending {
+            id,
+            line,
+            bank,
+            maintenance: false,
+        });
         debug_assert!(ok);
         self.update_drain();
         self.schedule();
@@ -238,8 +298,13 @@ impl MemoryController {
             self.counters.eager_rejected += 1;
             return false;
         }
-        let id = self.fresh_id();
-        let ok = self.eager_q.push_back(Pending { id, line, bank });
+        let id = self.fresh_write_id();
+        let ok = self.eager_q.push_back(Pending {
+            id,
+            line,
+            bank,
+            maintenance: false,
+        });
         debug_assert!(ok);
         self.counters.eager_accepted += 1;
         self.schedule();
@@ -249,7 +314,7 @@ impl MemoryController {
     /// Take the completion time of read `id` if it has completed by `now`.
     pub fn take_completed_read(&mut self, id: ReqId, now: Time) -> Option<Time> {
         self.advance_to(now);
-        self.completed_reads.remove(&id)
+        self.reads.take_done(id)
     }
 
     /// Block (advance simulated time with no new arrivals) until read `id`
@@ -260,7 +325,7 @@ impl MemoryController {
     /// a scheduler bug).
     pub fn wait_read(&mut self, id: ReqId) -> Time {
         loop {
-            if let Some(t) = self.completed_reads.remove(&id) {
+            if let Some(t) = self.reads.take_done(id) {
                 return t;
             }
             self.step_or_panic("waiting for read completion");
@@ -291,9 +356,13 @@ impl MemoryController {
     /// deadlines, so end-of-run accounting stays bounded.
     pub fn drain_all(&mut self) -> Time {
         loop {
-            // Completing writes can arm new scrubs; flush each round.
-            let pending: Vec<(Time, u64)> = self.scrubs.drain().map(|Reverse(e)| e).collect();
-            for (due, line) in pending {
+            // Completing writes can arm new scrubs; flush each round. The
+            // scratch buffer is controller-owned so repeated drains do not
+            // allocate.
+            let mut pending = std::mem::take(&mut self.scrub_scratch);
+            pending.clear();
+            pending.extend(self.scrubs.drain().map(|Reverse(e)| e));
+            for &(due, line) in &pending {
                 if self.scrub_due.get(&line) != Some(&due) {
                     continue; // stale (superseded) entry
                 }
@@ -301,7 +370,9 @@ impl MemoryController {
                 self.counters.scrub_writes += 1;
                 self.enqueue_maintenance(line);
             }
-            let idle = self.banks.iter().all(Bank::is_idle)
+            pending.clear();
+            self.scrub_scratch = pending;
+            let idle = self.idle_mask == self.full_mask
                 && self.read_q.is_empty()
                 && self.write_q.is_empty()
                 && self.eager_q.is_empty()
@@ -429,14 +500,14 @@ impl MemoryController {
     // Internal machinery
     // ------------------------------------------------------------------
 
-    fn fresh_id(&mut self) -> ReqId {
-        self.next_id += 1;
-        ReqId(self.next_id)
+    fn fresh_read_id(&mut self) -> ReqId {
+        self.next_read_id += 1;
+        ReqId(self.next_read_id)
     }
 
-    /// Read arrival bookkeeping: remember arrival time for latency stats.
-    fn pending_arrivals_insert(&mut self, id: ReqId, at: Time) {
-        self.read_arrivals.insert(id, at);
+    fn fresh_write_id(&mut self) -> ReqId {
+        self.next_write_id += 1;
+        ReqId(WRITE_ID_BASE + self.next_write_id)
     }
 
     /// Catch the internal clock up to `t`, processing completions and
@@ -444,9 +515,14 @@ impl MemoryController {
     ///
     /// Arrivals with `t` earlier than the internal clock (possible when
     /// several cores interleave and one was stalled past another's issue
-    /// time) are treated as arriving "now": the call is a no-op beyond
-    /// harvesting/scheduling at the current instant.
+    /// time) are treated as arriving "now". Once the controller is settled
+    /// at an instant, same-time re-entry returns immediately: every public
+    /// mutator restores the fixpoint itself, and new ops always complete
+    /// strictly in the future.
     pub fn advance_to(&mut self, t: Time) {
+        if t <= self.now && self.settled {
+            return;
+        }
         loop {
             self.harvest();
             self.schedule();
@@ -459,6 +535,7 @@ impl MemoryController {
         self.now = self.now.max(t);
         self.harvest();
         self.schedule();
+        self.settled = true;
     }
 
     /// One internal event step with no new arrivals.
@@ -476,16 +553,23 @@ impl MemoryController {
         self.now = next;
         self.harvest();
         self.schedule();
+        self.settled = true;
     }
 
     /// Earliest future instant at which controller state can change.
+    ///
+    /// O(1) except for post-cancellation recovery windows: the earliest
+    /// bank completion is cached, and only banks flagged in
+    /// `ready_waiters` are checked for wake-ups.
     fn next_event(&self) -> Time {
-        let mut next = Time::NEVER;
-        for (i, b) in self.banks.iter().enumerate() {
-            next = next.min(b.busy_until());
-            // An idle bank under cancellation-recovery with pending work
-            // wakes up at bank_ready.
-            if b.is_idle() && self.bank_ready[i] > self.now && self.has_work_for(i) {
+        let mut next = self.earliest_end;
+        // An idle bank under cancellation-recovery with pending work wakes
+        // up at bank_ready.
+        let mut waiters = self.ready_waiters & self.idle_mask;
+        while waiters != 0 {
+            let i = waiters.trailing_zeros() as usize;
+            waiters &= waiters - 1;
+            if self.bank_ready[i] > self.now && self.has_work_for(i) {
                 next = next.min(self.bank_ready[i]);
             }
         }
@@ -508,14 +592,61 @@ impl MemoryController {
             || self.eager_q.count_for_bank(bank) > 0
     }
 
+    /// Mark bank `bank` busy with `op`, maintaining the idle mask and the
+    /// cached earliest completion.
+    fn start_op(&mut self, bank: usize, op: InFlightOp) {
+        self.earliest_end = self.earliest_end.min(op.end);
+        self.idle_mask &= !(1u64 << bank);
+        self.banks[bank].start(op);
+    }
+
+    /// Recompute the cached earliest completion from the busy set.
+    fn recompute_earliest_end(&mut self) {
+        let mut earliest = Time::NEVER;
+        let mut busy = !self.idle_mask & self.full_mask;
+        while busy != 0 {
+            let i = busy.trailing_zeros() as usize;
+            busy &= busy - 1;
+            earliest = earliest.min(self.banks[i].busy_until());
+        }
+        self.earliest_end = earliest;
+    }
+
+    /// Banks currently blocked by cancellation recovery, pruning waiters
+    /// whose window has passed.
+    fn blocked_ready_mask(&mut self) -> u64 {
+        let now = self.now;
+        let mut blocked = 0u64;
+        let mut waiters = self.ready_waiters;
+        while waiters != 0 {
+            let i = waiters.trailing_zeros() as usize;
+            waiters &= waiters - 1;
+            if self.bank_ready[i] > now {
+                blocked |= 1u64 << i;
+            } else {
+                self.ready_waiters &= !(1u64 << i);
+            }
+        }
+        blocked
+    }
+
     /// Complete every in-flight op that finishes at or before `now`, then
     /// release due retention scrubs and retry deferred maintenance.
     fn harvest(&mut self) {
         let now = self.now;
-        for i in 0..self.banks.len() {
-            if let Some(op) = self.banks[i].try_complete(now) {
-                self.finish_op(op);
+        // The bank scan only runs when the cached earliest completion is
+        // actually due; otherwise no op can complete yet.
+        if now >= self.earliest_end {
+            let mut busy = !self.idle_mask & self.full_mask;
+            while busy != 0 {
+                let i = busy.trailing_zeros() as usize;
+                busy &= busy - 1;
+                if let Some(op) = self.banks[i].try_complete(now) {
+                    self.idle_mask |= 1u64 << i;
+                    self.finish_op(op);
+                }
             }
+            self.recompute_earliest_end();
         }
         while let Some(&Reverse((due, line))) = self.scrubs.peek() {
             if due > now {
@@ -556,17 +687,25 @@ impl MemoryController {
     fn try_enqueue_maintenance_write(&mut self, line: u64) -> bool {
         let bank = self.cfg.bank_of(line);
         if !self.eager_q.is_full() {
-            let id = self.fresh_id();
-            let ok = self.eager_q.push_back(Pending { id, line, bank });
+            let id = self.fresh_write_id();
+            let ok = self.eager_q.push_back(Pending {
+                id,
+                line,
+                bank,
+                maintenance: true,
+            });
             debug_assert!(ok);
-            self.maintenance_ids.insert(id);
             return true;
         }
         if self.deferred_maintenance.len() >= 1024 && !self.write_q.is_full() {
-            let id = self.fresh_id();
-            let ok = self.write_q.push_back(Pending { id, line, bank });
+            let id = self.fresh_write_id();
+            let ok = self.write_q.push_back(Pending {
+                id,
+                line,
+                bank,
+                maintenance: true,
+            });
             debug_assert!(ok);
-            self.maintenance_ids.insert(id);
             self.update_drain();
             return true;
         }
@@ -578,18 +717,12 @@ impl MemoryController {
             OpKind::Read => {
                 self.counters.reads_completed += 1;
                 self.energy.record_read();
-                if let Some(arrived) = self.read_arrivals.remove(&op.id) {
+                if let Some(arrived) = self.reads.mark_done(op.id, op.end) {
                     self.counters.read_latency_ps += (op.end - arrived).0;
                 }
-                self.completed_reads.insert(op.id, op.end);
             }
             OpKind::Write(speed) => {
-                let was_maintenance = self.maintenance_ids.remove(&op.id);
-                let ratio = if was_maintenance {
-                    self.policy.ratio(speed)
-                } else {
-                    self.effective_write_ratio(speed, op.id)
-                };
+                let ratio = self.effective_write_ratio(speed, op.maintenance);
                 self.wear.record_write(ratio);
                 self.energy.record_write(ratio);
                 match speed {
@@ -602,7 +735,7 @@ impl MemoryController {
                 }
                 // Retention-relaxed fast writes must be scrubbed later; a
                 // rewrite before the deadline re-arms (supersedes) it.
-                if !was_maintenance && speed == WriteSpeed::Fast {
+                if !op.maintenance && speed == WriteSpeed::Fast {
                     if let Some(r) = self.policy.retention {
                         let due = op.end + crate::time::Duration::from_ns(r.retention_ns);
                         self.scrub_due.insert(op.line, due);
@@ -625,31 +758,29 @@ impl MemoryController {
 
     /// Fill every free bank with the highest-priority eligible request.
     fn schedule(&mut self) {
-        let now = self.now;
+        self.update_drain();
+        if self.read_q.is_empty() && self.write_q.is_empty() && self.eager_q.is_empty() {
+            return;
+        }
         loop {
-            self.update_drain();
-            let free: Vec<bool> = self
-                .banks
-                .iter()
-                .enumerate()
-                .map(|(i, b)| b.is_idle() && self.bank_ready[i] <= now)
-                .collect();
-            if !free.iter().any(|&f| f) {
+            let free = self.idle_mask & !self.blocked_ready_mask();
+            if free == 0 {
                 return;
             }
             // Priority: during drain, writes lead; otherwise reads lead.
             // Writes also issue opportunistically to banks with no queued
             // reads. Eager writes issue only to fully quiescent banks.
             let issued = if self.drain {
-                self.try_issue_write(&free) || self.try_issue_read(&free)
+                self.try_issue_write(free) || self.try_issue_read(free)
             } else {
-                self.try_issue_read(&free)
-                    || self.try_issue_opportunistic_write(&free)
-                    || self.try_issue_eager(&free)
+                self.try_issue_read(free)
+                    || self.try_issue_opportunistic_write(free)
+                    || self.try_issue_eager(free)
             };
             if !issued {
                 return;
             }
+            self.update_drain();
         }
     }
 
@@ -664,15 +795,19 @@ impl MemoryController {
         (release > self.now).then_some(release)
     }
 
-    fn try_issue_read(&mut self, free: &[bool]) -> bool {
+    fn try_issue_read(&mut self, free: u64) -> bool {
         // tFAW: while the activation window is saturated, only row-buffer
         // hits (no activation) may issue.
         let faw_blocked = self.faw_gate().is_some();
-        let open_rows: Vec<Option<u64>> = self.banks.iter().map(Bank::open_row).collect();
-        let cfg_rows = &self.cfg;
-        let Some(p) = self.read_q.pop_first_matching(|p| {
-            free[p.bank] && (!faw_blocked || open_rows[p.bank] == Some(cfg_rows.row_of(p.line)))
-        }) else {
+        let p = {
+            let banks = &self.banks;
+            let cfg = &self.cfg;
+            self.read_q.pop_first_matching(|p| {
+                free & (1u64 << p.bank) != 0
+                    && (!faw_blocked || banks[p.bank].open_row() == Some(cfg.row_of(p.line)))
+            })
+        };
+        let Some(p) = p else {
             return false;
         };
         // Open-page policy (Table 9): a read hitting the bank's open row
@@ -707,20 +842,24 @@ impl MemoryController {
             None => base_latency,
         };
         let end = self.now + latency;
-        self.banks[p.bank].start(InFlightOp {
-            id: p.id,
-            line: p.line,
-            kind: OpKind::Read,
-            start: self.now,
-            end,
-            cancellable: false,
-            origin: QueueKind::Read,
-        });
+        self.start_op(
+            p.bank,
+            InFlightOp {
+                id: p.id,
+                line: p.line,
+                kind: OpKind::Read,
+                start: self.now,
+                end,
+                cancellable: false,
+                origin: QueueKind::Read,
+                maintenance: false,
+            },
+        );
         true
     }
 
     /// Drain-mode write issue: any free bank.
-    fn try_issue_write(&mut self, free: &[bool]) -> bool {
+    fn try_issue_write(&mut self, free: u64) -> bool {
         let Some(p) = self.write_q.pop_oldest_for_free_bank(free) else {
             return false;
         };
@@ -729,13 +868,14 @@ impl MemoryController {
     }
 
     /// Outside drain, a write may use a bank only if no read wants it.
-    fn try_issue_opportunistic_write(&mut self, free: &[bool]) -> bool {
-        let eligible: Vec<bool> = free
-            .iter()
-            .enumerate()
-            .map(|(i, &f)| f && self.read_q.count_for_bank(i) == 0)
-            .collect();
-        let Some(p) = self.write_q.pop_oldest_for_free_bank(&eligible) else {
+    fn try_issue_opportunistic_write(&mut self, free: u64) -> bool {
+        let p = {
+            let read_q = &self.read_q;
+            self.write_q.pop_first_matching(|p| {
+                free & (1u64 << p.bank) != 0 && read_q.count_for_bank(p.bank) == 0
+            })
+        };
+        let Some(p) = p else {
             return false;
         };
         self.start_write(p, QueueKind::Write);
@@ -743,15 +883,17 @@ impl MemoryController {
     }
 
     /// Eager writes use only fully quiescent banks.
-    fn try_issue_eager(&mut self, free: &[bool]) -> bool {
-        let eligible: Vec<bool> = free
-            .iter()
-            .enumerate()
-            .map(|(i, &f)| {
-                f && self.read_q.count_for_bank(i) == 0 && self.write_q.count_for_bank(i) == 0
+    fn try_issue_eager(&mut self, free: u64) -> bool {
+        let p = {
+            let read_q = &self.read_q;
+            let write_q = &self.write_q;
+            self.eager_q.pop_first_matching(|p| {
+                free & (1u64 << p.bank) != 0
+                    && read_q.count_for_bank(p.bank) == 0
+                    && write_q.count_for_bank(p.bank) == 0
             })
-            .collect();
-        let Some(p) = self.eager_q.pop_oldest_for_free_bank(&eligible) else {
+        };
+        let Some(p) = p else {
             return false;
         };
         self.start_write(p, QueueKind::Eager);
@@ -761,34 +903,36 @@ impl MemoryController {
     fn start_write(&mut self, p: Pending, origin: QueueKind) {
         // Maintenance writes (retention scrubs / disturb refreshes) always
         // use the slow class at full retention, so they never re-arm.
-        let speed = if self.maintenance_ids.contains(&p.id) {
+        let speed = if p.maintenance {
             WriteSpeed::Slow
         } else {
             self.write_speed_for(p.bank, origin)
         };
-        let ratio = self.effective_write_ratio(speed, p.id);
+        let ratio = self.effective_write_ratio(speed, p.maintenance);
         let cancellable = self.policy.cancellation.allows(speed);
         let end = self.now + self.cfg.write_latency(ratio);
-        self.banks[p.bank].start(InFlightOp {
-            id: p.id,
-            line: p.line,
-            kind: OpKind::Write(speed),
-            start: self.now,
-            end,
-            cancellable,
-            origin,
-        });
+        self.start_op(
+            p.bank,
+            InFlightOp {
+                id: p.id,
+                line: p.line,
+                kind: OpKind::Write(speed),
+                start: self.now,
+                end,
+                cancellable,
+                origin,
+                maintenance: p.maintenance,
+            },
+        );
     }
 
     /// The pulse ratio a write actually uses: fast demand writes under the
     /// retention extension are relaxed (shorter pulse, scrub later);
     /// maintenance writes never are.
-    fn effective_write_ratio(&self, speed: WriteSpeed, id: ReqId) -> f64 {
+    fn effective_write_ratio(&self, speed: WriteSpeed, maintenance: bool) -> f64 {
         let base = self.policy.ratio(speed);
         match self.policy.retention {
-            Some(r) if speed == WriteSpeed::Fast && !self.maintenance_ids.contains(&id) => {
-                base * r.write_speedup
-            }
+            Some(r) if speed == WriteSpeed::Fast && !maintenance => base * r.write_speedup,
             _ => base,
         }
     }
@@ -823,6 +967,8 @@ impl MemoryController {
             return;
         }
         let op = self.banks[bank].cancel(self.now);
+        self.idle_mask |= 1u64 << bank;
+        self.recompute_earliest_end();
         let OpKind::Write(speed) = op.kind else {
             unreachable!()
         };
@@ -833,11 +979,13 @@ impl MemoryController {
         self.counters.cancellations += 1;
         self.bank_ready[bank] =
             self.now + crate::time::Duration::from_ns(self.cfg.cancel_overhead_ns);
+        self.ready_waiters |= 1u64 << bank;
         // The canceled write returns to the head of its origin queue.
         let pending = Pending {
             id: op.id,
             line: op.line,
             bank,
+            maintenance: op.maintenance,
         };
         match op.origin {
             QueueKind::Write => self.write_q.push_front(pending),
@@ -1293,5 +1441,31 @@ mod tests {
         }
         m.drain_all();
         assert_eq!(m.counters().reads_completed, m.counters().reads_issued);
+    }
+
+    #[test]
+    fn read_and_write_ids_never_collide() {
+        let mut m = controller(MellowPolicy::default_fast());
+        let r = m.issue_read(0, Time::ZERO).unwrap();
+        assert!(m.issue_write(1, Time::ZERO));
+        assert!(r.0 < WRITE_ID_BASE, "read ids stay in the dense range");
+        let _ = m.wait_read(r);
+        m.drain_all();
+    }
+
+    #[test]
+    fn settled_same_instant_reentry_is_stable() {
+        // Repeated polling at one instant (the CPU model's reap pattern)
+        // must neither change state nor lose completions.
+        let mut m = controller(MellowPolicy::default_fast());
+        let id = m.issue_read(0, Time::ZERO).unwrap();
+        for _ in 0..10 {
+            assert!(m.take_completed_read(id, Time::from_ns(1.0)).is_none());
+        }
+        let done = m
+            .take_completed_read(id, Time::from_ns(122.5))
+            .expect("read due exactly now");
+        assert_eq!(done, Time::from_ns(122.5));
+        assert!(m.take_completed_read(id, Time::from_ns(122.5)).is_none());
     }
 }

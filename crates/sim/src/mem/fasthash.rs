@@ -1,0 +1,114 @@
+//! A minimal FxHash-style hasher for hot-path maps.
+//!
+//! The controller's per-line scrub-deadline map is keyed by sparse line
+//! addresses, so it cannot use a dense slab — but it also sits on the
+//! per-write hot path, where SipHash's keyed rounds are pure overhead
+//! (there is no untrusted input to defend against). This is the classic
+//! Firefox/rustc multiply-rotate hash: one rotate, one xor, one multiply
+//! per word.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Firefox/rustc Fx hash (a 64-bit
+/// truncation of pi's digits, chosen for good avalanche on low bits).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// One-word-at-a-time multiply-rotate hasher (not DoS-resistant; for
+/// internal simulator maps only).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_basic_operations() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i * 16, i as u32);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&(i * 16)), Some(&(i as u32)));
+        }
+        assert_eq!(m.remove(&160), Some(10));
+        assert!(!m.contains_key(&160));
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_spreads() {
+        let hash_of = |n: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(n);
+            h.finish()
+        };
+        assert_eq!(hash_of(42), hash_of(42));
+        assert_ne!(hash_of(0), hash_of(1));
+        // Consecutive keys must not collide in the low bits (the part a
+        // power-of-two table actually uses).
+        let low = |n: u64| hash_of(n) & 0xfff;
+        let distinct: std::collections::HashSet<u64> = (0..64).map(low).collect();
+        assert!(distinct.len() > 48, "low bits too clustered: {distinct:?}");
+    }
+
+    #[test]
+    fn byte_writes_match_word_writes_for_alignment() {
+        // Not required to be equal across write granularities — only
+        // self-consistent: the same byte stream hashes identically.
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -13,9 +13,12 @@
 mod bank;
 mod config;
 mod controller;
+mod fasthash;
 mod queues;
+mod read_table;
 
 pub use bank::{Bank, InFlightOp, OpKind};
 pub use config::MemConfig;
 pub use controller::{MemCounters, MemoryController, ReqId};
+pub use fasthash::{FxHashMap, FxHasher};
 pub use queues::{BankQueue, QueueKind};

@@ -21,6 +21,10 @@ pub(crate) struct Pending {
     pub id: ReqId,
     pub line: u64,
     pub bank: usize,
+    /// Maintenance (scrub/refresh) write: issued at the slow class, never
+    /// re-armed for retention scrubbing. Carried here (and on the in-flight
+    /// op) so the hot path needs no id-set lookups.
+    pub maintenance: bool,
 }
 
 /// A bounded FIFO with O(1) per-bank occupancy counts.
@@ -121,10 +125,10 @@ impl BankQueue {
         Some(p)
     }
 
-    /// Pop the oldest request in the queue (FCFS across banks), if any
-    /// bank in `free` is available for it.
-    pub(crate) fn pop_oldest_for_free_bank(&mut self, free: &[bool]) -> Option<Pending> {
-        self.pop_first_matching(|p| free[p.bank])
+    /// Pop the oldest request in the queue (FCFS across banks) whose bank
+    /// bit is set in the `free` mask.
+    pub(crate) fn pop_oldest_for_free_bank(&mut self, free: u64) -> Option<Pending> {
+        self.pop_first_matching(|p| free & (1u64 << p.bank) != 0)
     }
 
     /// Pop the oldest request satisfying `pred` (FCFS order).
@@ -157,6 +161,7 @@ mod tests {
             id: ReqId(id),
             line: bank as u64,
             bank,
+            maintenance: false,
         }
     }
 
@@ -205,9 +210,9 @@ mod tests {
         q.push_back(p(1, 0));
         q.push_back(p(2, 1));
         // Bank 0 busy: oldest eligible is id 2 on bank 1.
-        let got = q.pop_oldest_for_free_bank(&[false, true]).unwrap();
+        let got = q.pop_oldest_for_free_bank(0b10).unwrap();
         assert_eq!(got.id, ReqId(2));
-        assert!(q.pop_oldest_for_free_bank(&[false, false]).is_none());
+        assert!(q.pop_oldest_for_free_bank(0b00).is_none());
     }
 
     #[test]
@@ -219,7 +224,7 @@ mod tests {
         for bank in 0..4 {
             assert_eq!(q.count_for_bank(bank), 3);
         }
-        let _ = q.pop_oldest_for_free_bank(&[true, true, true, true]);
+        let _ = q.pop_oldest_for_free_bank(0b1111);
         assert_eq!(q.count_for_bank(0), 2);
         assert_eq!(q.iter().count(), 11);
     }

@@ -1,0 +1,203 @@
+//! Open-addressed slot table for outstanding reads.
+//!
+//! Read IDs are dense, monotonically assigned integers and are reaped
+//! promptly by the CPU model, so the set of live IDs at any instant spans
+//! a narrow window. Indexing a power-of-two ring by `id & mask` therefore
+//! gives collision-free O(1) insert/lookup/remove without hashing at all —
+//! replacing the two SipHash maps (`read_arrivals`, `completed_reads`)
+//! the controller used to consult several times per access.
+//!
+//! A slot holds the request's arrival time (for latency statistics) and,
+//! once the read finishes, its completion time. If a caller lets finished
+//! reads pile up past the table's capacity (raw-API users that never
+//! reap), the table grows and re-slots like any open-addressed map.
+
+use crate::mem::controller::ReqId;
+use crate::time::Time;
+
+/// Sentinel completion time meaning "still in flight".
+const IN_FLIGHT: Time = Time::NEVER;
+
+/// Dense-ID slot table for in-flight and completed-but-unreaped reads.
+#[derive(Debug, Clone)]
+pub(crate) struct ReadTable {
+    /// Request id per slot; 0 = empty (ids are assigned starting at 1).
+    ids: Vec<u64>,
+    arrivals: Vec<Time>,
+    /// Completion time, or [`IN_FLIGHT`].
+    dones: Vec<Time>,
+    mask: u64,
+    live: usize,
+}
+
+impl ReadTable {
+    /// An empty table with power-of-two capacity `cap`.
+    pub fn new(cap: usize) -> ReadTable {
+        assert!(cap.is_power_of_two() && cap > 0);
+        ReadTable {
+            ids: vec![0; cap],
+            arrivals: vec![Time::ZERO; cap],
+            dones: vec![IN_FLIGHT; cap],
+            mask: cap as u64 - 1,
+            live: 0,
+        }
+    }
+
+    /// Number of tracked reads (in flight + completed-but-unreaped).
+    #[cfg(test)]
+    pub fn tracked(&self) -> usize {
+        self.live
+    }
+
+    #[inline]
+    fn slot(&self, id: u64) -> usize {
+        (id & self.mask) as usize
+    }
+
+    /// Track a newly issued read that arrived at `arrival`.
+    pub fn insert(&mut self, id: ReqId, arrival: Time) {
+        debug_assert!(id.0 != 0, "id 0 is the empty-slot sentinel");
+        loop {
+            let s = self.slot(id.0);
+            let cur = self.ids[s];
+            if cur == 0 {
+                self.ids[s] = id.0;
+                self.arrivals[s] = arrival;
+                self.dones[s] = IN_FLIGHT;
+                self.live += 1;
+                return;
+            }
+            debug_assert!(cur != id.0, "duplicate read id");
+            self.grow();
+        }
+    }
+
+    /// Mark `id` complete at `done`; returns its arrival time.
+    ///
+    /// Returns `None` if `id` is not tracked (e.g. not a read id).
+    pub fn mark_done(&mut self, id: ReqId, done: Time) -> Option<Time> {
+        debug_assert!(done != IN_FLIGHT);
+        let s = self.slot(id.0);
+        if self.ids[s] == id.0 {
+            self.dones[s] = done;
+            Some(self.arrivals[s])
+        } else {
+            None
+        }
+    }
+
+    /// Remove and return the completion time of `id`, if it has finished.
+    /// In-flight and unknown ids return `None` without side effects.
+    pub fn take_done(&mut self, id: ReqId) -> Option<Time> {
+        let s = self.slot(id.0);
+        if self.ids[s] == id.0 && self.dones[s] != IN_FLIGHT {
+            self.ids[s] = 0;
+            self.live -= 1;
+            Some(self.dones[s])
+        } else {
+            None
+        }
+    }
+
+    /// Double capacity (repeatedly, if needed) until every live entry
+    /// lands in its own slot.
+    fn grow(&mut self) {
+        let mut cap = self.ids.len();
+        'retry: loop {
+            cap *= 2;
+            let mask = cap as u64 - 1;
+            let mut ids = vec![0u64; cap];
+            let mut arrivals = vec![Time::ZERO; cap];
+            let mut dones = vec![IN_FLIGHT; cap];
+            for s in 0..self.ids.len() {
+                let id = self.ids[s];
+                if id == 0 {
+                    continue;
+                }
+                let ns = (id & mask) as usize;
+                if ids[ns] != 0 {
+                    continue 'retry;
+                }
+                ids[ns] = id;
+                arrivals[ns] = self.arrivals[s];
+                dones[ns] = self.dones[s];
+            }
+            self.ids = ids;
+            self.arrivals = arrivals;
+            self.dones = dones;
+            self.mask = mask;
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_complete_take_round_trip() {
+        let mut t = ReadTable::new(8);
+        t.insert(ReqId(1), Time(100));
+        assert_eq!(t.tracked(), 1);
+        assert_eq!(t.take_done(ReqId(1)), None, "in flight: not takeable");
+        assert_eq!(t.mark_done(ReqId(1), Time(250)), Some(Time(100)));
+        assert_eq!(t.take_done(ReqId(1)), Some(Time(250)));
+        assert_eq!(t.tracked(), 0);
+        assert_eq!(t.take_done(ReqId(1)), None, "already taken");
+    }
+
+    #[test]
+    fn unknown_ids_are_rejected() {
+        let mut t = ReadTable::new(8);
+        t.insert(ReqId(3), Time(0));
+        assert_eq!(t.mark_done(ReqId(4), Time(1)), None);
+        assert_eq!(t.take_done(ReqId(4)), None);
+        assert_eq!(t.tracked(), 1);
+    }
+
+    #[test]
+    fn grows_past_capacity_when_never_reaped() {
+        let mut t = ReadTable::new(4);
+        for i in 1..=1000u64 {
+            t.insert(ReqId(i), Time(i));
+            assert_eq!(t.mark_done(ReqId(i), Time(i + 10)), Some(Time(i)));
+        }
+        assert_eq!(t.tracked(), 1000);
+        for i in 1..=1000u64 {
+            assert_eq!(t.take_done(ReqId(i)), Some(Time(i + 10)));
+        }
+        assert_eq!(t.tracked(), 0);
+    }
+
+    #[test]
+    fn dense_window_reuses_slots_without_growth() {
+        let mut t = ReadTable::new(16);
+        // A sliding window of 8 live ids over 10k inserts never collides.
+        for i in 1..=10_000u64 {
+            t.insert(ReqId(i), Time(i));
+            if i > 8 {
+                let old = ReqId(i - 8);
+                assert_eq!(t.mark_done(old, Time(i)), Some(Time(i - 8)));
+                assert_eq!(t.take_done(old), Some(Time(i)));
+            }
+        }
+        assert_eq!(t.ids.len(), 16, "window smaller than capacity: no growth");
+    }
+
+    #[test]
+    fn sparse_ids_force_repeated_doubling() {
+        let mut t = ReadTable::new(4);
+        // ids 1 and 1+4 collide at cap 4; 1 and 1+8 at cap 8; table must
+        // keep doubling until all three fit.
+        t.insert(ReqId(1), Time(0));
+        t.insert(ReqId(5), Time(0));
+        t.insert(ReqId(9), Time(0));
+        assert_eq!(t.tracked(), 3);
+        assert!(t.ids.len() >= 16);
+        for id in [1u64, 5, 9] {
+            assert_eq!(t.mark_done(ReqId(id), Time(7)), Some(Time(0)));
+            assert_eq!(t.take_done(ReqId(id)), Some(Time(7)));
+        }
+    }
+}
