@@ -1,31 +1,10 @@
-//! Default-configuration landscape: the premise of Figure 7.
-//!
-//! Prints IPC, projected lifetime and energy under the paper's *default*
-//! configuration for all ten workloads. Most workloads must miss the
-//! 8-year target; `zeusmp` must pass.
-
-use mct_core::NvmConfig;
-use mct_experiments::{measure_one, report::Table, Scale};
-use mct_workloads::Workload;
+//! Thin wrapper over [`mct_experiments::figures::calibrate`]: the stage
+//! logic lives in the library so `run_all` can execute every stage
+//! in-process, sharing warm rigs and caches across figures.
 
 fn main() {
-    let scale = Scale::from_args();
-    println!("== Calibration: default configuration landscape (scale: {scale}) ==\n");
-    let mut table = Table::new(["workload", "ipc", "lifetime_y", "energy_mJ", "meets 8y?"]);
-    for w in Workload::all() {
-        let m = measure_one(w, &NvmConfig::default_config(), scale, 2017);
-        table.row([
-            w.name().to_string(),
-            format!("{:.3}", m.ipc),
-            format!("{:.2}", m.lifetime_years),
-            format!("{:.2}", m.energy_j * 1e3),
-            if m.lifetime_years >= 8.0 {
-                "yes".into()
-            } else {
-                "no".into()
-            },
-        ]);
-    }
-    table.print();
-    println!("\nExpected shape (paper Fig. 7): zeusmp passes 8 years; the rest fall short.");
+    let scale = mct_experiments::Scale::from_args();
+    let stdout = std::io::stdout();
+    mct_experiments::figures::calibrate::run(scale, &mut stdout.lock()).expect("render calibrate");
+    mct_experiments::pipeline::finish();
 }

@@ -1,81 +1,10 @@
-//! Figure 1 + Table 5: default vs best-static vs ideal per application
-//! (8-year objective), and the per-application ideal configurations.
-
-use mct_core::{ConfigSpace, NvmConfig, Objective};
-use mct_experiments::cache::{load_or_compute_sweep, strided_configs};
-use mct_experiments::report::{config_table_header, config_table_row, Table};
-use mct_experiments::runner::EXPERIMENT_SEED;
-use mct_experiments::{ideal_for, Scale};
-use mct_workloads::Workload;
+//! Thin wrapper over [`mct_experiments::figures::figure1`]: the stage
+//! logic lives in the library so `run_all` can execute every stage
+//! in-process, sharing warm rigs and caches across figures.
 
 fn main() {
-    let scale = Scale::from_args();
-    println!("== Figure 1 / Table 5: default vs baseline vs ideal (scale: {scale}) ==\n");
-    let space = ConfigSpace::full(8.0);
-    let configs = strided_configs(space.configs(), scale);
-    let objective = Objective::paper_default(8.0);
-
-    let mut fig = Table::new([
-        "workload",
-        "ipc(def)",
-        "ipc(base)",
-        "ipc(ideal)",
-        "life(def)",
-        "life(base)",
-        "life(ideal)",
-        "en(def)",
-        "en(base)",
-        "en(ideal)",
-    ]);
-    let mut table5 = Table::new(config_table_header());
-    table5.row(config_table_row("default", &NvmConfig::default_config()));
-    table5.row(config_table_row("baseline", &NvmConfig::static_baseline()));
-
-    let mut geo: Vec<(f64, f64)> = Vec::new(); // (ideal/base ipc, ideal/base energy)
-    for w in Workload::all() {
-        let ds = load_or_compute_sweep(w, &configs, scale, EXPERIMENT_SEED);
-        let def = ds
-            .metrics_of(&NvmConfig::default_config())
-            .expect("default measured");
-        let base = ds
-            .metrics_of(&NvmConfig::static_baseline())
-            .expect("baseline measured");
-        let ideal = ideal_for(&ds, &objective);
-        fig.row([
-            w.name().to_string(),
-            format!("{:.3}", def.ipc),
-            format!("{:.3}", base.ipc),
-            format!("{:.3}", ideal.metrics.ipc),
-            format!("{:.1}", def.lifetime_years.min(99.0)),
-            format!("{:.1}", base.lifetime_years.min(99.0)),
-            format!("{:.1}", ideal.metrics.lifetime_years.min(99.0)),
-            format!("{:.2}", def.energy_j * 1e3),
-            format!("{:.2}", base.energy_j * 1e3),
-            format!("{:.2}", ideal.metrics.energy_j * 1e3),
-        ]);
-        table5.row(config_table_row(
-            &format!("{}_ideal", w.name()),
-            &ideal.config,
-        ));
-        geo.push((
-            ideal.metrics.ipc / base.ipc,
-            ideal.metrics.energy_j / base.energy_j,
-        ));
-    }
-    fig.print();
-
-    let gm = |vals: &[f64]| (vals.iter().map(|v| v.ln()).sum::<f64>() / vals.len() as f64).exp();
-    let ipc_gain: Vec<f64> = geo.iter().map(|g| g.0).collect();
-    let en_ratio: Vec<f64> = geo.iter().map(|g| g.1).collect();
-    println!(
-        "\nideal vs baseline (geomean): IPC x{:.3}, energy x{:.3}",
-        gm(&ipc_gain),
-        gm(&en_ratio)
-    );
-    println!("\n== Table 5: ideal configurations ==\n");
-    table5.print();
-    println!(
-        "\nExpected shape (paper Fig. 1/Table 5): baseline lags ideal on several\n\
-         applications; no two applications share the same ideal configuration."
-    );
+    let scale = mct_experiments::Scale::from_args();
+    let stdout = std::io::stdout();
+    mct_experiments::figures::figure1::run(scale, &mut stdout.lock()).expect("render figure1");
+    mct_experiments::pipeline::finish();
 }

@@ -1,65 +1,10 @@
-//! Figure 10 + Table 11: multi-program workloads on the 4-core system.
-//!
-//! Compares default, the static policy, and MCT (gradient boosting) on
-//! the six Table 11 mixes: normalized geomean IPC and memory lifetime
-//! against the 8-year floor.
-
-use mct_experiments::mix_mct::run_mix_all;
-use mct_experiments::report::Table;
-use mct_experiments::runner::EXPERIMENT_SEED;
-use mct_experiments::Scale;
-use mct_workloads::Mix;
+//! Thin wrapper over [`mct_experiments::figures::figure10`]: the stage
+//! logic lives in the library so `run_all` can execute every stage
+//! in-process, sharing warm rigs and caches across figures.
 
 fn main() {
-    let scale = Scale::from_args();
-    println!("== Figure 10 / Table 11: multi-program mixes (scale: {scale}) ==\n");
-
-    let mut table11 = Table::new(["mix", "members"]);
-    for m in Mix::all() {
-        let names: Vec<&str> = m.members().iter().map(|w| w.name()).collect();
-        table11.row([m.name().to_string(), names.join(", ")]);
-    }
-    table11.print();
-    println!();
-
-    let mut fig = Table::new([
-        "mix",
-        "ipc(def)/static",
-        "ipc(mct)/static",
-        "life def",
-        "life static",
-        "life mct",
-        "fairness mct",
-        "mct config",
-    ]);
-    let mut mct_gain = Vec::new();
-    let mut mct_meets = 0;
-    for m in Mix::all() {
-        let [def, stat, mct] = run_mix_all(m, scale, EXPERIMENT_SEED, 8.0);
-        fig.row([
-            m.name().to_string(),
-            format!("{:.3}", def.geomean_ipc / stat.geomean_ipc),
-            format!("{:.3}", mct.geomean_ipc / stat.geomean_ipc),
-            format!("{:.1}", def.lifetime_years.min(99.0)),
-            format!("{:.1}", stat.lifetime_years.min(99.0)),
-            format!("{:.1}", mct.lifetime_years.min(99.0)),
-            format!("{:.2}", mct.fairness),
-            mct.config.to_string(),
-        ]);
-        mct_gain.push(mct.geomean_ipc / stat.geomean_ipc);
-        if mct.lifetime_years >= 8.0 * 0.9 {
-            mct_meets += 1;
-        }
-    }
-    fig.print();
-    let gm = (mct_gain.iter().map(|x| x.ln()).sum::<f64>() / mct_gain.len() as f64).exp();
-    println!(
-        "\nMCT vs static (geomean IPC): {:+.1}%  (paper: ~+20%); lifetime >= ~8y on {}/6 mixes",
-        (gm - 1.0) * 100.0,
-        mct_meets
-    );
-    println!(
-        "\nExpected shape (paper Fig. 10): MCT beats the static policy on geomean\n\
-         IPC while satisfying the 8-year floor; default violates the floor."
-    );
+    let scale = mct_experiments::Scale::from_args();
+    let stdout = std::io::stdout();
+    mct_experiments::figures::figure10::run(scale, &mut stdout.lock()).expect("render figure10");
+    mct_experiments::pipeline::finish();
 }

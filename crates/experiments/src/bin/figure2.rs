@@ -1,112 +1,10 @@
-//! Figure 2 (+ Table 7's accuracy/requirements columns): predictor
-//! comparison — convergence rate and prediction accuracy vs number of
-//! training samples.
-//!
-//! For each application, models train on N random sample configurations
-//! from the sweep dataset and are scored by coefficient of determination
-//! (paper Eq. 3) over the full remaining space; results average over the
-//! ten applications. Offline/hierarchical models receive the other nine
-//! applications as their offline corpus (leave-one-out).
-
-use mct_core::{ConfigSpace, MetricsPredictor, ModelKind};
-use mct_experiments::cache::{load_or_compute_sweep, strided_configs, SweepDataset};
-use mct_experiments::report::Table;
-use mct_experiments::runner::EXPERIMENT_SEED;
-use mct_experiments::Scale;
-use mct_ml::coefficient_of_determination;
-use mct_workloads::Workload;
-
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-
-const SAMPLE_SIZES: [usize; 5] = [10, 20, 40, 80, 160];
-const OBJECTIVES: [&str; 3] = ["IPC", "lifetime", "energy"];
-
-fn r2_for(
-    kind: ModelKind,
-    ds: &SweepDataset,
-    corpus: &[&SweepDataset],
-    n_samples: usize,
-    dim: usize,
-    seed: u64,
-) -> f64 {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut idx: Vec<usize> = (0..ds.configs.len()).collect();
-    idx.shuffle(&mut rng);
-    let (train_idx, eval_idx) = idx.split_at(n_samples.min(idx.len() - 1));
-    let pairs = ds.pairs();
-    let train: Vec<_> = train_idx.iter().map(|&i| pairs[i]).collect();
-
-    let mut predictor = MetricsPredictor::new(kind);
-    if kind.needs_offline_data() {
-        predictor = predictor.with_corpus(corpus.iter().map(|d| d.pairs()).collect());
-    }
-    predictor.fit(&train, None);
-    let preds: Vec<f64> = eval_idx
-        .iter()
-        .map(|&i| predictor.predict(&ds.configs[i]).to_array()[dim])
-        .collect();
-    let truth: Vec<f64> = eval_idx
-        .iter()
-        .map(|&i| {
-            let m = pairs[i].1.to_array()[dim];
-            m.min(mct_core::predictor::LIFETIME_CLAMP_YEARS)
-        })
-        .collect();
-    coefficient_of_determination(&preds, &truth)
-}
+//! Thin wrapper over [`mct_experiments::figures::figure2`]: the stage
+//! logic lives in the library so `run_all` can execute every stage
+//! in-process, sharing warm rigs and caches across figures.
 
 fn main() {
-    let scale = Scale::from_args();
-    println!("== Figure 2: convergence & accuracy of the predictors (scale: {scale}) ==");
-    let space = ConfigSpace::without_wear_quota();
-    let configs = strided_configs(space.configs(), scale);
-    let datasets: Vec<SweepDataset> = Workload::all()
-        .into_iter()
-        .map(|w| load_or_compute_sweep(w, &configs, scale, EXPERIMENT_SEED))
-        .collect();
-
-    for (dim, obj) in OBJECTIVES.iter().enumerate() {
-        println!("\n-- objective: {obj} (mean R^2 over 10 applications) --\n");
-        let mut table = Table::new(
-            std::iter::once("model".to_string())
-                .chain(SAMPLE_SIZES.iter().map(|n| format!("n={n}")))
-                .collect::<Vec<_>>(),
-        );
-        for kind in ModelKind::all() {
-            let mut cells = vec![kind.label().to_string()];
-            for &n in &SAMPLE_SIZES {
-                let mut sum = 0.0;
-                for (ai, ds) in datasets.iter().enumerate() {
-                    let corpus: Vec<&SweepDataset> = datasets
-                        .iter()
-                        .enumerate()
-                        .filter(|(j, _)| *j != ai)
-                        .map(|(_, d)| d)
-                        .collect();
-                    sum += r2_for(kind, ds, &corpus, n, dim, 7 + n as u64);
-                }
-                cells.push(format!("{:.3}", sum / datasets.len() as f64));
-            }
-            table.row(cells);
-        }
-        table.print();
-    }
-
-    println!("\n== Table 7: data requirements (overheads: `cargo bench -p mct-bench --bench predictors`) ==\n");
-    let mut t7 = Table::new(["predictor", "needs offline data?", "needs online data?"]);
-    t7.row(["offline", "yes", "no"]);
-    t7.row(["linear model, no regularization", "no", "yes"]);
-    t7.row(["linear model, lasso regularization", "no", "yes"]);
-    t7.row(["quadratic model, no regularization", "no", "yes"]);
-    t7.row(["quadratic model, lasso regularization", "no", "yes"]);
-    t7.row(["gradient boosting", "no", "yes"]);
-    t7.row(["hierarchical Bayesian model", "yes", "yes"]);
-    t7.print();
-    println!(
-        "\nExpected shape (paper Fig. 2/Table 7): gradient boosting and quadratic-\n\
-         lasso converge to high accuracy by ~80 samples; quadratic without\n\
-         regularization converges slowly; offline is weakest on IPC/energy."
-    );
+    let scale = mct_experiments::Scale::from_args();
+    let stdout = std::io::stdout();
+    mct_experiments::figures::figure2::run(scale, &mut stdout.lock()).expect("render figure2");
+    mct_experiments::pipeline::finish();
 }

@@ -1,101 +1,10 @@
-//! Figure 3: including wear quota in the learned space degrades
-//! prediction accuracy.
-//!
-//! Trains gradient boosting on a feature-stratified sample (one
-//! configuration per primary-feature class, the paper's 77-sample recipe)
-//! of (a) the wear-quota-free sweep and (b) the full sweep including
-//! quota configurations, then scores accuracy over the respective space.
-//! The paper reports 2–6% degradation when quota is included.
-
-use mct_core::{ConfigSpace, MetricsPredictor, ModelKind};
-use mct_experiments::cache::{load_or_compute_sweep, strided_configs, SweepDataset};
-use mct_experiments::report::Table;
-use mct_experiments::runner::EXPERIMENT_SEED;
-use mct_experiments::Scale;
-use mct_ml::coefficient_of_determination;
-use mct_workloads::Workload;
-
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-
-/// Train on one member per primary-feature class; score R^2 over the
-/// whole dataset.
-fn accuracy(ds: &SweepDataset, dim: usize, seed: u64) -> f64 {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut classes: Vec<(String, Vec<usize>)> = Vec::new();
-    for (i, c) in ds.configs.iter().enumerate() {
-        let key = format!(
-            "{:.1}/{:.1}/{}{}",
-            c.fast_latency,
-            c.slow_latency,
-            u8::from(c.fast_cancellation),
-            u8::from(c.slow_cancellation)
-        );
-        match classes.iter_mut().find(|(k, _)| *k == key) {
-            Some((_, v)) => v.push(i),
-            None => classes.push((key, vec![i])),
-        }
-    }
-    let pairs = ds.pairs();
-    let train: Vec<_> = classes
-        .iter()
-        .map(|(_, members)| pairs[*members.choose(&mut rng).expect("nonempty")])
-        .collect();
-    let mut predictor = MetricsPredictor::new(ModelKind::GradientBoosting);
-    predictor.fit(&train, None);
-    let clamp = mct_core::predictor::LIFETIME_CLAMP_YEARS;
-    let preds: Vec<f64> = ds
-        .configs
-        .iter()
-        .map(|c| predictor.predict(c).to_array()[dim])
-        .collect();
-    let truth: Vec<f64> = ds
-        .metrics
-        .iter()
-        .map(|m| m.to_array()[dim].min(clamp))
-        .collect();
-    coefficient_of_determination(&preds, &truth)
-}
+//! Thin wrapper over [`mct_experiments::figures::figure3`]: the stage
+//! logic lives in the library so `run_all` can execute every stage
+//! in-process, sharing warm rigs and caches across figures.
 
 fn main() {
-    let scale = Scale::from_args();
-    println!("== Figure 3: wear quota in vs out of the learned space (scale: {scale}) ==\n");
-    let full_space = ConfigSpace::full(8.0);
-    let free_space = ConfigSpace::without_wear_quota();
-    let full_configs = strided_configs(full_space.configs(), scale);
-    let free_configs = strided_configs(free_space.configs(), scale);
-
-    for (dim, obj) in ["ipc", "energy"]
-        .iter()
-        .enumerate()
-        .map(|(i, o)| (i * 2, o))
-    {
-        println!("-- objective: {obj} --\n");
-        let mut table = Table::new([
-            "workload",
-            "R2 excl. quota",
-            "R2 incl. quota",
-            "degradation",
-        ]);
-        for w in [Workload::Lbm, Workload::Leslie3d, Workload::Stream] {
-            let ds_free = load_or_compute_sweep(w, &free_configs, scale, EXPERIMENT_SEED);
-            let ds_full = load_or_compute_sweep(w, &full_configs, scale, EXPERIMENT_SEED);
-            let free_r2 = accuracy(&ds_free, dim, 11);
-            let full_r2 = accuracy(&ds_full, dim, 11);
-            table.row([
-                w.name().to_string(),
-                format!("{free_r2:.3}"),
-                format!("{full_r2:.3}"),
-                format!("{:+.1}%", (full_r2 - free_r2) * 100.0),
-            ]);
-        }
-        table.print();
-        println!();
-    }
-    println!(
-        "Expected shape (paper Fig. 3): accuracy degrades by a few percent when\n\
-         wear-quota configurations join the space — which is why MCT excludes\n\
-         quota from learning and applies it as a post-hoc fixup (Section 4.4)."
-    );
+    let scale = mct_experiments::Scale::from_args();
+    let stdout = std::io::stdout();
+    mct_experiments::figures::figure3::run(scale, &mut stdout.lock()).expect("render figure3");
+    mct_experiments::pipeline::finish();
 }

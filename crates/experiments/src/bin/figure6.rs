@@ -1,63 +1,10 @@
-//! Figure 6: phase detection on ocean.
-//!
-//! Runs ocean under the static baseline, records the memory workload per
-//! detector window and the t-test score, and marks detected phases —
-//! the reproduction of the paper's trace plot, in ASCII.
-
-use mct_core::{NvmConfig, PhaseDetector, PhaseDetectorConfig};
-use mct_experiments::report::ascii_series;
-use mct_experiments::Scale;
-use mct_sim::system::{System, SystemConfig};
-use mct_workloads::Workload;
+//! Thin wrapper over [`mct_experiments::figures::figure6`]: the stage
+//! logic lives in the library so `run_all` can execute every stage
+//! in-process, sharing warm rigs and caches across figures.
 
 fn main() {
-    let scale = Scale::from_args();
-    println!("== Figure 6: phase detection on ocean (scale: {scale}) ==\n");
-    let mut sys = System::new(
-        SystemConfig::default(),
-        NvmConfig::static_baseline().to_policy(),
-    );
-    let mut src = Workload::Ocean.source(2017);
-    sys.warmup(&mut src, Workload::Ocean.warmup_insts());
-
-    // Scaled analog of the paper's I = 1M: ocean's coarse phases are 2M
-    // instructions here, so 50k-instruction windows give the detector the
-    // same relative resolution.
-    let cfg = PhaseDetectorConfig {
-        window_insts: 50_000,
-        history_windows: 60,
-        recent_windows: 6,
-        score_threshold: 15.0,
-    };
-    let mut detector = PhaseDetector::new(cfg);
-    let total_windows = (12_000_000.0 * scale.detailed_factor()) as u64 / cfg.window_insts;
-
-    let mut workloads = Vec::new();
-    let mut scores = Vec::new();
-    let mut phases = Vec::new();
-    for w in 0..total_windows {
-        let before = sys.perf_counters();
-        sys.run_window(&mut src, cfg.window_insts);
-        let after = sys.perf_counters();
-        let workload = after.workload_since(&before) as f64;
-        let hit = detector.observe(workload);
-        workloads.push(workload);
-        scores.push(detector.last_score().min(100.0));
-        if hit {
-            phases.push(w);
-        }
-    }
-
-    println!("memory workload per {}-inst window:", cfg.window_insts);
-    println!("  {}", ascii_series(&workloads, 100));
-    println!("t-test score:");
-    println!("  {}", ascii_series(&scores, 100));
-    println!("\nphases detected at windows: {phases:?}");
-    println!("total detected: {}", detector.phases_detected());
-    println!(
-        "\nExpected shape (paper Fig. 6): detections line up with ocean's\n\
-         coarse compute/communicate alternation (every ~{} windows here),\n\
-         while fine-grained fluctuations are tolerated.",
-        2_000_000 / cfg.window_insts
-    );
+    let scale = mct_experiments::Scale::from_args();
+    let stdout = std::io::stdout();
+    mct_experiments::figures::figure6::run(scale, &mut stdout.lock()).expect("render figure6");
+    mct_experiments::pipeline::finish();
 }

@@ -1,68 +1,10 @@
-//! Figure 8: sensitivity to lifetime targets (4–10 years).
-//!
-//! For four representative workloads, runs MCT (gradient boosting) and
-//! the brute-force ideal under lifetime targets 4, 6, 8 and 10 years.
-//! Ideal search uses the wear-quota-free sweep (as in Table 4): the
-//! cached quota-on half enforces a fixed 8-year quota and would bias
-//! other targets.
-
-use mct_core::{ConfigSpace, Controller, ControllerConfig, ModelKind, Objective};
-use mct_experiments::cache::{load_or_compute_sweep, strided_configs};
-use mct_experiments::report::Table;
-use mct_experiments::runner::WarmedRig;
-use mct_experiments::runner::EXPERIMENT_SEED;
-use mct_experiments::{ideal_for, Scale};
-use mct_workloads::Workload;
+//! Thin wrapper over [`mct_experiments::figures::figure8`]: the stage
+//! logic lives in the library so `run_all` can execute every stage
+//! in-process, sharing warm rigs and caches across figures.
 
 fn main() {
-    let scale = Scale::from_args();
-    println!("== Figure 8: sensitivity to lifetime targets (scale: {scale}) ==\n");
-    let space = ConfigSpace::without_wear_quota();
-    let configs = strided_configs(space.configs(), scale);
-
-    for w in [
-        Workload::Lbm,
-        Workload::Leslie3d,
-        Workload::GemsFdtd,
-        Workload::Stream,
-    ] {
-        let ds = load_or_compute_sweep(w, &configs, scale, EXPERIMENT_SEED);
-        let rig = WarmedRig::new(w, scale, EXPERIMENT_SEED);
-        let mut table = Table::new([
-            "target",
-            "mct ipc",
-            "mct life",
-            "ideal ipc",
-            "ideal life",
-            "mct/ideal ipc",
-        ]);
-        for target in [4.0, 6.0, 8.0, 10.0] {
-            let ideal = ideal_for(&ds, &Objective::paper_default(target));
-            let mut cfg = ControllerConfig::paper_scaled();
-            cfg.model = ModelKind::GradientBoosting;
-            cfg.total_insts = scale.controller_insts() / 2;
-            cfg.warmup_insts = w.warmup_insts();
-            let mut controller = Controller::new(cfg, Objective::paper_default(target));
-            let outcome = controller.run(&mut w.source(EXPERIMENT_SEED));
-            // Deployment measurement on the shared rig (see figure7).
-            let m = rig.measure(&outcome.chosen_config);
-            table.row([
-                format!("{target:.0}y"),
-                format!("{:.3}", m.ipc),
-                format!("{:.1}", m.lifetime_years.min(99.0)),
-                format!("{:.3}", ideal.metrics.ipc),
-                format!("{:.1}", ideal.metrics.lifetime_years.min(99.0)),
-                format!("{:.1}%", 100.0 * m.ipc / ideal.metrics.ipc),
-            ]);
-        }
-        println!("-- {} --", w.name());
-        table.print();
-        println!();
-    }
-    println!(
-        "Expected shape (paper Fig. 8): higher lifetime targets reduce the\n\
-         achievable IPC for both MCT and the ideal; MCT tracks the trend, and\n\
-         the wear-quota fixup keeps lifetimes near the target even when the\n\
-         prediction overestimated."
-    );
+    let scale = mct_experiments::Scale::from_args();
+    let stdout = std::io::stdout();
+    mct_experiments::figures::figure8::run(scale, &mut stdout.lock()).expect("render figure8");
+    mct_experiments::pipeline::finish();
 }

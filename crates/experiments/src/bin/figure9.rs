@@ -1,90 +1,10 @@
-//! Figure 9: sampling overhead, and extrapolated gains as the testing
-//! period grows relative to the sampling period (paper Eq. 4).
-
-use mct_core::{Controller, ControllerConfig, ModelKind, NvmConfig, Objective};
-use mct_experiments::cache::{load_or_compute_sweep, strided_configs};
-use mct_experiments::report::Table;
-use mct_experiments::runner::EXPERIMENT_SEED;
-use mct_experiments::Scale;
-use mct_workloads::Workload;
+//! Thin wrapper over [`mct_experiments::figures::figure9`]: the stage
+//! logic lives in the library so `run_all` can execute every stage
+//! in-process, sharing warm rigs and caches across figures.
 
 fn main() {
-    let scale = Scale::from_args();
-    println!("== Figure 9: sampling overhead & extrapolation (scale: {scale}) ==\n");
-    let full_configs = strided_configs(mct_core::ConfigSpace::full(8.0).configs(), scale);
-
-    let mut fig9a = Table::new([
-        "workload",
-        "sampling ipc / static",
-        "testing ipc / static",
-        "sampling nJ/i / static",
-        "testing nJ/i / static",
-    ]);
-    let mut outcomes = Vec::new();
-    let mut ipc_ratios_sampling = Vec::new();
-    let mut ipc_ratios_testing = Vec::new();
-    for w in Workload::all() {
-        let ds = load_or_compute_sweep(w, &full_configs, scale, EXPERIMENT_SEED);
-        let sweep_insts = w.detailed_insts(scale.detailed_factor()) as f64;
-        let stat = ds
-            .metrics_of(&NvmConfig::static_baseline())
-            .expect("static");
-        let stat_epi = stat.energy_j / sweep_insts;
-
-        let mut cfg = ControllerConfig::paper_scaled();
-        cfg.model = ModelKind::GradientBoosting;
-        cfg.total_insts = scale.controller_insts();
-        cfg.warmup_insts = w.warmup_insts();
-        let mut controller = Controller::new(cfg, Objective::paper_default(8.0));
-        let outcome = controller.run(&mut w.source(EXPERIMENT_SEED));
-
-        let sampling_epi = outcome.sampling_metrics.energy_j / outcome.sampling_insts.max(1) as f64;
-        let testing_epi = outcome.final_metrics.energy_j / outcome.testing_insts.max(1) as f64;
-        fig9a.row([
-            w.name().to_string(),
-            format!("{:.3}", outcome.sampling_metrics.ipc / stat.ipc),
-            format!("{:.3}", outcome.final_metrics.ipc / stat.ipc),
-            format!("{:.3}", sampling_epi / stat_epi),
-            format!("{:.3}", testing_epi / stat_epi),
-        ]);
-        ipc_ratios_sampling.push(outcome.sampling_metrics.ipc / stat.ipc);
-        ipc_ratios_testing.push(outcome.final_metrics.ipc / stat.ipc);
-        outcomes.push((w, outcome, stat, stat_epi));
-    }
-    println!("-- Figure 9a: sampling vs testing period, normalized to static --\n");
-    fig9a.print();
-    let gm = |v: &[f64]| (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp();
-    println!(
-        "\ngeomean: sampling {:.2}% of static IPC; testing {:.2}% of static IPC",
-        gm(&ipc_ratios_sampling) * 100.0,
-        gm(&ipc_ratios_testing) * 100.0
-    );
-    println!("(paper: sampling 94.32% of baseline; testing 1.09x baseline)");
-
-    println!("\n-- Figure 9b: extrapolated total IPC/energy vs alpha = testing/sampling --\n");
-    let alphas = [1.0, 2.0, 5.0, 10.0, 20.0, 50.0];
-    let mut fig9b = Table::new(
-        std::iter::once("alpha".to_string())
-            .chain(alphas.iter().map(|a| format!("{a:.0}")))
-            .collect::<Vec<_>>(),
-    );
-    let mut ipc_row = vec!["total IPC / static (geomean)".to_string()];
-    let mut en_row = vec!["total nJ/i / static (geomean)".to_string()];
-    for &alpha in &alphas {
-        let mut ipcs = Vec::new();
-        let mut ens = Vec::new();
-        for (_, outcome, stat, stat_epi) in &outcomes {
-            ipcs.push(outcome.extrapolated_ipc(alpha) / stat.ipc);
-            ens.push(outcome.extrapolated_energy_per_inst(alpha) / stat_epi);
-        }
-        ipc_row.push(format!("{:.3}", gm(&ipcs)));
-        en_row.push(format!("{:.3}", gm(&ens)));
-    }
-    fig9b.row(ipc_row);
-    fig9b.row(en_row);
-    fig9b.print();
-    println!(
-        "\nExpected shape (paper Fig. 9b): at alpha = 10, MCT retains most of its\n\
-         gains (paper: +7.93% IPC, -6.7% energy vs static)."
-    );
+    let scale = mct_experiments::Scale::from_args();
+    let stdout = std::io::stdout();
+    mct_experiments::figures::figure9::run(scale, &mut stdout.lock()).expect("render figure9");
+    mct_experiments::pipeline::finish();
 }

@@ -1,42 +1,10 @@
-//! Table 6: most effective quadratic features per application.
-//!
-//! Fits a lasso on the quadratic expansion of the 5 compressed features
-//! (Section 4.4's manual clustering) against each application's sweep
-//! data and ranks coefficients by magnitude.
-
-use mct_core::{predictor::lasso_feature_report, ConfigSpace};
-use mct_experiments::cache::{load_or_compute_sweep, strided_configs};
-use mct_experiments::report::Table;
-use mct_experiments::runner::EXPERIMENT_SEED;
-use mct_experiments::Scale;
-use mct_workloads::Workload;
+//! Thin wrapper over [`mct_experiments::figures::table6`]: the stage
+//! logic lives in the library so `run_all` can execute every stage
+//! in-process, sharing warm rigs and caches across figures.
 
 fn main() {
-    let scale = Scale::from_args();
-    println!("== Table 6: top-3 lasso-quadratic features (IPC objective, scale: {scale}) ==\n");
-    let space = ConfigSpace::without_wear_quota();
-    let configs = strided_configs(space.configs(), scale);
-
-    let mut table = Table::new(["application", "top-3 most effective features"]);
-    for w in [
-        Workload::Lbm,
-        Workload::Leslie3d,
-        Workload::GemsFdtd,
-        Workload::Stream,
-    ] {
-        let ds = load_or_compute_sweep(w, &configs, scale, EXPERIMENT_SEED);
-        let report = lasso_feature_report(&ds.pairs(), 0, true, 0.002);
-        let top: Vec<String> = report
-            .iter()
-            .take(3)
-            .map(|(name, coef)| format!("{}{}", if *coef >= 0.0 { "+" } else { "-" }, name))
-            .collect();
-        table.row([w.name().to_string(), top.join(",  ")]);
-    }
-    table.print();
-    println!(
-        "\nExpected shape (paper Table 6): top features involve fast_latency,\n\
-         slow_latency and cancellation — including squares and knob pairs —\n\
-         and differ across applications."
-    );
+    let scale = mct_experiments::Scale::from_args();
+    let stdout = std::io::stdout();
+    mct_experiments::figures::table6::run(scale, &mut stdout.lock()).expect("render table6");
+    mct_experiments::pipeline::finish();
 }

@@ -1,0 +1,54 @@
+//! Default-configuration landscape: the premise of Figure 7.
+//!
+//! Prints IPC, projected lifetime and energy under the paper's *default*
+//! configuration for all ten workloads. Most workloads must miss the
+//! 8-year target; `zeusmp` must pass.
+
+use std::io::{self, Write};
+
+use mct_core::NvmConfig;
+use mct_workloads::Workload;
+
+use crate::cache::{load_or_compute_sweeps, SweepRequest};
+use crate::report::Table;
+use crate::scale::Scale;
+
+/// Render the calibration table.
+pub fn run(scale: Scale, out: &mut dyn Write) -> io::Result<()> {
+    writeln!(
+        out,
+        "== Calibration: default configuration landscape (scale: {scale}) ==\n"
+    )?;
+    // One single-config sweep per workload, flattened into one scheduler
+    // round (and served from the grain cache on reruns).
+    let requests: Vec<SweepRequest> = Workload::all()
+        .into_iter()
+        .map(|w| SweepRequest {
+            workload: w,
+            configs: vec![NvmConfig::default_config()],
+        })
+        .collect();
+    let datasets = load_or_compute_sweeps(&requests, scale, 2017);
+
+    let mut table = Table::new(["workload", "ipc", "lifetime_y", "energy_mJ", "meets 8y?"]);
+    for (w, ds) in Workload::all().into_iter().zip(&datasets) {
+        let m = ds.metrics[0];
+        table.row([
+            w.name().to_string(),
+            format!("{:.3}", m.ipc),
+            format!("{:.2}", m.lifetime_years),
+            format!("{:.2}", m.energy_j * 1e3),
+            if m.lifetime_years >= 8.0 {
+                "yes".into()
+            } else {
+                "no".into()
+            },
+        ]);
+    }
+    write!(out, "{}", table.render())?;
+    writeln!(
+        out,
+        "\nExpected shape (paper Fig. 7): zeusmp passes 8 years; the rest fall short."
+    )?;
+    Ok(())
+}

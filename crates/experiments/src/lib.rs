@@ -29,15 +29,24 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cache;
+pub mod figures;
 pub mod ideal;
 pub mod mix_mct;
+pub mod pipeline;
 pub mod report;
 pub mod runner;
 pub mod scale;
+pub mod sched;
 
-pub use cache::{load_or_compute_sweep, SweepDataset};
+pub use cache::{
+    load_or_compute_sweep, load_or_compute_sweeps, SweepDataset, SweepRequest, CACHE_VERSION,
+};
 pub use ideal::{ideal_for, IdealSearch};
 pub use mix_mct::{run_mix_all, run_mix_mct};
 pub use report::{fmt_cell, Table};
-pub use runner::{measure_one, par_map, sweep, sweep_with_threads, WarmedRig, EXPERIMENT_SEED};
+pub use runner::{
+    measure_one, par_map, shared_rig, sweep, sweep_with_threads, RigCell, WarmedRig,
+    EXPERIMENT_SEED,
+};
 pub use scale::Scale;
+pub use sched::{default_workers, run_grains};

@@ -31,7 +31,7 @@ pub enum MixPolicy {
 }
 
 /// Result of one mix run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct MixOutcome {
     /// Geometric-mean per-core IPC (the paper's Figure 10 metric).
     pub geomean_ipc: f64,

@@ -1,0 +1,68 @@
+//! End-of-run pipeline accounting.
+//!
+//! Every experiment binary calls [`finish`] before exiting: it prints a
+//! one-line `pipeline total:` summary to stderr (stable format, grepped
+//! by the CI cache-smoke step) and appends an
+//! [`Event::PipelineCompleted`] record to the pipeline trace under the
+//! data dir, where `mct report` renders scheduler utilization, cache
+//! hit rates, and warm-rig accounting.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use mct_telemetry::{pipeline_stats, Event, Record};
+
+use crate::cache::data_dir;
+
+/// The pipeline trace file (JSONL of [`Record`]s, renderable with
+/// `mct report`).
+#[must_use]
+pub fn trace_path() -> PathBuf {
+    data_dir().join("pipeline_trace.jsonl")
+}
+
+/// Snapshot the process pipeline counters, print the summary line, and
+/// append a trace record. No-op for processes that did no pipeline work
+/// (e.g. `config_space`, which only enumerates).
+pub fn finish() {
+    let snapshot = pipeline_stats().snapshot();
+    if snapshot.grains_total() == 0 && snapshot.rig_warmups == 0 {
+        return;
+    }
+    eprintln!("pipeline total: {}", snapshot.summary_line());
+    let record = Record {
+        seq: 0,
+        sim_insts: 0,
+        wall_us: 0,
+        event: Event::PipelineCompleted { snapshot },
+    };
+    let path = trace_path();
+    let write = || -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        let mut file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        let line = serde_json::to_string(&record).expect("serialize pipeline record");
+        file.write_all(format!("{line}\n").as_bytes())
+    };
+    if let Err(e) = write() {
+        eprintln!(
+            "warning: could not append pipeline trace {}: {e}",
+            path.display()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_path_follows_data_dir() {
+        assert!(trace_path().ends_with("pipeline_trace.jsonl"));
+    }
+}

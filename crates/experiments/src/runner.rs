@@ -7,10 +7,15 @@
 //! window. All candidates therefore measure over exactly the same access
 //! stream — the paper's per-benchmark methodology.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
 use mct_core::NvmConfig;
 use mct_sim::stats::Metrics;
 use mct_sim::system::{System, SystemConfig};
 use mct_sim::trace::AccessSource;
+use mct_telemetry::pipeline_stats;
 use mct_workloads::{Workload, WorkloadSource};
 
 use crate::scale::Scale;
@@ -30,25 +35,53 @@ impl WarmedRig {
     /// Warm up `workload` under the default policy.
     #[must_use]
     pub fn new(workload: Workload, scale: Scale, seed: u64) -> WarmedRig {
+        WarmedRig::with_budget(
+            workload,
+            seed,
+            workload.detailed_insts(scale.detailed_factor()),
+        )
+    }
+
+    /// Warm up `workload` with an explicit detailed-window budget (the
+    /// extension studies run off-scale budgets).
+    #[must_use]
+    pub fn with_budget(workload: Workload, seed: u64, detailed_insts: u64) -> WarmedRig {
+        let t0 = Instant::now();
         let mut sys = System::new(
             SystemConfig::default(),
             NvmConfig::default_config().to_policy(),
         );
         let mut src = workload.source(seed);
         sys.warmup(&mut src, workload.warmup_insts());
+        let stats = pipeline_stats();
+        stats.add_rig_warmups(1);
+        stats.add_warmup_us(t0.elapsed().as_micros() as u64);
+        stats.add_snapshot_bytes(sys.snapshot_bytes() as u64);
         WarmedRig {
             sys,
             src,
-            detailed_insts: workload.detailed_insts(scale.detailed_factor()),
+            detailed_insts,
         }
     }
 
     /// Measure one configuration over the shared detailed window.
     #[must_use]
     pub fn measure(&self, cfg: &NvmConfig) -> Metrics {
+        self.measure_policy(cfg.to_policy())
+    }
+
+    /// Measure an arbitrary memory policy over the shared detailed
+    /// window (the extension studies build policies outside the paper's
+    /// configuration space).
+    #[must_use]
+    pub fn measure_policy(&self, policy: mct_sim::policy::MellowPolicy) -> Metrics {
+        let t0 = Instant::now();
         let mut sys = self.sys.clone();
         let mut src = self.src.clone();
-        sys.set_policy(cfg.to_policy());
+        let stats = pipeline_stats();
+        stats.add_rig_clones(1);
+        stats.add_clone_us(t0.elapsed().as_micros() as u64);
+        sys.set_policy(policy);
         sys.reset_stats();
         sys.run_window(&mut src, self.detailed_insts);
         sys.finalize().metrics()
@@ -61,25 +94,92 @@ impl WarmedRig {
     }
 }
 
+/// Identity of a shared warm snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct RigKey {
+    workload: Workload,
+    seed: u64,
+    detailed_insts: u64,
+}
+
+/// A lazily-warmed slot in the shared rig pool.
+///
+/// The pool hands out the *cell* immediately; the actual warmup runs on
+/// first [`RigCell::rig`] call. Concurrent first callers block on the
+/// same `OnceLock`, so each (workload, seed, budget) is warmed exactly
+/// once per process no matter how many figures or workers ask for it.
+#[derive(Debug)]
+pub struct RigCell {
+    key: RigKey,
+    cell: OnceLock<WarmedRig>,
+}
+
+impl RigCell {
+    /// The warmed rig, warming it on first use.
+    pub fn rig(&self) -> &WarmedRig {
+        self.cell.get_or_init(|| {
+            WarmedRig::with_budget(self.key.workload, self.key.seed, self.key.detailed_insts)
+        })
+    }
+}
+
+/// The process-wide warm snapshot pool: one [`WarmedRig`] per
+/// (workload, seed, detailed budget), shared by every figure.
+fn rig_pool() -> &'static Mutex<HashMap<RigKey, Arc<RigCell>>> {
+    static POOL: OnceLock<Mutex<HashMap<RigKey, Arc<RigCell>>>> = OnceLock::new();
+    POOL.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Fetch (or create) the shared warm-rig cell for a workload at an
+/// explicit detailed budget. The warmup itself is deferred to the first
+/// [`RigCell::rig`] call, so grabbing cells is cheap. Asking for a cell
+/// that is already warmed counts as a `rig_reuses` — one figure riding
+/// on another's warmup.
+///
+/// # Panics
+/// Panics if the pool mutex is poisoned.
+#[must_use]
+pub fn shared_rig(workload: Workload, seed: u64, detailed_insts: u64) -> Arc<RigCell> {
+    let key = RigKey {
+        workload,
+        seed,
+        detailed_insts,
+    };
+    let cell = Arc::clone(
+        rig_pool()
+            .lock()
+            .expect("rig pool lock")
+            .entry(key)
+            .or_insert_with(|| {
+                Arc::new(RigCell {
+                    key,
+                    cell: OnceLock::new(),
+                })
+            }),
+    );
+    if cell.cell.get().is_some() {
+        pipeline_stats().add_rig_reuses(1);
+    }
+    cell
+}
+
 /// Measure a single configuration on a workload (fresh warmup).
 #[must_use]
 pub fn measure_one(workload: Workload, cfg: &NvmConfig, scale: Scale, seed: u64) -> Metrics {
     WarmedRig::new(workload, scale, seed).measure(cfg)
 }
 
-/// Map `f` over `items` on `threads` scoped threads, writing results
-/// lock-free into disjoint output chunks.
+/// Map `f` over `items` on `threads` worker threads, preserving input
+/// order in the output.
 ///
-/// Chunks are sized at ~1/8 of an even per-thread share (work-stealing-
-/// friendly granularity without a queue) and dealt round-robin so a run
-/// of slow items does not land on one worker. Output order matches input
-/// order exactly.
-///
-/// Unlike a shared-results + claim-counter pool, no slot can be skipped:
-/// every input chunk is owned by exactly one worker, a panicking worker
-/// propagates through [`std::thread::scope`], and any unfilled slot (a
-/// logic bug) is caught by the final unwrap instead of silently yielding
-/// a zeroed row.
+/// Since the scheduler rework this is a thin alias for
+/// [`crate::sched::run_grains`]: items are dealt round-robin to
+/// per-worker deques and idle workers steal the back half of a victim's
+/// queue, so a run of slow items cannot strand work on one core. No
+/// slot can be skipped — every grain is executed exactly once, a
+/// panicking worker propagates through [`std::thread::scope`], and the
+/// index-keyed reassembly makes output order (and every downstream
+/// figure) independent of scheduling.
 ///
 /// # Panics
 /// Propagates any panic raised by `f`.
@@ -89,43 +189,7 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = threads.clamp(1, n);
-    if threads == 1 {
-        return items.iter().map(f).collect();
-    }
-    let chunk = n.div_ceil(threads * 8).max(1);
-    let mut results: Vec<Option<R>> = Vec::with_capacity(n);
-    results.resize_with(n, || None);
-    std::thread::scope(|scope| {
-        let f = &f;
-        // One worker's share: (input chunk, matching output chunk) pairs.
-        type Share<'a, T, R> = Vec<(&'a [T], &'a mut [Option<R>])>;
-        let mut assignments: Vec<Share<'_, T, R>> = (0..threads).map(|_| Vec::new()).collect();
-        for (ci, pair) in items
-            .chunks(chunk)
-            .zip(results.chunks_mut(chunk))
-            .enumerate()
-        {
-            assignments[ci % threads].push(pair);
-        }
-        for worker_chunks in assignments {
-            scope.spawn(move || {
-                for (in_chunk, out_chunk) in worker_chunks {
-                    for (item, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
-                        *slot = Some(f(item));
-                    }
-                }
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("par_map filled every slot"))
-        .collect()
+    crate::sched::run_grains(items, threads, f)
 }
 
 /// Brute-force sweep: metrics for every configuration in `configs`,

@@ -5,6 +5,9 @@ use std::fmt;
 /// How much simulation to spend per experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scale {
+    /// Tiny budgets and a coarse stride — seconds end-to-end. For CI
+    /// smoke runs and cache-behavior tests, not for reading results off.
+    Smoke,
     /// Reduced instruction budgets and a strided configuration space —
     /// minutes on a laptop core.
     Quick,
@@ -17,6 +20,7 @@ impl Scale {
     #[must_use]
     pub fn detailed_factor(self) -> f64 {
         match self {
+            Scale::Smoke => 0.08,
             Scale::Quick => 0.3,
             Scale::Full => 1.0,
         }
@@ -27,6 +31,7 @@ impl Scale {
     #[must_use]
     pub fn space_stride(self) -> usize {
         match self {
+            Scale::Smoke => 32,
             Scale::Quick => 4,
             Scale::Full => 1,
         }
@@ -36,6 +41,7 @@ impl Scale {
     #[must_use]
     pub fn controller_insts(self) -> u64 {
         match self {
+            Scale::Smoke => 2_000_000,
             Scale::Quick => 8_000_000,
             Scale::Full => 20_000_000,
         }
@@ -45,12 +51,13 @@ impl Scale {
     #[must_use]
     pub fn tag(self) -> &'static str {
         match self {
+            Scale::Smoke => "smoke",
             Scale::Quick => "quick",
             Scale::Full => "full",
         }
     }
 
-    /// Parse from CLI args (`--scale quick|full`; default quick).
+    /// Parse from CLI args (`--scale smoke|quick|full`; default quick).
     ///
     /// # Panics
     /// Panics (with a usage message) on an unrecognized value.
@@ -59,9 +66,10 @@ impl Scale {
         let args: Vec<String> = std::env::args().collect();
         match args.iter().position(|a| a == "--scale") {
             Some(i) => match args.get(i + 1).map(String::as_str) {
+                Some("smoke") => Scale::Smoke,
                 Some("quick") => Scale::Quick,
                 Some("full") => Scale::Full,
-                other => panic!("--scale expects quick|full, got {other:?}"),
+                other => panic!("--scale expects smoke|quick|full, got {other:?}"),
             },
             None => Scale::Quick,
         }
@@ -79,14 +87,18 @@ mod tests {
     use super::*;
 
     #[test]
-    fn quick_is_cheaper_than_full() {
+    fn scales_are_strictly_ordered_by_cost() {
+        assert!(Scale::Smoke.detailed_factor() < Scale::Quick.detailed_factor());
         assert!(Scale::Quick.detailed_factor() < Scale::Full.detailed_factor());
+        assert!(Scale::Smoke.space_stride() > Scale::Quick.space_stride());
         assert!(Scale::Quick.space_stride() > Scale::Full.space_stride());
+        assert!(Scale::Smoke.controller_insts() < Scale::Quick.controller_insts());
         assert!(Scale::Quick.controller_insts() < Scale::Full.controller_insts());
     }
 
     #[test]
     fn tags() {
+        assert_eq!(Scale::Smoke.tag(), "smoke");
         assert_eq!(Scale::Quick.tag(), "quick");
         assert_eq!(Scale::Full.to_string(), "full");
     }

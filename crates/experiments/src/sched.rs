@@ -1,0 +1,278 @@
+//! Work-stealing grain scheduler.
+//!
+//! The pipeline flattens every sweep into independent *measurement
+//! grains* (workload × config × budget); this module spreads a batch of
+//! grains across OS threads. Each worker owns a deque of grain indices
+//! dealt round-robin; a worker that drains its own deque steals the
+//! back half of a victim's, so a run of slow grains (one workload's
+//! configs are not uniformly priced) cannot strand work on one core.
+//!
+//! Results are keyed by input index and reassembled after the join, so
+//! output order — and therefore every downstream figure — is identical
+//! no matter how the grains were scheduled or stolen. Per-worker
+//! executed/stolen/busy accounting is recorded into
+//! [`mct_telemetry::pipeline_stats`] for `mct report`.
+
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use mct_telemetry::{pipeline_stats, WorkerStat};
+
+/// Worker count: `MCT_WORKERS` (if set to a positive integer) else the
+/// machine's available parallelism.
+#[must_use]
+pub fn default_workers() -> usize {
+    workers_from(std::env::var("MCT_WORKERS").ok().as_deref())
+}
+
+/// [`default_workers`] with the env value injected (testable).
+#[must_use]
+pub fn workers_from(env: Option<&str>) -> usize {
+    env.and_then(|v| v.parse::<usize>().ok())
+        .filter(|&w| w >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, NonZeroUsize::get))
+}
+
+/// Run `f` over every item on `workers` work-stealing threads and
+/// return the results in input order.
+///
+/// Grain index `i` is initially dealt to worker `i % workers`; a grain
+/// counts as *stolen* when a different worker ends up executing it.
+/// With `workers == 1` (or one item) the batch runs inline with no
+/// thread spawns. Either way one scheduler round is recorded into the
+/// process pipeline stats.
+///
+/// # Panics
+/// Propagates any panic raised by `f`.
+pub fn run_grains<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    if workers == 1 {
+        let wall = Instant::now();
+        let mut busy_us = 0u64;
+        let out = items
+            .iter()
+            .map(|item| {
+                let t0 = Instant::now();
+                let r = f(item);
+                busy_us += t0.elapsed().as_micros() as u64;
+                r
+            })
+            .collect();
+        let stat = WorkerStat {
+            executed: n as u64,
+            stolen: 0,
+            busy_us,
+            wall_us: wall.elapsed().as_micros() as u64,
+        };
+        pipeline_stats().record_round(&[stat]);
+        pipeline_stats().add_grains_executed(n as u64);
+        return out;
+    }
+
+    // Deal grain indices round-robin: worker w owns [w, w+k, w+2k, ...].
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((w..n).step_by(workers).collect()))
+        .collect();
+
+    let mut stats = vec![WorkerStat::default(); workers];
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+
+    let per_worker: Vec<(WorkerStat, Vec<(usize, R)>)> = std::thread::scope(|scope| {
+        let queues = &queues;
+        let f = &f;
+        let handles: Vec<_> = (0..workers)
+            .map(|me| {
+                scope.spawn(move || {
+                    let wall = Instant::now();
+                    let mut stat = WorkerStat::default();
+                    let mut out: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let job = queues[me].lock().expect("grain queue").pop_front();
+                        let idx = match job {
+                            Some(idx) => idx,
+                            None => match steal(queues, me) {
+                                Some(idx) => idx,
+                                None => break,
+                            },
+                        };
+                        let t0 = Instant::now();
+                        let r = f(&items[idx]);
+                        stat.busy_us += t0.elapsed().as_micros() as u64;
+                        stat.executed += 1;
+                        if idx % workers != me {
+                            stat.stolen += 1;
+                        }
+                        out.push((idx, r));
+                    }
+                    stat.wall_us = wall.elapsed().as_micros() as u64;
+                    (stat, out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+
+    let mut total_stolen = 0u64;
+    for (w, (stat, results)) in per_worker.into_iter().enumerate() {
+        total_stolen += stat.stolen;
+        stats[w] = stat;
+        for (idx, r) in results {
+            slots[idx] = Some(r);
+        }
+    }
+    pipeline_stats().record_round(&stats);
+    pipeline_stats().add_grains_executed(n as u64);
+    pipeline_stats().add_grains_stolen(total_stolen);
+    slots
+        .into_iter()
+        .map(|r| r.expect("scheduler executed every grain"))
+        .collect()
+}
+
+/// Steal the back half of the fullest-looking victim's queue: the
+/// oldest-dealt grains stay with their owner (they are next in its
+/// cache-warm path), the thief takes the tail. Returns one grain to run
+/// now; the rest of the batch goes into the thief's own queue.
+fn steal(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
+    let workers = queues.len();
+    for offset in 1..workers {
+        let victim = (me + offset) % workers;
+        let mut batch = {
+            let mut q = queues[victim].lock().expect("grain queue");
+            let len = q.len();
+            if len == 0 {
+                continue;
+            }
+            let keep = len / 2;
+            q.split_off(keep)
+        };
+        let first = batch.pop_front().expect("stolen batch is non-empty");
+        if !batch.is_empty() {
+            queues[me].lock().expect("grain queue").append(&mut batch);
+        }
+        return Some(first);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_input_order_for_all_shapes() {
+        for n in [1usize, 2, 3, 7, 13, 64, 100] {
+            for workers in [1usize, 2, 3, 8, 200] {
+                let items: Vec<usize> = (0..n).collect();
+                let got = run_grains(&items, workers, |&x| x * 3 + 1);
+                let want: Vec<usize> = items.iter().map(|&x| x * 3 + 1).collect();
+                assert_eq!(got, want, "n={n} workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let empty: [u32; 0] = [];
+        assert!(run_grains(&empty, 4, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn propagates_worker_panics() {
+        let items: Vec<u32> = (0..32).collect();
+        let result = std::panic::catch_unwind(|| {
+            run_grains(&items, 4, |&x| {
+                assert!(x != 17, "injected failure");
+                x
+            })
+        });
+        assert!(result.is_err(), "panic must propagate to the caller");
+    }
+
+    #[test]
+    fn blocked_owner_has_its_queue_stolen() {
+        // Worker 0 owns indices {0, 4, ..., 60} and blocks on grain 0
+        // until every other grain has finished — so its remaining 15
+        // grains can only complete by being stolen. Stealing is proved
+        // by thread identity (the thread that ran grain 0 spun the whole
+        // round, so no other worker-0 grain can carry its id); the
+        // global counters only get lower bounds because concurrently
+        // running tests share them.
+        let n = 64usize;
+        let workers = 4;
+        let done = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..n).collect();
+        let before = pipeline_stats().snapshot();
+        let got = run_grains(&items, workers, |&x| {
+            if x == 0 {
+                while done.load(Ordering::SeqCst) < n - 1 {
+                    std::thread::yield_now();
+                }
+            }
+            done.fetch_add(1, Ordering::SeqCst);
+            (x, std::thread::current().id())
+        });
+        let values: Vec<usize> = got.iter().map(|(x, _)| *x).collect();
+        assert_eq!(values, items);
+        let blocker = got[0].1;
+        for (idx, tid) in &got[1..] {
+            if idx % workers == 0 {
+                assert_ne!(
+                    *tid, blocker,
+                    "grain {idx} must be stolen off the blocked worker"
+                );
+            }
+        }
+        let after = pipeline_stats().snapshot();
+        assert!(after.grains_executed - before.grains_executed >= n as u64);
+        assert!(
+            after.grains_stolen - before.grains_stolen >= 15,
+            "worker 0's 15 queued grains must all be stolen"
+        );
+    }
+
+    #[test]
+    fn records_round_and_executed_counts() {
+        // Lower bounds only: the pipeline counters are process-global
+        // and other tests run scheduler rounds concurrently.
+        let before = pipeline_stats().snapshot();
+        let items: Vec<u32> = (0..10).collect();
+        let _ = run_grains(&items, 3, |&x| x);
+        let _ = run_grains(&items[..1], 1, |&x| x);
+        let after = pipeline_stats().snapshot();
+        assert!(after.sched_rounds - before.sched_rounds >= 2);
+        assert!(after.grains_executed - before.grains_executed >= 11);
+        let executed: u64 = after.workers.iter().map(|w| w.executed).sum();
+        let executed_before: u64 = before.workers.iter().map(|w| w.executed).sum();
+        assert!(executed - executed_before >= 11);
+    }
+
+    #[test]
+    fn workers_from_env_parsing() {
+        assert_eq!(workers_from(Some("3")), 3);
+        assert_eq!(workers_from(Some("1")), 1);
+        let fallback = workers_from(None);
+        assert!(fallback >= 1);
+        assert_eq!(workers_from(Some("0")), fallback, "zero is rejected");
+        assert_eq!(workers_from(Some("lots")), fallback, "junk is rejected");
+    }
+}

@@ -1,0 +1,92 @@
+//! The per-config grain cache must be invisible to the physics.
+//!
+//! A cache hit has to be bit-identical to a fresh measurement at the
+//! same seed — `to_bits` on every `Metrics` field, not an epsilon — and
+//! a corrupted or truncated store file must degrade to a re-measurement,
+//! never a crash or a wrong number.
+
+use std::fs;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use mct_core::NvmConfig;
+use mct_experiments::cache::{cached_measurement, grain_key, GrainStore};
+use mct_experiments::{measure_one, Scale, EXPERIMENT_SEED};
+use mct_workloads::Workload;
+
+#[test]
+fn cache_hit_is_bit_identical_and_corruption_is_survivable() {
+    let dir = std::env::temp_dir().join(format!("mct_cache_roundtrip_{}", std::process::id()));
+    fs::create_dir_all(&dir).expect("create temp store dir");
+    let path = dir.join("grains_roundtrip.jsonl");
+    let _ = fs::remove_file(&path);
+
+    let workload = Workload::Gups;
+    let scale = Scale::Smoke;
+    let cfg = NvmConfig::default_config();
+    let budget = workload.detailed_insts(scale.detailed_factor());
+    let key = grain_key(workload, EXPERIMENT_SEED, budget, &cfg);
+
+    // Populate the store through the miss path, then measure fresh.
+    let store = GrainStore::open(path.clone());
+    let computes = AtomicUsize::new(0);
+    let first = cached_measurement(&store, key, || {
+        computes.fetch_add(1, Ordering::SeqCst);
+        measure_one(workload, &cfg, scale, EXPERIMENT_SEED)
+    });
+    assert_eq!(computes.load(Ordering::SeqCst), 1, "first call must miss");
+    let fresh = measure_one(workload, &cfg, scale, EXPERIMENT_SEED);
+    assert_eq!(first.ipc.to_bits(), fresh.ipc.to_bits());
+    assert_eq!(
+        first.lifetime_years.to_bits(),
+        fresh.lifetime_years.to_bits()
+    );
+    assert_eq!(first.energy_j.to_bits(), fresh.energy_j.to_bits());
+
+    // Reopen from disk (not the in-memory map): the persisted entry must
+    // hit, skip the compute, and stay bit-identical.
+    let reopened = GrainStore::open(path.clone());
+    assert_eq!(reopened.len(), 1, "one persisted grain expected");
+    let hit = cached_measurement(&reopened, key, || {
+        panic!("persisted entry must satisfy the lookup")
+    });
+    assert_eq!(hit.ipc.to_bits(), fresh.ipc.to_bits());
+    assert_eq!(hit.lifetime_years.to_bits(), fresh.lifetime_years.to_bits());
+    assert_eq!(hit.energy_j.to_bits(), fresh.energy_j.to_bits());
+
+    // Corrupt the store: truncate the valid line mid-record and append
+    // garbage. Loading must reject both without crashing, and the lookup
+    // must fall back to a re-measurement that still matches fresh bits.
+    let text = fs::read_to_string(&path).expect("read store file");
+    let truncated = &text[..text.len() / 2];
+    let mut f = fs::File::create(&path).expect("rewrite store file");
+    write!(f, "{truncated}\nnot json at all\n{{\"version\":1}}\n").expect("write corruption");
+    drop(f);
+
+    let corrupted = GrainStore::open(path.clone());
+    assert!(corrupted.is_empty(), "corrupt lines must be discarded");
+    let computes = AtomicUsize::new(0);
+    let remeasured = cached_measurement(&corrupted, key, || {
+        computes.fetch_add(1, Ordering::SeqCst);
+        measure_one(workload, &cfg, scale, EXPERIMENT_SEED)
+    });
+    assert_eq!(
+        computes.load(Ordering::SeqCst),
+        1,
+        "corrupt entry must re-measure"
+    );
+    assert_eq!(remeasured.ipc.to_bits(), fresh.ipc.to_bits());
+    assert_eq!(
+        remeasured.lifetime_years.to_bits(),
+        fresh.lifetime_years.to_bits()
+    );
+    assert_eq!(remeasured.energy_j.to_bits(), fresh.energy_j.to_bits());
+
+    // The re-measurement was re-recorded: a final reopen hits again.
+    let healed = GrainStore::open(path);
+    assert_eq!(
+        healed.get(key).map(|m| m.ipc.to_bits()),
+        Some(fresh.ipc.to_bits())
+    );
+    let _ = fs::remove_dir_all(&dir);
+}

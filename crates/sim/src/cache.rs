@@ -187,6 +187,18 @@ pub struct Cache {
 }
 
 impl Cache {
+    /// Approximate heap footprint of the cache state, in bytes — what a
+    /// warm-snapshot clone must copy (sweep-rig cost accounting).
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.sets.capacity() * std::mem::size_of::<CacheSet>()
+            + self
+                .sets
+                .iter()
+                .map(|s| s.lines.capacity() * std::mem::size_of::<LineState>())
+                .sum::<usize>()
+    }
+
     /// Build a cache.
     ///
     /// # Panics

@@ -179,6 +179,20 @@ pub struct MemoryController {
 }
 
 impl MemoryController {
+    /// Approximate heap footprint of the controller state, in bytes —
+    /// what a warm-snapshot clone must copy (sweep-rig cost accounting).
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.banks.capacity() * std::mem::size_of::<Bank>()
+            + self.bank_ready.capacity() * std::mem::size_of::<Time>()
+            + self.read_q.heap_bytes()
+            + self.write_q.heap_bytes()
+            + self.eager_q.heap_bytes()
+            + self.reads.heap_bytes()
+            + self.scrubs.capacity() * std::mem::size_of::<Reverse<(Time, u64)>>()
+            + self.scrub_due.capacity() * (std::mem::size_of::<u64>() + std::mem::size_of::<Time>())
+    }
+
     /// Build a controller.
     ///
     /// # Panics

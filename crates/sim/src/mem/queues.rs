@@ -40,6 +40,12 @@ pub struct BankQueue {
 }
 
 impl BankQueue {
+    /// Approximate heap footprint, in bytes (snapshot-cost accounting).
+    pub(crate) fn heap_bytes(&self) -> usize {
+        self.items.capacity() * std::mem::size_of::<Pending>()
+            + self.per_bank.capacity() * std::mem::size_of::<u32>()
+    }
+
     /// An empty queue with capacity `cap` over `banks` banks.
     ///
     /// # Panics

@@ -49,6 +49,12 @@ impl ReadTable {
         self.live
     }
 
+    /// Approximate heap footprint, in bytes (snapshot-cost accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.ids.capacity() * std::mem::size_of::<u64>()
+            + (self.arrivals.capacity() + self.dones.capacity()) * std::mem::size_of::<Time>()
+    }
+
     #[inline]
     fn slot(&self, id: u64) -> usize {
         (id & self.mask) as usize

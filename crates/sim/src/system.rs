@@ -222,6 +222,14 @@ impl System {
     pub fn instructions(&self) -> u64 {
         self.cpu.instructions()
     }
+
+    /// Approximate bytes a clone of this system copies: the LLC arrays
+    /// plus the memory controller's queues, tables and scrub state.
+    /// Powers the warm-rig pool's snapshot-cost telemetry.
+    #[must_use]
+    pub fn snapshot_bytes(&self) -> usize {
+        std::mem::size_of::<System>() + self.llc.heap_bytes() + self.mem.heap_bytes()
+    }
 }
 
 /// A multi-core system: one trace per core, shared LLC and memory.

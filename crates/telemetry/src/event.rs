@@ -115,6 +115,11 @@ pub enum Event {
     MetricsRegistry {
         snapshot: crate::registry::RegistrySnapshot,
     },
+    /// The experiment pipeline finished: scheduler, measurement-cache and
+    /// warm-rig accounting for the whole run.
+    PipelineCompleted {
+        snapshot: crate::pipeline::PipelineSnapshot,
+    },
 }
 
 impl Event {
@@ -131,6 +136,7 @@ impl Event {
             Event::SegmentCompleted { .. } => "segment_completed",
             Event::RunCompleted { .. } => "run_completed",
             Event::MetricsRegistry { .. } => "metrics_registry",
+            Event::PipelineCompleted { .. } => "pipeline_completed",
         }
     }
 }

@@ -9,6 +9,9 @@
 //! - [`registry`]: counters and histograms for how much work the
 //!   adaptive machinery did (samples taken, refits, fallbacks, per-stage
 //!   instruction and wall-clock budgets);
+//! - [`pipeline`]: process-wide counters for the experiment pipeline —
+//!   scheduler grains (executed/stolen), measurement-cache hits and
+//!   discards, and warm-rig snapshot reuse;
 //! - [`recorder`]: the sinks — [`NullRecorder`] (the default; disabled
 //!   and free), [`JsonlRecorder`] (one JSON event per line), and
 //!   [`VecRecorder`] (in-memory, for tests) — behind the [`Telemetry`]
@@ -19,11 +22,13 @@
 //! timeline (`mct report <trace.jsonl>`).
 
 pub mod event;
+pub mod pipeline;
 pub mod recorder;
 pub mod registry;
 pub mod report;
 
 pub use event::{Event, Record};
+pub use pipeline::{pipeline_stats, PipelineSnapshot, PipelineStats, WorkerStat};
 pub use recorder::{
     null_recorder, JsonlRecorder, NullRecorder, Recorder, RecorderHandle, Telemetry, VecRecorder,
 };

@@ -1,0 +1,339 @@
+//! Process-wide pipeline counters: scheduler, measurement cache, and
+//! warm-rig accounting.
+//!
+//! The experiment pipeline (sweep scheduler, grain cache, rig pool) is
+//! called from many threads and many call sites, so these counters are
+//! a single lock-free global rather than a threaded-through `Registry`.
+//! [`PipelineStats::snapshot`] freezes them into a serializable
+//! [`PipelineSnapshot`] that rides in
+//! [`Event::PipelineCompleted`](crate::event::Event) records and renders
+//! via `mct report`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use serde::{Deserialize, Serialize};
+
+/// Per-worker scheduler accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct WorkerStat {
+    /// Grains this worker executed.
+    pub executed: u64,
+    /// Of those, grains stolen from another worker's queue.
+    pub stolen: u64,
+    /// Wall-clock microseconds the worker spent executing grains.
+    pub busy_us: u64,
+    /// Wall-clock microseconds from worker start to worker exit.
+    pub wall_us: u64,
+}
+
+impl WorkerStat {
+    /// Fraction of the worker's lifetime spent executing grains.
+    #[must_use]
+    pub fn busy_fraction(&self) -> f64 {
+        if self.wall_us == 0 {
+            0.0
+        } else {
+            self.busy_us as f64 / self.wall_us as f64
+        }
+    }
+}
+
+/// Serializable freeze of the pipeline counters.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PipelineSnapshot {
+    /// Measurement grains executed (cache misses that ran simulation).
+    pub grains_executed: u64,
+    /// Of those, grains executed by a worker that stole them.
+    pub grains_stolen: u64,
+    /// Grains served from the on-disk cache.
+    pub cache_hits: u64,
+    /// Cache entries discarded because their `CACHE_VERSION` was stale.
+    pub stale_discarded: u64,
+    /// Cache lines discarded because they were corrupt or truncated.
+    pub corrupt_discarded: u64,
+    /// Warm-rig snapshots built (full warmup runs).
+    pub rig_warmups: u64,
+    /// Warm-rig snapshots served from the shared pool without re-warming.
+    pub rig_reuses: u64,
+    /// System clones taken off warm snapshots (one per measurement).
+    pub rig_clones: u64,
+    /// Total microseconds spent warming rigs.
+    pub warmup_us: u64,
+    /// Total microseconds spent cloning warm snapshots.
+    pub clone_us: u64,
+    /// Total heap footprint of all warm snapshots built, bytes.
+    pub snapshot_bytes: u64,
+    /// Scheduler rounds (one per `run_grains` invocation with work).
+    pub sched_rounds: u64,
+    /// Per-worker stats, summed over every scheduler round.
+    pub workers: Vec<WorkerStat>,
+}
+
+impl PipelineSnapshot {
+    /// Total grains requested (hits + executed).
+    #[must_use]
+    pub fn grains_total(&self) -> u64 {
+        self.cache_hits + self.grains_executed
+    }
+
+    /// Fraction of requested grains served from cache.
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.grains_total();
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Merge another snapshot into this one (used to aggregate the
+    /// per-process snapshots of a multi-process pipeline run).
+    pub fn merge(&mut self, other: &PipelineSnapshot) {
+        self.grains_executed += other.grains_executed;
+        self.grains_stolen += other.grains_stolen;
+        self.cache_hits += other.cache_hits;
+        self.stale_discarded += other.stale_discarded;
+        self.corrupt_discarded += other.corrupt_discarded;
+        self.rig_warmups += other.rig_warmups;
+        self.rig_reuses += other.rig_reuses;
+        self.rig_clones += other.rig_clones;
+        self.warmup_us += other.warmup_us;
+        self.clone_us += other.clone_us;
+        self.snapshot_bytes += other.snapshot_bytes;
+        self.sched_rounds += other.sched_rounds;
+        if self.workers.len() < other.workers.len() {
+            self.workers
+                .resize(other.workers.len(), WorkerStat::default());
+        }
+        for (mine, theirs) in self.workers.iter_mut().zip(&other.workers) {
+            mine.executed += theirs.executed;
+            mine.stolen += theirs.stolen;
+            mine.busy_us += theirs.busy_us;
+            mine.wall_us += theirs.wall_us;
+        }
+    }
+
+    /// One-line human summary (`pipeline: grains=...`): stable field
+    /// order, no wall-clock terms, suitable for log grepping.
+    #[must_use]
+    pub fn summary_line(&self) -> String {
+        format!(
+            "grains={} executed={} stolen={} cached={} hit_rate={:.1}% stale={} corrupt={} warmups={} rig_reuses={}",
+            self.grains_total(),
+            self.grains_executed,
+            self.grains_stolen,
+            self.cache_hits,
+            self.cache_hit_rate() * 100.0,
+            self.stale_discarded,
+            self.corrupt_discarded,
+            self.rig_warmups,
+            self.rig_reuses,
+        )
+    }
+}
+
+/// The process-wide pipeline counters. All methods are thread-safe.
+#[derive(Debug, Default)]
+pub struct PipelineStats {
+    grains_executed: AtomicU64,
+    grains_stolen: AtomicU64,
+    cache_hits: AtomicU64,
+    stale_discarded: AtomicU64,
+    corrupt_discarded: AtomicU64,
+    rig_warmups: AtomicU64,
+    rig_reuses: AtomicU64,
+    rig_clones: AtomicU64,
+    warmup_us: AtomicU64,
+    clone_us: AtomicU64,
+    snapshot_bytes: AtomicU64,
+    sched_rounds: AtomicU64,
+    workers: Mutex<Vec<WorkerStat>>,
+}
+
+macro_rules! adders {
+    ($($method:ident => $field:ident),* $(,)?) => {
+        $(
+            #[doc = concat!("Add `n` to `", stringify!($field), "`.")]
+            pub fn $method(&self, n: u64) {
+                self.$field.fetch_add(n, Ordering::Relaxed);
+            }
+        )*
+    };
+}
+
+impl PipelineStats {
+    adders! {
+        add_grains_executed => grains_executed,
+        add_grains_stolen => grains_stolen,
+        add_cache_hits => cache_hits,
+        add_stale_discarded => stale_discarded,
+        add_corrupt_discarded => corrupt_discarded,
+        add_rig_warmups => rig_warmups,
+        add_rig_reuses => rig_reuses,
+        add_rig_clones => rig_clones,
+        add_warmup_us => warmup_us,
+        add_clone_us => clone_us,
+        add_snapshot_bytes => snapshot_bytes,
+    }
+
+    /// Record one scheduler round's per-worker stats (summed into the
+    /// worker slots by index).
+    ///
+    /// # Panics
+    /// Panics if the worker-stat mutex is poisoned.
+    pub fn record_round(&self, workers: &[WorkerStat]) {
+        self.sched_rounds.fetch_add(1, Ordering::Relaxed);
+        let mut slots = self.workers.lock().expect("worker stats lock");
+        if slots.len() < workers.len() {
+            slots.resize(workers.len(), WorkerStat::default());
+        }
+        for (slot, w) in slots.iter_mut().zip(workers) {
+            slot.executed += w.executed;
+            slot.stolen += w.stolen;
+            slot.busy_us += w.busy_us;
+            slot.wall_us += w.wall_us;
+        }
+    }
+
+    /// Freeze current values into a serializable snapshot.
+    ///
+    /// # Panics
+    /// Panics if the worker-stat mutex is poisoned.
+    #[must_use]
+    pub fn snapshot(&self) -> PipelineSnapshot {
+        PipelineSnapshot {
+            grains_executed: self.grains_executed.load(Ordering::Relaxed),
+            grains_stolen: self.grains_stolen.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            stale_discarded: self.stale_discarded.load(Ordering::Relaxed),
+            corrupt_discarded: self.corrupt_discarded.load(Ordering::Relaxed),
+            rig_warmups: self.rig_warmups.load(Ordering::Relaxed),
+            rig_reuses: self.rig_reuses.load(Ordering::Relaxed),
+            rig_clones: self.rig_clones.load(Ordering::Relaxed),
+            warmup_us: self.warmup_us.load(Ordering::Relaxed),
+            clone_us: self.clone_us.load(Ordering::Relaxed),
+            snapshot_bytes: self.snapshot_bytes.load(Ordering::Relaxed),
+            sched_rounds: self.sched_rounds.load(Ordering::Relaxed),
+            workers: self.workers.lock().expect("worker stats lock").clone(),
+        }
+    }
+
+    /// Reset every counter to zero (tests and run-scoped accounting).
+    ///
+    /// # Panics
+    /// Panics if the worker-stat mutex is poisoned.
+    pub fn reset(&self) {
+        self.grains_executed.store(0, Ordering::Relaxed);
+        self.grains_stolen.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.stale_discarded.store(0, Ordering::Relaxed);
+        self.corrupt_discarded.store(0, Ordering::Relaxed);
+        self.rig_warmups.store(0, Ordering::Relaxed);
+        self.rig_reuses.store(0, Ordering::Relaxed);
+        self.rig_clones.store(0, Ordering::Relaxed);
+        self.warmup_us.store(0, Ordering::Relaxed);
+        self.clone_us.store(0, Ordering::Relaxed);
+        self.snapshot_bytes.store(0, Ordering::Relaxed);
+        self.sched_rounds.store(0, Ordering::Relaxed);
+        self.workers.lock().expect("worker stats lock").clear();
+    }
+}
+
+/// The process-wide [`PipelineStats`] instance.
+pub fn pipeline_stats() -> &'static PipelineStats {
+    static STATS: OnceLock<PipelineStats> = OnceLock::new();
+    STATS.get_or_init(PipelineStats::default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let stats = PipelineStats::default();
+        stats.add_cache_hits(3);
+        stats.add_grains_executed(2);
+        stats.add_grains_stolen(1);
+        stats.record_round(&[
+            WorkerStat {
+                executed: 2,
+                stolen: 1,
+                busy_us: 50,
+                wall_us: 100,
+            },
+            WorkerStat {
+                executed: 0,
+                stolen: 0,
+                busy_us: 0,
+                wall_us: 100,
+            },
+        ]);
+        let snap = stats.snapshot();
+        assert_eq!(snap.grains_total(), 5);
+        assert!((snap.cache_hit_rate() - 0.6).abs() < 1e-12);
+        assert_eq!(snap.workers.len(), 2);
+        assert!((snap.workers[0].busy_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(snap.sched_rounds, 1);
+        stats.reset();
+        assert_eq!(stats.snapshot(), PipelineSnapshot::default());
+    }
+
+    #[test]
+    fn merge_sums_fields_and_workers() {
+        let mut a = PipelineSnapshot {
+            grains_executed: 1,
+            cache_hits: 2,
+            workers: vec![WorkerStat {
+                executed: 1,
+                stolen: 0,
+                busy_us: 10,
+                wall_us: 20,
+            }],
+            ..PipelineSnapshot::default()
+        };
+        let b = PipelineSnapshot {
+            grains_executed: 4,
+            stale_discarded: 2,
+            workers: vec![WorkerStat::default(), WorkerStat::default()],
+            ..PipelineSnapshot::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.grains_executed, 5);
+        assert_eq!(a.stale_discarded, 2);
+        assert_eq!(a.workers.len(), 2);
+        assert_eq!(a.workers[0].executed, 1);
+    }
+
+    #[test]
+    fn summary_line_is_wall_clock_free() {
+        let snap = PipelineSnapshot {
+            grains_executed: 0,
+            cache_hits: 10,
+            ..PipelineSnapshot::default()
+        };
+        let line = snap.summary_line();
+        assert!(line.contains("executed=0"));
+        assert!(line.contains("hit_rate=100.0%"));
+        assert!(!line.contains("us="), "no timing terms: {line}");
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let snap = PipelineSnapshot {
+            grains_executed: 7,
+            workers: vec![WorkerStat {
+                executed: 7,
+                stolen: 2,
+                busy_us: 1,
+                wall_us: 2,
+            }],
+            ..PipelineSnapshot::default()
+        };
+        let json = serde_json::to_string(&snap).expect("serialize");
+        let back: PipelineSnapshot = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, snap);
+    }
+}

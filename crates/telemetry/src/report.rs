@@ -227,6 +227,44 @@ pub fn render_report(records: &[Record]) -> String {
                     width = t.len()
                 );
             }
+            Event::PipelineCompleted { snapshot } => {
+                let _ = writeln!(out, "\n--- pipeline scheduler ---");
+                let _ = writeln!(
+                    out,
+                    "  grains: {} total = {} executed ({} stolen) + {} cached ({:.1}% hit rate)",
+                    snapshot.grains_total(),
+                    snapshot.grains_executed,
+                    snapshot.grains_stolen,
+                    snapshot.cache_hits,
+                    snapshot.cache_hit_rate() * 100.0
+                );
+                if snapshot.stale_discarded + snapshot.corrupt_discarded > 0 {
+                    let _ = writeln!(
+                        out,
+                        "  cache discards: {} stale (CACHE_VERSION mismatch), {} corrupt/truncated",
+                        snapshot.stale_discarded, snapshot.corrupt_discarded
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "  warm rigs: {} warmed ({:.1} s, {:.1} MB of snapshots), {} reused, {} clones ({:.1} s)",
+                    snapshot.rig_warmups,
+                    snapshot.warmup_us as f64 / 1e6,
+                    snapshot.snapshot_bytes as f64 / 1e6,
+                    snapshot.rig_reuses,
+                    snapshot.rig_clones,
+                    snapshot.clone_us as f64 / 1e6
+                );
+                for (i, w) in snapshot.workers.iter().enumerate() {
+                    let _ = writeln!(
+                        out,
+                        "  worker {i:>2}: {:>6} grains ({:>5} stolen), busy {:>5.1}%",
+                        w.executed,
+                        w.stolen,
+                        w.busy_fraction() * 100.0
+                    );
+                }
+            }
             Event::MetricsRegistry { snapshot } => {
                 let _ = writeln!(out, "\n--- metrics registry ---");
                 for (name, value) in &snapshot.counters {

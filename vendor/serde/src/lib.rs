@@ -438,6 +438,21 @@ impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
     }
 }
 
+// `Content` is its own serialized form (like `serde_json::Value` in the
+// real serde ecosystem): identity impls let callers stash arbitrary
+// already-serialized payloads inside larger derive'd structs.
+impl Serialize for Content {
+    fn serialize_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        Ok(c.clone())
+    }
+}
+
 impl Serialize for () {
     fn serialize_content(&self) -> Content {
         Content::Null
