@@ -188,8 +188,7 @@ impl Objective {
             .max_by(|&a, &b| {
                 self.tiebreak
                     .score(&candidates[a])
-                    .partial_cmp(&self.tiebreak.score(&candidates[b]))
-                    .expect("finite metrics")
+                    .total_cmp(&self.tiebreak.score(&candidates[b]))
             })
     }
 }

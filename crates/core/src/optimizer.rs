@@ -140,6 +140,52 @@ mod tests {
     }
 
     #[test]
+    fn nan_predictions_do_not_panic_selection() {
+        // A mispredicting model can emit NaN for any metric. Selection
+        // must stay total (total_cmp, not partial_cmp().unwrap()) and
+        // deterministic: NaN-primary candidates fail the slack filter,
+        // NaN-tiebreak candidates order reproducibly.
+        let space = ConfigSpace::without_wear_quota();
+        let mut preds = fake_predictions(&space);
+        for (i, p) in preds.iter_mut().enumerate() {
+            if i % 3 == 0 {
+                p.energy_j = f64::NAN;
+            }
+            if i % 7 == 0 {
+                p.ipc = f64::NAN;
+            }
+        }
+        let obj = Objective::paper_default(8.0);
+        let first = optimize(&space, &preds, &obj, NvmConfig::static_baseline(), true);
+        let again = optimize(&space, &preds, &obj, NvmConfig::static_baseline(), true);
+        assert_eq!(first.config, again.config);
+        assert_eq!(
+            first.predicted.energy_j.to_bits(),
+            again.predicted.energy_j.to_bits()
+        );
+    }
+
+    #[test]
+    fn all_nan_predictions_fall_back_to_baseline() {
+        let space = ConfigSpace::without_wear_quota();
+        let preds = vec![
+            Metrics {
+                ipc: f64::NAN,
+                lifetime_years: f64::NAN,
+                energy_j: f64::NAN,
+            };
+            space.len()
+        ];
+        let obj = Objective::paper_default(8.0);
+        let res = optimize(&space, &preds, &obj, NvmConfig::static_baseline(), true);
+        assert!(res.fell_back, "NaN-infeasible predictions must fall back");
+        assert_eq!(
+            res.config.without_wear_quota(),
+            NvmConfig::static_baseline().without_wear_quota()
+        );
+    }
+
+    #[test]
     fn no_lifetime_floor_means_no_fixup() {
         let space = ConfigSpace::without_wear_quota();
         let preds = fake_predictions(&space);

@@ -86,6 +86,7 @@ impl ModelKind {
             ModelKind::GradientBoosting => {
                 Box::new(GradientBoosting::new(GradientBoostingParams::default()))
             }
+            // mct-tidy: allow(P002) -- Hierarchical is built from the corpus in fit(), never here
             ModelKind::Hierarchical => unreachable!("built from corpus in fit()"),
         }
     }
@@ -371,7 +372,7 @@ pub fn lasso_feature_report(
         .into_iter()
         .zip(lasso.weights().iter().copied())
         .collect();
-    out.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).expect("finite weights"));
+    out.sort_by(|a, b| b.1.abs().total_cmp(&a.1.abs()));
     out
 }
 

@@ -549,6 +549,7 @@ pub fn load_or_compute_sweeps(
         // Single deployment-style measurements stay quiet; only real
         // sweep rounds get progress lines.
         let chatty = misses.len() >= 8;
+        // mct-tidy: allow(D002) -- progress-line timing only; never feeds results
         let t0 = Instant::now();
         if chatty {
             eprintln!(

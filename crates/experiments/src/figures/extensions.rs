@@ -157,7 +157,7 @@ fn mct_over_extended_space(scale: Scale, out: &mut dyn Write) -> io::Result<()> 
         .filter(|c| c.retention_speedup.is_none() && c.turbo.is_none())
         .map(|c| (c, measure_ext(workload, scale, c)))
         .filter(|(_, m)| m.lifetime_years >= 8.0)
-        .max_by(|a, b| a.1.ipc.partial_cmp(&b.1.ipc).expect("finite"))
+        .max_by(|a, b| a.1.ipc.total_cmp(&b.1.ipc))
         .map(|(c, m)| (*c, m));
 
     let mut t = Table::new(["selection", "config", "ipc", "lifetime_y"]);

@@ -41,8 +41,7 @@ pub fn ideal_for(dataset: &SweepDataset, objective: &Objective) -> IdealSearch {
                     objective
                         .primary
                         .score(&dataset.metrics[a])
-                        .partial_cmp(&objective.primary.score(&dataset.metrics[b]))
-                        .expect("finite metrics")
+                        .total_cmp(&objective.primary.score(&dataset.metrics[b]))
                 })
                 .expect("nonempty");
             IdealSearch {

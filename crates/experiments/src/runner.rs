@@ -46,6 +46,7 @@ impl WarmedRig {
     /// extension studies run off-scale budgets).
     #[must_use]
     pub fn with_budget(workload: Workload, seed: u64, detailed_insts: u64) -> WarmedRig {
+        // mct-tidy: allow(D002) -- pipeline-stats accounting only; never feeds results
         let t0 = Instant::now();
         let mut sys = System::new(
             SystemConfig::default(),
@@ -75,6 +76,7 @@ impl WarmedRig {
     /// configuration space).
     #[must_use]
     pub fn measure_policy(&self, policy: mct_sim::policy::MellowPolicy) -> Metrics {
+        // mct-tidy: allow(D002) -- pipeline-stats accounting only; never feeds results
         let t0 = Instant::now();
         let mut sys = self.sys.clone();
         let mut src = self.src.clone();

@@ -20,19 +20,68 @@ use std::time::Instant;
 
 use mct_telemetry::{pipeline_stats, WorkerStat};
 
-/// Worker count: `MCT_WORKERS` (if set to a positive integer) else the
-/// machine's available parallelism.
-#[must_use]
-pub fn default_workers() -> usize {
-    workers_from(std::env::var("MCT_WORKERS").ok().as_deref())
+/// How the worker count was decided.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkersPlan {
+    /// Worker threads to use.
+    pub workers: usize,
+    /// Why a set-but-unusable `MCT_WORKERS` value was ignored, if it was.
+    /// `None` when the variable was unset or parsed cleanly.
+    pub fallback_reason: Option<String>,
 }
 
-/// [`default_workers`] with the env value injected (testable).
+/// Worker count: `MCT_WORKERS` (if set to a positive integer) else the
+/// machine's available parallelism.
+///
+/// A set-but-garbage `MCT_WORKERS` (`0`, `-3`, `lots`, empty) must not
+/// be silently swallowed — the user asked for a specific parallelism and
+/// is getting something else. The rejection is reported once on stderr
+/// and recorded into [`mct_telemetry::pipeline_stats`] so it surfaces in
+/// `mct report`.
+#[must_use]
+pub fn default_workers() -> usize {
+    let plan = workers_plan(std::env::var("MCT_WORKERS").ok().as_deref());
+    if let Some(reason) = &plan.fallback_reason {
+        pipeline_stats().set_workers_fallback(reason);
+        static WARNED: std::sync::Once = std::sync::Once::new();
+        WARNED.call_once(|| eprintln!("warning: {reason}"));
+    }
+    plan.workers
+}
+
+/// [`default_workers`] with the env value injected and the fallback
+/// decision made visible (testable).
+#[must_use]
+pub fn workers_plan(env: Option<&str>) -> WorkersPlan {
+    let machine = || std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+    match env {
+        None => WorkersPlan {
+            workers: machine(),
+            fallback_reason: None,
+        },
+        Some(raw) => match raw.trim().parse::<usize>() {
+            Ok(w) if w >= 1 => WorkersPlan {
+                workers: w,
+                fallback_reason: None,
+            },
+            _ => {
+                let workers = machine();
+                WorkersPlan {
+                    workers,
+                    fallback_reason: Some(format!(
+                        "MCT_WORKERS={raw:?} rejected (must be a positive integer); \
+                         using {workers} machine thread(s)"
+                    )),
+                }
+            }
+        },
+    }
+}
+
+/// The worker count alone, fallback reason discarded (legacy callers).
 #[must_use]
 pub fn workers_from(env: Option<&str>) -> usize {
-    env.and_then(|v| v.parse::<usize>().ok())
-        .filter(|&w| w >= 1)
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, NonZeroUsize::get))
+    workers_plan(env).workers
 }
 
 /// Run `f` over every item on `workers` work-stealing threads and
@@ -274,5 +323,44 @@ mod tests {
         assert!(fallback >= 1);
         assert_eq!(workers_from(Some("0")), fallback, "zero is rejected");
         assert_eq!(workers_from(Some("lots")), fallback, "junk is rejected");
+    }
+
+    #[test]
+    fn workers_plan_reports_why_garbage_was_rejected() {
+        // Clean values carry no reason.
+        assert_eq!(workers_plan(Some("4")).fallback_reason, None);
+        assert_eq!(
+            workers_plan(Some(" 2 ")).workers,
+            2,
+            "whitespace is tolerated"
+        );
+        assert_eq!(workers_plan(None).fallback_reason, None);
+        // Garbage falls back loudly, naming the offending value.
+        for bad in ["0", "-3", "lots", "", "1.5"] {
+            let plan = workers_plan(Some(bad));
+            assert!(plan.workers >= 1);
+            let reason = plan
+                .fallback_reason
+                .unwrap_or_else(|| panic!("MCT_WORKERS={bad:?} must produce a fallback reason"));
+            assert!(reason.contains(&format!("{bad:?}")), "{reason}");
+            assert!(reason.contains("positive integer"), "{reason}");
+        }
+    }
+
+    #[test]
+    fn rejected_workers_env_lands_in_pipeline_stats() {
+        // default_workers() reads the real env, so drive the recording
+        // path directly with a plan the parser rejected.
+        let plan = workers_plan(Some("banana"));
+        let reason = plan.fallback_reason.expect("rejected");
+        pipeline_stats().set_workers_fallback(&reason);
+        let snap = pipeline_stats().snapshot();
+        // First-reason-wins: another test may have recorded first; either
+        // way the snapshot carries *a* rejection reason for the report.
+        assert!(
+            snap.workers_fallback.contains("rejected"),
+            "{}",
+            snap.workers_fallback
+        );
     }
 }

@@ -1,0 +1,13 @@
+//! Fixture: seeded D002 and F002 violations.
+
+pub fn pick(scores: &[(usize, f64)]) -> Option<usize> {
+    let t0 = std::time::Instant::now(); // D002: wall-clock in core library code
+    let _ = t0;
+    scores
+        .iter()
+        .max_by(|a, b| {
+            a.1.partial_cmp(&b.1) // F002: comparator hides NaN behind a fallback
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|(i, _)| *i)
+}

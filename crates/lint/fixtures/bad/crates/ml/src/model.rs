@@ -1,0 +1,9 @@
+//! Fixture: seeded P002 and D003 violations.
+
+pub fn fit(n: usize) -> f64 {
+    if n == 0 {
+        panic!("empty dataset"); // P002: panic! in non-test ml library code
+    }
+    let mut rng = rand::thread_rng(); // D003: OS entropy breaks replayability
+    rng.gen_range(0.0..1.0)
+}

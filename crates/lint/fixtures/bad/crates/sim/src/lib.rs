@@ -1,0 +1,19 @@
+//! Fixture: seeded D001, P001, P003, and F001 violations.
+//! This tree is never compiled; it exists so `tests/tidy.rs` can prove
+//! the checker fails loudly on each lint family.
+
+use std::collections::HashMap; // D001: iteration-bearing std hash map in sim
+
+pub fn lookup(m: &HashMap<u64, f64>, k: u64) -> f64 {
+    *m.get(&k).unwrap() // P001: unwrap in non-test sim library code
+}
+
+pub fn lookup2(m: &HashMap<u64, f64>, k: u64) -> f64 {
+    *m.get(&k).expect("present") // P003: expect in non-test sim library code
+}
+
+pub fn best(xs: &[f64]) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap()); // F001: NaN panics here
+    v[0]
+}

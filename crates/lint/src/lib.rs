@@ -1,0 +1,284 @@
+//! # mct-lint — `mct-tidy`, the MCT workspace invariant checker
+//!
+//! A dependency-free, tidy-style static-analysis pass (in the spirit of
+//! rust-lang's `tidy`) that walks every `.rs` file in the workspace with
+//! a small hand-rolled lexer — no `syn`, no proc macros — and enforces
+//! the repo's domain-specific correctness rules:
+//!
+//! - **D-series (determinism):** the paper's headline tables are only
+//!   reproducible if parallel == serial bit-for-bit, so `sim` and `ml`
+//!   may not use iteration-order-bearing std hash collections, wall
+//!   clocks may not leak outside telemetry/bench/scheduler-stats, and OS
+//!   entropy is banned outright;
+//! - **P-series (panic hygiene):** no `unwrap()`/`expect()`/`panic!` in
+//!   non-test library code of `sim`, `ml`, `core`;
+//! - **F-series (float soundness):** NaN-unsafe `partial_cmp`
+//!   comparators must use `f64::total_cmp`;
+//! - **L-series (lock discipline):** the work-stealing scheduler must
+//!   never hold two deque locks at once.
+//!
+//! Diagnostics are machine-readable (`file:line: [LINT-ID] message`),
+//! suppressible inline (`// mct-tidy: allow(LINT-ID) -- reason`), and
+//! exported as JSON wired into [`mct_telemetry`] counters via `--json`.
+//!
+//! Run as `cargo run -p mct-lint`, or through `tests/tidy.rs` so plain
+//! `cargo test` enforces a lint-clean tree.
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod lints;
+pub mod pragma;
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+pub use lints::{lint_by_id, FileScope, LintInfo, LINTS};
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-indexed line.
+    pub line: usize,
+    /// Lint id (`D001`, ...).
+    pub lint: String,
+    /// Human explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// Result of checking one file or a whole tree.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Surviving (unsuppressed) violations, in file/line order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Violations silenced by a valid pragma.
+    pub suppressed: u64,
+}
+
+impl Report {
+    /// True when the tree is lint-clean.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Per-lint violation counts (for telemetry counters).
+    #[must_use]
+    pub fn counts_by_lint(&self) -> BTreeMap<String, u64> {
+        let mut m = BTreeMap::new();
+        for d in &self.diagnostics {
+            *m.entry(d.lint.clone()).or_insert(0) += 1;
+        }
+        m
+    }
+}
+
+/// Check one file's source text. `rel_path` must be workspace-relative
+/// with `/` separators — lint applicability is derived from it.
+#[must_use]
+pub fn check_source(rel_path: &str, source: &str) -> Report {
+    let scanned = lexer::scan(source);
+    let toks = lexer::tokenize(&scanned.code);
+    let scope = FileScope::for_path(rel_path);
+    let raw = lints::check_tokens(&scope, &toks);
+
+    // Collect suppressions (line -> ids) and pragma errors.
+    let mut allowed: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    for (line, text) in &scanned.comments {
+        match pragma::parse_comment(text) {
+            None => {}
+            Some(Err(pragma::PragmaError::Malformed(why))) => diagnostics.push(Diagnostic {
+                file: rel_path.to_string(),
+                line: *line,
+                lint: "E002".to_string(),
+                message: format!("malformed mct-tidy pragma: {why}"),
+            }),
+            Some(Ok(p)) => {
+                for id in p.ids {
+                    if lint_by_id(&id).is_none() || id.starts_with('E') {
+                        diagnostics.push(Diagnostic {
+                            file: rel_path.to_string(),
+                            line: *line,
+                            lint: "E001".to_string(),
+                            message: format!("pragma allows unknown lint id `{id}`"),
+                        });
+                    } else {
+                        // A pragma covers its own line (trailing form) and
+                        // the next line (standalone form).
+                        allowed.entry(*line).or_default().push(id.clone());
+                        allowed.entry(*line + 1).or_default().push(id);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut suppressed = 0u64;
+    for v in raw {
+        let hit = allowed
+            .get(&v.line)
+            .is_some_and(|ids| ids.iter().any(|id| id == v.lint));
+        if hit {
+            suppressed += 1;
+        } else {
+            diagnostics.push(Diagnostic {
+                file: rel_path.to_string(),
+                line: v.line,
+                lint: v.lint.to_string(),
+                message: v.message,
+            });
+        }
+    }
+    diagnostics.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.lint.cmp(&b.lint)));
+
+    Report {
+        diagnostics,
+        files_scanned: 1,
+        suppressed,
+    }
+}
+
+/// Directories never descended into.
+const SKIP_DIRS: &[&str] = &[
+    "target",
+    "vendor",
+    "fixtures",
+    ".git",
+    "data",
+    "node_modules",
+];
+
+/// Walk every `.rs` file under `root` (deterministic order) and check it.
+///
+/// # Errors
+/// Propagates I/O errors from the directory walk or file reads.
+pub fn check_tree(root: &Path) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs_files(root, Path::new(""), &mut files)?;
+    files.sort();
+
+    let mut report = Report::default();
+    for rel in files {
+        let source = std::fs::read_to_string(root.join(&rel))?;
+        let rel_slash = rel.replace(std::path::MAIN_SEPARATOR, "/");
+        let file_report = check_source(&rel_slash, &source);
+        report.files_scanned += 1;
+        report.suppressed += file_report.suppressed;
+        report.diagnostics.extend(file_report.diagnostics);
+    }
+    Ok(report)
+}
+
+fn collect_rs_files(root: &Path, rel: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    let dir = root.join(rel);
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let child = rel.join(name);
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &child, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(child.to_string_lossy().into_owned());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trailing_pragma_suppresses_same_line() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    x.expect(\"set by ctor\") // mct-tidy: allow(P003) -- set in new()\n}\n";
+        let r = check_source("crates/sim/src/x.rs", src);
+        assert!(r.is_clean(), "{:?}", r.diagnostics);
+        assert_eq!(r.suppressed, 1);
+    }
+
+    #[test]
+    fn standalone_pragma_suppresses_next_line() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    // mct-tidy: allow(P003)\n    x.expect(\"set by ctor\")\n}\n";
+        let r = check_source("crates/sim/src/x.rs", src);
+        assert!(r.is_clean(), "{:?}", r.diagnostics);
+        assert_eq!(r.suppressed, 1);
+    }
+
+    #[test]
+    fn pragma_does_not_leak_past_next_line() {
+        let src = "fn f(x: Option<u8>, y: Option<u8>) -> u8 {\n    // mct-tidy: allow(P003)\n    let a = x.expect(\"a\");\n    let b = y.expect(\"b\");\n    a + b\n}\n";
+        let r = check_source("crates/sim/src/x.rs", src);
+        assert_eq!(r.diagnostics.len(), 1, "{:?}", r.diagnostics);
+        assert_eq!(r.diagnostics[0].lint, "P003");
+        assert_eq!(r.diagnostics[0].line, 4);
+    }
+
+    #[test]
+    fn unknown_lint_id_is_its_own_error() {
+        let src = "// mct-tidy: allow(Z999)\nfn f() {}\n";
+        let r = check_source("crates/sim/src/x.rs", src);
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].lint, "E001");
+        assert!(r.diagnostics[0].message.contains("Z999"));
+    }
+
+    #[test]
+    fn pragma_cannot_allow_checker_errors() {
+        let src = "// mct-tidy: allow(E001)\nfn f() {}\n";
+        let r = check_source("crates/sim/src/x.rs", src);
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].lint, "E001");
+    }
+
+    #[test]
+    fn pragma_with_wrong_id_does_not_suppress() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    x.expect(\"set\") // mct-tidy: allow(P001) -- wrong id\n}\n";
+        let r = check_source("crates/sim/src/x.rs", src);
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].lint, "P003");
+    }
+
+    #[test]
+    fn diagnostic_format_is_machine_readable() {
+        let d = Diagnostic {
+            file: "crates/sim/src/x.rs".to_string(),
+            line: 7,
+            lint: "P001".to_string(),
+            message: "boom".to_string(),
+        };
+        assert_eq!(d.to_string(), "crates/sim/src/x.rs:7: [P001] boom");
+    }
+
+    #[test]
+    fn multi_id_pragma_suppresses_both() {
+        let src = "fn f() -> u8 {\n    // mct-tidy: allow(P002, P003) -- structurally impossible\n    Some(1u8).expect(\"x\")\n}\n";
+        let r = check_source("crates/core/src/x.rs", src);
+        assert!(r.is_clean(), "{:?}", r.diagnostics);
+    }
+}

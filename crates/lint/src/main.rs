@@ -1,0 +1,148 @@
+//! `mct-lint` — the `mct-tidy` command-line entry point.
+//!
+//! ```text
+//! cargo run -p mct-lint                # human diagnostics, exit 1 on any
+//! cargo run -p mct-lint -- --json      # JSON report + telemetry counters
+//! cargo run -p mct-lint -- --list      # registered lints
+//! cargo run -p mct-lint -- --root DIR  # check another tree (fixtures)
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mct_lint::{check_tree, LINTS};
+use mct_telemetry::{Registry, RegistrySnapshot};
+use serde::Serialize;
+
+/// One violation in `--json` output.
+#[derive(Serialize)]
+struct JsonViolation {
+    file: String,
+    line: usize,
+    lint: String,
+    message: String,
+}
+
+/// The whole `--json` report, counters included.
+#[derive(Serialize)]
+struct JsonReport {
+    clean: bool,
+    files_scanned: usize,
+    suppressed: u64,
+    violations: Vec<JsonViolation>,
+    counters: RegistrySnapshot,
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: mct-lint [--json] [--list] [--root DIR]");
+    ExitCode::from(2)
+}
+
+/// The workspace root: `--root` if given, else the current directory
+/// when it looks like the workspace, else the location this crate was
+/// compiled from (so `cargo run -p mct-lint` works from any cwd).
+fn workspace_root(explicit: Option<PathBuf>) -> PathBuf {
+    if let Some(root) = explicit {
+        return root;
+    }
+    let cwd = PathBuf::from(".");
+    if cwd.join("Cargo.toml").exists() && cwd.join("crates").is_dir() {
+        return cwd;
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .map_or(cwd, std::path::Path::to_path_buf)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut list = false;
+    let mut root: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => json = true,
+            "--list" => list = true,
+            "--root" => {
+                let Some(dir) = args.get(i + 1) else {
+                    return usage();
+                };
+                root = Some(PathBuf::from(dir));
+                i += 1;
+            }
+            _ => return usage(),
+        }
+        i += 1;
+    }
+
+    if list {
+        for l in LINTS {
+            println!("{:<5} {:<22} {}", l.id, l.name, l.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = workspace_root(root);
+    let report = match check_tree(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mct-tidy: cannot walk {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    // Wire the run into mct-telemetry counters; the snapshot rides in
+    // the JSON output so CI tooling sees the same numbers as `mct
+    // report` consumers would.
+    let mut registry = Registry::new();
+    registry.incr("tidy.files_scanned", report.files_scanned as u64);
+    registry.incr("tidy.violations", report.diagnostics.len() as u64);
+    registry.incr("tidy.suppressed", report.suppressed);
+    for (lint, n) in report.counts_by_lint() {
+        registry.incr(&format!("tidy.violations.{lint}"), n);
+    }
+
+    if json {
+        let out = JsonReport {
+            clean: report.is_clean(),
+            files_scanned: report.files_scanned,
+            suppressed: report.suppressed,
+            violations: report
+                .diagnostics
+                .iter()
+                .map(|d| JsonViolation {
+                    file: d.file.clone(),
+                    line: d.line,
+                    lint: d.lint.clone(),
+                    message: d.message.clone(),
+                })
+                .collect(),
+            counters: registry.snapshot(),
+        };
+        match serde_json::to_string_pretty(&out) {
+            Ok(text) => println!("{text}"),
+            Err(e) => {
+                eprintln!("mct-tidy: cannot serialize report: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        for d in &report.diagnostics {
+            println!("{d}");
+        }
+        eprintln!(
+            "mct-tidy: {} file(s) scanned, {} violation(s), {} suppressed",
+            report.files_scanned,
+            report.diagnostics.len(),
+            report.suppressed
+        );
+    }
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

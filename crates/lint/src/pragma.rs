@@ -1,0 +1,163 @@
+//! Suppression pragmas: `// mct-tidy: allow(LINT-ID) -- reason`.
+//!
+//! A pragma suppresses the named lint(s) on its own line (trailing
+//! comment form) and on the immediately following line (standalone
+//! comment form). The reason after `--` is optional but encouraged; an
+//! unknown lint id, or a comment that name-drops `mct-tidy:` without a
+//! well-formed `allow(...)`, is itself a diagnostic — a typo'd pragma
+//! must never silently disable nothing.
+
+/// A parsed `allow` pragma.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pragma {
+    /// Lint ids named in the `allow(...)` list.
+    pub ids: Vec<String>,
+    /// Free-text justification after `--`, if any.
+    pub reason: Option<String>,
+}
+
+/// Parse failures that the checker reports as diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PragmaError {
+    /// The directive was not `allow(id[, id]*)` with balanced parens.
+    Malformed(String),
+}
+
+/// Extract the pragma from one comment's text, if it carries the
+/// `mct-tidy:` marker. Comments without the marker return `None`, as do
+/// doc comments — documentation may *describe* pragmas without issuing
+/// a directive.
+pub fn parse_comment(comment: &str) -> Option<Result<Pragma, PragmaError>> {
+    for doc in ["///", "//!", "/**", "/*!"] {
+        if comment.starts_with(doc) {
+            return None;
+        }
+    }
+    let marker = "mct-tidy:";
+    let at = comment.find(marker)?;
+    let rest = comment[at + marker.len()..].trim();
+    Some(parse_directive(rest))
+}
+
+fn parse_directive(rest: &str) -> Result<Pragma, PragmaError> {
+    let Some(after_allow) = rest.strip_prefix("allow") else {
+        return Err(PragmaError::Malformed(format!(
+            "expected `allow(LINT-ID)`, got `{rest}`"
+        )));
+    };
+    let after_allow = after_allow.trim_start();
+    let Some(inner_start) = after_allow.strip_prefix('(') else {
+        return Err(PragmaError::Malformed(
+            "expected `(` after `allow`".to_string(),
+        ));
+    };
+    let Some(close) = inner_start.find(')') else {
+        return Err(PragmaError::Malformed("unclosed `allow(` list".to_string()));
+    };
+    let list = &inner_start[..close];
+    let tail = inner_start[close + 1..].trim();
+
+    let ids: Vec<String> = list
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if ids.is_empty() {
+        return Err(PragmaError::Malformed("empty `allow()` list".to_string()));
+    }
+
+    let reason = if tail.is_empty() {
+        None
+    } else if let Some(r) = tail.strip_prefix("--") {
+        let r = r.trim();
+        if r.is_empty() {
+            None
+        } else {
+            Some(r.to_string())
+        }
+    } else {
+        return Err(PragmaError::Malformed(format!(
+            "unexpected trailing text `{tail}` (reasons go after `--`)"
+        )));
+    };
+
+    Ok(Pragma { ids, reason })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_comments_are_not_pragmas() {
+        assert!(parse_comment("// just words").is_none());
+        assert!(parse_comment("/* block */").is_none());
+    }
+
+    #[test]
+    fn allow_without_reason() {
+        let p = parse_comment("// mct-tidy: allow(P003)")
+            .expect("is a pragma")
+            .expect("parses");
+        assert_eq!(p.ids, vec!["P003"]);
+        assert_eq!(p.reason, None);
+    }
+
+    #[test]
+    fn allow_with_reason() {
+        let p = parse_comment("// mct-tidy: allow(D002) -- telemetry-only timing")
+            .expect("is a pragma")
+            .expect("parses");
+        assert_eq!(p.ids, vec!["D002"]);
+        assert_eq!(p.reason.as_deref(), Some("telemetry-only timing"));
+    }
+
+    #[test]
+    fn allow_multiple_ids() {
+        let p = parse_comment("// mct-tidy: allow(P002, P003) -- validated at construction")
+            .expect("is a pragma")
+            .expect("parses");
+        assert_eq!(p.ids, vec!["P002", "P003"]);
+    }
+
+    #[test]
+    fn malformed_directives_error() {
+        assert!(matches!(
+            parse_comment("// mct-tidy: deny(P001)").expect("is a pragma"),
+            Err(PragmaError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_comment("// mct-tidy: allow P001").expect("is a pragma"),
+            Err(PragmaError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_comment("// mct-tidy: allow(").expect("is a pragma"),
+            Err(PragmaError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_comment("// mct-tidy: allow()").expect("is a pragma"),
+            Err(PragmaError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_comment("// mct-tidy: allow(P001) because reasons").expect("is a pragma"),
+            Err(PragmaError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn doc_comments_are_documentation_not_directives() {
+        assert!(parse_comment("/// suppress with `mct-tidy: allow(P003)`").is_none());
+        assert!(parse_comment("//! e.g. `mct-tidy: allow(LINT-ID) -- reason`").is_none());
+        assert!(parse_comment("/** mct-tidy: allow(P001) */").is_none());
+        assert!(parse_comment("/*! mct-tidy: allow(P001) */").is_none());
+    }
+
+    #[test]
+    fn block_comment_pragmas_parse() {
+        let p = parse_comment("/* mct-tidy: allow(F001) */");
+        // The trailing `*/` is part of the comment text; the parser sees
+        // it as trailing garbage, which must be rejected rather than
+        // half-applied.
+        assert!(matches!(p, Some(Err(PragmaError::Malformed(_)))));
+    }
+}

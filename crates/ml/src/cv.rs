@@ -98,8 +98,8 @@ pub fn lasso_path(data: &Dataset, lo: f64, hi: f64, steps: usize, k: usize) -> V
 #[must_use]
 pub fn best_lambda(path: &[LassoPathPoint]) -> &LassoPathPoint {
     path.iter()
-        .max_by(|a, b| a.cv_r2.partial_cmp(&b.cv_r2).expect("finite scores"))
-        .expect("nonempty path")
+        .max_by(|a, b| a.cv_r2.total_cmp(&b.cv_r2))
+        .expect("nonempty path") // mct-tidy: allow(P003) -- documented `# Panics` contract
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@
 //! with the offline corpus — this is the "expensive but sample-efficient"
 //! corner of Table 7.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -24,7 +24,7 @@ use crate::model::Regressor;
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HierarchicalPredictor {
     /// Offline corpus: per application, configuration row → target.
-    corpus: Vec<HashMap<Vec<u64>, f64>>,
+    corpus: Vec<BTreeMap<Vec<u64>, f64>>,
     /// Fitted mixture weights (same length as `corpus`).
     weights: Vec<f64>,
     /// Global fallback for configurations unseen offline.
@@ -46,7 +46,7 @@ impl HierarchicalPredictor {
         let corpus = apps
             .iter()
             .map(|app| {
-                let mut t = HashMap::new();
+                let mut t = BTreeMap::new();
                 for i in 0..app.len() {
                     let (row, y) = app.example(i);
                     t.insert(Self::key(row), y);

@@ -156,12 +156,14 @@ impl Regressor for LassoRegression {
     }
 
     fn predict(&self, row: &[f64]) -> f64 {
+        // mct-tidy: allow(P003) -- Regressor contract: fit() before predict()
         let scaler = self.scaler.as_ref().expect("model not fitted");
         let z = scaler.transform(row);
         self.intercept + self.target_scale * dot(&self.weights, &z)
     }
 
     fn predict_batch(&self, rows: &Matrix) -> Vec<f64> {
+        // mct-tidy: allow(P003) -- Regressor contract: fit() before predict()
         let scaler = self.scaler.as_ref().expect("model not fitted");
         assert_eq!(rows.cols(), scaler.means().len(), "dimension mismatch");
         // Lasso weights are sparse: skip exactly-zero coefficients. A

@@ -1,7 +1,7 @@
 //! The paper's *offline* baseline predictor: average behaviour of
 //! training applications, no online data (Table 7, first row).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -15,7 +15,7 @@ use crate::model::Regressor;
 /// training mean for unseen configurations.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OfflineMeanPredictor {
-    table: HashMap<Vec<u64>, f64>,
+    table: BTreeMap<Vec<u64>, f64>,
     global_mean: f64,
     fitted: bool,
 }
@@ -25,7 +25,7 @@ impl OfflineMeanPredictor {
     #[must_use]
     pub fn new() -> OfflineMeanPredictor {
         OfflineMeanPredictor {
-            table: HashMap::new(),
+            table: BTreeMap::new(),
             global_mean: 0.0,
             fitted: false,
         }
@@ -35,7 +35,7 @@ impl OfflineMeanPredictor {
     /// space: entries with identical feature rows are averaged.
     pub fn fit_applications(&mut self, apps: &[Dataset]) {
         assert!(!apps.is_empty(), "need at least one training application");
-        let mut sums: HashMap<Vec<u64>, (f64, u64)> = HashMap::new();
+        let mut sums: BTreeMap<Vec<u64>, (f64, u64)> = BTreeMap::new();
         let mut total = 0.0;
         let mut count = 0u64;
         for app in apps {

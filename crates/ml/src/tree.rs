@@ -53,6 +53,7 @@ impl FlatNodes {
 
     fn push_split(&mut self, feature: usize, threshold: f64) -> u32 {
         self.push(
+            // mct-tidy: allow(P003) -- feature count is bounded by the config-space width
             u32::try_from(feature).expect("feature index fits u32"),
             threshold,
             0.0,
@@ -60,6 +61,7 @@ impl FlatNodes {
     }
 
     fn push(&mut self, feature: u32, threshold: f64, value: f64) -> u32 {
+        // mct-tidy: allow(P003) -- node count is bounded by the depth limit
         let id = u32::try_from(self.feature.len()).expect("node count fits u32");
         self.feature.push(feature);
         self.threshold.push(threshold);
@@ -139,7 +141,7 @@ impl RegressionTree {
         for f in 0..dim {
             vals.clear();
             vals.extend(idx.iter().map(|&i| (data.rows()[i][f], data.targets()[i])));
-            vals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
+            vals.sort_by(|a, b| a.0.total_cmp(&b.0));
             // Prefix sums for O(n) scan of all split points.
             let mut left_sum = 0.0;
             for k in 0..vals.len() - 1 {

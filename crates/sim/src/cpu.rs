@@ -205,6 +205,7 @@ impl CpuModel {
     fn issue_fill_read(&mut self, line: u64, mem: &mut MemoryController) {
         // Saturated window: stall until the oldest fill returns.
         while self.outstanding.len() >= self.cfg.mlp {
+            // mct-tidy: allow(P003) -- the loop guard proves the window is nonempty
             let oldest = self.outstanding.pop_front().expect("nonempty window");
             let done = mem.wait_read(oldest);
             if done > self.now {

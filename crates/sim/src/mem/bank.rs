@@ -131,7 +131,7 @@ impl Bank {
     /// # Panics
     /// Panics if idle or if the op is not a cancellable write.
     pub fn cancel(&mut self, now: Time) -> InFlightOp {
-        let op = self.current.take().expect("cancel on idle bank");
+        let op = self.current.take().expect("cancel on idle bank"); // mct-tidy: allow(P003) -- documented `# Panics` contract
         assert!(
             op.is_write() && op.cancellable,
             "cancel on non-cancellable op"

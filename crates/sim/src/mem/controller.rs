@@ -205,8 +205,8 @@ impl MemoryController {
         wear_model: WearModel,
         energy_model: EnergyModel,
     ) -> MemoryController {
-        cfg.validate().expect("invalid memory config");
-        policy.validate().expect("invalid mellow policy");
+        cfg.validate().expect("invalid memory config"); // mct-tidy: allow(P003) -- documented `# Panics` contract
+        policy.validate().expect("invalid mellow policy"); // mct-tidy: allow(P003) -- documented `# Panics` contract
         let quota = policy
             .wear_quota_target_years
             .map(|yrs| WearQuota::new(&wear_model, yrs, WearQuota::DEFAULT_SLICE));
@@ -426,7 +426,7 @@ impl MemoryController {
     /// # Panics
     /// Panics if `policy` fails validation.
     pub fn set_policy_quiesced(&mut self, policy: MellowPolicy) {
-        policy.validate().expect("invalid mellow policy");
+        policy.validate().expect("invalid mellow policy"); // mct-tidy: allow(P003) -- documented `# Panics` contract
         self.drain_all();
         self.quota = policy
             .wear_quota_target_years
@@ -804,6 +804,7 @@ impl MemoryController {
         if self.activations.len() < self.cfg.faw_activations {
             return None;
         }
+        // mct-tidy: allow(P003) -- the len() >= faw_activations guard proves nonempty
         let oldest = *self.activations.front().expect("nonempty window");
         let release = oldest + crate::time::Duration::from_ns(self.cfg.t_faw_ns);
         (release > self.now).then_some(release)
@@ -965,6 +966,7 @@ impl MemoryController {
                 Some(_) => WriteSpeed::Fast,
                 None => WriteSpeed::Fast,
             },
+            // mct-tidy: allow(P002) -- write_speed is only queried for write-side queues
             QueueKind::Read => unreachable!("reads have no write speed"),
         }
     }
@@ -984,7 +986,7 @@ impl MemoryController {
         self.idle_mask |= 1u64 << bank;
         self.recompute_earliest_end();
         let OpKind::Write(speed) = op.kind else {
-            unreachable!()
+            unreachable!() // mct-tidy: allow(P002) -- op.is_write() was checked above
         };
         let ratio = self.policy.ratio(speed);
         let frac = op.completed_fraction(self.now);
@@ -1004,6 +1006,7 @@ impl MemoryController {
         match op.origin {
             QueueKind::Write => self.write_q.push_front(pending),
             QueueKind::Eager => self.eager_q.push_front(pending),
+            // mct-tidy: allow(P002) -- cancelled writes originate from write/eager queues only
             QueueKind::Read => unreachable!(),
         }
     }

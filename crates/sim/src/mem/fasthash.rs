@@ -7,6 +7,7 @@
 //! Firefox/rustc multiply-rotate hash: one rotate, one xor, one multiply
 //! per word.
 
+// mct-tidy: allow(D001) -- this module *defines* the sanctioned deterministic map
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -65,6 +66,7 @@ impl Hasher for FxHasher {
 }
 
 /// A `HashMap` using [`FxHasher`].
+// mct-tidy: allow(D001) -- FxHasher is unseeded, so iteration order is reproducible
 pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
 
 #[cfg(test)]

@@ -126,6 +126,7 @@ impl BankQueue {
         let p = self
             .items
             .remove(idx)
+            // mct-tidy: allow(P003) -- idx comes from position() on the same deque
             .expect("index from position is valid");
         self.per_bank[bank] -= 1;
         Some(p)
@@ -146,6 +147,7 @@ impl BankQueue {
         let p = self
             .items
             .remove(idx)
+            // mct-tidy: allow(P003) -- idx comes from position() on the same deque
             .expect("index from position is valid");
         self.per_bank[p.bank] -= 1;
         Some(p)

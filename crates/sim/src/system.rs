@@ -154,7 +154,7 @@ impl System {
     /// Outstanding memory work is drained first (reconfiguration happens
     /// at a quiescent point, as a real controller would).
     pub fn set_policy(&mut self, policy: MellowPolicy) {
-        policy.validate().expect("invalid mellow policy");
+        policy.validate().expect("invalid mellow policy"); // mct-tidy: allow(P003) -- documented `# Panics` contract
         self.mem.set_policy_quiesced(policy);
     }
 
@@ -335,7 +335,7 @@ impl MultiSystem {
     /// Swap the active mellow-writes policy at a quiescent point
     /// (see [`System::set_policy`]).
     pub fn set_policy(&mut self, policy: MellowPolicy) {
-        policy.validate().expect("invalid mellow policy");
+        policy.validate().expect("invalid mellow policy"); // mct-tidy: allow(P003) -- documented `# Panics` contract
         for core in &mut self.cores {
             core.drain(&mut self.mem);
         }

@@ -127,7 +127,7 @@ pub fn evaluate_efficiency<F: FnMut(u64) -> u64>(
             wear[copied as usize] += 1;
         }
     }
-    let max = *wear.iter().max().expect("nonempty") as f64;
+    let max = wear.iter().max().map_or(0, |m| *m) as f64;
     if max == 0.0 {
         return 1.0;
     }

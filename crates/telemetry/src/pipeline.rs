@@ -68,6 +68,11 @@ pub struct PipelineSnapshot {
     pub sched_rounds: u64,
     /// Per-worker stats, summed over every scheduler round.
     pub workers: Vec<WorkerStat>,
+    /// Why the worker count fell back to machine parallelism (empty when
+    /// `MCT_WORKERS` was unset or valid). Defaulted so traces written
+    /// before this field existed still parse.
+    #[serde(default)]
+    pub workers_fallback: String,
 }
 
 impl PipelineSnapshot {
@@ -113,6 +118,9 @@ impl PipelineSnapshot {
             mine.busy_us += theirs.busy_us;
             mine.wall_us += theirs.wall_us;
         }
+        if self.workers_fallback.is_empty() {
+            self.workers_fallback = other.workers_fallback.clone();
+        }
     }
 
     /// One-line human summary (`pipeline: grains=...`): stable field
@@ -150,6 +158,7 @@ pub struct PipelineStats {
     snapshot_bytes: AtomicU64,
     sched_rounds: AtomicU64,
     workers: Mutex<Vec<WorkerStat>>,
+    workers_fallback: Mutex<String>,
 }
 
 macro_rules! adders {
@@ -176,6 +185,19 @@ impl PipelineStats {
         add_warmup_us => warmup_us,
         add_clone_us => clone_us,
         add_snapshot_bytes => snapshot_bytes,
+    }
+
+    /// Record why the worker count fell back to machine parallelism
+    /// (e.g. a garbage `MCT_WORKERS` value). First reason wins; later
+    /// calls are ignored so repeated scheduler entry does not churn it.
+    ///
+    /// # Panics
+    /// Panics if the fallback mutex is poisoned.
+    pub fn set_workers_fallback(&self, reason: &str) {
+        let mut slot = self.workers_fallback.lock().expect("fallback lock");
+        if slot.is_empty() {
+            reason.clone_into(&mut slot);
+        }
     }
 
     /// Record one scheduler round's per-worker stats (summed into the
@@ -217,6 +239,7 @@ impl PipelineStats {
             snapshot_bytes: self.snapshot_bytes.load(Ordering::Relaxed),
             sched_rounds: self.sched_rounds.load(Ordering::Relaxed),
             workers: self.workers.lock().expect("worker stats lock").clone(),
+            workers_fallback: self.workers_fallback.lock().expect("fallback lock").clone(),
         }
     }
 
@@ -238,6 +261,7 @@ impl PipelineStats {
         self.snapshot_bytes.store(0, Ordering::Relaxed);
         self.sched_rounds.store(0, Ordering::Relaxed);
         self.workers.lock().expect("worker stats lock").clear();
+        self.workers_fallback.lock().expect("fallback lock").clear();
     }
 }
 
@@ -318,6 +342,43 @@ mod tests {
         assert!(line.contains("executed=0"));
         assert!(line.contains("hit_rate=100.0%"));
         assert!(!line.contains("us="), "no timing terms: {line}");
+    }
+
+    #[test]
+    fn workers_fallback_first_reason_wins_and_resets() {
+        let stats = PipelineStats::default();
+        assert_eq!(stats.snapshot().workers_fallback, "");
+        stats.set_workers_fallback("MCT_WORKERS=0 rejected");
+        stats.set_workers_fallback("a later reason");
+        assert_eq!(stats.snapshot().workers_fallback, "MCT_WORKERS=0 rejected");
+        stats.reset();
+        assert_eq!(stats.snapshot().workers_fallback, "");
+    }
+
+    #[test]
+    fn merge_keeps_first_nonempty_fallback() {
+        let mut a = PipelineSnapshot::default();
+        let b = PipelineSnapshot {
+            workers_fallback: "from process b".to_string(),
+            ..PipelineSnapshot::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.workers_fallback, "from process b");
+        let c = PipelineSnapshot {
+            workers_fallback: "from process c".to_string(),
+            ..PipelineSnapshot::default()
+        };
+        a.merge(&c);
+        assert_eq!(a.workers_fallback, "from process b");
+    }
+
+    #[test]
+    fn old_snapshots_without_fallback_field_still_parse() {
+        let json = serde_json::to_string(&PipelineSnapshot::default()).expect("serialize");
+        let stripped = json.replace(",\"workers_fallback\":\"\"", "");
+        assert_ne!(json, stripped, "field must have been present");
+        let back: PipelineSnapshot = serde_json::from_str(&stripped).expect("parse old trace");
+        assert_eq!(back, PipelineSnapshot::default());
     }
 
     #[test]

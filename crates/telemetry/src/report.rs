@@ -264,6 +264,9 @@ pub fn render_report(records: &[Record]) -> String {
                         w.busy_fraction() * 100.0
                     );
                 }
+                if !snapshot.workers_fallback.is_empty() {
+                    let _ = writeln!(out, "  !! workers: {}", snapshot.workers_fallback);
+                }
             }
             Event::MetricsRegistry { snapshot } => {
                 let _ = writeln!(out, "\n--- metrics registry ---");
@@ -423,6 +426,35 @@ mod tests {
         );
         let parsed = parse_jsonl(&jsonl).expect("parse");
         assert_eq!(parsed.len(), 1);
+    }
+
+    #[test]
+    fn pipeline_report_renders_workers_fallback() {
+        let snapshot = crate::pipeline::PipelineSnapshot {
+            workers_fallback: "MCT_WORKERS=\"0\" rejected (must be a positive integer)".to_string(),
+            ..crate::pipeline::PipelineSnapshot::default()
+        };
+        let records = vec![Record {
+            seq: 0,
+            sim_insts: 0,
+            wall_us: 0,
+            event: Event::PipelineCompleted { snapshot },
+        }];
+        let report = render_report(&records);
+        assert!(
+            report.contains("!! workers: MCT_WORKERS=\"0\" rejected"),
+            "{report}"
+        );
+        // An empty reason renders nothing.
+        let quiet = vec![Record {
+            seq: 0,
+            sim_insts: 0,
+            wall_us: 0,
+            event: Event::PipelineCompleted {
+                snapshot: crate::pipeline::PipelineSnapshot::default(),
+            },
+        }];
+        assert!(!render_report(&quiet).contains("!! workers"));
     }
 
     #[test]

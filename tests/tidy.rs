@@ -1,0 +1,70 @@
+//! `mct-tidy` as a tier-1 test: the shipped tree must be lint-clean,
+//! and the checker must still catch each lint family (proved against
+//! the seeded fixture tree).
+
+use std::path::{Path, PathBuf};
+
+use mct_lint::check_tree;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn workspace_is_tidy() {
+    let report = check_tree(&workspace_root()).expect("walk workspace");
+    assert!(
+        report.files_scanned >= 100,
+        "walker must see the whole workspace, saw {} files",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "mct-tidy violations in the tree:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn fixture_tree_trips_every_lint_family() {
+    let fixtures = workspace_root().join("crates/lint/fixtures/bad");
+    assert!(
+        fixtures.is_dir(),
+        "fixture tree missing at {}",
+        fixtures.display()
+    );
+    let report = check_tree(&fixtures).expect("walk fixtures");
+    let lints: Vec<&str> = report.diagnostics.iter().map(|d| d.lint.as_str()).collect();
+    for family in [
+        "D001", "D002", "D003", "P001", "P002", "P003", "F001", "F002", "L001",
+    ] {
+        assert!(
+            lints.contains(&family),
+            "fixture tree must trip {family}; got {lints:?}"
+        );
+    }
+    // Diagnostics carry the machine-readable file:line: [ID] shape.
+    let rendered = report.diagnostics[0].to_string();
+    assert!(
+        rendered.contains(".rs:") && rendered.contains(": ["),
+        "diagnostic format regressed: {rendered}"
+    );
+}
+
+#[test]
+fn fixture_tree_is_invisible_to_the_workspace_walk() {
+    // The seeded violations live under a `fixtures/` directory, which the
+    // walker must skip — otherwise the tidy gate above could never pass.
+    let report = check_tree(&workspace_root()).expect("walk workspace");
+    assert!(
+        !report.diagnostics.iter().any(|d| Path::new(&d.file)
+            .components()
+            .any(|c| c.as_os_str() == "fixtures")),
+        "fixtures leaked into the workspace walk"
+    );
+}
