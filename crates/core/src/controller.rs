@@ -18,12 +18,14 @@
 
 use serde::{Deserialize, Serialize};
 
+use mct_sim::fault::FaultPlan;
 use mct_sim::stats::{Metrics, RunStats};
 use mct_sim::system::{System, SystemConfig};
 use mct_sim::trace::AccessSource;
 use mct_telemetry::{Event, RecorderHandle, Telemetry};
 
 use crate::config::NvmConfig;
+use crate::degrade::{DegradationAction, DegradationLadder};
 use crate::objective::Objective;
 use crate::optimizer::{optimize, OptimizationResult};
 use crate::phase::{PhaseDetector, PhaseDetectorConfig};
@@ -66,6 +68,11 @@ pub struct ControllerConfig {
     pub health_check_insts: u64,
     /// RNG seed (sampling).
     pub seed: u64,
+    /// Optional deterministic fault plan, armed on the simulated system
+    /// right after warmup (`mct chaos`). `None` leaves the simulator's
+    /// fault hooks disarmed — the zero-overhead hot path.
+    #[serde(default)]
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl ControllerConfig {
@@ -90,6 +97,7 @@ impl ControllerConfig {
             health_check_every_windows: 5,
             health_check_insts: 30_000,
             seed: 17,
+            fault_plan: None,
         }
     }
 
@@ -117,6 +125,7 @@ impl ControllerConfig {
             health_check_every_windows: 8,
             health_check_insts: 10_000,
             seed: 17,
+            fault_plan: None,
         }
     }
 }
@@ -247,10 +256,14 @@ impl Controller {
     /// Build a controller.
     ///
     /// # Panics
-    /// Panics if the objective fails validation.
+    /// Panics if the objective fails validation, or if the configured
+    /// fault plan is invalid.
     #[must_use]
     pub fn new(cfg: ControllerConfig, objective: Objective) -> Controller {
         objective.validate().expect("invalid objective"); // mct-tidy: allow(P003) -- documented `# Panics` contract
+        if let Some(plan) = &cfg.fault_plan {
+            plan.validate().expect("invalid fault plan"); // mct-tidy: allow(P003) -- documented `# Panics` contract
+        }
         let space = if cfg.exclude_wear_quota {
             ConfigSpace::without_wear_quota()
         } else {
@@ -311,8 +324,16 @@ impl Controller {
         sys.warmup(source, self.cfg.warmup_insts);
         self.telemetry
             .finish_stage(warmup_timer, self.cfg.warmup_insts);
+        // Faults arm after warmup, so plan timestamps are relative to the
+        // start of the measured region (validated in `Controller::new`).
+        if let Some(plan) = &self.cfg.fault_plan {
+            sys.arm_faults(plan);
+        }
 
         let mut detector = PhaseDetector::new(self.cfg.phase);
+        // The degradation ladder outlives segments: faults persist across
+        // phase boundaries, so escalation must not reset on re-sample.
+        let mut ladder = DegradationLadder::new();
         let mut segments: Vec<SegmentReport> = Vec::new();
         let mut total_sampling = MetricAccum::default();
         let mut total_testing = MetricAccum::default();
@@ -420,7 +441,7 @@ impl Controller {
                 }
             }
             self.telemetry.finish_stage(sampling_timer, executed);
-            let sample_data: Vec<(NvmConfig, Metrics)> = self
+            let mut sample_data: Vec<(NvmConfig, Metrics)> = self
                 .samples
                 .iter()
                 .zip(&accums)
@@ -488,7 +509,7 @@ impl Controller {
             let optimize_timer = self.telemetry.stage("optimize", executed);
             // mct-tidy: allow(D002) -- telemetry-gated latency probe; never feeds results
             let decision_start = self.telemetry.enabled().then(std::time::Instant::now);
-            let opt = optimize(
+            let mut opt = optimize(
                 &self.space,
                 &predictions,
                 &self.objective,
@@ -590,15 +611,46 @@ impl Controller {
                     health_checks += 1;
                     let health_baseline = base_accum.metrics(wear_budget);
                     let testing_so_far = seg_testing.metrics(wear_budget);
-                    let failed =
-                        health_checks >= 2 && testing_so_far.ipc < health_baseline.ipc * 0.95;
-                    if failed {
-                        health_fallback = true;
-                        chosen = self.baseline_config;
+                    let failed = DegradationLadder::reading_failed(
+                        health_checks,
+                        testing_so_far.ipc,
+                        health_baseline.ipc,
+                        testing_so_far.lifetime_years,
+                        self.objective.lifetime_floor(),
+                    );
+                    // A failed check escalates the degradation ladder one
+                    // rung: re-sample, then refit, then the paper's
+                    // revert-to-static fallback (Section 5.4).
+                    let (action, transition) = ladder.observe(failed);
+                    let mut resample = false;
+                    match action {
+                        DegradationAction::None => {}
+                        DegradationAction::Resample => resample = true,
+                        DegradationAction::Refit => {
+                            // Fold the degraded testing observation into
+                            // the sample set and re-optimize in place, so
+                            // the model sees how the choice actually ran.
+                            sample_data.push((chosen, testing_so_far));
+                            let mut refit = MetricsPredictor::new(self.cfg.model);
+                            refit.fit(&sample_data, Some(last_baseline));
+                            let repredictions = refit.predict_all(&self.space);
+                            opt = optimize(
+                                &self.space,
+                                &repredictions,
+                                &self.objective,
+                                self.baseline_config,
+                                self.cfg.quota_fixup,
+                            );
+                            chosen = opt.config;
+                        }
+                        DegradationAction::RevertToStatic => {
+                            health_fallback = true;
+                            chosen = self.baseline_config;
+                        }
                     }
                     if self.telemetry.enabled() {
                         self.telemetry.incr("health_checks", 1);
-                        if failed {
+                        if health_fallback {
                             self.telemetry.incr("health_fallbacks", 1);
                         }
                         self.telemetry.emit(
@@ -607,9 +659,31 @@ impl Controller {
                                 testing_ipc: testing_so_far.ipc,
                                 baseline_ipc: health_baseline.ipc,
                                 passed: !failed,
-                                fallback_taken: failed,
+                                fallback_taken: health_fallback,
                             },
                         );
+                        if let Some(tr) = transition {
+                            self.telemetry.incr("degradation_transitions", 1);
+                            self.telemetry.emit(
+                                executed,
+                                Event::DegradationTransition {
+                                    from: tr.from.label().to_string(),
+                                    to: tr.to.label().to_string(),
+                                    failures: tr.failures,
+                                    testing_ipc: testing_so_far.ipc,
+                                    baseline_ipc: health_baseline.ipc,
+                                    // Clamp: JSON has no Infinity literal.
+                                    lifetime_years: testing_so_far.lifetime_years.min(1e9),
+                                },
+                            );
+                        }
+                    }
+                    if resample {
+                        // Rung 1: abandon the testing period and restart
+                        // the segment so sampling observes the degraded
+                        // regime. Stats were finalized and reset above, so
+                        // the tail flush below is a no-op.
+                        break;
                     }
                     sys.set_policy(chosen.to_policy());
                     sys.run_window(source, self.cfg.phase.window_insts / 4);

@@ -42,6 +42,7 @@
 
 pub mod config;
 pub mod controller;
+pub mod degrade;
 pub mod error;
 pub mod extensions;
 pub mod objective;
@@ -53,6 +54,7 @@ pub mod space;
 
 pub use config::NvmConfig;
 pub use controller::{Controller, ControllerConfig, Outcome};
+pub use degrade::{DegradationAction, DegradationLadder, DegradationStage};
 pub use error::MctError;
 pub use extensions::{extended_space, ExtendedNvmConfig};
 pub use objective::{Constraint, Metric, Objective, OptimizeTarget};

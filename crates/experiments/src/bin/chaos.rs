@@ -1,0 +1,9 @@
+//! Thin wrapper over [`mct_experiments::chaos`]: the chaos scenario
+//! sweep (MCT vs static baseline under injected fault plans).
+
+fn main() {
+    let scale = mct_experiments::Scale::from_args();
+    let stdout = std::io::stdout();
+    mct_experiments::chaos::run(scale, &mut stdout.lock()).expect("render chaos sweep");
+    mct_experiments::pipeline::finish();
+}

@@ -1,0 +1,237 @@
+//! Chaos scenario sweep: MCT vs the static baseline under injected
+//! faults.
+//!
+//! Each scenario builds a seeded [`FaultPlan`] (the deterministic
+//! fault-injection layer in `mct-sim`) and measures two things under the
+//! *same* fault schedule and access stream:
+//!
+//! * the static-safe baseline on a warmed rig with the plan armed
+//!   ([`WarmedRig::arm_faults`]), and
+//! * the full MCT controller with the plan in its
+//!   [`ControllerConfig::fault_plan`], so the degradation ladder
+//!   (re-sample → refit → revert-to-static) is exercised end to end.
+//!
+//! The sweep reports realized IPC and lifetime for both, plus how often
+//! the controller's health checker demoted the learned choice — the
+//! graceful-degradation story the paper's Section 5.4 fallback only
+//! sketches.
+
+use std::io::{self, Write};
+
+use mct_core::{Controller, ControllerConfig, NvmConfig, Objective, Outcome};
+use mct_sim::fault::{FaultEvent, FaultPlan};
+use mct_workloads::Workload;
+
+use crate::report::Table;
+use crate::runner::{WarmedRig, EXPERIMENT_SEED};
+use crate::scale::Scale;
+
+/// A whole-run window: generous enough to stay active for any scale.
+const WHOLE_RUN_NS: f64 = 1e12;
+
+/// The named fault regimes the sweep exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosScenario {
+    /// Per-bank write-latency inflation that worsens over time.
+    LatencyDrift,
+    /// Transient unavailability windows on a quarter of the banks.
+    BankOutage,
+    /// Stuck-at worn lines forcing write retries (wear-out hot spots).
+    StuckLines,
+    /// Sampling-measurement noise corrupting the controller's readings.
+    MeasurementNoise,
+    /// All of the above at once.
+    Compound,
+}
+
+impl ChaosScenario {
+    /// Every scenario, in sweep order.
+    pub const ALL: [ChaosScenario; 5] = [
+        ChaosScenario::LatencyDrift,
+        ChaosScenario::BankOutage,
+        ChaosScenario::StuckLines,
+        ChaosScenario::MeasurementNoise,
+        ChaosScenario::Compound,
+    ];
+
+    /// Stable scenario label.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaosScenario::LatencyDrift => "latency-drift",
+            ChaosScenario::BankOutage => "bank-outage",
+            ChaosScenario::StuckLines => "stuck-lines",
+            ChaosScenario::MeasurementNoise => "measurement-noise",
+            ChaosScenario::Compound => "compound",
+        }
+    }
+
+    /// Build this scenario's deterministic fault plan.
+    #[must_use]
+    pub fn plan(self, seed: u64) -> FaultPlan {
+        let mut events = Vec::new();
+        match self {
+            ChaosScenario::LatencyDrift => events.extend(latency_drift_events()),
+            ChaosScenario::BankOutage => events.extend(bank_outage_events()),
+            ChaosScenario::StuckLines => events.extend(stuck_line_events(seed)),
+            ChaosScenario::MeasurementNoise => events.push(measurement_noise_event()),
+            ChaosScenario::Compound => {
+                events.extend(latency_drift_events());
+                events.extend(bank_outage_events());
+                events.extend(stuck_line_events(seed));
+                events.push(measurement_noise_event());
+            }
+        }
+        FaultPlan { seed, events }
+    }
+}
+
+/// Global 1.8x write-latency inflation, drifting worse with time, plus a
+/// harsher window on one bank (temperature hot spot).
+fn latency_drift_events() -> Vec<FaultEvent> {
+    vec![
+        FaultEvent::WriteLatencyDrift {
+            bank: None,
+            start_ns: 0.0,
+            end_ns: WHOLE_RUN_NS,
+            factor: 1.8,
+            drift_per_ms: 0.5,
+        },
+        FaultEvent::WriteLatencyDrift {
+            bank: Some(3),
+            start_ns: 0.0,
+            end_ns: WHOLE_RUN_NS,
+            factor: 1.5,
+            drift_per_ms: 0.0,
+        },
+    ]
+}
+
+/// Four of the sixteen banks go dark for a long mid-run window.
+fn bank_outage_events() -> Vec<FaultEvent> {
+    (0..4)
+        .map(|bank| FaultEvent::BankOutage {
+            bank,
+            start_ns: 20_000.0 + 10_000.0 * bank as f64,
+            end_ns: 200_000.0 + 20_000.0 * bank as f64,
+        })
+        .collect()
+}
+
+/// A spread of worn lines that each force a few write retries. Line ids
+/// are seeded so different seeds stress different cache-line neighbors.
+fn stuck_line_events(seed: u64) -> Vec<FaultEvent> {
+    (0..64)
+        .map(|i| FaultEvent::StuckLine {
+            line: (seed % 1_024) * 64 + i * 17,
+            from_ns: 0.0,
+            retries: 4,
+        })
+        .collect()
+}
+
+/// ±20% multiplicative noise on finalized cycle/wear readings.
+fn measurement_noise_event() -> FaultEvent {
+    FaultEvent::MeasurementNoise { amplitude: 0.2 }
+}
+
+/// Run the MCT controller on `workload` with `plan` armed after warmup.
+#[must_use]
+pub fn run_mct_under_faults(
+    workload: Workload,
+    plan: &FaultPlan,
+    total_insts: u64,
+    target_years: f64,
+    seed: u64,
+) -> Outcome {
+    let mut cfg = ControllerConfig::paper_scaled();
+    cfg.total_insts = total_insts;
+    cfg.warmup_insts = workload.warmup_insts();
+    cfg.seed = seed;
+    cfg.fault_plan = Some(plan.clone());
+    let mut controller = Controller::new(cfg, Objective::paper_default(target_years));
+    controller.run(&mut workload.source(seed))
+}
+
+/// Render the chaos sweep.
+pub fn run(scale: Scale, out: &mut dyn Write) -> io::Result<()> {
+    writeln!(
+        out,
+        "== Chaos sweep: MCT vs static baseline under injected faults (scale: {scale}) =="
+    )?;
+    let target = 8.0;
+    let insts = scale.controller_insts() / 2;
+    for workload in [Workload::Stream, Workload::Lbm] {
+        let mut table = Table::new([
+            "scenario",
+            "static ipc",
+            "static life",
+            "mct ipc",
+            "mct life",
+            "fallbacks",
+        ]);
+        for scenario in ChaosScenario::ALL {
+            let plan = scenario.plan(EXPERIMENT_SEED);
+            // Static baseline under the same plan, same warmed stream.
+            let mut rig = WarmedRig::with_budget(workload, EXPERIMENT_SEED, insts);
+            rig.arm_faults(&plan);
+            let stat = rig.measure(&NvmConfig::static_baseline());
+            // Full controller with the degradation ladder armed.
+            let outcome = run_mct_under_faults(workload, &plan, insts, target, EXPERIMENT_SEED);
+            let fallbacks = outcome
+                .segments
+                .iter()
+                .filter(|s| s.health_fallback)
+                .count();
+            table.row([
+                scenario.name().to_string(),
+                format!("{:.3}", stat.ipc),
+                format!("{:.1}", stat.lifetime_years.min(99.0)),
+                format!("{:.3}", outcome.final_metrics.ipc),
+                format!("{:.1}", outcome.final_metrics.lifetime_years.min(99.0)),
+                format!("{fallbacks}"),
+            ]);
+        }
+        writeln!(out, "\n-- {} --", workload.name())?;
+        write!(out, "{}", table.render())?;
+    }
+    writeln!(
+        out,
+        "\nEvery scenario is a seeded FaultPlan: rerunning with the same seed\n\
+         reproduces the same fault schedule bit-for-bit (`mct chaos`)."
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_scenario_builds_a_valid_plan() {
+        for scenario in ChaosScenario::ALL {
+            let plan = scenario.plan(EXPERIMENT_SEED);
+            plan.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", scenario.name()));
+            assert!(!plan.is_empty(), "{} plan is empty", scenario.name());
+        }
+    }
+
+    #[test]
+    fn scenario_names_are_distinct() {
+        let names: std::collections::HashSet<_> =
+            ChaosScenario::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), ChaosScenario::ALL.len());
+    }
+
+    #[test]
+    fn armed_rig_still_measures_finite_metrics() {
+        let plan = ChaosScenario::Compound.plan(7);
+        let mut rig = WarmedRig::with_budget(Workload::Stream, 7, 40_000);
+        rig.arm_faults(&plan);
+        let m = rig.measure(&NvmConfig::static_baseline());
+        assert!(m.ipc.is_finite() && m.ipc > 0.0);
+        assert!(m.energy_j.is_finite() && m.energy_j >= 0.0);
+        assert!(!m.lifetime_years.is_nan());
+    }
+}

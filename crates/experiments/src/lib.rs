@@ -23,12 +23,14 @@
 //! | `figure8` | Figure 8 (lifetime-target sensitivity) |
 //! | `figure9` | Figure 9 (sampling overhead & extrapolation) |
 //! | `figure10` | Figure 10 + Table 11 (multi-program mixes) |
+//! | `chaos` | fault-injection scenario sweep (MCT vs static under faults) |
 //! | `run_all` | everything above in order |
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod cache;
+pub mod chaos;
 pub mod figures;
 pub mod ideal;
 pub mod mix_mct;

@@ -89,6 +89,18 @@ impl WarmedRig {
         sys.finalize().metrics()
     }
 
+    /// Arm a deterministic fault plan on the warmed system. Every
+    /// per-candidate clone inherits the armed runtime, so all candidates
+    /// measure under exactly the same fault schedule (and the same access
+    /// stream). Arming an *empty* plan keeps measurements bit-identical
+    /// to an unarmed rig — the differential no-op guarantee.
+    ///
+    /// # Panics
+    /// Panics if the plan fails validation.
+    pub fn arm_faults(&mut self, plan: &mct_sim::FaultPlan) {
+        self.sys.arm_faults(plan);
+    }
+
     /// The detailed window length in instructions.
     #[must_use]
     pub fn detailed_insts(&self) -> u64 {

@@ -7,7 +7,8 @@
 //! bit-for-bit equal metrics.
 
 use mct_core::{ConfigSpace, NvmConfig};
-use mct_experiments::{sweep_with_threads, Scale, WarmedRig, EXPERIMENT_SEED};
+use mct_experiments::{par_map, sweep_with_threads, Scale, WarmedRig, EXPERIMENT_SEED};
+use mct_sim::FaultPlan;
 use mct_workloads::Workload;
 
 #[test]
@@ -41,6 +42,55 @@ fn parallel_sweep_is_bit_identical_to_serial() {
         );
         assert_eq!(par.len(), serial.len(), "threads={threads}");
         for (i, (a, b)) in serial.iter().zip(&par).enumerate() {
+            assert_eq!(
+                a.ipc.to_bits(),
+                b.ipc.to_bits(),
+                "ipc differs at config {i} with {threads} threads"
+            );
+            assert_eq!(
+                a.lifetime_years.to_bits(),
+                b.lifetime_years.to_bits(),
+                "lifetime differs at config {i} with {threads} threads"
+            );
+            assert_eq!(
+                a.energy_j.to_bits(),
+                b.energy_j.to_bits(),
+                "energy differs at config {i} with {threads} threads"
+            );
+        }
+    }
+}
+
+/// The fault layer's zero-overhead contract, differential form: a rig
+/// with an armed-but-*empty* [`FaultPlan`] must measure bit-identically
+/// to an unarmed rig, at every worker count. Every fault hook is a
+/// single `Option`-gated branch whose empty-runtime body draws nothing
+/// and perturbs nothing, so the physics — and therefore every bit of
+/// every metric — must match.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow in debug builds; CI runs this suite under --release"
+)]
+fn armed_empty_fault_plan_sweeps_bit_identical_to_unarmed() {
+    let space = ConfigSpace::without_wear_quota();
+    let stride = (space.len() / 32).max(1);
+    let configs: Vec<NvmConfig> = space
+        .configs()
+        .iter()
+        .step_by(stride)
+        .take(32)
+        .copied()
+        .collect();
+
+    let unarmed = WarmedRig::new(Workload::Gups, Scale::Quick, EXPERIMENT_SEED);
+    let mut armed = WarmedRig::new(Workload::Gups, Scale::Quick, EXPERIMENT_SEED);
+    armed.arm_faults(&FaultPlan::empty(42));
+
+    for threads in [1usize, 2, 8] {
+        let base = par_map(&configs, threads, |c| unarmed.measure(c));
+        let faulted = par_map(&configs, threads, |c| armed.measure(c));
+        for (i, (a, b)) in base.iter().zip(&faulted).enumerate() {
             assert_eq!(
                 a.ipc.to_bits(),
                 b.ipc.to_bits(),

@@ -1,0 +1,657 @@
+//! Deterministic fault injection: seeded, timed degradation of the NVM
+//! substrate.
+//!
+//! A [`FaultPlan`] is a serializable schedule of fault events — per-bank
+//! write-latency inflation with drift, stuck-at worn lines that force
+//! write retries, transient bank outages, and measurement-path noise.
+//! Arming a plan on a [`crate::system::System`] (or directly on a
+//! [`crate::mem::MemoryController`]) compiles it into a [`FaultRuntime`];
+//! event times are interpreted **relative to the arming instant**, so the
+//! same plan degrades a run identically regardless of how much warmup
+//! preceded it.
+//!
+//! Determinism contract: all randomness flows from the plan's `seed`
+//! through a counter-indexed splitmix64 stream — no OS entropy, no wall
+//! clock — so two runs with the same plan, seed and workload produce
+//! bit-identical results. With no plan armed, every controller hook is a
+//! single branch on a `None`, leaving the unfaulted hot path unchanged.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+use crate::mem::FxHashMap;
+use crate::time::Time;
+
+/// Upper bound on any event timestamp, in nanoseconds after arming.
+///
+/// 1e15 ns converts to 1e18 ps, safely below [`Time::NEVER`] — so a
+/// validated plan can never saturate the clock into the "unreachable
+/// future" sentinel and deadlock the event loop.
+pub const MAX_EVENT_NS: f64 = 1e15;
+
+/// Largest initial latency multiplier a drift window may request.
+pub const MAX_FACTOR: f64 = 100.0;
+
+/// Most retries a single stuck line may force before it heals.
+pub const MAX_RETRIES: u32 = 64;
+
+/// Largest measurement-noise amplitude (relative perturbation).
+pub const MAX_NOISE_AMPLITUDE: f64 = 0.9;
+
+/// Cap on the combined (drifted, stacked) write-latency multiplier.
+const MAX_MULTIPLIER: f64 = 1_000.0;
+
+/// One timed fault in a [`FaultPlan`]. All times are in nanoseconds
+/// relative to the instant the plan is armed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// Write latency on `bank` (every bank when `None`) is multiplied by
+    /// `factor + drift_per_ms * elapsed_ms` while the window is active —
+    /// the cell-slowdown-with-wear regime of degraded NVM. Overlapping
+    /// windows multiply. Wear per write is unchanged: the cell is slower,
+    /// not tougher.
+    WriteLatencyDrift {
+        /// Affected bank index (`None` = all banks).
+        bank: Option<usize>,
+        /// Window start, ns after arming.
+        start_ns: f64,
+        /// Window end (exclusive), ns after arming.
+        end_ns: f64,
+        /// Initial latency multiplier (>= 1).
+        factor: f64,
+        /// Extra multiplier accrued per millisecond inside the window.
+        drift_per_ms: f64,
+    },
+    /// A worn line whose writes fail verification: starting at `from_ns`,
+    /// the next `retries` writes to `line` complete their pulse, fail,
+    /// and are retried in place — charging wear and energy for each
+    /// wasted pulse.
+    StuckLine {
+        /// Affected line address.
+        line: u64,
+        /// First instant the line misbehaves, ns after arming.
+        from_ns: f64,
+        /// Failed write attempts before the line heals.
+        retries: u32,
+    },
+    /// `bank` accepts no new operations inside the window. In-flight
+    /// operations finish normally; queued work waits for the window to
+    /// close.
+    BankOutage {
+        /// Affected bank index.
+        bank: usize,
+        /// Window start, ns after arming.
+        start_ns: f64,
+        /// Window end (exclusive), ns after arming.
+        end_ns: f64,
+    },
+    /// Measurement-path noise: each finalized reading's cycle and wear
+    /// totals are perturbed by up to ±`amplitude` (relative), drawn from
+    /// the plan's seeded stream. The wear meter and quota enforcement
+    /// stay exact — only what the controller *observes* is noisy.
+    MeasurementNoise {
+        /// Relative perturbation amplitude in `[0, 0.9]`.
+        amplitude: f64,
+    },
+}
+
+/// A serializable, seeded schedule of fault events.
+///
+/// Construct (or deserialize from JSON), [`FaultPlan::validate`], then
+/// arm via [`crate::system::System::arm_faults`]. An armed plan with no
+/// events is a strict no-op: runs are bit-identical to unarmed runs.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for the plan's deterministic noise stream.
+    #[serde(default)]
+    pub seed: u64,
+    /// The scheduled fault events.
+    #[serde(default)]
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no events) under `seed` — arms to a no-op runtime.
+    #[must_use]
+    pub fn empty(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// Whether the plan schedules no events at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Check every event against its legal ranges.
+    ///
+    /// # Errors
+    /// Returns [`SimError::InvalidConfig`] naming the first offending
+    /// event and field.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let err =
+            |i: usize, msg: String| Err(SimError::InvalidConfig(format!("fault event {i}: {msg}")));
+        let window_ok = |start: f64, end: f64| {
+            start.is_finite()
+                && end.is_finite()
+                && start >= 0.0
+                && end >= start
+                && end <= MAX_EVENT_NS
+        };
+        for (i, ev) in self.events.iter().enumerate() {
+            match *ev {
+                FaultEvent::WriteLatencyDrift {
+                    bank,
+                    start_ns,
+                    end_ns,
+                    factor,
+                    drift_per_ms,
+                } => {
+                    if !window_ok(start_ns, end_ns) {
+                        return err(i, format!("bad window [{start_ns}, {end_ns}] ns"));
+                    }
+                    if let Some(b) = bank {
+                        if b >= 64 {
+                            return err(i, format!("bank {b} out of range (max 63)"));
+                        }
+                    }
+                    if !factor.is_finite() || !(1.0..=MAX_FACTOR).contains(&factor) {
+                        return err(i, format!("factor {factor} outside [1, {MAX_FACTOR}]"));
+                    }
+                    if !drift_per_ms.is_finite() || !(0.0..=MAX_FACTOR).contains(&drift_per_ms) {
+                        return err(
+                            i,
+                            format!("drift_per_ms {drift_per_ms} outside [0, {MAX_FACTOR}]"),
+                        );
+                    }
+                }
+                FaultEvent::StuckLine {
+                    from_ns, retries, ..
+                } => {
+                    if !from_ns.is_finite() || !(0.0..=MAX_EVENT_NS).contains(&from_ns) {
+                        return err(i, format!("from_ns {from_ns} outside [0, {MAX_EVENT_NS}]"));
+                    }
+                    if retries > MAX_RETRIES {
+                        return err(i, format!("retries {retries} exceeds max {MAX_RETRIES}"));
+                    }
+                }
+                FaultEvent::BankOutage {
+                    bank,
+                    start_ns,
+                    end_ns,
+                } => {
+                    if !window_ok(start_ns, end_ns) {
+                        return err(i, format!("bad window [{start_ns}, {end_ns}] ns"));
+                    }
+                    if bank >= 64 {
+                        return err(i, format!("bank {bank} out of range (max 63)"));
+                    }
+                }
+                FaultEvent::MeasurementNoise { amplitude } => {
+                    if !amplitude.is_finite() || !(0.0..=MAX_NOISE_AMPLITUDE).contains(&amplitude) {
+                        return err(
+                            i,
+                            format!("amplitude {amplitude} outside [0, {MAX_NOISE_AMPLITUDE}]"),
+                        );
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An active latency-drift window, compiled to absolute instants.
+#[derive(Debug, Clone, Copy)]
+struct DriftWindow {
+    bank: Option<usize>,
+    start: Time,
+    end: Time,
+    factor: f64,
+    drift_per_ms: f64,
+}
+
+/// An active bank-outage window, compiled to absolute instants.
+#[derive(Debug, Clone, Copy)]
+pub struct OutageWindow {
+    /// The bank held unavailable.
+    pub bank: usize,
+    /// Absolute window start.
+    pub start: Time,
+    /// Absolute window end (exclusive).
+    pub end: Time,
+}
+
+/// Per-line stuck-at state: active-from instant and retries remaining.
+#[derive(Debug, Clone, Copy)]
+struct StuckState {
+    from: Time,
+    remaining: u32,
+}
+
+/// A [`FaultPlan`] compiled against an arming instant, holding the
+/// mutable runtime state (remaining retries, noise-draw counter).
+///
+/// Cloning a system clones the runtime with its state, so warm-snapshot
+/// fan-out replays identically from the snapshot point.
+#[derive(Debug, Clone)]
+pub struct FaultRuntime {
+    seed: u64,
+    drifts: Vec<DriftWindow>,
+    outages: Vec<OutageWindow>,
+    stuck: FxHashMap<u64, StuckState>,
+    noise_amplitude: f64,
+    noise_draws: u64,
+}
+
+impl FaultRuntime {
+    /// Compile `plan` against the arming instant `origin`.
+    ///
+    /// The plan must already be validated; out-of-range values are
+    /// clamped defensively rather than trusted.
+    #[must_use]
+    pub fn new(plan: &FaultPlan, origin: Time) -> FaultRuntime {
+        let at = |ns: f64| origin + crate::time::Duration::from_ns(ns.clamp(0.0, MAX_EVENT_NS));
+        let mut drifts = Vec::new();
+        let mut outages = Vec::new();
+        let mut stuck: FxHashMap<u64, StuckState> = FxHashMap::default();
+        let mut noise_amplitude: f64 = 0.0;
+        for ev in &plan.events {
+            match *ev {
+                FaultEvent::WriteLatencyDrift {
+                    bank,
+                    start_ns,
+                    end_ns,
+                    factor,
+                    drift_per_ms,
+                } => drifts.push(DriftWindow {
+                    bank,
+                    start: at(start_ns),
+                    end: at(end_ns),
+                    factor: factor.clamp(1.0, MAX_FACTOR),
+                    drift_per_ms: drift_per_ms.clamp(0.0, MAX_FACTOR),
+                }),
+                FaultEvent::StuckLine {
+                    line,
+                    from_ns,
+                    retries,
+                } => {
+                    // Duplicate events on one line merge: earliest onset,
+                    // summed (capped) retries.
+                    let from = at(from_ns);
+                    let extra = retries.min(MAX_RETRIES);
+                    stuck
+                        .entry(line)
+                        .and_modify(|s| {
+                            s.from = s.from.min(from);
+                            s.remaining = (s.remaining + extra).min(MAX_RETRIES);
+                        })
+                        .or_insert(StuckState {
+                            from,
+                            remaining: extra,
+                        });
+                }
+                FaultEvent::BankOutage {
+                    bank,
+                    start_ns,
+                    end_ns,
+                } => outages.push(OutageWindow {
+                    bank: bank.min(63),
+                    start: at(start_ns),
+                    end: at(end_ns),
+                }),
+                FaultEvent::MeasurementNoise { amplitude } => {
+                    // Multiple noise events combine by max amplitude.
+                    noise_amplitude =
+                        noise_amplitude.max(amplitude.clamp(0.0, MAX_NOISE_AMPLITUDE));
+                }
+            }
+        }
+        FaultRuntime {
+            seed: plan.seed,
+            drifts,
+            outages,
+            stuck,
+            noise_amplitude,
+            noise_draws: 0,
+        }
+    }
+
+    /// Combined write-latency multiplier for `bank` at `now` (1.0 when no
+    /// drift window is active). Overlapping windows multiply, capped.
+    #[must_use]
+    pub fn write_latency_multiplier(&self, bank: usize, now: Time) -> f64 {
+        let mut mult = 1.0;
+        for w in &self.drifts {
+            if w.bank.is_some_and(|b| b != bank) || now < w.start || now >= w.end {
+                continue;
+            }
+            let elapsed_ms = (now - w.start).as_ns() / 1e6;
+            mult *= w.factor + w.drift_per_ms * elapsed_ms;
+        }
+        mult.min(MAX_MULTIPLIER)
+    }
+
+    /// Bitmask of banks under an active outage at `now`.
+    #[must_use]
+    pub fn outage_mask(&self, now: Time) -> u64 {
+        let mut mask = 0u64;
+        for w in &self.outages {
+            if w.start <= now && now < w.end {
+                mask |= 1u64 << w.bank;
+            }
+        }
+        mask
+    }
+
+    /// The compiled outage windows (the controller's event loop wakes up
+    /// at window ends when the outaged bank has queued work).
+    #[must_use]
+    pub fn outages(&self) -> &[OutageWindow] {
+        &self.outages
+    }
+
+    /// Consume one stuck-at retry for a write to `line` completing at
+    /// `now`. Returns `true` when the write must be retried.
+    pub fn take_retry(&mut self, line: u64, now: Time) -> bool {
+        if self.stuck.is_empty() {
+            return false;
+        }
+        let Some(s) = self.stuck.get_mut(&line) else {
+            return false;
+        };
+        if now < s.from || s.remaining == 0 {
+            return false;
+        }
+        s.remaining -= 1;
+        true
+    }
+
+    /// Draw the measurement-noise factors for one finalized reading:
+    /// `(cycles_factor, wear_factor)`, each in `[1 - a, 1 + a]`. Returns
+    /// `None` (consuming no draws) when the plan carries no noise, so an
+    /// empty plan stays bit-identical to no plan.
+    pub fn draw_noise_factors(&mut self) -> Option<(f64, f64)> {
+        if self.noise_amplitude <= 0.0 {
+            return None;
+        }
+        let a = self.noise_amplitude;
+        let c = self.unit_draw();
+        let w = self.unit_draw();
+        Some((
+            2.0f64.mul_add(c, -1.0).mul_add(a, 1.0),
+            2.0f64.mul_add(w, -1.0).mul_add(a, 1.0),
+        ))
+    }
+
+    /// One uniform draw in `[0, 1)` from the counter-indexed stream.
+    fn unit_draw(&mut self) -> f64 {
+        self.noise_draws += 1;
+        let z = splitmix64(self.seed ^ self.noise_draws.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// The splitmix64 finalizer: a high-quality 64-bit mix, used here as a
+/// stateless counter-indexed generator (seed ^ f(counter) -> uniform).
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drift(bank: Option<usize>, start: f64, end: f64, factor: f64, per_ms: f64) -> FaultEvent {
+        FaultEvent::WriteLatencyDrift {
+            bank,
+            start_ns: start,
+            end_ns: end,
+            factor,
+            drift_per_ms: per_ms,
+        }
+    }
+
+    #[test]
+    fn empty_plan_validates_and_is_inert() {
+        let plan = FaultPlan::empty(7);
+        plan.validate().unwrap();
+        assert!(plan.is_empty());
+        let mut rt = FaultRuntime::new(&plan, Time::from_ns(500.0));
+        assert_eq!(rt.write_latency_multiplier(0, Time::from_ns(1000.0)), 1.0);
+        assert_eq!(rt.outage_mask(Time::from_ns(1000.0)), 0);
+        assert!(!rt.take_retry(0, Time::from_ns(1000.0)));
+        assert!(rt.draw_noise_factors().is_none());
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range_fields() {
+        let bad = [
+            drift(None, 100.0, 50.0, 2.0, 0.0),        // end < start
+            drift(None, 0.0, f64::INFINITY, 2.0, 0.0), // non-finite end
+            drift(None, 0.0, 100.0, 0.5, 0.0),         // factor < 1
+            drift(None, 0.0, 100.0, 2.0, -1.0),        // negative drift
+            drift(Some(64), 0.0, 100.0, 2.0, 0.0),     // bank out of range
+            FaultEvent::StuckLine {
+                line: 0,
+                from_ns: -1.0,
+                retries: 1,
+            },
+            FaultEvent::StuckLine {
+                line: 0,
+                from_ns: 0.0,
+                retries: MAX_RETRIES + 1,
+            },
+            FaultEvent::BankOutage {
+                bank: 64,
+                start_ns: 0.0,
+                end_ns: 1.0,
+            },
+            FaultEvent::MeasurementNoise { amplitude: 1.5 },
+            FaultEvent::MeasurementNoise {
+                amplitude: f64::NAN,
+            },
+        ];
+        for ev in bad {
+            let plan = FaultPlan {
+                seed: 0,
+                events: vec![ev.clone()],
+            };
+            assert!(plan.validate().is_err(), "{ev:?} should fail validation");
+        }
+    }
+
+    #[test]
+    fn event_times_are_relative_to_arming() {
+        let plan = FaultPlan {
+            seed: 0,
+            events: vec![drift(None, 100.0, 200.0, 3.0, 0.0)],
+        };
+        plan.validate().unwrap();
+        let rt = FaultRuntime::new(&plan, Time::from_ns(1_000.0));
+        assert_eq!(rt.write_latency_multiplier(5, Time::from_ns(1_050.0)), 1.0);
+        assert_eq!(rt.write_latency_multiplier(5, Time::from_ns(1_150.0)), 3.0);
+        assert_eq!(rt.write_latency_multiplier(5, Time::from_ns(1_250.0)), 1.0);
+    }
+
+    #[test]
+    fn drift_grows_with_time_and_windows_stack() {
+        let plan = FaultPlan {
+            seed: 0,
+            events: vec![
+                drift(Some(3), 0.0, 2e6, 2.0, 1.0), // +1x per ms on bank 3
+                drift(None, 0.0, 2e6, 1.5, 0.0),    // global 1.5x
+            ],
+        };
+        let rt = FaultRuntime::new(&plan, Time::ZERO);
+        // At t=1ms: bank 3 sees (2 + 1) * 1.5; other banks just 1.5.
+        let m3 = rt.write_latency_multiplier(3, Time::from_ns(1e6));
+        assert!((m3 - 4.5).abs() < 1e-9, "m3={m3}");
+        let m0 = rt.write_latency_multiplier(0, Time::from_ns(1e6));
+        assert!((m0 - 1.5).abs() < 1e-9, "m0={m0}");
+    }
+
+    #[test]
+    fn multiplier_is_capped() {
+        let plan = FaultPlan {
+            seed: 0,
+            events: vec![drift(None, 0.0, 1e9, 100.0, 100.0)],
+        };
+        let rt = FaultRuntime::new(&plan, Time::ZERO);
+        let m = rt.write_latency_multiplier(0, Time::from_ns(1e8));
+        assert!(m <= 1_000.0 + 1e-9, "m={m}");
+    }
+
+    #[test]
+    fn outage_mask_covers_active_windows_only() {
+        let plan = FaultPlan {
+            seed: 0,
+            events: vec![
+                FaultEvent::BankOutage {
+                    bank: 2,
+                    start_ns: 100.0,
+                    end_ns: 300.0,
+                },
+                FaultEvent::BankOutage {
+                    bank: 5,
+                    start_ns: 200.0,
+                    end_ns: 400.0,
+                },
+            ],
+        };
+        let rt = FaultRuntime::new(&plan, Time::ZERO);
+        assert_eq!(rt.outage_mask(Time::from_ns(50.0)), 0);
+        assert_eq!(rt.outage_mask(Time::from_ns(150.0)), 1 << 2);
+        assert_eq!(rt.outage_mask(Time::from_ns(250.0)), (1 << 2) | (1 << 5));
+        assert_eq!(rt.outage_mask(Time::from_ns(350.0)), 1 << 5);
+        assert_eq!(rt.outage_mask(Time::from_ns(450.0)), 0);
+    }
+
+    #[test]
+    fn stuck_line_retries_are_consumed_then_heal() {
+        let plan = FaultPlan {
+            seed: 0,
+            events: vec![FaultEvent::StuckLine {
+                line: 42,
+                from_ns: 100.0,
+                retries: 2,
+            }],
+        };
+        let mut rt = FaultRuntime::new(&plan, Time::ZERO);
+        assert!(!rt.take_retry(42, Time::from_ns(50.0)), "not active yet");
+        assert!(!rt.take_retry(7, Time::from_ns(150.0)), "other lines fine");
+        assert!(rt.take_retry(42, Time::from_ns(150.0)));
+        assert!(rt.take_retry(42, Time::from_ns(151.0)));
+        assert!(!rt.take_retry(42, Time::from_ns(152.0)), "healed");
+    }
+
+    #[test]
+    fn duplicate_stuck_events_merge() {
+        let plan = FaultPlan {
+            seed: 0,
+            events: vec![
+                FaultEvent::StuckLine {
+                    line: 9,
+                    from_ns: 500.0,
+                    retries: 1,
+                },
+                FaultEvent::StuckLine {
+                    line: 9,
+                    from_ns: 100.0,
+                    retries: 1,
+                },
+            ],
+        };
+        let mut rt = FaultRuntime::new(&plan, Time::ZERO);
+        assert!(
+            rt.take_retry(9, Time::from_ns(150.0)),
+            "earliest onset wins"
+        );
+        assert!(rt.take_retry(9, Time::from_ns(151.0)), "retries sum");
+        assert!(!rt.take_retry(9, Time::from_ns(152.0)));
+    }
+
+    #[test]
+    fn noise_draws_are_seeded_and_reproducible() {
+        let plan = FaultPlan {
+            seed: 11,
+            events: vec![FaultEvent::MeasurementNoise { amplitude: 0.3 }],
+        };
+        let mut a = FaultRuntime::new(&plan, Time::ZERO);
+        let mut b = FaultRuntime::new(&plan, Time::ZERO);
+        for _ in 0..100 {
+            let fa = a.draw_noise_factors().unwrap();
+            let fb = b.draw_noise_factors().unwrap();
+            assert_eq!(fa, fb);
+            for f in [fa.0, fa.1] {
+                assert!((0.7..=1.3).contains(&f), "factor {f} out of band");
+            }
+        }
+        let other = FaultPlan {
+            seed: 12,
+            ..plan.clone()
+        };
+        let mut c = FaultRuntime::new(&other, Time::ZERO);
+        assert_ne!(
+            a.draw_noise_factors(),
+            c.draw_noise_factors(),
+            "different seeds diverge"
+        );
+    }
+
+    #[test]
+    fn multiple_noise_events_combine_by_max() {
+        let plan = FaultPlan {
+            seed: 1,
+            events: vec![
+                FaultEvent::MeasurementNoise { amplitude: 0.1 },
+                FaultEvent::MeasurementNoise { amplitude: 0.4 },
+            ],
+        };
+        let mut rt = FaultRuntime::new(&plan, Time::ZERO);
+        // All draws stay inside the max band; over many draws at least
+        // one must exceed the smaller band.
+        let mut seen_wide = false;
+        for _ in 0..200 {
+            let (c, w) = rt.draw_noise_factors().unwrap();
+            for f in [c, w] {
+                assert!((0.6..=1.4).contains(&f));
+                if !(0.9..=1.1).contains(&f) {
+                    seen_wide = true;
+                }
+            }
+        }
+        assert!(seen_wide, "amplitude 0.4 should exceed the 0.1 band");
+    }
+
+    #[test]
+    fn plan_round_trips_through_json() {
+        let plan = FaultPlan {
+            seed: 2017,
+            events: vec![
+                drift(Some(1), 0.0, 1e6, 2.5, 0.25),
+                FaultEvent::StuckLine {
+                    line: 77,
+                    from_ns: 10.0,
+                    retries: 3,
+                },
+                FaultEvent::BankOutage {
+                    bank: 4,
+                    start_ns: 100.0,
+                    end_ns: 900.0,
+                },
+                FaultEvent::MeasurementNoise { amplitude: 0.2 },
+            ],
+        };
+        let json = serde_json::to_string_pretty(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+        assert!(json.contains("StuckLine"), "{json}");
+    }
+}

@@ -57,6 +57,7 @@ pub mod cache;
 pub mod cpu;
 pub mod energy;
 pub mod error;
+pub mod fault;
 pub mod mem;
 pub mod policy;
 pub mod stats;
@@ -70,6 +71,7 @@ pub use cache::{Cache, CacheConfig};
 pub use cpu::{CpuConfig, CpuModel};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use error::SimError;
+pub use fault::{FaultEvent, FaultPlan, FaultRuntime};
 pub use mem::{MemConfig, MemoryController};
 pub use policy::{CancellationMode, MellowPolicy, WriteSpeed};
 pub use stats::{PerfCounters, RunStats};

@@ -26,6 +26,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use crate::energy::{EnergyMeter, EnergyModel};
+use crate::fault::{FaultPlan, FaultRuntime};
 use crate::mem::bank::{Bank, InFlightOp, OpKind};
 use crate::mem::config::MemConfig;
 use crate::mem::fasthash::FxHashMap;
@@ -79,6 +80,10 @@ pub struct MemCounters {
     pub row_hits: u64,
     /// Row activations performed (tFAW-limited).
     pub activations: u64,
+    /// Writes that completed their pulse but failed verification under an
+    /// armed fault plan (stuck-at line) and were retried in place.
+    #[serde(default)]
+    pub fault_retries: u64,
 }
 
 impl MemCounters {
@@ -115,6 +120,7 @@ impl MemCounters {
             ("disturb_refreshes", self.disturb_refreshes),
             ("row_hits", self.row_hits),
             ("activations", self.activations),
+            ("fault_retries", self.fault_retries),
         ]
     }
 }
@@ -176,6 +182,10 @@ pub struct MemoryController {
     ready_waiters: u64,
     /// Reusable buffer for flushing the scrub heap in [`Self::drain_all`].
     scrub_scratch: Vec<(Time, u64)>,
+    /// Armed fault-injection runtime, `None` in the common case. Boxed so
+    /// the unfaulted controller pays one cold pointer, and every fault
+    /// hook is a single branch on the `Option`.
+    faults: Option<Box<FaultRuntime>>,
 }
 
 impl MemoryController {
@@ -237,9 +247,43 @@ impl MemoryController {
             earliest_end: Time::NEVER,
             ready_waiters: 0,
             scrub_scratch: Vec::new(),
+            faults: None,
             cfg,
             policy,
         }
+    }
+
+    /// Arm a deterministic fault plan: event times are interpreted
+    /// relative to the current instant. Re-arming replaces any active
+    /// plan; an empty plan arms to a strict no-op runtime.
+    ///
+    /// # Panics
+    /// Panics if `plan` fails validation; arm-time validation keeps the
+    /// fault hooks assertion-free.
+    pub fn arm_faults(&mut self, plan: &FaultPlan) {
+        plan.validate().expect("invalid fault plan"); // mct-tidy: allow(P003) -- documented `# Panics` contract
+        self.faults = Some(Box::new(FaultRuntime::new(plan, self.now)));
+        self.settled = false;
+    }
+
+    /// Disarm any active fault plan.
+    pub fn disarm_faults(&mut self) {
+        self.faults = None;
+    }
+
+    /// Whether a fault plan is currently armed.
+    #[must_use]
+    pub fn faults_armed(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Draw the measurement-noise factors `(cycles, wear)` for one
+    /// finalized reading, if an armed plan carries measurement noise.
+    /// Consumes two deterministic draws per `Some`; `None` otherwise.
+    pub fn draw_noise_factors(&mut self) -> Option<(f64, f64)> {
+        self.faults
+            .as_deref_mut()
+            .and_then(FaultRuntime::draw_noise_factors)
     }
 
     // ------------------------------------------------------------------
@@ -597,6 +641,15 @@ impl MemoryController {
                 next = next.min(release);
             }
         }
+        // A bank under fault outage with queued work wakes up when the
+        // outage window closes (otherwise blocked work would deadlock).
+        if let Some(f) = self.faults.as_deref() {
+            for w in f.outages() {
+                if w.start <= self.now && self.now < w.end && self.has_work_for(w.bank) {
+                    next = next.min(w.end);
+                }
+            }
+        }
         next
     }
 
@@ -656,6 +709,29 @@ impl MemoryController {
                 let i = busy.trailing_zeros() as usize;
                 busy &= busy - 1;
                 if let Some(op) = self.banks[i].try_complete(now) {
+                    if let OpKind::Write(speed) = op.kind {
+                        let retry = self
+                            .faults
+                            .as_deref_mut()
+                            .is_some_and(|f| f.take_retry(op.line, now));
+                        if retry {
+                            // Stuck-at line: the pulse completed but failed
+                            // verification. Charge the wasted pulse as a
+                            // full-fraction cancellation and rerun the op in
+                            // place; the bank stays busy.
+                            let ratio = self.effective_write_ratio(speed, op.maintenance);
+                            self.wear.record_cancellation(ratio, 1.0);
+                            self.energy.record_cancellation(ratio, 1.0);
+                            self.counters.fault_retries += 1;
+                            let dur = op.end - op.start;
+                            self.banks[i].start(InFlightOp {
+                                start: now,
+                                end: now + dur,
+                                ..op
+                            });
+                            continue;
+                        }
+                    }
                     self.idle_mask |= 1u64 << i;
                     self.finish_op(op);
                 }
@@ -777,7 +853,10 @@ impl MemoryController {
             return;
         }
         loop {
-            let free = self.idle_mask & !self.blocked_ready_mask();
+            let mut free = self.idle_mask & !self.blocked_ready_mask();
+            if let Some(f) = self.faults.as_deref() {
+                free &= !f.outage_mask(self.now);
+            }
             if free == 0 {
                 return;
             }
@@ -925,7 +1004,17 @@ impl MemoryController {
         };
         let ratio = self.effective_write_ratio(speed, p.maintenance);
         let cancellable = self.policy.cancellation.allows(speed);
-        let end = self.now + self.cfg.write_latency(ratio);
+        let mut latency = self.cfg.write_latency(ratio);
+        if let Some(f) = self.faults.as_deref() {
+            // Latency drift slows the pulse without changing the wear
+            // charged: the cell is slower, not tougher. The `!= 1.0`
+            // guard keeps the no-active-window path bit-exact.
+            let mult = f.write_latency_multiplier(p.bank, self.now);
+            if mult != 1.0 {
+                latency = latency.scale(mult);
+            }
+        }
+        let end = self.now + latency;
         self.start_op(
             p.bank,
             InFlightOp {

@@ -8,6 +8,7 @@
 use crate::cache::{Cache, CacheConfig};
 use crate::cpu::{CpuConfig, CpuModel};
 use crate::energy::EnergyModel;
+use crate::fault::FaultPlan;
 use crate::mem::{MemConfig, MemoryController};
 use crate::policy::MellowPolicy;
 use crate::stats::{PerfCounters, RunStats};
@@ -158,6 +159,28 @@ impl System {
         self.mem.set_policy_quiesced(policy);
     }
 
+    /// Arm a deterministic fault plan on the memory substrate. Event
+    /// times are relative to the current instant, so arming after warmup
+    /// degrades only the measured region. Clones of the system inherit
+    /// the armed runtime and its state.
+    ///
+    /// # Panics
+    /// Panics if `plan` fails validation.
+    pub fn arm_faults(&mut self, plan: &FaultPlan) {
+        self.mem.arm_faults(plan);
+    }
+
+    /// Disarm any active fault plan.
+    pub fn disarm_faults(&mut self) {
+        self.mem.disarm_faults();
+    }
+
+    /// Whether a fault plan is currently armed.
+    #[must_use]
+    pub fn faults_armed(&self) -> bool {
+        self.mem.faults_armed()
+    }
+
     /// Compute final statistics for everything executed since the
     /// measurement epoch (construction, or the last [`System::reset_stats`]).
     #[must_use]
@@ -170,7 +193,19 @@ impl System {
         // Run-proportional energy terms.
         let mut energy = self.mem.energy().clone();
         energy.record_run(elapsed, insts);
-        let cpu_cycles = elapsed.0 as f64 / self.cpu.clock().ps_per_cycle() as f64;
+        let mut cpu_cycles = elapsed.0 as f64 / self.cpu.clock().ps_per_cycle() as f64;
+        let mut wear_units = self.mem.wear().wear_units();
+        let mut lifetime_years = self.mem.wear().lifetime_years(elapsed);
+        if let Some((cycles_factor, wear_factor)) = self.mem.draw_noise_factors() {
+            // Measurement noise perturbs the *readings*, not the physics:
+            // the wear meter and quota enforcement stay exact, only what
+            // downstream observers see of this window is noisy.
+            cpu_cycles *= cycles_factor;
+            wear_units *= wear_factor;
+            if lifetime_years.is_finite() {
+                lifetime_years /= wear_factor;
+            }
+        }
         let ipc = if cpu_cycles > 0.0 {
             insts as f64 / cpu_cycles
         } else {
@@ -182,8 +217,8 @@ impl System {
             cpu_cycles,
             mem: *self.mem.counters(),
             llc: self.llc.stats().clone(),
-            wear_units: self.mem.wear().wear_units(),
-            lifetime_years: self.mem.wear().lifetime_years(elapsed),
+            wear_units,
+            lifetime_years,
             energy: energy.breakdown(),
             per_core_ipc: vec![ipc],
             read_stall_cycles: self.cpu.stats().read_stall_cycles,

@@ -85,6 +85,23 @@ pub enum Event {
         /// Whether this check triggered a fallback to the baseline.
         fallback_taken: bool,
     },
+    /// The degradation ladder escalated (or recovered) in response to
+    /// sustained health-check failures or lifetime-floor pressure.
+    DegradationTransition {
+        /// Stage before the transition (e.g. "normal", "resample").
+        from: String,
+        /// Stage after the transition (e.g. "refit", "revert-to-static").
+        to: String,
+        /// Consecutive failed health checks that drove the escalation.
+        failures: u64,
+        /// Mean IPC measured during testing when the transition fired.
+        testing_ipc: f64,
+        /// Baseline IPC reference at the same moment.
+        baseline_ipc: f64,
+        /// Lifetime reading (years) at the same moment; infinite when no
+        /// wear was observed yet.
+        lifetime_years: f64,
+    },
     /// A phase segment finished (new phase detected or budget exhausted).
     SegmentCompleted {
         /// Segment index (0-based).
@@ -133,6 +150,7 @@ impl Event {
             Event::PredictorFitted { .. } => "predictor_fitted",
             Event::ConfigSelected { .. } => "config_selected",
             Event::HealthCheck { .. } => "health_check",
+            Event::DegradationTransition { .. } => "degradation_transition",
             Event::SegmentCompleted { .. } => "segment_completed",
             Event::RunCompleted { .. } => "run_completed",
             Event::MetricsRegistry { .. } => "metrics_registry",

@@ -183,6 +183,21 @@ pub fn render_report(records: &[Record]) -> String {
                     );
                 }
             }
+            Event::DegradationTransition {
+                from,
+                to,
+                failures,
+                testing_ipc,
+                baseline_ipc,
+                lifetime_years,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{t}   !! degradation {from} -> {to} (failure #{failures}): \
+                     testing ipc {testing_ipc:.4} vs baseline {baseline_ipc:.4}, \
+                     lifetime {lifetime_years:.2} y"
+                );
+            }
             Event::SegmentCompleted {
                 segment: seg,
                 config,

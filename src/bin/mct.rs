@@ -4,6 +4,8 @@
 //! ```text
 //! mct run      <workload> [--target <years>] [--model gb|ql] [--insts N]
 //!                         [--seed N] [--trace <out.jsonl>] [--quiet]
+//! mct chaos    [workload] --plan <plan.json> [--seed N] [--target <years>]
+//!                         [--insts N] [--trace <out.jsonl>] [--quiet]
 //! mct report   <trace.jsonl>
 //! mct measure  <workload> [--fast R] [--slow R] [--bank N] [--eager N]
 //!                         [--quota Y] [--cancel none|slow|both] [--seed N]
@@ -16,13 +18,14 @@ use std::process::ExitCode;
 use memory_cocktail_therapy::framework::{
     ConfigSpace, Controller, ControllerConfig, ModelKind, NvmConfig, Objective,
 };
-use memory_cocktail_therapy::sim::{System, SystemConfig};
+use memory_cocktail_therapy::sim::{FaultPlan, System, SystemConfig};
 use memory_cocktail_therapy::telemetry::{parse_jsonl, render_report, JsonlRecorder};
 use memory_cocktail_therapy::workloads::Workload;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  mct run <workload> [--target YEARS] [--model gb|ql] [--insts N] [--seed N] [--trace OUT.jsonl] [--quiet]\n  \
+         mct chaos [workload] --plan PLAN.json [--seed N] [--target YEARS] [--insts N] [--trace OUT.jsonl] [--quiet]\n  \
          mct report <trace.jsonl>\n  \
          mct measure <workload> [--fast R] [--slow R] [--bank N] [--eager N] [--quota Y] [--cancel none|slow|both] [--seed N]\n  \
          mct workloads\n  mct space"
@@ -124,6 +127,106 @@ fn cmd_run(args: &[String]) -> ExitCode {
     if let Some(path) = &trace {
         if !quiet {
             println!("decision trace written to {path} (render with `mct report {path}`)");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_chaos(args: &[String]) -> ExitCode {
+    if let Err(e) = check_flags(
+        args,
+        &["--plan", "--seed", "--target", "--insts", "--trace"],
+        &["--quiet"],
+    ) {
+        eprintln!("{e}");
+        return usage();
+    }
+    // The workload positional is optional; a bare `mct chaos --plan ...`
+    // runs the write-heavy default the fixture plans are tuned for.
+    let workload = match args.first().filter(|n| !n.starts_with("--")) {
+        Some(name) => match Workload::from_name(name) {
+            Some(w) => w,
+            None => {
+                eprintln!("unknown workload; try `mct workloads`");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Workload::Stream,
+    };
+    let Some(plan_path) = flag(args, "--plan") else {
+        eprintln!("mct chaos requires --plan <plan.json>");
+        return ExitCode::FAILURE;
+    };
+    let plan_text = match std::fs::read_to_string(&plan_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("cannot read plan {plan_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut plan: FaultPlan = match serde_json::from_str(&plan_text) {
+        Ok(plan) => plan,
+        Err(e) => {
+            eprintln!("malformed fault plan {plan_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let seed: u64 = flag(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2017);
+    // --seed overrides the plan's noise seed so a single plan file can be
+    // swept across seeds; the same seed also drives the workload.
+    plan.seed = seed;
+    if let Err(e) = plan.validate() {
+        eprintln!("invalid fault plan {plan_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let target: f64 = flag(args, "--target")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8.0);
+    let insts: u64 = flag(args, "--insts")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3_000_000);
+    let quiet = has_flag(args, "--quiet");
+
+    let mut cfg = ControllerConfig::paper_scaled();
+    cfg.total_insts = insts;
+    cfg.warmup_insts = workload.warmup_insts();
+    cfg.seed = seed;
+    cfg.fault_plan = Some(plan);
+    let mut controller = Controller::new(cfg, Objective::paper_default(target));
+    let trace = flag(args, "--trace");
+    if let Some(path) = &trace {
+        match JsonlRecorder::create(std::path::Path::new(path)) {
+            Ok(recorder) => controller = controller.with_recorder(recorder.handle()),
+            Err(e) => {
+                eprintln!("cannot create trace file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if !quiet {
+        println!(
+            "MCT chaos on {workload}: plan {plan_path}, seed {seed}, target {target}y, {insts} insts"
+        );
+    }
+    let outcome = controller.run(&mut workload.source(seed));
+    println!("chosen: [{}]", outcome.chosen_config);
+    println!(
+        "metrics: IPC {:.3} | lifetime {:.1}y | energy {:.3} mJ | phases {} | fallbacks {}",
+        outcome.final_metrics.ipc,
+        outcome.final_metrics.lifetime_years.min(999.0),
+        outcome.final_metrics.energy_j * 1e3,
+        outcome.phases_detected,
+        outcome
+            .segments
+            .iter()
+            .filter(|s| s.health_fallback)
+            .count()
+    );
+    if let Some(path) = &trace {
+        if !quiet {
+            println!("degradation trace written to {path} (render with `mct report {path}`)");
         }
     }
     ExitCode::SUCCESS
@@ -231,6 +334,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("chaos") => cmd_chaos(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
         Some("measure") => cmd_measure(&args[1..]),
         Some("workloads") => {

@@ -119,6 +119,47 @@ fn wear_quota_enforces_a_lifetime_floor() {
 }
 
 #[test]
+fn wear_quota_floor_survives_write_latency_drift() {
+    // Degrading cells answer slower, not weaker: under a global
+    // write-latency drift (the fault model's aging scenario) the wear
+    // quota must still enforce its lifetime floor, because drift
+    // inflates service time, not wear per write. Performance may
+    // suffer; the lifetime guarantee may not.
+    use memory_cocktail_therapy::sim::{FaultEvent, FaultPlan};
+    let cfg = NvmConfig::default_config().with_wear_quota(8.0);
+    let clean = metrics(Workload::Gups, &cfg);
+    let plan = FaultPlan {
+        seed: 11,
+        events: vec![FaultEvent::WriteLatencyDrift {
+            bank: None,
+            start_ns: 0.0,
+            end_ns: 1e15,
+            factor: 2.5,
+            drift_per_ms: 0.5,
+        }],
+    };
+    let mut sys = System::new(SystemConfig::default(), cfg.to_policy());
+    let mut src = Workload::Gups.source(11);
+    sys.warmup(&mut src, Workload::Gups.warmup_insts());
+    sys.arm_faults(&plan);
+    let drifted = sys
+        .run(&mut src, Workload::Gups.detailed_insts(0.2))
+        .metrics();
+    assert!(
+        drifted.ipc < clean.ipc,
+        "2.5x drifting writes must cost IPC: {} vs {}",
+        drifted.ipc,
+        clean.ipc
+    );
+    assert!(
+        drifted.lifetime_years >= clean.lifetime_years * 0.9,
+        "lifetime floor must survive latency drift: {} vs clean {}",
+        drifted.lifetime_years,
+        clean.lifetime_years
+    );
+}
+
+#[test]
 fn eager_writebacks_recruit_idle_banks() {
     let base = NvmConfig {
         slow_latency: 2.0,

@@ -10,7 +10,8 @@ use memory_cocktail_therapy::sim::stats::Metrics;
 use memory_cocktail_therapy::sim::time::Time;
 use memory_cocktail_therapy::sim::trace::AccessKind;
 use memory_cocktail_therapy::sim::wear::WearModel;
-use memory_cocktail_therapy::sim::MellowPolicy;
+use memory_cocktail_therapy::sim::{FaultEvent, FaultPlan, MellowPolicy, System, SystemConfig};
+use memory_cocktail_therapy::workloads::Workload;
 
 /// Strategy: a structurally-valid NvmConfig.
 fn arb_config() -> impl Strategy<Value = NvmConfig> {
@@ -177,4 +178,145 @@ proptest! {
 fn rand_chacha_shim(seed: u64) -> impl rand::Rng {
     use rand::SeedableRng;
     rand_chacha::ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Strategy: a plan-relative timestamp, biased toward the boundaries the
+/// compiler must clamp (zero, the validation ceiling) as well as the
+/// short windows a small driven run actually crosses.
+fn arb_event_ns() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        0.0f64..2e5,
+        Just(0.0f64),
+        Just(1e15f64), // MAX_EVENT_NS, the validation ceiling
+    ]
+}
+
+/// Strategy: an arbitrary — overlapping, zero-width, whole-run — fault
+/// event. Window endpoints are swapped into order so every generated
+/// plan passes validation and exercises the runtime, not the validator.
+fn arb_fault_event() -> impl Strategy<Value = FaultEvent> {
+    prop_oneof![
+        (
+            proptest::option::of(0usize..16),
+            arb_event_ns(),
+            arb_event_ns(),
+            1.0f64..8.0,
+            0.0f64..10.0,
+        )
+            .prop_map(
+                |(bank, a, b, factor, drift_per_ms)| FaultEvent::WriteLatencyDrift {
+                    bank,
+                    start_ns: a.min(b),
+                    end_ns: a.max(b),
+                    factor,
+                    drift_per_ms,
+                }
+            ),
+        (0u64..512, arb_event_ns(), 0u32..8).prop_map(|(line, from_ns, retries)| {
+            FaultEvent::StuckLine {
+                line,
+                from_ns,
+                retries,
+            }
+        }),
+        (0usize..16, arb_event_ns(), arb_event_ns()).prop_map(|(bank, a, b)| {
+            FaultEvent::BankOutage {
+                bank,
+                start_ns: a.min(b),
+                end_ns: a.max(b),
+            }
+        }),
+        (0.0f64..=0.9).prop_map(|amplitude| FaultEvent::MeasurementNoise { amplitude }),
+    ]
+}
+
+/// Strategy: an arbitrary fault plan (possibly empty, possibly stacking
+/// many overlapping windows on the same banks and lines).
+fn arb_fault_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        any::<u64>(),
+        proptest::collection::vec(arb_fault_event(), 0..12),
+    )
+        .prop_map(|(seed, events)| FaultPlan { seed, events })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any generated plan validates, and the raw memory controller still
+    /// conserves every request under it: outages only defer service,
+    /// stuck-line retries re-run the same op in place, and wear only
+    /// ever grows.
+    #[test]
+    fn memory_controller_survives_arbitrary_fault_plans(
+        plan in arb_fault_plan(),
+        ops in proptest::collection::vec((0u64..512, any::<bool>()), 1..120)
+    ) {
+        plan.validate().unwrap();
+        let mut m = MemoryController::new(
+            MemConfig::default(),
+            MellowPolicy::static_baseline().without_wear_quota(),
+            WearModel::default(),
+            EnergyModel::default(),
+        );
+        m.arm_faults(&plan);
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+        let mut last_wear = 0.0f64;
+        for (i, (line, is_write)) in ops.iter().enumerate() {
+            let t = Time::from_ns(i as f64 * 25.0);
+            if *is_write {
+                if m.issue_write(*line, t) {
+                    writes += 1;
+                } else {
+                    let now = m.wait_write_space();
+                    prop_assert!(m.issue_write(*line, now));
+                    writes += 1;
+                }
+            } else if m.issue_read(*line, t).is_some() {
+                reads += 1;
+            } else {
+                let _ = m.wait_read_space();
+                prop_assert!(m.issue_read(*line, m.now()).is_some());
+                reads += 1;
+            }
+            let wear = m.wear().wear_units();
+            prop_assert!(wear.is_finite() && wear >= last_wear, "wear must be monotone");
+            last_wear = wear;
+        }
+        m.drain_all();
+        prop_assert_eq!(m.counters().reads_completed, reads);
+        prop_assert_eq!(m.counters().writes_completed(), writes);
+        prop_assert!(m.wear().wear_units() >= last_wear);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A full system run under any fault plan finishes (no deadlock on
+    /// outage windows), never panics, and never reports NaN metrics.
+    #[test]
+    fn system_metrics_stay_finite_under_arbitrary_fault_plans(plan in arb_fault_plan()) {
+        let mut sys = System::new(
+            SystemConfig::default(),
+            MellowPolicy::static_baseline().without_wear_quota(),
+        );
+        let mut src = Workload::Stream.source(9);
+        sys.warmup(&mut src, 20_000);
+        sys.arm_faults(&plan);
+        let mut last_wear = 0.0f64;
+        for _ in 0..3 {
+            sys.run_window(&mut src, 8_000);
+            let wear = sys.mem().wear().wear_units();
+            prop_assert!(wear.is_finite() && wear >= last_wear, "wear must be monotone");
+            last_wear = wear;
+        }
+        let stats = sys.finalize();
+        let m = stats.metrics();
+        prop_assert!(!m.ipc.is_nan() && m.ipc >= 0.0);
+        prop_assert!(!m.lifetime_years.is_nan() && m.lifetime_years >= 0.0);
+        prop_assert!(!m.energy_j.is_nan() && m.energy_j >= 0.0);
+        prop_assert!(!stats.wear_units.is_nan() && stats.wear_units >= 0.0);
+    }
 }
