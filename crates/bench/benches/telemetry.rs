@@ -1,12 +1,14 @@
-//! Telemetry overhead: a full quick-demo controller run with the default
-//! disabled recorder vs. an attached JSONL trace sink. The disabled path
-//! is the zero-cost contract — it must sit within noise of an
-//! uninstrumented run; the JSONL path prices the full decision trace.
+//! Telemetry overhead: a full quick-demo controller run (now span-bearing
+//! end to end) with the default disabled recorder vs. an attached JSONL
+//! trace sink, plus micro-benchmarks of the span and histogram
+//! primitives themselves. The disabled path is the zero-cost contract —
+//! it must sit within noise of an uninstrumented run; the JSONL path
+//! prices the full decision trace including span open/close pairs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use mct_core::{Controller, ControllerConfig, ModelKind, Objective};
-use mct_telemetry::{JsonlRecorder, VecRecorder};
+use mct_telemetry::{JsonlRecorder, LogHistogram, Registry, Telemetry, VecRecorder};
 use mct_workloads::Workload;
 
 fn quick_config() -> ControllerConfig {
@@ -49,5 +51,55 @@ fn bench_recorder_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_recorder_overhead);
+fn bench_span_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_span");
+
+    // The disabled span is the contract the control loop relies on: one
+    // branch in, one branch out, no clock read, no allocation.
+    group.bench_function("disabled_span_open_close", |b| {
+        let mut t = Telemetry::disabled();
+        b.iter(|| {
+            let s = t.span("bench", 0);
+            t.close_span(s, 0);
+        });
+    });
+
+    // Enabled span pair against an in-memory sink, drained per batch so
+    // the vector does not grow across the measurement.
+    group.bench_function("vec_span_open_close_x1000", |b| {
+        b.iter(|| {
+            let rec = VecRecorder::shared();
+            let mut t = Telemetry::attached(rec.clone());
+            for _ in 0..1000 {
+                let s = t.span("bench", 0);
+                t.close_span(s, 0);
+            }
+            std::hint::black_box(t.registry_snapshot());
+        });
+    });
+
+    group.bench_function("log_histogram_observe", |b| {
+        let mut h = LogHistogram::default();
+        let mut v = 1.0f64;
+        b.iter(|| {
+            v = (v * 1.61803) % 1e9 + 1.0;
+            h.observe(std::hint::black_box(v));
+        });
+    });
+
+    group.bench_function("registry_observe_labeled", |b| {
+        let mut reg = Registry::default();
+        b.iter(|| {
+            reg.observe_with(
+                "span.wall_us",
+                &[("span", "fit")],
+                std::hint::black_box(42.0),
+            );
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_recorder_overhead, bench_span_primitives);
 criterion_main!(benches);

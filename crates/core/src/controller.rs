@@ -317,17 +317,34 @@ impl Controller {
     }
 
     /// Run MCT over `source` for the configured budget.
+    ///
+    /// With a recorder attached, the whole run is wrapped in a `run` root
+    /// span (labeled with the learner) whose children — `warmup`,
+    /// `fault.arm`, and one `segment` span per sampling→optimize→test
+    /// cycle — cover the control loop end to end, so `mct profile` can
+    /// apportion wall time across phases. With the default disabled
+    /// telemetry every span call is a single branch.
     pub fn run<S: AccessSource>(&mut self, source: &mut S) -> Outcome {
         let wear_budget = self.cfg.system.wear.budget();
         let mut sys = System::new(self.cfg.system.clone(), self.baseline_config.to_policy());
+        let run_span =
+            self.telemetry
+                .span_with("run", 0, &[("learner", self.cfg.model.short_label())]);
+        let warmup_span = self.telemetry.span("warmup", 0);
         let warmup_timer = self.telemetry.stage("warmup", 0);
         sys.warmup(source, self.cfg.warmup_insts);
         self.telemetry
             .finish_stage(warmup_timer, self.cfg.warmup_insts);
+        // Span clocks stay at 0 through warmup: the trace's `sim_insts`
+        // is the *measured* instruction clock (`executed`), which starts
+        // after warmup. Wall time still captures the warmup cost.
+        self.telemetry.close_span(warmup_span, 0);
         // Faults arm after warmup, so plan timestamps are relative to the
         // start of the measured region (validated in `Controller::new`).
         if let Some(plan) = &self.cfg.fault_plan {
+            let arm_span = self.telemetry.span("fault.arm", 0);
             sys.arm_faults(plan);
+            self.telemetry.close_span(arm_span, 0);
         }
 
         let mut detector = PhaseDetector::new(self.cfg.phase);
@@ -346,6 +363,10 @@ impl Controller {
         let mut chosen = self.baseline_config;
 
         while executed < self.cfg.total_insts {
+            let segment_idx = segments.len().to_string();
+            let segment_span =
+                self.telemetry
+                    .span_with("segment", executed, &[("segment", &segment_idx)]);
             // The first segment is the trivially-detected initial phase;
             // later segments are announced by the detector at the moment
             // it fires, inside the testing loop below.
@@ -361,12 +382,14 @@ impl Controller {
             }
 
             // --- Baseline measurement (normalization reference). ---
+            let baseline_span = self.telemetry.span("baseline", executed);
             let baseline_timer = self.telemetry.stage("baseline", executed);
             let mut baseline_stats = self.measure(
                 &mut sys,
                 source,
                 self.baseline_config,
                 self.cfg.baseline_insts,
+                executed,
             );
             // Sparse phases need a longer window before the measurement
             // means anything; extend until ~1000 accesses were observed.
@@ -375,7 +398,7 @@ impl Controller {
             let mut extended = false;
             if observed < 1_000 && observed > 0 {
                 let extend = self.cfg.baseline_insts * (1_000 / observed.max(50)).min(50);
-                let more = self.measure(&mut sys, source, self.baseline_config, extend);
+                let more = self.measure(&mut sys, source, self.baseline_config, extend, executed);
                 executed += more.instructions;
                 baseline_stats = more;
                 extended = true;
@@ -383,6 +406,7 @@ impl Controller {
             executed += self.cfg.baseline_insts;
             last_baseline = baseline_stats.metrics();
             self.telemetry.finish_stage(baseline_timer, executed);
+            self.telemetry.close_span(baseline_span, executed);
             if self.telemetry.enabled() {
                 self.telemetry.emit(
                     executed,
@@ -416,17 +440,20 @@ impl Controller {
                 .max(1_000);
 
             // --- Sampling period: cyclic fine-grained sampling. ---
+            let sampling_span = self.telemetry.span("sampling", executed);
             let sampling_timer = self.telemetry.stage("sampling", executed);
             let mut accums = vec![MetricAccum::default(); self.samples.len()];
             let mut seg_sampling = MetricAccum::default();
             for round in 0..rounds {
+                let round_span = self.telemetry.span("sampling.round", executed);
                 for (i, cfg) in self.samples.clone().into_iter().enumerate() {
-                    let stats = self.measure(&mut sys, source, cfg, unit_insts);
+                    let stats = self.measure(&mut sys, source, cfg, unit_insts, executed);
                     executed += stats.instructions;
                     accums[i].add(&stats);
                     seg_sampling.add(&stats);
                     total_sampling.add(&stats);
                 }
+                self.telemetry.close_span(round_span, executed);
                 if self.telemetry.enabled() {
                     self.telemetry.incr("samples_taken", n_samples);
                     self.telemetry.emit(
@@ -441,6 +468,7 @@ impl Controller {
                 }
             }
             self.telemetry.finish_stage(sampling_timer, executed);
+            self.telemetry.close_span(sampling_span, executed);
             let mut sample_data: Vec<(NvmConfig, Metrics)> = self
                 .samples
                 .iter()
@@ -471,9 +499,22 @@ impl Controller {
             let fit_timer = self.telemetry.stage("fit", executed);
             // mct-tidy: allow(D002) -- telemetry-gated latency probe; never feeds results
             let decision_start = self.telemetry.enabled().then(std::time::Instant::now);
+            let fit_span = self.telemetry.span_with(
+                "fit",
+                executed,
+                &[("learner", self.cfg.model.short_label())],
+            );
             let mut predictor = MetricsPredictor::new(self.cfg.model);
-            predictor.fit(&sample_data, Some(last_baseline));
+            predictor.fit_traced(
+                &sample_data,
+                Some(last_baseline),
+                &mut self.telemetry,
+                executed,
+            );
+            self.telemetry.close_span(fit_span, executed);
+            let predict_span = self.telemetry.span("predict", executed);
             let predictions = predictor.predict_all(&self.space);
+            self.telemetry.close_span(predict_span, executed);
             if let Some(start) = decision_start {
                 decision_us += start.elapsed().as_secs_f64() * 1e6;
             }
@@ -507,6 +548,7 @@ impl Controller {
 
             // --- Constrained optimization + wear-quota fixup. ---
             let optimize_timer = self.telemetry.stage("optimize", executed);
+            let decide_span = self.telemetry.span("decide", executed);
             // mct-tidy: allow(D002) -- telemetry-gated latency probe; never feeds results
             let decision_start = self.telemetry.enabled().then(std::time::Instant::now);
             let mut opt = optimize(
@@ -520,7 +562,13 @@ impl Controller {
             if let Some(start) = decision_start {
                 decision_us += start.elapsed().as_secs_f64() * 1e6;
                 self.telemetry.observe("decision.latency_us", decision_us);
+                self.telemetry.observe_with(
+                    "decision.latency_us",
+                    &[("learner", self.cfg.model.short_label())],
+                    decision_us,
+                );
             }
+            self.telemetry.close_span(decide_span, executed);
             self.telemetry.finish_stage(optimize_timer, executed);
             if self.telemetry.enabled() {
                 if opt.fell_back {
@@ -553,6 +601,7 @@ impl Controller {
             executed += self.cfg.phase.window_insts / 4;
             sys.reset_stats();
             detector.reset();
+            let testing_span = self.telemetry.span("testing", executed);
             let testing_timer = self.telemetry.stage("testing", executed);
             let mut seg_testing = MetricAccum::default();
             let mut health_fallback = false;
@@ -592,6 +641,7 @@ impl Controller {
                     && self.cfg.health_check_every_windows > 0
                     && windows.is_multiple_of(self.cfg.health_check_every_windows)
                 {
+                    let health_span = self.telemetry.span("health_check", executed);
                     let stats = sys.finalize();
                     seg_testing.add(&stats);
                     total_testing.add(&stats);
@@ -601,6 +651,7 @@ impl Controller {
                         source,
                         self.baseline_config,
                         self.cfg.health_check_insts,
+                        executed,
                     );
                     executed += hc.instructions;
                     // Accumulate baseline health-check windows so the
@@ -630,9 +681,15 @@ impl Controller {
                             // Fold the degraded testing observation into
                             // the sample set and re-optimize in place, so
                             // the model sees how the choice actually ran.
+                            let refit_span = self.telemetry.span("refit", executed);
                             sample_data.push((chosen, testing_so_far));
                             let mut refit = MetricsPredictor::new(self.cfg.model);
-                            refit.fit(&sample_data, Some(last_baseline));
+                            refit.fit_traced(
+                                &sample_data,
+                                Some(last_baseline),
+                                &mut self.telemetry,
+                                executed,
+                            );
                             let repredictions = refit.predict_all(&self.space);
                             opt = optimize(
                                 &self.space,
@@ -642,6 +699,7 @@ impl Controller {
                                 self.cfg.quota_fixup,
                             );
                             chosen = opt.config;
+                            self.telemetry.close_span(refit_span, executed);
                         }
                         DegradationAction::RevertToStatic => {
                             health_fallback = true;
@@ -678,6 +736,7 @@ impl Controller {
                             );
                         }
                     }
+                    self.telemetry.close_span(health_span, executed);
                     if resample {
                         // Rung 1: abandon the testing period and restart
                         // the segment so sampling observes the degraded
@@ -701,6 +760,7 @@ impl Controller {
                 sys.reset_stats();
             }
             self.telemetry.finish_stage(testing_timer, executed);
+            self.telemetry.close_span(testing_span, executed);
             if self.telemetry.enabled() {
                 let realized = if seg_testing.is_empty() {
                     seg_sampling.metrics(wear_budget)
@@ -732,6 +792,7 @@ impl Controller {
                 sampling_insts: seg_sampling.insts,
                 testing_insts: seg_testing.insts,
             });
+            self.telemetry.close_span(segment_span, executed);
         }
 
         let final_metrics = if total_testing.is_empty() {
@@ -753,6 +814,7 @@ impl Controller {
                     metrics: final_metrics,
                 },
             );
+            self.telemetry.close_span(run_span, executed);
             self.telemetry.finish(executed);
         }
         Outcome {
@@ -776,23 +838,30 @@ impl Controller {
     ///
     /// With a recorder attached, each window also feeds the registry's
     /// `sim.accesses` counter and `sim.accesses_per_sec` histogram (host
-    /// wall-clock simulator throughput), so `mct report` can surface what
-    /// the measurement machinery itself costs.
+    /// wall-clock simulator throughput), and the measured region is
+    /// wrapped in a `sim.window` leaf span — the profiler's view of raw
+    /// simulator time under whichever stage requested the window.
     fn measure<S: AccessSource>(
         &mut self,
         sys: &mut System,
         source: &mut S,
         config: NvmConfig,
         insts: u64,
+        executed: u64,
     ) -> RunStats {
         sys.set_policy(config.to_policy());
         sys.run_window(source, (insts / 4).max(500));
         sys.reset_stats();
+        // Both span edges carry the caller's `executed` clock: the caller
+        // only advances it after the window returns, and constant edges
+        // keep the trace's sim_insts monotone. Duration lives in wall_us.
+        let window_span = self.telemetry.span("sim.window", executed);
         // mct-tidy: allow(D002) -- telemetry-gated latency probe; never feeds results
         let host_start = self.telemetry.enabled().then(std::time::Instant::now);
         sys.run_window(source, insts);
         let stats = sys.finalize();
         sys.reset_stats();
+        self.telemetry.close_span(window_span, executed);
         if let Some(start) = host_start {
             let accesses = stats.mem.reads_completed + stats.mem.writes_completed();
             self.telemetry.incr("sim.accesses", accesses);

@@ -10,6 +10,7 @@ use mct_ml::{
     HierarchicalPredictor, LassoRegression, OfflineMeanPredictor, Regressor, RidgeRegression,
 };
 use mct_sim::stats::Metrics;
+use mct_telemetry::Telemetry;
 
 use crate::config::NvmConfig;
 use crate::space::ConfigSpace;
@@ -63,6 +64,21 @@ impl ModelKind {
             ModelKind::QuadraticLasso => "quadratic model, lasso regularization",
             ModelKind::GradientBoosting => "gradient boosting",
             ModelKind::Hierarchical => "hierarchical Bayesian model",
+        }
+    }
+
+    /// Short kebab-case label for metric and span labels — stable, low
+    /// cardinality, no spaces (the Table 7 [`ModelKind::label`] is prose).
+    #[must_use]
+    pub fn short_label(self) -> &'static str {
+        match self {
+            ModelKind::Offline => "offline",
+            ModelKind::Linear => "linear",
+            ModelKind::LinearLasso => "linear-lasso",
+            ModelKind::Quadratic => "quadratic",
+            ModelKind::QuadraticLasso => "quad-lasso",
+            ModelKind::GradientBoosting => "gbrt",
+            ModelKind::Hierarchical => "hierarchical",
         }
     }
 
@@ -174,6 +190,48 @@ impl MetricsPredictor {
     pub fn fit(&mut self, samples: &[(NvmConfig, Metrics)], baseline: Option<Metrics>) {
         assert!(!samples.is_empty(), "need at least one sample");
         self.baseline = baseline;
+        let (rows, target_arrays) = self.build_training_matrix(samples);
+        self.fit_models(rows, target_arrays);
+        self.fitted = true;
+    }
+
+    /// [`MetricsPredictor::fit`] with span instrumentation: the feature /
+    /// target build and the per-objective model fits are wrapped in
+    /// `fit.features` and `fit.model` child spans (the latter labeled with
+    /// the learner), so `mct profile` can apportion fit time between
+    /// feature expansion and the regressors themselves. Identical
+    /// computation to the untraced path — spans only observe.
+    ///
+    /// # Panics
+    /// Same contract as [`MetricsPredictor::fit`].
+    pub fn fit_traced(
+        &mut self,
+        samples: &[(NvmConfig, Metrics)],
+        baseline: Option<Metrics>,
+        telemetry: &mut Telemetry,
+        sim_insts: u64,
+    ) {
+        assert!(!samples.is_empty(), "need at least one sample");
+        self.baseline = baseline;
+        let feat_span = telemetry.span("fit.features", sim_insts);
+        let (rows, target_arrays) = self.build_training_matrix(samples);
+        telemetry.close_span(feat_span, sim_insts);
+        let model_span = telemetry.span_with(
+            "fit.model",
+            sim_insts,
+            &[("learner", self.kind.short_label())],
+        );
+        self.fit_models(rows, target_arrays);
+        telemetry.close_span(model_span, sim_insts);
+        self.fitted = true;
+    }
+
+    /// Feature rows and (optionally baseline-normalized) target triples
+    /// for the runtime samples. Requires `self.baseline` already set.
+    fn build_training_matrix(
+        &self,
+        samples: &[(NvmConfig, Metrics)],
+    ) -> (Vec<Vec<f64>>, Vec<[f64; 3]>) {
         let rows: Vec<Vec<f64>> = samples.iter().map(|(c, _)| self.features(c)).collect();
         let to_target = |m: &Metrics| -> Metrics {
             let c = Self::clamp(m);
@@ -186,7 +244,11 @@ impl MetricsPredictor {
             .iter()
             .map(|(_, m)| to_target(m).to_array())
             .collect();
+        (rows, target_arrays)
+    }
 
+    /// Fit the three per-objective regressors from prepared rows/targets.
+    fn fit_models(&mut self, rows: Vec<Vec<f64>>, target_arrays: Vec<[f64; 3]>) {
         match self.kind {
             ModelKind::Offline => {
                 assert!(!self.corpus.is_empty(), "offline kind needs a corpus");
@@ -230,7 +292,6 @@ impl MetricsPredictor {
                     .collect();
             }
         }
-        self.fitted = true;
     }
 
     /// Build the corpus dataset for one objective dimension, in the same

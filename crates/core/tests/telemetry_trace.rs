@@ -37,12 +37,56 @@ fn trace_is_well_ordered_and_finite() {
             .unwrap_or_else(|| panic!("missing event {k} in {kinds:?}"))
     };
 
-    // The run opens with the initial phase and its baseline measurement,
-    // and closes with the completion event plus the registry snapshot.
-    assert_eq!(kinds.first(), Some(&"phase_detected"));
-    assert_eq!(kinds.get(1), Some(&"baseline_measured"));
-    assert_eq!(kinds[kinds.len() - 2], "run_completed");
+    // The run opens with the root `run` span (first record of the trace,
+    // so `mct profile` coverage spans the whole run), then the initial
+    // phase and its baseline measurement; it closes with the completion
+    // event, the root span close, and the registry snapshot.
+    assert_eq!(kinds.first(), Some(&"span_open"));
+    assert!(first("span_open") < first("phase_detected"));
+    assert!(first("phase_detected") < first("baseline_measured"));
+    assert_eq!(kinds[kinds.len() - 3], "run_completed");
+    assert_eq!(kinds[kinds.len() - 2], "span_close");
     assert_eq!(kinds[kinds.len() - 1], "metrics_registry");
+
+    // Spans are balanced: every open is closed by end of run, and the
+    // control loop's key phases all appear as named spans.
+    let opens = records
+        .iter()
+        .filter(|r| matches!(r.event, Event::SpanOpen { .. }))
+        .count();
+    let closes = records
+        .iter()
+        .filter(|r| matches!(r.event, Event::SpanClose { .. }))
+        .count();
+    assert_eq!(opens, closes, "unbalanced span open/close");
+    let span_names: Vec<&str> = records
+        .iter()
+        .filter_map(|r| match &r.event {
+            Event::SpanOpen { name, .. } => Some(name.as_str()),
+            _ => None,
+        })
+        .collect();
+    for expected in [
+        "run",
+        "warmup",
+        "segment",
+        "baseline",
+        "sampling",
+        "sampling.round",
+        "sim.window",
+        "fit",
+        "fit.features",
+        "fit.model",
+        "predict",
+        "decide",
+        "testing",
+        "health_check",
+    ] {
+        assert!(
+            span_names.contains(&expected),
+            "missing span {expected} in {span_names:?}"
+        );
+    }
 
     // Pipeline stages appear in causal order:
     // baseline -> sampling -> fit -> select -> health checks -> done.
@@ -122,6 +166,18 @@ fn registry_snapshot_accounts_for_the_trace() {
                 .iter()
                 .any(|(n, h)| *n == name && h.count > 0),
             "missing stage timer {name}"
+        );
+    }
+    // Every closed span feeds its per-name duration histogram, rendered
+    // with the span label into the snapshot's flat name space.
+    for span in ["run", "sampling", "fit", "predict", "decide"] {
+        let name = format!("span.wall_us{{span=\"{span}\"}}");
+        assert!(
+            snapshot
+                .histograms
+                .iter()
+                .any(|(n, h)| *n == name && h.count > 0),
+            "missing span duration histogram {name}"
         );
     }
     // Hot-path instrumentation: simulated accesses are counted, simulator

@@ -2,16 +2,18 @@
 //!
 //! Every experiment binary calls [`finish`] before exiting: it prints a
 //! one-line `pipeline total:` summary to stderr (stable format, grepped
-//! by the CI cache-smoke step) and appends an
+//! by the CI cache-smoke step), appends an
 //! [`Event::PipelineCompleted`] record to the pipeline trace under the
-//! data dir, where `mct report` renders scheduler utilization, cache
-//! hit rates, and warm-rig accounting.
+//! data dir (where `mct report` renders scheduler utilization, cache
+//! hit rates, and warm-rig accounting), and overwrites a Prometheus
+//! text exposition of the same counters — including per-worker labeled
+//! series — for scrape-style consumption.
 
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
 
-use mct_telemetry::{pipeline_stats, Event, Record};
+use mct_telemetry::{pipeline_stats, render_prometheus, Event, Record, Registry};
 
 use crate::cache::data_dir;
 
@@ -20,6 +22,13 @@ use crate::cache::data_dir;
 #[must_use]
 pub fn trace_path() -> PathBuf {
     data_dir().join("pipeline_trace.jsonl")
+}
+
+/// The pipeline metrics exposition file (Prometheus text format,
+/// overwritten by the most recent [`finish`]).
+#[must_use]
+pub fn metrics_path() -> PathBuf {
+    data_dir().join("pipeline_metrics.prom")
 }
 
 /// Snapshot the process pipeline counters, print the summary line, and
@@ -31,6 +40,24 @@ pub fn finish() {
         return;
     }
     eprintln!("pipeline total: {}", snapshot.summary_line());
+    // Bridge the counters into a labeled registry and expose them; the
+    // last binary in a sweep wins, which is the sweep's full picture
+    // since the process-global stats accumulate monotonically.
+    let mut registry = Registry::default();
+    snapshot.to_registry(&mut registry);
+    let prom_path = metrics_path();
+    let prom_write = || -> std::io::Result<()> {
+        if let Some(dir) = prom_path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        fs::write(&prom_path, render_prometheus(&registry.snapshot()))
+    };
+    if let Err(e) = prom_write() {
+        eprintln!(
+            "warning: could not write pipeline metrics {}: {e}",
+            prom_path.display()
+        );
+    }
     let record = Record {
         seq: 0,
         sim_insts: 0,
@@ -64,5 +91,6 @@ mod tests {
     #[test]
     fn trace_path_follows_data_dir() {
         assert!(trace_path().ends_with("pipeline_trace.jsonl"));
+        assert!(metrics_path().ends_with("pipeline_metrics.prom"));
     }
 }

@@ -121,7 +121,9 @@ pub struct FileScope {
     pub hash_guarded: bool,
     /// D002 exemption: telemetry, bench, and the scheduler stats path.
     pub wall_clock_allowed: bool,
-    /// P-series scope (`crates/sim/src`, `crates/ml/src`, `crates/core/src`).
+    /// P-series scope (`crates/sim/src`, `crates/ml/src`,
+    /// `crates/core/src`, `crates/telemetry/src` — observability must
+    /// degrade, never crash the run it observes).
     pub panic_guarded: bool,
     /// L001 scope: the work-stealing scheduler.
     pub lock_guarded: bool,
@@ -142,7 +144,8 @@ impl FileScope {
                 || path == "crates/experiments/src/sched.rs",
             panic_guarded: in_dir("crates/sim/src/")
                 || in_dir("crates/ml/src/")
-                || in_dir("crates/core/src/"),
+                || in_dir("crates/core/src/")
+                || in_dir("crates/telemetry/src/"),
             lock_guarded: path.ends_with("crates/experiments/src/sched.rs")
                 || path == "crates/experiments/src/sched.rs",
             test_file: component("tests") || component("benches") || in_dir("examples/"),
@@ -558,6 +561,23 @@ mod tests {
         assert!(check("crates/telemetry/src/registry.rs", src).is_empty());
         assert!(check("crates/experiments/src/sched.rs", src).is_empty());
         assert!(check("crates/bench/src/bin/hotpath.rs", src).is_empty());
+    }
+
+    #[test]
+    fn telemetry_src_is_panic_guarded() {
+        let src = "fn f() { let x: Option<u8> = None; x.unwrap(); }\n";
+        assert_eq!(
+            check("crates/telemetry/src/registry.rs", src)[0].lint,
+            "P001"
+        );
+        let src = "fn f(m: &std::sync::Mutex<u8>) { m.lock().expect(\"lock\"); }\n";
+        assert_eq!(
+            check("crates/telemetry/src/pipeline.rs", src)[0].lint,
+            "P003"
+        );
+        // Test modules inside the crate stay exempt.
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let x: Option<u8> = None; x.unwrap(); }\n}\n";
+        assert!(check("crates/telemetry/src/histogram.rs", src).is_empty());
     }
 
     #[test]

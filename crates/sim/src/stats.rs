@@ -26,15 +26,18 @@ const NORM_SENTINEL: f64 = 1e3;
 
 /// `x / base` with degenerate cases mapped to finite sentinels:
 /// inf/inf and 0/0 are "no change" (1.0), a blowup (`inf/finite`,
-/// `finite/0`) saturates at [`NORM_SENTINEL`], a collapse
-/// (`finite/inf`) at its reciprocal.
+/// `finite/degenerate`) saturates at [`NORM_SENTINEL`], a collapse
+/// (`finite/inf`) at its reciprocal. A baseline at or below zero (a
+/// wedged counter can report a negative energy delta) is degenerate:
+/// dividing by it would flip the ratio's sign and silently invert the
+/// optimizer's preference, so it saturates instead.
 fn safe_ratio(x: f64, base: f64) -> f64 {
     match (x.is_infinite(), base.is_infinite()) {
         (true, true) => 1.0,
         (true, false) => NORM_SENTINEL,
         (false, true) => 1.0 / NORM_SENTINEL,
         (false, false) => {
-            if base == 0.0 || x.is_nan() || base.is_nan() {
+            if base <= 0.0 || x.is_nan() || base.is_nan() {
                 if x == base {
                     1.0
                 } else {
@@ -60,6 +63,31 @@ impl Metrics {
             ipc: safe_ratio(self.ipc, base.ipc),
             lifetime_years: safe_ratio(self.lifetime_years, base.lifetime_years),
             energy_j: safe_ratio(self.energy_j, base.energy_j),
+        }
+    }
+
+    /// Whether every component is a usable normalization denominator:
+    /// finite and strictly positive. (`lifetime_years` may legitimately
+    /// measure infinite on a no-wear window, but an infinite baseline
+    /// cannot anchor a ratio.)
+    #[must_use]
+    pub fn is_valid_baseline(&self) -> bool {
+        [self.ipc, self.lifetime_years, self.energy_j]
+            .iter()
+            .all(|v| v.is_finite() && *v > 0.0)
+    }
+
+    /// Checked normalization: `None` when `base` has any zero, negative,
+    /// or non-finite component, instead of a sentinel-laden ratio.
+    /// Callers that can re-measure (or skip a fit) should prefer this
+    /// over [`Metrics::normalized_to`], which papers over degenerate
+    /// baselines to keep regression targets finite.
+    #[must_use]
+    pub fn try_normalized_to(&self, base: &Metrics) -> Option<Metrics> {
+        if base.is_valid_baseline() {
+            Some(self.normalized_to(base))
+        } else {
+            None
         }
     }
 
@@ -263,6 +291,40 @@ mod tests {
         // Denormalizing against the degenerate baseline stays finite too.
         let back = n.denormalized_by(&zero);
         assert!(back.ipc.is_finite() && back.energy_j.is_finite());
+    }
+
+    #[test]
+    fn normalize_guards_negative_and_nonfinite_baselines() {
+        let x = m(1.0, 4.0, 2.0);
+        // A negative baseline component must not flip the ratio's sign:
+        // it saturates at the sentinel like other degenerate bases.
+        let neg = m(-1.0, 8.0, 10.0);
+        let n = x.normalized_to(&neg);
+        assert!(n.ipc > 0.0, "no sign flip: {}", n.ipc);
+        assert!(n.ipc.is_finite());
+        // A NaN baseline yields finite sentinels, never NaN.
+        let nan = m(f64::NAN, 8.0, 10.0);
+        let n = x.normalized_to(&nan);
+        assert!(n.ipc.is_finite() && !n.ipc.is_nan());
+        // x == base still means "no change" for the negative case.
+        assert_eq!(neg.normalized_to(&neg).ipc, 1.0);
+    }
+
+    #[test]
+    fn try_normalized_rejects_degenerate_baselines() {
+        let x = m(1.0, 4.0, 2.0);
+        let good = m(1.0, 8.0, 10.0);
+        assert!(good.is_valid_baseline());
+        assert_eq!(x.try_normalized_to(&good), Some(x.normalized_to(&good)));
+        for bad in [
+            m(0.0, 8.0, 10.0),
+            m(1.0, -1.0, 10.0),
+            m(1.0, 8.0, f64::NAN),
+            m(f64::INFINITY, 8.0, 10.0),
+        ] {
+            assert!(!bad.is_valid_baseline(), "{bad:?}");
+            assert_eq!(x.try_normalized_to(&bad), None, "{bad:?}");
+        }
     }
 
     #[test]

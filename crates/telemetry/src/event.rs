@@ -5,6 +5,7 @@
 //! timestamp (microseconds since the recorder was attached). Records
 //! serialize to one JSON object per line (JSONL) via `serde_json`.
 
+use crate::span::SpanId;
 use mct_sim::stats::Metrics;
 use serde::{Deserialize, Serialize};
 
@@ -127,6 +128,29 @@ pub enum Event {
         /// Aggregate run metrics.
         metrics: Metrics,
     },
+    /// A timed region of the runtime was entered. Paired with a later
+    /// `SpanClose` carrying the same `id`; `parent` links the enclosing
+    /// open span ([`SpanId::NONE`] for roots), so `mct profile` can
+    /// reassemble the span tree post-hoc.
+    SpanOpen {
+        /// Session-unique span id (sequential from 1).
+        id: SpanId,
+        /// Id of the enclosing span, [`SpanId::NONE`] for roots.
+        parent: SpanId,
+        /// Static span name (e.g. "sampling", "fit").
+        name: String,
+        /// Optional low-cardinality labels (learner, workload, phase).
+        #[serde(default)]
+        labels: Vec<(String, String)>,
+    },
+    /// A timed region was exited. `wall_us` in the envelope gives the
+    /// close time; duration is `close.wall_us - open.wall_us`.
+    SpanClose {
+        /// Id from the matching `SpanOpen`.
+        id: SpanId,
+        /// Span name, repeated for grep-ability of raw traces.
+        name: String,
+    },
     /// A snapshot of the counters/histograms registry, usually emitted
     /// once at the end of a traced run.
     MetricsRegistry {
@@ -153,6 +177,8 @@ impl Event {
             Event::DegradationTransition { .. } => "degradation_transition",
             Event::SegmentCompleted { .. } => "segment_completed",
             Event::RunCompleted { .. } => "run_completed",
+            Event::SpanOpen { .. } => "span_open",
+            Event::SpanClose { .. } => "span_close",
             Event::MetricsRegistry { .. } => "metrics_registry",
             Event::PipelineCompleted { .. } => "pipeline_completed",
         }
@@ -228,6 +254,48 @@ mod tests {
             let back: Record = serde_json::from_str(&line).expect("parse");
             assert_eq!(back, record);
         }
+    }
+
+    #[test]
+    fn span_events_round_trip_and_omit_empty_labels() {
+        let open = Record {
+            seq: 3,
+            sim_insts: 77,
+            wall_us: 900,
+            event: Event::SpanOpen {
+                id: SpanId(4),
+                parent: SpanId(1),
+                name: "fit".into(),
+                labels: vec![("learner".into(), "gbrt".into())],
+            },
+        };
+        let close = Record {
+            seq: 4,
+            sim_insts: 99,
+            wall_us: 1500,
+            event: Event::SpanClose {
+                id: SpanId(4),
+                name: "fit".into(),
+            },
+        };
+        for record in [open, close] {
+            let line = serde_json::to_string(&record).expect("serialize");
+            let back: Record = serde_json::from_str(&line).expect("parse");
+            assert_eq!(back, record);
+        }
+        // Label-free opens written before labels existed still parse
+        // (the field is `serde(default)`).
+        let old = r#"{"SpanOpen":{"id":1,"parent":0,"name":"run"}}"#;
+        let back: Event = serde_json::from_str(old).expect("parse");
+        assert_eq!(
+            back,
+            Event::SpanOpen {
+                id: SpanId(1),
+                parent: SpanId::NONE,
+                name: "run".into(),
+                labels: Vec::new(),
+            }
+        );
     }
 
     #[test]

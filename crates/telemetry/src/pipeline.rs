@@ -123,6 +123,43 @@ impl PipelineSnapshot {
         }
     }
 
+    /// Pour this snapshot into a metrics [`Registry`](crate::Registry)
+    /// as `pipeline.*` counters, with per-worker scheduler series
+    /// labeled `{worker="<index>"}` — the bridge that makes pipeline
+    /// accounting scrapeable through `--metrics-out` / `mct metrics`
+    /// alongside the controller's own series.
+    pub fn to_registry(&self, registry: &mut crate::Registry) {
+        for (name, value) in [
+            ("pipeline.grains_executed", self.grains_executed),
+            ("pipeline.grains_stolen", self.grains_stolen),
+            ("pipeline.cache_hits", self.cache_hits),
+            ("pipeline.stale_discarded", self.stale_discarded),
+            ("pipeline.corrupt_discarded", self.corrupt_discarded),
+            ("pipeline.rig_warmups", self.rig_warmups),
+            ("pipeline.rig_reuses", self.rig_reuses),
+            ("pipeline.rig_clones", self.rig_clones),
+            ("pipeline.warmup_us", self.warmup_us),
+            ("pipeline.clone_us", self.clone_us),
+            ("pipeline.snapshot_bytes", self.snapshot_bytes),
+            ("pipeline.sched_rounds", self.sched_rounds),
+        ] {
+            if value > 0 {
+                registry.incr(name, value);
+            }
+        }
+        for (i, w) in self.workers.iter().enumerate() {
+            let index = i.to_string();
+            let labels: [(&str, &str); 1] = [("worker", &index)];
+            registry.incr_with("pipeline.worker.executed", &labels, w.executed);
+            registry.incr_with("pipeline.worker.stolen", &labels, w.stolen);
+            registry.incr_with("pipeline.worker.busy_us", &labels, w.busy_us);
+            registry.incr_with("pipeline.worker.wall_us", &labels, w.wall_us);
+        }
+        if !self.workers_fallback.is_empty() {
+            registry.incr("pipeline.workers_fallback", 1);
+        }
+    }
+
     /// One-line human summary (`pipeline: grains=...`): stable field
     /// order, no wall-clock terms, suitable for log grepping.
     #[must_use]
@@ -190,11 +227,10 @@ impl PipelineStats {
     /// Record why the worker count fell back to machine parallelism
     /// (e.g. a garbage `MCT_WORKERS` value). First reason wins; later
     /// calls are ignored so repeated scheduler entry does not churn it.
-    ///
-    /// # Panics
-    /// Panics if the fallback mutex is poisoned.
+    /// Poisoned locks are recovered — stats are advisory and must never
+    /// crash the pipeline they observe.
     pub fn set_workers_fallback(&self, reason: &str) {
-        let mut slot = self.workers_fallback.lock().expect("fallback lock");
+        let mut slot = lock_recovering(&self.workers_fallback);
         if slot.is_empty() {
             reason.clone_into(&mut slot);
         }
@@ -202,12 +238,9 @@ impl PipelineStats {
 
     /// Record one scheduler round's per-worker stats (summed into the
     /// worker slots by index).
-    ///
-    /// # Panics
-    /// Panics if the worker-stat mutex is poisoned.
     pub fn record_round(&self, workers: &[WorkerStat]) {
         self.sched_rounds.fetch_add(1, Ordering::Relaxed);
-        let mut slots = self.workers.lock().expect("worker stats lock");
+        let mut slots = lock_recovering(&self.workers);
         if slots.len() < workers.len() {
             slots.resize(workers.len(), WorkerStat::default());
         }
@@ -220,9 +253,6 @@ impl PipelineStats {
     }
 
     /// Freeze current values into a serializable snapshot.
-    ///
-    /// # Panics
-    /// Panics if the worker-stat mutex is poisoned.
     #[must_use]
     pub fn snapshot(&self) -> PipelineSnapshot {
         PipelineSnapshot {
@@ -238,15 +268,12 @@ impl PipelineStats {
             clone_us: self.clone_us.load(Ordering::Relaxed),
             snapshot_bytes: self.snapshot_bytes.load(Ordering::Relaxed),
             sched_rounds: self.sched_rounds.load(Ordering::Relaxed),
-            workers: self.workers.lock().expect("worker stats lock").clone(),
-            workers_fallback: self.workers_fallback.lock().expect("fallback lock").clone(),
+            workers: lock_recovering(&self.workers).clone(),
+            workers_fallback: lock_recovering(&self.workers_fallback).clone(),
         }
     }
 
     /// Reset every counter to zero (tests and run-scoped accounting).
-    ///
-    /// # Panics
-    /// Panics if the worker-stat mutex is poisoned.
     pub fn reset(&self) {
         self.grains_executed.store(0, Ordering::Relaxed);
         self.grains_stolen.store(0, Ordering::Relaxed);
@@ -260,9 +287,16 @@ impl PipelineStats {
         self.clone_us.store(0, Ordering::Relaxed);
         self.snapshot_bytes.store(0, Ordering::Relaxed);
         self.sched_rounds.store(0, Ordering::Relaxed);
-        self.workers.lock().expect("worker stats lock").clear();
-        self.workers_fallback.lock().expect("fallback lock").clear();
+        lock_recovering(&self.workers).clear();
+        lock_recovering(&self.workers_fallback).clear();
     }
+}
+
+/// Lock a stats mutex, recovering from poisoning: a panic in one
+/// scheduler worker must not take the whole process's accounting (or
+/// any later snapshot) down with it.
+fn lock_recovering<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// The process-wide [`PipelineStats`] instance.
@@ -379,6 +413,46 @@ mod tests {
         assert_ne!(json, stripped, "field must have been present");
         let back: PipelineSnapshot = serde_json::from_str(&stripped).expect("parse old trace");
         assert_eq!(back, PipelineSnapshot::default());
+    }
+
+    #[test]
+    fn to_registry_bridges_labeled_worker_series() {
+        let snap = PipelineSnapshot {
+            grains_executed: 5,
+            cache_hits: 3,
+            workers: vec![
+                WorkerStat {
+                    executed: 3,
+                    stolen: 1,
+                    busy_us: 80,
+                    wall_us: 100,
+                },
+                WorkerStat {
+                    executed: 2,
+                    stolen: 0,
+                    busy_us: 40,
+                    wall_us: 100,
+                },
+            ],
+            ..PipelineSnapshot::default()
+        };
+        let mut registry = crate::Registry::new();
+        snap.to_registry(&mut registry);
+        assert_eq!(registry.counter("pipeline.grains_executed"), 5);
+        assert_eq!(
+            registry.counter_with("pipeline.worker.executed", &[("worker", "0")]),
+            3
+        );
+        assert_eq!(
+            registry.counter_with("pipeline.worker.busy_us", &[("worker", "1")]),
+            40
+        );
+        // Zero-valued totals are not materialized as series.
+        assert!(!registry
+            .snapshot()
+            .counters
+            .iter()
+            .any(|(name, _)| name == "pipeline.stale_discarded"));
     }
 
     #[test]

@@ -1,0 +1,394 @@
+//! Post-hoc span-tree profiling: `mct profile <trace.jsonl>`.
+//!
+//! A span-bearing trace contains paired `SpanOpen`/`SpanClose` events
+//! with parent links. This module reassembles them into an aggregated
+//! call tree — one node per unique *path* of span names — with call
+//! counts, total and self wall time, and per-path duration quantiles,
+//! plus a collapsed-stack rendering that drops straight into
+//! `inferno-flamegraph` / Brendan Gregg's `flamegraph.pl`.
+//!
+//! The profiler is deliberately tolerant: spans still open when the
+//! trace ends are closed at the trace's last timestamp (and counted in
+//! [`SpanProfile::unclosed`]), an unmatched close is ignored, and a
+//! trace with no spans at all produces an empty profile rather than an
+//! error.
+
+use crate::event::{Event, Record};
+use crate::histogram::LogHistogram;
+use crate::span::SpanId;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One aggregated node: every span occurrence whose open-path of names
+/// matches this node's path.
+#[derive(Debug, Default)]
+pub struct SpanNode {
+    /// Span name (last element of the path).
+    pub name: String,
+    /// Occurrences aggregated into this node.
+    pub count: u64,
+    /// Total wall microseconds across occurrences (children included).
+    pub total_us: u64,
+    /// Wall microseconds not attributed to any child span.
+    pub self_us: u64,
+    /// Child nodes, sorted by descending total time.
+    pub children: Vec<SpanNode>,
+    /// Distribution of per-occurrence durations.
+    pub durations: LogHistogram,
+}
+
+#[derive(Debug, Default)]
+struct Agg {
+    count: u64,
+    total_us: u64,
+    durations: LogHistogram,
+    children: BTreeMap<String, Agg>,
+}
+
+impl Agg {
+    fn node_at_path(&mut self, path: &[String]) -> &mut Agg {
+        let mut node = self;
+        for name in path {
+            node = node.children.entry(name.clone()).or_default();
+        }
+        node
+    }
+
+    fn finalize(self, name: String) -> SpanNode {
+        let mut children: Vec<SpanNode> = self
+            .children
+            .into_iter()
+            .map(|(name, agg)| agg.finalize(name))
+            .collect();
+        children.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.name.cmp(&b.name)));
+        let child_total: u64 = children.iter().map(|c| c.total_us).sum();
+        SpanNode {
+            name,
+            count: self.count,
+            total_us: self.total_us,
+            self_us: self.total_us.saturating_sub(child_total),
+            children,
+            durations: self.durations,
+        }
+    }
+}
+
+/// An open span being tracked during replay.
+struct Live {
+    path: Vec<String>,
+    opened_wall_us: u64,
+}
+
+/// The aggregated profile of one trace.
+#[derive(Debug, Default)]
+pub struct SpanProfile {
+    /// Top-level nodes (spans opened with no parent), total-time sorted.
+    pub roots: Vec<SpanNode>,
+    /// Span occurrences aggregated (closed + implicitly closed).
+    pub total_spans: u64,
+    /// Spans never closed in the trace (closed here at the last
+    /// timestamp; a small number is normal for aborted runs).
+    pub unclosed: u64,
+    /// Wall span of the whole trace: last record timestamp minus first.
+    pub trace_wall_us: u64,
+}
+
+impl SpanProfile {
+    /// Aggregate every span in `records` (which need not be sorted —
+    /// envelope order is used as-is, matching how sessions emit).
+    #[must_use]
+    pub fn from_records(records: &[Record]) -> SpanProfile {
+        let mut root = Agg::default();
+        let mut live: BTreeMap<SpanId, Live> = BTreeMap::new();
+        let mut total_spans = 0u64;
+        let first_wall = records.first().map_or(0, |r| r.wall_us);
+        let mut last_wall = first_wall;
+
+        let close_into = |root: &mut Agg, entry: Live, close_wall_us: u64| {
+            let duration = close_wall_us.saturating_sub(entry.opened_wall_us);
+            let node = root.node_at_path(&entry.path);
+            node.count += 1;
+            node.total_us += duration;
+            node.durations.observe(duration as f64);
+        };
+
+        for record in records {
+            last_wall = last_wall.max(record.wall_us);
+            match &record.event {
+                Event::SpanOpen {
+                    id, parent, name, ..
+                } => {
+                    let mut path = match live.get(parent) {
+                        Some(p) => p.path.clone(),
+                        None => Vec::new(),
+                    };
+                    path.push(name.clone());
+                    live.insert(
+                        *id,
+                        Live {
+                            path,
+                            opened_wall_us: record.wall_us,
+                        },
+                    );
+                }
+                Event::SpanClose { id, .. } => {
+                    if let Some(entry) = live.remove(id) {
+                        total_spans += 1;
+                        close_into(&mut root, entry, record.wall_us);
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        let unclosed = live.len() as u64;
+        for (_, entry) in std::mem::take(&mut live) {
+            total_spans += 1;
+            close_into(&mut root, entry, last_wall);
+        }
+
+        let finalized = root.finalize(String::new());
+        SpanProfile {
+            roots: finalized.children,
+            total_spans,
+            unclosed,
+            trace_wall_us: last_wall.saturating_sub(first_wall),
+        }
+    }
+
+    /// Fraction of the trace's wall span covered by top-level spans
+    /// (1.0 = the whole run was inside some root span). With a single
+    /// `run` root this is the number the CI acceptance check asserts
+    /// against.
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        if self.trace_wall_us == 0 {
+            return if self.roots.is_empty() { 0.0 } else { 1.0 };
+        }
+        let rooted: u64 = self.roots.iter().map(|r| r.total_us).sum();
+        (rooted as f64 / self.trace_wall_us as f64).min(1.0)
+    }
+
+    /// Depth-first search for the first node named `name`.
+    #[must_use]
+    pub fn find(&self, name: &str) -> Option<&SpanNode> {
+        fn walk<'a>(nodes: &'a [SpanNode], name: &str) -> Option<&'a SpanNode> {
+            for node in nodes {
+                if node.name == name {
+                    return Some(node);
+                }
+                if let Some(found) = walk(&node.children, name) {
+                    return Some(found);
+                }
+            }
+            None
+        }
+        walk(&self.roots, name)
+    }
+}
+
+fn fmt_ms(us: u64) -> String {
+    format!("{:.1}", us as f64 / 1000.0)
+}
+
+fn render_node(out: &mut String, node: &SpanNode, depth: usize) {
+    let indent = "  ".repeat(depth);
+    let name_col = format!("{indent}{}", node.name);
+    let _ = write!(
+        out,
+        "{name_col:<28} {:>6}x {:>10} ms total {:>10} ms self",
+        node.count,
+        fmt_ms(node.total_us),
+        fmt_ms(node.self_us),
+    );
+    if node.count > 1 {
+        let _ = write!(
+            out,
+            "   p50 {} ms  p99 {} ms",
+            fmt_ms(node.durations.quantile(0.5) as u64),
+            fmt_ms(node.durations.quantile(0.99) as u64),
+        );
+    }
+    out.push('\n');
+    for child in &node.children {
+        render_node(out, child, depth + 1);
+    }
+}
+
+/// Render the aggregated span tree as aligned text, one node per line,
+/// children indented under parents, heaviest subtree first.
+#[must_use]
+pub fn render_tree(profile: &SpanProfile) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "span tree: {} spans ({} unclosed), trace wall {} ms, root coverage {:.1}%",
+        profile.total_spans,
+        profile.unclosed,
+        fmt_ms(profile.trace_wall_us),
+        profile.coverage() * 100.0,
+    );
+    if profile.roots.is_empty() {
+        out.push_str("(no spans in trace)\n");
+        return out;
+    }
+    for root in &profile.roots {
+        render_node(&mut out, root, 0);
+    }
+    out
+}
+
+/// Render collapsed (folded) stacks: one `a;b;c <self_us>` line per
+/// node with nonzero self time — the input format flamegraph tools eat.
+#[must_use]
+pub fn render_collapsed(profile: &SpanProfile) -> String {
+    fn walk(out: &mut String, prefix: &str, node: &SpanNode) {
+        let path = if prefix.is_empty() {
+            node.name.clone()
+        } else {
+            format!("{prefix};{}", node.name)
+        };
+        if node.self_us > 0 || node.children.is_empty() {
+            let _ = writeln!(out, "{path} {}", node.self_us);
+        }
+        for child in &node.children {
+            walk(out, &path, child);
+        }
+    }
+    let mut out = String::new();
+    for root in &profile.roots {
+        walk(&mut out, "", root);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(seq: u64, wall_us: u64, event: Event) -> Record {
+        Record {
+            seq,
+            sim_insts: 0,
+            wall_us,
+            event,
+        }
+    }
+
+    fn open(id: u64, parent: u64, name: &str) -> Event {
+        Event::SpanOpen {
+            id: SpanId(id),
+            parent: SpanId(parent),
+            name: name.to_string(),
+            labels: Vec::new(),
+        }
+    }
+
+    fn close(id: u64, name: &str) -> Event {
+        Event::SpanClose {
+            id: SpanId(id),
+            name: name.to_string(),
+        }
+    }
+
+    /// run[0..1000] { warmup[0..200], segment[200..600] { fit[250..450] },
+    /// segment[600..1000] { fit[650..700] } }
+    fn sample_trace() -> Vec<Record> {
+        vec![
+            rec(0, 0, open(1, 0, "run")),
+            rec(1, 0, open(2, 1, "warmup")),
+            rec(2, 200, close(2, "warmup")),
+            rec(3, 200, open(3, 1, "segment")),
+            rec(4, 250, open(4, 3, "fit")),
+            rec(5, 450, close(4, "fit")),
+            rec(6, 600, close(3, "segment")),
+            rec(7, 600, open(5, 1, "segment")),
+            rec(8, 650, open(6, 5, "fit")),
+            rec(9, 700, close(6, "fit")),
+            rec(10, 1000, close(5, "segment")),
+            rec(11, 1000, close(1, "run")),
+        ]
+    }
+
+    #[test]
+    fn aggregates_counts_totals_and_self_time() {
+        let profile = SpanProfile::from_records(&sample_trace());
+        assert_eq!(profile.total_spans, 6);
+        assert_eq!(profile.unclosed, 0);
+        assert_eq!(profile.trace_wall_us, 1000);
+        assert_eq!(profile.roots.len(), 1);
+        let run = &profile.roots[0];
+        assert_eq!(run.name, "run");
+        assert_eq!(run.count, 1);
+        assert_eq!(run.total_us, 1000);
+        // run self = 1000 - (200 warmup + 800 segments) = 0.
+        assert_eq!(run.self_us, 0);
+        let segment = profile.find("segment").expect("segment node");
+        assert_eq!(segment.count, 2);
+        assert_eq!(segment.total_us, 800);
+        assert_eq!(segment.self_us, 800 - 250);
+        let fit = profile.find("fit").expect("fit node");
+        assert_eq!(fit.count, 2);
+        assert_eq!(fit.total_us, 250);
+        assert!((profile.coverage() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unclosed_spans_close_at_trace_end() {
+        let records = vec![
+            rec(0, 0, open(1, 0, "run")),
+            rec(1, 100, open(2, 1, "fit")),
+            rec(2, 500, close(2, "fit")),
+            // run never closes; trace ends at 500.
+        ];
+        let profile = SpanProfile::from_records(&records);
+        assert_eq!(profile.unclosed, 1);
+        let run = &profile.roots[0];
+        assert_eq!(run.total_us, 500);
+        assert_eq!(run.self_us, 100);
+    }
+
+    #[test]
+    fn unmatched_close_and_empty_trace_are_tolerated() {
+        let profile = SpanProfile::from_records(&[rec(0, 10, close(42, "ghost"))]);
+        assert_eq!(profile.total_spans, 0);
+        assert!(profile.roots.is_empty());
+        assert_eq!(SpanProfile::from_records(&[]).coverage(), 0.0);
+    }
+
+    #[test]
+    fn tree_rendering_indents_children_under_parents() {
+        let text = render_tree(&SpanProfile::from_records(&sample_trace()));
+        assert!(text.contains("root coverage 100.0%"), "{text}");
+        let run_line = text
+            .lines()
+            .position(|l| l.starts_with("run"))
+            .expect("run");
+        let seg_line = text
+            .lines()
+            .position(|l| l.starts_with("  segment"))
+            .expect("segment indented");
+        let fit_line = text
+            .lines()
+            .position(|l| l.starts_with("    fit"))
+            .expect("fit doubly indented");
+        assert!(run_line < seg_line && seg_line < fit_line);
+        assert!(text.contains("p50"), "repeated spans report quantiles");
+    }
+
+    #[test]
+    fn collapsed_stacks_carry_self_time() {
+        let text = render_collapsed(&SpanProfile::from_records(&sample_trace()));
+        assert!(text.contains("run;warmup 200\n"), "{text}");
+        assert!(text.contains("run;segment 550\n"), "{text}");
+        assert!(text.contains("run;segment;fit 250\n"), "{text}");
+        // Zero-self interior nodes are omitted; leaves always appear.
+        assert!(!text.contains("run 0\n"));
+        // Every line lexes as "path count".
+        for line in text.lines() {
+            let (path, count) = line.rsplit_once(' ').expect("two fields");
+            assert!(!path.is_empty());
+            count.parse::<u64>().expect("numeric self time");
+        }
+    }
+}

@@ -7,10 +7,21 @@
 
 use crate::event::{Event, Record};
 use crate::registry::{Registry, StageTimer};
+use crate::span::{SpanGuard, SpanStack};
 use std::io::Write;
 use std::path::Path;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
+
+/// Lock a recorder handle, recovering from a poisoned mutex: a panic in
+/// one instrumented thread must not cascade into every other telemetry
+/// call site, and a recorder's state (append-only records + counters) is
+/// valid after any partial update.
+fn lock_recorder(handle: &RecorderHandle) -> MutexGuard<'_, dyn Recorder + 'static> {
+    handle
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// A telemetry sink. Implementations receive fully-formed [`Record`]s and
 /// own the counters/histograms [`Registry`].
@@ -124,6 +135,7 @@ pub struct JsonlRecorder {
     writer: std::io::BufWriter<std::fs::File>,
     registry: Registry,
     write_errors: u64,
+    errors_reported: u64,
 }
 
 impl JsonlRecorder {
@@ -134,6 +146,7 @@ impl JsonlRecorder {
             writer: std::io::BufWriter::new(file),
             registry: Registry::new(),
             write_errors: 0,
+            errors_reported: 0,
         })
     }
 
@@ -166,6 +179,15 @@ impl Recorder for JsonlRecorder {
         if self.writer.flush().is_err() {
             self.write_errors += 1;
         }
+        // Surface accumulated I/O failures as a scrapeable counter; the
+        // delta bookkeeping keeps repeated flushes from double counting.
+        if self.write_errors > self.errors_reported {
+            self.registry.incr(
+                "telemetry.write_errors",
+                self.write_errors - self.errors_reported,
+            );
+            self.errors_reported = self.write_errors;
+        }
     }
 }
 
@@ -185,6 +207,7 @@ pub struct Telemetry {
     enabled: bool,
     seq: u64,
     origin: Instant,
+    spans: SpanStack,
 }
 
 impl Default for Telemetry {
@@ -211,18 +234,20 @@ impl Telemetry {
             enabled: false,
             seq: 0,
             origin: Instant::now(),
+            spans: SpanStack::default(),
         }
     }
 
     /// Attach to a recorder; caches its `enabled()` answer.
     #[must_use]
     pub fn attached(handle: RecorderHandle) -> Self {
-        let enabled = handle.lock().expect("recorder lock").enabled();
+        let enabled = lock_recorder(&handle).enabled();
         Telemetry {
             handle,
             enabled,
             seq: 0,
             origin: Instant::now(),
+            spans: SpanStack::default(),
         }
     }
 
@@ -232,23 +257,94 @@ impl Telemetry {
         self.enabled
     }
 
+    /// Emit one record with an explicit wall timestamp (so span open and
+    /// close records agree exactly with the stack's bookkeeping).
+    fn emit_at(&mut self, wall_us: u64, sim_insts: u64, event: Event) {
+        let record = Record {
+            seq: self.seq,
+            sim_insts,
+            wall_us,
+            event,
+        };
+        self.seq += 1;
+        let mut guard = lock_recorder(&self.handle);
+        guard
+            .registry_mut()
+            .incr(&format!("events.{}", record.event.kind()), 1);
+        guard.record(&record);
+    }
+
     /// Emit one event at simulated-instruction time `sim_insts`.
     pub fn emit(&mut self, sim_insts: u64, event: Event) {
         if !self.enabled {
             return;
         }
-        let record = Record {
-            seq: self.seq,
+        let wall_us = self.origin.elapsed().as_micros() as u64;
+        self.emit_at(wall_us, sim_insts, event);
+    }
+
+    /// Enter a named span. When disabled this is a single branch: no
+    /// allocation, no clock read, no lock.
+    pub fn span(&mut self, name: &'static str, sim_insts: u64) -> SpanGuard {
+        self.span_with(name, sim_insts, &[])
+    }
+
+    /// Enter a named span with low-cardinality labels (learner, workload,
+    /// phase). Labels ride on the `SpanOpen` event only; the duration
+    /// histogram is keyed by span name alone.
+    pub fn span_with(
+        &mut self,
+        name: &'static str,
+        sim_insts: u64,
+        labels: &[(&str, &str)],
+    ) -> SpanGuard {
+        if !self.enabled {
+            return SpanGuard::disabled(name);
+        }
+        let wall_us = self.origin.elapsed().as_micros() as u64;
+        let (id, parent) = self.spans.open(name, wall_us);
+        self.emit_at(
+            wall_us,
             sim_insts,
-            wall_us: self.origin.elapsed().as_micros() as u64,
-            event,
-        };
-        self.seq += 1;
-        let mut guard = self.handle.lock().expect("recorder lock");
-        guard
-            .registry_mut()
-            .incr(&format!("events.{}", record.event.kind()), 1);
-        guard.record(&record);
+            Event::SpanOpen {
+                id,
+                parent,
+                name: name.to_string(),
+                labels: labels
+                    .iter()
+                    .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+                    .collect(),
+            },
+        );
+        SpanGuard { id, name }
+    }
+
+    /// Exit a span entered with [`Telemetry::span`]. Any children still
+    /// open are closed too (innermost first), so a forgotten close on an
+    /// early-exit path skews one timing instead of corrupting the tree;
+    /// closing an already-closed span is a no-op. Each close also lands
+    /// in the `span.wall_us{span="<name>"}` duration histogram.
+    pub fn close_span(&mut self, guard: SpanGuard, sim_insts: u64) {
+        if !self.enabled || !guard.id().is_some() {
+            return;
+        }
+        let wall_us = self.origin.elapsed().as_micros() as u64;
+        for span in self.spans.close(guard.id()) {
+            let duration_us = wall_us.saturating_sub(span.opened_wall_us);
+            lock_recorder(&self.handle).registry_mut().observe_with(
+                "span.wall_us",
+                &[("span", span.name)],
+                duration_us as f64,
+            );
+            self.emit_at(
+                wall_us,
+                sim_insts,
+                Event::SpanClose {
+                    id: span.id,
+                    name: span.name.to_string(),
+                },
+            );
+        }
     }
 
     /// Bump a registry counter.
@@ -256,11 +352,17 @@ impl Telemetry {
         if !self.enabled {
             return;
         }
-        self.handle
-            .lock()
-            .expect("recorder lock")
+        lock_recorder(&self.handle).registry_mut().incr(name, delta);
+    }
+
+    /// Bump a labeled registry counter.
+    pub fn incr_with(&mut self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        if !self.enabled {
+            return;
+        }
+        lock_recorder(&self.handle)
             .registry_mut()
-            .incr(name, delta);
+            .incr_with(name, labels, delta);
     }
 
     /// Record a histogram observation.
@@ -268,11 +370,19 @@ impl Telemetry {
         if !self.enabled {
             return;
         }
-        self.handle
-            .lock()
-            .expect("recorder lock")
+        lock_recorder(&self.handle)
             .registry_mut()
             .observe(name, value);
+    }
+
+    /// Record a labeled histogram observation.
+    pub fn observe_with(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        if !self.enabled {
+            return;
+        }
+        lock_recorder(&self.handle)
+            .registry_mut()
+            .observe_with(name, labels, value);
     }
 
     /// Start a stage timer, or `None` when disabled.
@@ -288,26 +398,32 @@ impl Telemetry {
     /// Finish a stage timer started with [`Telemetry::stage`].
     pub fn finish_stage(&mut self, timer: Option<StageTimer>, insts_end: u64) {
         if let Some(timer) = timer {
-            timer.finish(
-                self.handle.lock().expect("recorder lock").registry_mut(),
-                insts_end,
-            );
+            timer.finish(lock_recorder(&self.handle).registry_mut(), insts_end);
         }
     }
 
+    /// A snapshot of the attached recorder's registry (empty when
+    /// disabled) — the live view `--metrics-out` renders at exit.
+    #[must_use]
+    pub fn registry_snapshot(&self) -> crate::registry::RegistrySnapshot {
+        lock_recorder(&self.handle).registry_mut().snapshot()
+    }
+
     /// Emit the registry snapshot as a `MetricsRegistry` event and flush.
+    /// Any spans still open are closed first so every trace is
+    /// well-formed.
     pub fn finish(&mut self, sim_insts: u64) {
         if !self.enabled {
             return;
         }
-        let snapshot = self
-            .handle
-            .lock()
-            .expect("recorder lock")
-            .registry_mut()
-            .snapshot();
+        if let Some(root) = self.spans.root_id() {
+            self.close_span(SpanGuard { id: root, name: "" }, sim_insts);
+        }
+        // Flush first so pending write errors land in the snapshot.
+        lock_recorder(&self.handle).flush();
+        let snapshot = lock_recorder(&self.handle).registry_mut().snapshot();
         self.emit(sim_insts, Event::MetricsRegistry { snapshot });
-        self.handle.lock().expect("recorder lock").flush();
+        lock_recorder(&self.handle).flush();
     }
 }
 
@@ -376,6 +492,85 @@ mod tests {
         let second: Record = serde_json::from_str(lines[1]).expect("line 1 parses");
         assert!(matches!(second.event, Event::MetricsRegistry { .. }));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn spans_emit_paired_events_and_duration_histograms() {
+        let rec = VecRecorder::shared();
+        let mut t = Telemetry::attached(rec.clone() as RecorderHandle);
+        let run = t.span("run", 0);
+        let fit = t.span_with("fit", 10, &[("learner", "gbrt")]);
+        t.close_span(fit, 20);
+        t.close_span(run, 30);
+        let guard = rec.lock().expect("lock");
+        let records = guard.records();
+        assert_eq!(records.len(), 4);
+        match &records[0].event {
+            Event::SpanOpen {
+                id,
+                parent,
+                name,
+                labels,
+            } => {
+                assert_eq!(name, "run");
+                assert!(!parent.is_some());
+                assert!(id.is_some());
+                assert!(labels.is_empty());
+            }
+            other => panic!("expected SpanOpen, got {other:?}"),
+        }
+        match &records[1].event {
+            Event::SpanOpen {
+                parent,
+                name,
+                labels,
+                ..
+            } => {
+                assert_eq!(name, "fit");
+                assert!(parent.is_some(), "fit nests under run");
+                assert_eq!(labels[0].0, "learner");
+            }
+            other => panic!("expected SpanOpen, got {other:?}"),
+        }
+        assert!(matches!(&records[2].event, Event::SpanClose { name, .. } if name == "fit"));
+        assert!(matches!(&records[3].event, Event::SpanClose { name, .. } if name == "run"));
+        let fit_hist = guard
+            .registry()
+            .histogram_with("span.wall_us", &[("span", "fit")])
+            .expect("fit duration recorded");
+        assert_eq!(fit_hist.count, 1);
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let mut t = Telemetry::disabled();
+        let g = t.span("run", 0);
+        assert!(!g.id().is_some());
+        t.close_span(g, 10);
+        // Nothing recorded, nothing to assert beyond "did not panic".
+    }
+
+    #[test]
+    fn finish_closes_forgotten_spans() {
+        let rec = VecRecorder::shared();
+        let mut t = Telemetry::attached(rec.clone() as RecorderHandle);
+        let _run = t.span("run", 0);
+        let _seg = t.span("segment", 5);
+        t.finish(10);
+        let guard = rec.lock().expect("lock");
+        let closes: Vec<String> = guard
+            .records()
+            .iter()
+            .filter_map(|r| match &r.event {
+                Event::SpanClose { name, .. } => Some(name.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(closes, ["segment", "run"], "innermost first");
+        assert!(matches!(
+            guard.records().last().map(|r| &r.event),
+            Some(Event::MetricsRegistry { .. })
+        ));
     }
 
     #[test]

@@ -7,22 +7,60 @@
 
 use crate::event::{Event, Record};
 use mct_sim::stats::Metrics;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Parse a JSONL trace. Blank lines are skipped; a malformed line aborts
 /// with its line number.
 pub fn parse_jsonl(text: &str) -> Result<Vec<Record>, String> {
+    let (records, unknown) = parse_jsonl_tolerant(text)?;
+    if let Some((kind, _)) = unknown.iter().next() {
+        return Err(format!("unrecognized event kind {kind:?}"));
+    }
+    Ok(records)
+}
+
+/// Parse a JSONL trace, tolerating records whose event kind this binary
+/// does not know (a trace written by a newer `mct`). Unknown kinds are
+/// skipped and counted; lines that are not valid JSON objects at all
+/// still abort with their line number — that is corruption, not skew.
+///
+/// Returns the recognized records plus a kind -> count map of what was
+/// skipped, which [`render_report`] surfaces in its footer.
+pub fn parse_jsonl_tolerant(text: &str) -> Result<(Vec<Record>, BTreeMap<String, u64>), String> {
     let mut records = Vec::new();
+    let mut unknown: BTreeMap<String, u64> = BTreeMap::new();
     for (i, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() {
             continue;
         }
-        let record: Record =
-            serde_json::from_str(line).map_err(|e| format!("line {}: {}", i + 1, e))?;
-        records.push(record);
+        match serde_json::from_str::<Record>(line) {
+            Ok(record) => records.push(record),
+            Err(record_err) => {
+                // Fall back to untyped JSON: a well-formed envelope with
+                // an unknown event variant is future skew, anything else
+                // is a malformed trace.
+                let content = serde_json::parse_content(line)
+                    .map_err(|_| format!("line {}: {}", i + 1, record_err))?;
+                let envelope = content.as_map().unwrap_or(&[]);
+                let has_seq = envelope.iter().any(|(k, _)| k == "seq");
+                let kind = envelope
+                    .iter()
+                    .find(|(k, _)| k == "event")
+                    .and_then(|(_, e)| e.as_map())
+                    .and_then(|m| m.first())
+                    .map(|(k, _)| k.clone());
+                match kind {
+                    Some(kind) if has_seq => {
+                        *unknown.entry(kind).or_insert(0) += 1;
+                    }
+                    _ => return Err(format!("line {}: {}", i + 1, record_err)),
+                }
+            }
+        }
     }
-    Ok(records)
+    Ok((records, unknown))
 }
 
 fn fmt_metrics(m: &Metrics) -> String {
@@ -43,8 +81,17 @@ fn pct_delta(realized: f64, predicted: f64) -> String {
 /// Render the decision timeline as human-readable text.
 #[must_use]
 pub fn render_report(records: &[Record]) -> String {
+    render_report_with_unknown(records, &BTreeMap::new())
+}
+
+/// Render the decision timeline, with a footer reporting events the
+/// parser recognized as valid but could not type (from
+/// [`parse_jsonl_tolerant`]).
+#[must_use]
+pub fn render_report_with_unknown(records: &[Record], unknown: &BTreeMap<String, u64>) -> String {
     let mut out = String::new();
     let mut segment = 0u64;
+    let mut span_events = 0u64;
     let _ = writeln!(out, "MCT decision trace: {} records", records.len());
 
     for record in records {
@@ -289,7 +336,7 @@ pub fn render_report(records: &[Record]) -> String {
                     let _ = writeln!(out, "  {name:<42} {value}");
                 }
                 for (name, h) in &snapshot.histograms {
-                    let _ = writeln!(
+                    let _ = write!(
                         out,
                         "  {name:<42} n={} mean={:.1} min={:.1} max={:.1}",
                         h.count,
@@ -297,9 +344,34 @@ pub fn render_report(records: &[Record]) -> String {
                         h.min,
                         h.max
                     );
+                    if h.count > 1 && h.p50 > 0.0 {
+                        let _ = write!(out, " p50={:.1} p99={:.1}", h.p50, h.p99);
+                    }
+                    out.push('\n');
                 }
             }
+            // Spans are profiled, not narrated: the timeline stays a
+            // decision log, and `mct profile` owns the timing view.
+            Event::SpanOpen { .. } | Event::SpanClose { .. } => span_events += 1,
         }
+    }
+    if span_events > 0 {
+        let _ = writeln!(
+            out,
+            "\nspans: {span_events} span events in trace (render with `mct profile`)"
+        );
+    }
+    if !unknown.is_empty() {
+        let total: u64 = unknown.values().sum();
+        let kinds: Vec<String> = unknown
+            .iter()
+            .map(|(kind, n)| format!("{kind} x{n}"))
+            .collect();
+        let _ = writeln!(
+            out,
+            "\nunrecognized events: {total} (kinds: {}) — trace written by a newer mct?",
+            kinds.join(", ")
+        );
     }
     out
 }
@@ -470,6 +542,45 @@ mod tests {
             },
         }];
         assert!(!render_report(&quiet).contains("!! workers"));
+    }
+
+    #[test]
+    fn tolerant_parse_counts_unknown_kinds_and_footer_reports_them() {
+        let records = sample_trace();
+        let known = serde_json::to_string(&records[0]).expect("serialize");
+        let future =
+            r#"{"seq":9,"sim_insts":1,"wall_us":2,"event":{"WarpDriveEngaged":{"factor":9}}}"#;
+        let jsonl = format!("{known}\n{future}\n{future}\n");
+        // Strict parsing refuses the future event.
+        assert!(parse_jsonl(&jsonl).is_err());
+        // Tolerant parsing keeps the known record and counts the rest.
+        let (parsed, unknown) = parse_jsonl_tolerant(&jsonl).expect("tolerant parse");
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(unknown.get("WarpDriveEngaged"), Some(&2));
+        let report = render_report_with_unknown(&parsed, &unknown);
+        assert!(
+            report.contains("unrecognized events: 2 (kinds: WarpDriveEngaged x2)"),
+            "{report}"
+        );
+        // Garbage is still a hard error, with its line number.
+        let err = parse_jsonl_tolerant("not json\n").expect_err("garbage");
+        assert!(err.starts_with("line 1"), "{err}");
+        // A JSON line without a Record envelope is also a hard error.
+        assert!(parse_jsonl_tolerant("{\"event\":{\"X\":{}}}\n").is_err());
+    }
+
+    #[test]
+    fn span_events_summarize_instead_of_flooding_the_timeline() {
+        let rec = VecRecorder::shared();
+        let mut t = Telemetry::attached(rec.clone() as RecorderHandle);
+        let run = t.span("run", 0);
+        let fit = t.span("fit", 1);
+        t.close_span(fit, 2);
+        t.close_span(run, 3);
+        let records = rec.lock().expect("lock").take_records();
+        let report = render_report(&records);
+        assert!(report.contains("spans: 4 span events"), "{report}");
+        assert!(!report.contains("span_open"), "no per-span timeline lines");
     }
 
     #[test]

@@ -4,9 +4,13 @@
 //! ```text
 //! mct run      <workload> [--target <years>] [--model gb|ql] [--insts N]
 //!                         [--seed N] [--trace <out.jsonl>] [--quiet]
+//!                         [--metrics-out <out.prom>]
 //! mct chaos    [workload] --plan <plan.json> [--seed N] [--target <years>]
 //!                         [--insts N] [--trace <out.jsonl>] [--quiet]
+//!                         [--metrics-out <out.prom>]
 //! mct report   <trace.jsonl>
+//! mct metrics  <trace.jsonl>
+//! mct profile  <trace.jsonl> [--collapsed <out.txt>] [--min-coverage PCT]
 //! mct measure  <workload> [--fast R] [--slow R] [--bank N] [--eager N]
 //!                         [--quota Y] [--cancel none|slow|both] [--seed N]
 //! mct workloads
@@ -19,18 +23,35 @@ use memory_cocktail_therapy::framework::{
     ConfigSpace, Controller, ControllerConfig, ModelKind, NvmConfig, Objective,
 };
 use memory_cocktail_therapy::sim::{FaultPlan, System, SystemConfig};
-use memory_cocktail_therapy::telemetry::{parse_jsonl, render_report, JsonlRecorder};
+use memory_cocktail_therapy::telemetry::{
+    parse_jsonl_tolerant, render_collapsed, render_prometheus, render_report_with_unknown,
+    render_tree, Event, JsonlRecorder, RecorderHandle, SpanProfile, Telemetry, VecRecorder,
+};
 use memory_cocktail_therapy::workloads::Workload;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  mct run <workload> [--target YEARS] [--model gb|ql] [--insts N] [--seed N] [--trace OUT.jsonl] [--quiet]\n  \
-         mct chaos [workload] --plan PLAN.json [--seed N] [--target YEARS] [--insts N] [--trace OUT.jsonl] [--quiet]\n  \
+        "usage:\n  mct run <workload> [--target YEARS] [--model gb|ql] [--insts N] [--seed N] [--trace OUT.jsonl] [--metrics-out OUT.prom] [--quiet]\n  \
+         mct chaos [workload] --plan PLAN.json [--seed N] [--target YEARS] [--insts N] [--trace OUT.jsonl] [--metrics-out OUT.prom] [--quiet]\n  \
          mct report <trace.jsonl>\n  \
+         mct metrics <trace.jsonl>\n  \
+         mct profile <trace.jsonl> [--collapsed OUT.txt] [--min-coverage PCT]\n  \
          mct measure <workload> [--fast R] [--slow R] [--bank N] [--eager N] [--quota Y] [--cancel none|slow|both] [--seed N]\n  \
          mct workloads\n  mct space"
     );
     ExitCode::FAILURE
+}
+
+/// Snapshot the run's metric registry through `handle` and write it as
+/// Prometheus text exposition format.
+fn write_metrics_prom(handle: RecorderHandle, path: &str, quiet: bool) -> Result<(), String> {
+    let snapshot = Telemetry::attached(handle).registry_snapshot();
+    let text = render_prometheus(&snapshot);
+    std::fs::write(path, text).map_err(|e| format!("cannot write metrics file {path}: {e}"))?;
+    if !quiet {
+        println!("registry metrics written to {path} (Prometheus text format)");
+    }
+    Ok(())
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -66,7 +87,14 @@ fn check_flags(args: &[String], value_flags: &[&str], bool_flags: &[&str]) -> Re
 fn cmd_run(args: &[String]) -> ExitCode {
     if let Err(e) = check_flags(
         args,
-        &["--target", "--model", "--insts", "--seed", "--trace"],
+        &[
+            "--target",
+            "--model",
+            "--insts",
+            "--seed",
+            "--trace",
+            "--metrics-out",
+        ],
         &["--quiet"],
     ) {
         eprintln!("{e}");
@@ -98,14 +126,26 @@ fn cmd_run(args: &[String]) -> ExitCode {
     cfg.seed = seed;
     let mut controller = Controller::new(cfg, Objective::paper_default(target));
     let trace = flag(args, "--trace");
+    let metrics_out = flag(args, "--metrics-out");
+    // --metrics-out needs a live registry even when no trace file was
+    // asked for; an in-memory recorder serves that case.
+    let mut handle: Option<RecorderHandle> = None;
     if let Some(path) = &trace {
         match JsonlRecorder::create(std::path::Path::new(path)) {
-            Ok(recorder) => controller = controller.with_recorder(recorder.handle()),
+            Ok(recorder) => {
+                let h = recorder.handle();
+                controller = controller.with_recorder(h.clone());
+                handle = Some(h);
+            }
             Err(e) => {
                 eprintln!("cannot create trace file {path}: {e}");
                 return ExitCode::FAILURE;
             }
         }
+    } else if metrics_out.is_some() {
+        let h: RecorderHandle = VecRecorder::shared();
+        controller = controller.with_recorder(h.clone());
+        handle = Some(h);
     }
     if !quiet {
         println!(
@@ -129,13 +169,26 @@ fn cmd_run(args: &[String]) -> ExitCode {
             println!("decision trace written to {path} (render with `mct report {path}`)");
         }
     }
+    if let (Some(out), Some(h)) = (&metrics_out, handle) {
+        if let Err(e) = write_metrics_prom(h, out, quiet) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }
 
 fn cmd_chaos(args: &[String]) -> ExitCode {
     if let Err(e) = check_flags(
         args,
-        &["--plan", "--seed", "--target", "--insts", "--trace"],
+        &[
+            "--plan",
+            "--seed",
+            "--target",
+            "--insts",
+            "--trace",
+            "--metrics-out",
+        ],
         &["--quiet"],
     ) {
         eprintln!("{e}");
@@ -196,14 +249,24 @@ fn cmd_chaos(args: &[String]) -> ExitCode {
     cfg.fault_plan = Some(plan);
     let mut controller = Controller::new(cfg, Objective::paper_default(target));
     let trace = flag(args, "--trace");
+    let metrics_out = flag(args, "--metrics-out");
+    let mut handle: Option<RecorderHandle> = None;
     if let Some(path) = &trace {
         match JsonlRecorder::create(std::path::Path::new(path)) {
-            Ok(recorder) => controller = controller.with_recorder(recorder.handle()),
+            Ok(recorder) => {
+                let h = recorder.handle();
+                controller = controller.with_recorder(h.clone());
+                handle = Some(h);
+            }
             Err(e) => {
                 eprintln!("cannot create trace file {path}: {e}");
                 return ExitCode::FAILURE;
             }
         }
+    } else if metrics_out.is_some() {
+        let h: RecorderHandle = VecRecorder::shared();
+        controller = controller.with_recorder(h.clone());
+        handle = Some(h);
     }
     if !quiet {
         println!(
@@ -229,6 +292,12 @@ fn cmd_chaos(args: &[String]) -> ExitCode {
             println!("degradation trace written to {path} (render with `mct report {path}`)");
         }
     }
+    if let (Some(out), Some(h)) = (&metrics_out, handle) {
+        if let Err(e) = write_metrics_prom(h, out, quiet) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }
 
@@ -248,9 +317,12 @@ fn cmd_report(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match parse_jsonl(&text) {
-        Ok(records) => {
-            print!("{}", render_report(&records));
+    // Tolerant parse: records whose event kind this binary does not know
+    // (a trace written by a newer mct) are counted and surfaced in the
+    // report footer instead of failing the whole render.
+    match parse_jsonl_tolerant(&text) {
+        Ok((records, unknown)) => {
+            print!("{}", render_report_with_unknown(&records, &unknown));
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -258,6 +330,92 @@ fn cmd_report(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Load a trace leniently for the metrics/profile consumers, which only
+/// need the record kinds they understand.
+fn load_trace(path: &str) -> Result<Vec<memory_cocktail_therapy::telemetry::Record>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let (records, _unknown) =
+        parse_jsonl_tolerant(&text).map_err(|e| format!("malformed trace {path}: {e}"))?;
+    Ok(records)
+}
+
+fn cmd_metrics(args: &[String]) -> ExitCode {
+    if let Err(e) = check_flags(args, &[], &[]) {
+        eprintln!("{e}");
+        return usage();
+    }
+    let Some(path) = args.first() else {
+        eprintln!("usage: mct metrics <trace.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    let records = match load_trace(path) {
+        Ok(records) => records,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The last registry snapshot is the end-of-run state (runs emit one
+    // per `Telemetry::finish`; the final one wins).
+    let snapshot = records.iter().rev().find_map(|r| match &r.event {
+        Event::MetricsRegistry { snapshot } => Some(snapshot),
+        _ => None,
+    });
+    match snapshot {
+        Some(snapshot) => {
+            print!("{}", render_prometheus(snapshot));
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!(
+                "trace {path} has no metrics_registry record (write one with `mct run --trace`)"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_profile(args: &[String]) -> ExitCode {
+    if let Err(e) = check_flags(args, &["--collapsed", "--min-coverage"], &[]) {
+        eprintln!("{e}");
+        return usage();
+    }
+    let Some(path) = args.first() else {
+        eprintln!("usage: mct profile <trace.jsonl> [--collapsed OUT.txt] [--min-coverage PCT]");
+        return ExitCode::FAILURE;
+    };
+    let records = match load_trace(path) {
+        Ok(records) => records,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let profile = SpanProfile::from_records(&records);
+    if profile.total_spans == 0 {
+        eprintln!("trace {path} has no spans (write one with `mct run --trace`)");
+        return ExitCode::FAILURE;
+    }
+    print!("{}", render_tree(&profile));
+    if let Some(out) = flag(args, "--collapsed") {
+        let stacks = render_collapsed(&profile);
+        if let Err(e) = std::fs::write(&out, stacks) {
+            eprintln!("cannot write collapsed stacks {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("collapsed stacks written to {out} (feed to flamegraph.pl / inferno)");
+    }
+    if let Some(min) = flag(args, "--min-coverage").and_then(|v| v.parse::<f64>().ok()) {
+        let pct = profile.coverage() * 100.0;
+        if pct < min {
+            eprintln!("span coverage {pct:.2}% below required {min:.2}%");
+            return ExitCode::FAILURE;
+        }
+        println!("span coverage {pct:.2}% >= {min:.2}%");
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_measure(args: &[String]) -> ExitCode {
@@ -336,6 +494,8 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("chaos") => cmd_chaos(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
+        Some("metrics") => cmd_metrics(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
         Some("measure") => cmd_measure(&args[1..]),
         Some("workloads") => {
             for w in Workload::all() {

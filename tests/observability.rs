@@ -1,0 +1,105 @@
+//! End-to-end observability: a seeded traced run must yield a span tree
+//! whose root covers the run wall time, a Prometheus exposition that
+//! survives a strict lexer, and a report that narrates rather than
+//! floods.
+
+use memory_cocktail_therapy::framework::{Controller, ControllerConfig, ModelKind, Objective};
+use memory_cocktail_therapy::telemetry::{
+    expose::validate_prometheus, parse_jsonl_tolerant, render_collapsed, render_prometheus,
+    render_report_with_unknown, render_tree, Event, JsonlRecorder, SpanProfile,
+};
+use memory_cocktail_therapy::workloads::Workload;
+
+fn traced_run_to(path: &std::path::Path) {
+    let recorder = JsonlRecorder::create(path).expect("trace file");
+    let mut cfg = ControllerConfig::quick_demo();
+    cfg.model = ModelKind::QuadraticLasso;
+    let mut c =
+        Controller::new(cfg, Objective::paper_default(8.0)).with_recorder(recorder.handle());
+    let outcome = c.run(&mut Workload::Stream.source(3));
+    assert!(outcome.final_metrics.ipc > 0.0);
+}
+
+#[test]
+fn traced_run_profiles_and_exposes() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("mct-observability-{}.jsonl", std::process::id()));
+    traced_run_to(&path);
+    let text = std::fs::read_to_string(&path).expect("trace readable");
+    let _ = std::fs::remove_file(&path);
+
+    let (records, unknown) = parse_jsonl_tolerant(&text).expect("trace parses");
+    assert!(
+        unknown.is_empty(),
+        "self-written trace has no unknown kinds"
+    );
+
+    // --- Span tree: well-formed, covering, and phase-complete. ---
+    let profile = SpanProfile::from_records(&records);
+    assert!(profile.total_spans > 0);
+    assert_eq!(profile.unclosed, 0, "all spans closed by end of run");
+    // The root `run` span opens as the first record and closes just
+    // before the registry snapshot, so it accounts for (at least) 99% of
+    // the trace's wall extent (the acceptance bound is 1%).
+    let coverage = profile.coverage();
+    assert!(
+        coverage >= 0.99,
+        "root span coverage {:.4} below 99%",
+        coverage
+    );
+    for name in ["run", "sampling", "fit", "predict", "decide", "testing"] {
+        let node = profile
+            .find(name)
+            .unwrap_or_else(|| panic!("span {name} missing from profile"));
+        assert!(node.count >= 1);
+        assert!(node.total_us >= node.self_us);
+    }
+    // Renders are non-empty and mention the key phases.
+    let tree = render_tree(&profile);
+    for needle in ["span tree:", "run", "sampling", "fit.model", "predict"] {
+        assert!(tree.contains(needle), "tree render missing {needle}");
+    }
+    let collapsed = render_collapsed(&profile);
+    assert!(collapsed.lines().any(|l| l.starts_with("run;")));
+    for line in collapsed.lines() {
+        let (_stack, weight) = line.rsplit_once(' ').expect("stack + weight");
+        weight.parse::<u64>().expect("integer self-time weight");
+    }
+
+    // --- Prometheus exposition round-trips through the strict lexer. ---
+    let snapshot = records
+        .iter()
+        .rev()
+        .find_map(|r| match &r.event {
+            Event::MetricsRegistry { snapshot } => Some(snapshot.clone()),
+            _ => None,
+        })
+        .expect("registry snapshot in trace");
+    let prom = render_prometheus(&snapshot);
+    let samples = validate_prometheus(&prom).expect("exposition lexes");
+    assert!(samples > 20, "expected a substantive exposition");
+    // Span durations surface as labeled summaries.
+    assert!(prom.contains("mct_span_wall_us{span=\"run\""));
+    assert!(prom.contains("mct_span_wall_us_count{span=\"fit\"}"));
+
+    // --- Report narrates spans in one line instead of per-event. ---
+    let report = render_report_with_unknown(&records, &std::collections::BTreeMap::new());
+    assert!(report.contains("span events in trace"));
+    // Span events are summarized, not narrated one line each: timeline
+    // entries (the `[... insts ... us]` lines) cover only non-span
+    // events, so a span-dominated trace still reports compactly.
+    let span_events = records
+        .iter()
+        .filter(|r| matches!(r.event, Event::SpanOpen { .. } | Event::SpanClose { .. }))
+        .count();
+    let timeline_lines = report
+        .lines()
+        .filter(|l| l.trim_start().starts_with('['))
+        .count();
+    assert!(span_events > 0);
+    assert!(
+        timeline_lines < records.len() - span_events,
+        "{timeline_lines} timeline lines vs {} records ({span_events} span events)",
+        records.len()
+    );
+}
