@@ -852,17 +852,24 @@ impl Controller {
         sys.set_policy(config.to_policy());
         sys.run_window(source, (insts / 4).max(500));
         sys.reset_stats();
+        // One recorder gate for the whole probe: with the default
+        // NullRecorder the measured region runs with zero telemetry calls
+        // in front of it (each span/observe call would branch on its own,
+        // but four branches per window add up across a sweep's thousands
+        // of windows).
         // Both span edges carry the caller's `executed` clock: the caller
         // only advances it after the window returns, and constant edges
         // keep the trace's sim_insts monotone. Duration lives in wall_us.
-        let window_span = self.telemetry.span("sim.window", executed);
-        // mct-tidy: allow(D002) -- telemetry-gated latency probe; never feeds results
-        let host_start = self.telemetry.enabled().then(std::time::Instant::now);
+        let probe = self.telemetry.enabled().then(|| {
+            let span = self.telemetry.span("sim.window", executed);
+            // mct-tidy: allow(D002) -- telemetry-gated latency probe; never feeds results
+            (span, std::time::Instant::now())
+        });
         sys.run_window(source, insts);
         let stats = sys.finalize();
         sys.reset_stats();
-        self.telemetry.close_span(window_span, executed);
-        if let Some(start) = host_start {
+        if let Some((window_span, start)) = probe {
+            self.telemetry.close_span(window_span, executed);
             let accesses = stats.mem.reads_completed + stats.mem.writes_completed();
             self.telemetry.incr("sim.accesses", accesses);
             let host_secs = start.elapsed().as_secs_f64();

@@ -61,6 +61,58 @@ fn parallel_sweep_is_bit_identical_to_serial() {
     }
 }
 
+/// The interleaved rig-set loop's contract, differential form: sweeps
+/// whose config counts leave ragged trailing batches (smaller than the
+/// rig-set batch size) must still be bit-identical to the serial
+/// per-config loop at every worker count. Sizes 3 and 5 exercise a
+/// single short batch; 19 exercises full batches plus a short tail.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow in debug builds; CI runs this suite under --release"
+)]
+fn ragged_rig_set_batches_sweep_bit_identical_to_serial() {
+    let space = ConfigSpace::without_wear_quota();
+    let stride = (space.len() / 19).max(1);
+    let configs: Vec<NvmConfig> = space
+        .configs()
+        .iter()
+        .step_by(stride)
+        .take(19)
+        .copied()
+        .collect();
+    let rig = WarmedRig::new(Workload::Stream, Scale::Quick, EXPERIMENT_SEED);
+    for n in [3usize, 5, 19] {
+        let serial: Vec<_> = configs[..n].iter().map(|c| rig.measure(c)).collect();
+        for threads in [1usize, 2, 8] {
+            let par = sweep_with_threads(
+                Workload::Stream,
+                &configs[..n],
+                Scale::Quick,
+                EXPERIMENT_SEED,
+                threads,
+            );
+            for (i, (a, b)) in serial.iter().zip(&par).enumerate() {
+                assert_eq!(
+                    a.ipc.to_bits(),
+                    b.ipc.to_bits(),
+                    "ipc differs at config {i} with n={n} threads={threads}"
+                );
+                assert_eq!(
+                    a.lifetime_years.to_bits(),
+                    b.lifetime_years.to_bits(),
+                    "lifetime differs at config {i} with n={n} threads={threads}"
+                );
+                assert_eq!(
+                    a.energy_j.to_bits(),
+                    b.energy_j.to_bits(),
+                    "energy differs at config {i} with n={n} threads={threads}"
+                );
+            }
+        }
+    }
+}
+
 /// The fault layer's zero-overhead contract, differential form: a rig
 /// with an armed-but-*empty* [`FaultPlan`] must measure bit-identically
 /// to an unarmed rig, at every worker count. Every fault hook is a

@@ -112,13 +112,34 @@ impl Regressor for GradientBoosting {
 
     fn predict_batch(&self, rows: &Matrix) -> Vec<f64> {
         assert!(!self.stages.is_empty(), "model not fitted");
-        // Tree-major accumulation keeps each stage's flat node table hot
-        // across the whole batch. Per row the additions happen in stage
-        // order starting from 0.0, exactly like the iterator sum in
-        // `predict`, so batch results are bit-identical to pointwise ones.
+        // Per row the stage additions happen in order starting from 0.0,
+        // exactly like the iterator sum in `predict`, so batch results
+        // are bit-identical to pointwise ones on either path below.
         let mut sums = vec![0.0f64; rows.rows()];
-        for tree in &self.stages {
-            tree.accumulate_batch(rows, &mut sums);
+        let dense: Option<Vec<_>> = self.stages.iter().map(RegressionTree::densify).collect();
+        if let Some(trees) = dense {
+            // All stages densify (the common case for shallow boosting
+            // learners): walk the whole forest per 8-row group so the
+            // accumulators stay in registers across stages
+            // (`DenseForest::accumulate8`).
+            let forest = crate::simd::DenseForest::new(&trees);
+            let split = rows.group_tail::<8>();
+            let (head, tail) = sums.split_at_mut(split);
+            for (block, s8) in rows.row_chunks::<8>().zip(head.chunks_exact_mut(8)) {
+                // mct-tidy: allow(P003) -- chunks_exact_mut(8) yields exactly 8
+                let s8: &mut [f64; 8] = s8.try_into().expect("lane-width chunk");
+                forest.accumulate8(block, rows.cols(), s8);
+            }
+            for (r, s) in (split..rows.rows()).zip(tail.iter_mut()) {
+                *s = forest.eval(rows.row(r));
+            }
+        } else {
+            // Some stage is too deep for the dense layout: tree-major
+            // accumulation, each stage walking 16 rows in lane parallel
+            // (`RegressionTree::accumulate_batch`).
+            for tree in &self.stages {
+                tree.accumulate_batch(rows, &mut sums);
+            }
         }
         sums.into_iter()
             .map(|s| self.base + self.params.learning_rate * s)

@@ -178,16 +178,24 @@ impl Regressor for LassoRegression {
             .filter(|(_, w)| **w != 0.0)
             .map(|(j, &w)| (j, w))
             .collect();
+        // Lane-parallel main loop: four rows per block, each lane running
+        // the identical term sequence (see `simd::lasso_fold4`), with the
+        // `rows % 4` tail on the scalar path.
         let (means, stds) = (scaler.means(), scaler.stds());
-        rows.row_iter()
-            .map(|row| {
-                let z: f64 = nz
-                    .iter()
-                    .map(|&(j, w)| w * ((row[j] - means[j]) / stds[j]))
-                    .sum();
-                self.intercept + self.target_scale * z
-            })
-            .collect()
+        let mut out = Vec::with_capacity(rows.rows());
+        for block in rows.lane_blocks() {
+            let z = crate::simd::lasso_fold4(block.lanes(), &nz, means, stds);
+            out.extend(z.iter().map(|&zk| self.intercept + self.target_scale * zk));
+        }
+        for r in rows.lane_tail()..rows.rows() {
+            let row = rows.row(r);
+            let z: f64 = nz
+                .iter()
+                .map(|&(j, w)| w * ((row[j] - means[j]) / stds[j]))
+                .sum();
+            out.push(self.intercept + self.target_scale * z);
+        }
+        out
     }
 
     fn name(&self) -> &'static str {

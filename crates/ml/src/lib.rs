@@ -40,6 +40,7 @@ mod metrics;
 mod model;
 mod offline;
 mod scale;
+pub mod simd;
 mod tree;
 
 pub use cv::{best_lambda, cross_val_r2, kfold_indices, lasso_path, LassoPathPoint};
@@ -48,7 +49,7 @@ pub use features::{quadratic_expand, quadratic_feature_names, QuadraticExpander}
 pub use gbrt::{GradientBoosting, GradientBoostingParams};
 pub use hier::HierarchicalPredictor;
 pub use lasso::LassoRegression;
-pub use linalg::{solve_spd, Matrix};
+pub use linalg::{solve_spd, Matrix, RowBlock4};
 pub use linear::RidgeRegression;
 pub use metrics::{coefficient_of_determination, mean_absolute_error, root_mean_squared_error};
 pub use model::Regressor;

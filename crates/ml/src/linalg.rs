@@ -125,6 +125,89 @@ impl Matrix {
             self.set(i, i, cur + v);
         }
     }
+
+    /// Iterate over full [`LANES`](crate::simd::LANES)-row blocks for the
+    /// lane-parallel kernels in [`crate::simd`].
+    ///
+    /// The matrix is row-major, so four consecutive rows already share one
+    /// contiguous backing slice with stride `cols` — the block view is
+    /// zero-copy. Rows past the last full block (`rows % 4` of them, the
+    /// scalar tail) are not yielded; they start at [`Matrix::lane_tail`].
+    pub fn lane_blocks(&self) -> impl Iterator<Item = RowBlock4<'_>> {
+        let cols = self.cols;
+        self.data
+            .chunks_exact(cols * crate::simd::LANES)
+            .map(move |data| RowBlock4 { data, cols })
+    }
+
+    /// Index of the first row not covered by [`Matrix::lane_blocks`] —
+    /// the start of the `rows % 4` scalar tail (equals `rows()` when the
+    /// row count divides evenly).
+    #[must_use]
+    pub fn lane_tail(&self) -> usize {
+        self.rows - self.rows % crate::simd::LANES
+    }
+
+    /// Iterate over full `W`-row groups as lane arrays for the
+    /// width-generic tree kernels in [`crate::simd`] — the wide sibling
+    /// of [`Matrix::lane_blocks`], equally zero-copy. Rows past the last
+    /// full group start at [`Matrix::group_tail`].
+    pub fn row_groups<const W: usize>(&self) -> impl Iterator<Item = [&[f64]; W]> {
+        let cols = self.cols;
+        self.data.chunks_exact(cols * W).map(move |chunk| {
+            // Split manually rather than via array::from_fn: this inlines
+            // to W pointer adds, with no closure call in the hot loop.
+            let mut out: [&[f64]; W] = [&[]; W];
+            let mut rest = chunk;
+            for slot in &mut out {
+                let (head, tail) = rest.split_at(cols);
+                *slot = head;
+                rest = tail;
+            }
+            out
+        })
+    }
+
+    /// Iterate over full `W`-row groups as single contiguous slices of
+    /// `W * cols` values (row-major, stride = column count) — the flat
+    /// sibling of [`Matrix::row_groups`] for kernels that index lanes by
+    /// offset instead of through per-row slices. Rows past the last full
+    /// group start at [`Matrix::group_tail`].
+    pub fn row_chunks<const W: usize>(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols * W)
+    }
+
+    /// Index of the first row not covered by [`Matrix::row_groups`] /
+    /// [`Matrix::row_chunks`] with the same `W` — the start of the
+    /// `rows % W` scalar tail.
+    #[must_use]
+    pub fn group_tail<const W: usize>(&self) -> usize {
+        self.rows - self.rows % W
+    }
+}
+
+/// A borrowed block of four consecutive matrix rows sharing one
+/// contiguous backing slice (stride = column count). Produced by
+/// [`Matrix::lane_blocks`]; feeds the kernels in [`crate::simd`] without
+/// copying.
+#[derive(Debug, Clone, Copy)]
+pub struct RowBlock4<'a> {
+    data: &'a [f64],
+    cols: usize,
+}
+
+impl<'a> RowBlock4<'a> {
+    /// The four row slices, in matrix order.
+    #[must_use]
+    pub fn lanes(&self) -> [&'a [f64]; crate::simd::LANES] {
+        let c = self.cols;
+        [
+            &self.data[..c],
+            &self.data[c..2 * c],
+            &self.data[2 * c..3 * c],
+            &self.data[3 * c..4 * c],
+        ]
+    }
 }
 
 /// Solve `A x = b` for symmetric positive-definite `A` via Cholesky
@@ -270,5 +353,59 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn zero_dims_panic() {
         let _ = Matrix::zeros(0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_cols_panic() {
+        let _ = Matrix::zeros(3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn from_rows_rejects_zero_rows() {
+        let _ = Matrix::from_rows(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn from_rows_rejects_ragged_input() {
+        let _ = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0]]);
+    }
+
+    #[test]
+    fn lane_blocks_cover_every_row_exactly_once_for_all_tails() {
+        // rows % 4 in {1, 2, 3, 0}: blocks plus tail must partition the
+        // rows in order, with a tail strictly shorter than one block.
+        for rows in 1..=9usize {
+            let m = Matrix::from_rows(
+                (0..rows)
+                    .map(|r| vec![r as f64, r as f64 + 0.5, -(r as f64)])
+                    .collect(),
+            );
+            let tail = m.lane_tail();
+            assert_eq!(tail % 4, 0, "rows={rows}");
+            assert!(m.rows() - tail < 4, "rows={rows}");
+            let mut seen = 0usize;
+            for block in m.lane_blocks() {
+                for lane in block.lanes() {
+                    assert_eq!(lane, m.row(seen), "rows={rows} row={seen}");
+                    seen += 1;
+                }
+            }
+            assert_eq!(seen, tail, "rows={rows}");
+            for r in tail..m.rows() {
+                assert_eq!(m.row(r)[0], r as f64, "rows={rows}");
+            }
+        }
+    }
+
+    #[test]
+    fn lane_blocks_on_single_column_matrix() {
+        let m = Matrix::from_rows((0..5).map(|r| vec![r as f64]).collect());
+        let blocks: Vec<_> = m.lane_blocks().collect();
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(m.lane_tail(), 4);
+        assert_eq!(blocks[0].lanes()[3], &[3.0]);
     }
 }

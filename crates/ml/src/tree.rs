@@ -30,13 +30,16 @@ impl Default for TreeParams {
     }
 }
 
-/// Feature sentinel marking a leaf node.
-const LEAF: u32 = u32::MAX;
-
 /// Flattened tree nodes in structure-of-arrays layout. Node 0 is the
-/// root; `feature[i] == LEAF` marks a leaf predicting `value[i]`, and
-/// interior nodes route `row[feature[i]] <= threshold[i]` to `left[i]`,
-/// else `right[i]`.
+/// root; interior nodes route `row[feature[i]] <= threshold[i]` to
+/// `left[i]`, else `right[i]`. A leaf is an *absorbing self-loop*
+/// (`left == right == self`, with feature 0 and threshold 0.0): stepping
+/// it lands back on it regardless of the compare. That lets the
+/// fixed-depth lane-parallel walk in [`crate::simd`] step every lane
+/// `max_depth` times unconditionally — one gather/compare/select per
+/// level, no leaf-sentinel test in the hot loop. Children are always
+/// pushed after their parent, so `left[i] == i` uniquely identifies
+/// leaves for the early-exit scalar walk.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 struct FlatNodes {
     feature: Vec<u32>,
@@ -48,7 +51,15 @@ struct FlatNodes {
 
 impl FlatNodes {
     fn push_leaf(&mut self, value: f64) -> u32 {
-        self.push(LEAF, 0.0, value)
+        let id = self.push(0, 0.0, value);
+        self.left[id as usize] = id;
+        self.right[id as usize] = id;
+        id
+    }
+
+    /// Leaves are exactly the self-looping nodes.
+    fn is_leaf(&self, i: usize) -> bool {
+        self.left[i] as usize == i
     }
 
     fn push_split(&mut self, feature: usize, threshold: f64) -> u32 {
@@ -162,17 +173,23 @@ impl RegressionTree {
         best.map(|(f, t, _)| (f, t))
     }
 
+    /// The fitted node table, or `None` before [`Regressor::fit`] — the
+    /// shared not-fitted gate for every predict entry point, matching the
+    /// `Option`-backed fitted-state checks of the other models.
+    fn fitted(&self) -> Option<&FlatNodes> {
+        (!self.nodes.feature.is_empty()).then_some(&self.nodes)
+    }
+
     /// Walk the flat node table for one row. The tree must be fitted.
     #[inline]
     pub(crate) fn eval_row(&self, row: &[f64]) -> f64 {
         let n = &self.nodes;
         let mut i = 0usize;
         loop {
-            let f = n.feature[i];
-            if f == LEAF {
+            if n.is_leaf(i) {
                 return n.value[i];
             }
-            i = if row[f as usize] <= n.threshold[i] {
+            i = if row[n.feature[i] as usize] <= n.threshold[i] {
                 n.left[i] as usize
             } else {
                 n.right[i] as usize
@@ -180,24 +197,72 @@ impl RegressionTree {
         }
     }
 
+    /// Lane width of the deep-tree fallback walk in
+    /// [`RegressionTree::accumulate_batch`].
+    pub(crate) const ACCUM_LANES: usize = 16;
+
+    /// Densify this tree for the pointer-free heap walk, or `None` when
+    /// it exceeds [`crate::simd::DENSE_MAX_DEPTH`].
+    pub(crate) fn densify(&self) -> Option<crate::simd::DenseTree> {
+        let n = &self.nodes;
+        crate::simd::DenseTree::from_flat(&n.feature, &n.threshold, &n.left, &n.right, &n.value)
+    }
+
     /// Add this tree's prediction for every matrix row into `sums`
-    /// (gradient boosting's inner loop). Node arrays are hoisted to local
-    /// slices so the walk compiles to pure index chasing.
+    /// (gradient boosting's inner loop). The tree is first re-laid out
+    /// as a dense complete tree ([`crate::simd::DenseTree`], a few
+    /// hundred bytes for the shallow boosting learners — built once per
+    /// batch, amortized over every row), then full 4-row blocks walk
+    /// lane-parallel with computed children and the `rows % 4` tail
+    /// walks one row at a time. Trees too deep to densify take the
+    /// 16-wide interleaved flat-table walk instead
+    /// ([`crate::simd::tree_accumulate`]).
     pub(crate) fn accumulate_batch(&self, rows: &Matrix, sums: &mut [f64]) {
+        debug_assert_eq!(sums.len(), rows.rows());
+        if let Some(dense) = self.densify() {
+            let split = rows.group_tail::<8>();
+            let (head, tail) = sums.split_at_mut(split);
+            for (block, s8) in rows.row_chunks::<8>().zip(head.chunks_exact_mut(8)) {
+                // mct-tidy: allow(P003) -- chunks_exact_mut(8) yields exactly 8
+                let s8: &mut [f64; 8] = s8.try_into().expect("lane-width chunk");
+                dense.accumulate8(block, rows.cols(), s8);
+            }
+            for (r, s) in (split..rows.rows()).zip(tail.iter_mut()) {
+                *s += dense.eval(rows.row(r));
+            }
+            return;
+        }
+        const W: usize = RegressionTree::ACCUM_LANES;
         let feature = self.nodes.feature.as_slice();
         let threshold = self.nodes.threshold.as_slice();
         let left = self.nodes.left.as_slice();
         let right = self.nodes.right.as_slice();
         let value = self.nodes.value.as_slice();
-        for (row, s) in rows.row_iter().zip(sums.iter_mut()) {
+        let split = rows.group_tail::<W>();
+        let (head, tail) = sums.split_at_mut(split);
+        for (lanes, sw) in rows.row_groups::<W>().zip(head.chunks_exact_mut(W)) {
+            // mct-tidy: allow(P003) -- chunks_exact_mut(W) yields exactly W
+            let sw: &mut [f64; W] = sw.try_into().expect("lane-width chunk");
+            crate::simd::tree_accumulate(
+                &lanes,
+                feature,
+                threshold,
+                left,
+                right,
+                value,
+                self.params.max_depth,
+                sw,
+            );
+        }
+        for (r, s) in (split..rows.rows()).zip(tail.iter_mut()) {
+            let row = rows.row(r);
             let mut i = 0usize;
             loop {
-                let f = feature[i];
-                if f == LEAF {
+                if left[i] as usize == i {
                     *s += value[i];
                     break;
                 }
-                i = if row[f as usize] <= threshold[i] {
+                i = if row[feature[i] as usize] <= threshold[i] {
                     left[i] as usize
                 } else {
                     right[i] as usize
@@ -209,7 +274,9 @@ impl RegressionTree {
     /// Number of leaves (diagnostics).
     #[must_use]
     pub fn leaves(&self) -> usize {
-        self.nodes.feature.iter().filter(|&&f| f == LEAF).count()
+        (0..self.nodes.feature.len())
+            .filter(|&i| self.nodes.is_leaf(i))
+            .count()
     }
 }
 
@@ -220,15 +287,37 @@ impl Regressor for RegressionTree {
     }
 
     fn predict(&self, row: &[f64]) -> f64 {
-        assert!(!self.nodes.feature.is_empty(), "model not fitted");
+        // mct-tidy: allow(P003) -- Regressor contract: fit() before predict()
+        self.fitted().expect("model not fitted");
         self.eval_row(row)
     }
 
     fn predict_batch(&self, rows: &Matrix) -> Vec<f64> {
-        assert!(!self.nodes.feature.is_empty(), "model not fitted");
-        (0..rows.rows())
-            .map(|r| self.eval_row(rows.row(r)))
-            .collect()
+        // mct-tidy: allow(P003) -- Regressor contract: fit() before predict()
+        let nodes = self.fitted().expect("model not fitted");
+        const W: usize = RegressionTree::ACCUM_LANES;
+        let mut out = Vec::with_capacity(rows.rows());
+        if let Some(dense) = self.densify() {
+            // The dense walk *assigns* the leaf value (never sums from
+            // +0.0), so a -0.0 leaf survives bit-exactly.
+            out.extend(rows.row_iter().map(|row| dense.eval(row)));
+            return out;
+        }
+        for lanes in rows.row_groups::<W>() {
+            out.extend(crate::simd::tree_eval(
+                &lanes,
+                &nodes.feature,
+                &nodes.threshold,
+                &nodes.left,
+                &nodes.right,
+                &nodes.value,
+                self.params.max_depth,
+            ));
+        }
+        for r in rows.group_tail::<W>()..rows.rows() {
+            out.push(self.eval_row(rows.row(r)));
+        }
+        out
     }
 
     fn name(&self) -> &'static str {

@@ -1,0 +1,95 @@
+//! SIMD kernels must be bit-identical to the scalar reference.
+//!
+//! The lane-parallel batch paths (lasso sparse dot, tree walk, GBRT
+//! tree-major accumulation) vectorize across rows, never across a
+//! reduction dimension, so every batch prediction must equal the
+//! pointwise scalar `predict` *to the bit* — for every model and for
+//! every `rows % 4` tail shape (1, 2, 3 and 0 trailing scalar rows).
+//! CI runs this suite in release mode, where autovectorization is
+//! actually live.
+
+use mct_ml::{
+    Dataset, GradientBoosting, GradientBoostingParams, LassoRegression, Matrix, RegressionTree,
+    Regressor, TreeParams,
+};
+
+/// A deterministic nonlinear dataset with enough spread to exercise
+/// every tree path and leave lasso with a mixed support.
+fn training_data() -> Dataset {
+    let rows: Vec<Vec<f64>> = (0..120)
+        .map(|i| {
+            let a = (i % 11) as f64;
+            let b = ((i * 7) % 13) as f64;
+            let c = ((i * 3) % 5) as f64;
+            vec![a, b, c]
+        })
+        .collect();
+    let y: Vec<f64> = rows
+        .iter()
+        .map(|r| (r[0] * r[1] * 0.21).sin() * 4.0 + 2.0 * r[0] - 0.7 * r[2] + 0.5)
+        .collect();
+    Dataset::from_rows(rows, y)
+}
+
+/// Query rows off the training grid, `n` of them (tail shapes come from
+/// varying `n`).
+fn query_rows(n: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            vec![
+                i as f64 * 0.73 - 2.0,
+                (i as f64 * 1.31).rem_euclid(13.0),
+                i as f64 * 0.17,
+            ]
+        })
+        .collect()
+}
+
+fn assert_batch_bit_identical(model: &dyn Regressor, label: &str) {
+    // 1..=9 covers tails of 1, 2, 3 and the exact-multiple case; 64 and
+    // 67 exercise many blocks with and without a tail.
+    for n in (1..=9).chain([64, 67]) {
+        let rows = query_rows(n);
+        let batch = model.predict_batch(&Matrix::from_rows(rows.clone()));
+        assert_eq!(batch.len(), n, "{label} n={n}");
+        for (i, (row, b)) in rows.iter().zip(&batch).enumerate() {
+            assert_eq!(
+                model.predict(row).to_bits(),
+                b.to_bits(),
+                "{label} n={n} row {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn lasso_simd_batch_is_bit_identical_to_scalar() {
+    let mut m = LassoRegression::new(0.05);
+    m.fit(&training_data());
+    assert_batch_bit_identical(&m, "lasso");
+}
+
+#[test]
+fn tree_simd_batch_is_bit_identical_to_scalar() {
+    let mut m = RegressionTree::new(TreeParams::default());
+    m.fit(&training_data());
+    assert_batch_bit_identical(&m, "tree");
+}
+
+#[test]
+fn deep_tree_simd_batch_is_bit_identical_to_scalar() {
+    // Deeper trees diverge lanes harder (different walk lengths per lane).
+    let mut m = RegressionTree::new(TreeParams {
+        max_depth: 8,
+        min_leaf: 1,
+    });
+    m.fit(&training_data());
+    assert_batch_bit_identical(&m, "deep-tree");
+}
+
+#[test]
+fn gbrt_simd_batch_is_bit_identical_to_scalar() {
+    let mut m = GradientBoosting::new(GradientBoostingParams::default());
+    m.fit(&training_data());
+    assert_batch_bit_identical(&m, "gbrt");
+}

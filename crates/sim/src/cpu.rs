@@ -198,6 +198,12 @@ impl CpuModel {
 
     fn reap_completed(&mut self, mem: &mut MemoryController) {
         let now = self.now;
+        // Advance once, then only walk the window when something actually
+        // finished — the retain is a no-op otherwise.
+        mem.advance_to(now);
+        if !mem.has_completed_reads() {
+            return;
+        }
         self.outstanding
             .retain(|&id| mem.take_completed_read(id, now).is_none());
     }

@@ -60,6 +60,7 @@ pub mod error;
 pub mod fault;
 pub mod mem;
 pub mod policy;
+pub mod rigset;
 pub mod stats;
 pub mod system;
 pub mod time;
@@ -74,6 +75,7 @@ pub use error::SimError;
 pub use fault::{FaultEvent, FaultPlan, FaultRuntime};
 pub use mem::{MemConfig, MemoryController};
 pub use policy::{CancellationMode, MellowPolicy, WriteSpeed};
+pub use rigset::{RigSet, DEFAULT_SLICE_INSTS};
 pub use stats::{PerfCounters, RunStats};
 pub use system::{MultiSystem, System, SystemConfig};
 pub use time::{Cycles, Time};

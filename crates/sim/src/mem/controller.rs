@@ -375,6 +375,14 @@ impl MemoryController {
         self.reads.take_done(id)
     }
 
+    /// Whether any read has completed but not yet been taken, as of the
+    /// last [`Self::advance_to`]. Lets callers tracking many outstanding
+    /// reads skip their reap scan when nothing can have finished.
+    #[must_use]
+    pub fn has_completed_reads(&self) -> bool {
+        self.reads.done_count() > 0
+    }
+
     /// Block (advance simulated time with no new arrivals) until read `id`
     /// completes; returns its completion time.
     ///
@@ -581,18 +589,26 @@ impl MemoryController {
         if t <= self.now && self.settled {
             return;
         }
-        loop {
+        // At a settled instant harvest + schedule are no-ops, so the loop
+        // can start straight at the next-event computation.
+        if !self.settled {
             self.harvest();
             self.schedule();
+        }
+        loop {
             let next = self.next_event();
             if next > t {
                 break;
             }
             self.now = next;
+            self.harvest();
+            self.schedule();
         }
+        // The loop broke with next_event() > t, and next_event covers every
+        // wake source (completions, recovery waiters, scrubs, tFAW release,
+        // outage ends) — so nothing matures in (now, t] and a trailing
+        // harvest + schedule at t would be a no-op. Just move the clock.
         self.now = self.now.max(t);
-        self.harvest();
-        self.schedule();
         self.settled = true;
     }
 
@@ -601,8 +617,12 @@ impl MemoryController {
     /// # Panics
     /// Panics when no event can ever fire (deadlock), reporting `ctx`.
     fn step_or_panic(&mut self, ctx: &str) {
-        self.harvest();
-        self.schedule();
+        // The leading harvest + schedule only matter when some mutation
+        // broke the fixpoint since the last settle (see `advance_to`).
+        if !self.settled {
+            self.harvest();
+            self.schedule();
+        }
         let next = self.next_event();
         assert!(
             next != Time::NEVER,
@@ -764,7 +784,12 @@ impl MemoryController {
 
     /// Queue a maintenance (scrub/refresh) write, deferring when the
     /// write queue is full.
+    ///
+    /// Breaks the settled fixpoint: the new queue entry needs a schedule
+    /// pass that some callers (e.g. [`Self::drain_all`]'s scrub flush)
+    /// don't run themselves.
     fn enqueue_maintenance(&mut self, line: u64) {
+        self.settled = false;
         if !self.try_enqueue_maintenance_write(line) {
             self.deferred_maintenance.push_back(line);
         }
@@ -890,6 +915,9 @@ impl MemoryController {
     }
 
     fn try_issue_read(&mut self, free: u64) -> bool {
+        if free & self.read_q.bank_mask() == 0 {
+            return false;
+        }
         // tFAW: while the activation window is saturated, only row-buffer
         // hits (no activation) may issue.
         let faw_blocked = self.faw_gate().is_some();
@@ -954,6 +982,9 @@ impl MemoryController {
 
     /// Drain-mode write issue: any free bank.
     fn try_issue_write(&mut self, free: u64) -> bool {
+        if free & self.write_q.bank_mask() == 0 {
+            return false;
+        }
         let Some(p) = self.write_q.pop_oldest_for_free_bank(free) else {
             return false;
         };
@@ -963,12 +994,13 @@ impl MemoryController {
 
     /// Outside drain, a write may use a bank only if no read wants it.
     fn try_issue_opportunistic_write(&mut self, free: u64) -> bool {
-        let p = {
-            let read_q = &self.read_q;
-            self.write_q.pop_first_matching(|p| {
-                free & (1u64 << p.bank) != 0 && read_q.count_for_bank(p.bank) == 0
-            })
-        };
+        let eligible = free & self.write_q.bank_mask() & !self.read_q.bank_mask();
+        if eligible == 0 {
+            return false;
+        }
+        let p = self
+            .write_q
+            .pop_first_matching(|p| eligible & (1u64 << p.bank) != 0);
         let Some(p) = p else {
             return false;
         };
@@ -978,15 +1010,14 @@ impl MemoryController {
 
     /// Eager writes use only fully quiescent banks.
     fn try_issue_eager(&mut self, free: u64) -> bool {
-        let p = {
-            let read_q = &self.read_q;
-            let write_q = &self.write_q;
-            self.eager_q.pop_first_matching(|p| {
-                free & (1u64 << p.bank) != 0
-                    && read_q.count_for_bank(p.bank) == 0
-                    && write_q.count_for_bank(p.bank) == 0
-            })
-        };
+        let eligible =
+            free & self.eager_q.bank_mask() & !self.read_q.bank_mask() & !self.write_q.bank_mask();
+        if eligible == 0 {
+            return false;
+        }
+        let p = self
+            .eager_q
+            .pop_first_matching(|p| eligible & (1u64 << p.bank) != 0);
         let Some(p) = p else {
             return false;
         };

@@ -36,6 +36,9 @@ pub(crate) struct Pending {
 pub struct BankQueue {
     items: VecDeque<Pending>,
     per_bank: Vec<u32>,
+    /// Bit b set = at least one queued request targets bank b. Lets the
+    /// scheduler rule out a whole queue with one AND instead of scanning.
+    bank_mask: u64,
     cap: usize,
 }
 
@@ -56,7 +59,26 @@ impl BankQueue {
         BankQueue {
             items: VecDeque::with_capacity(cap),
             per_bank: vec![0; banks],
+            bank_mask: 0,
             cap,
+        }
+    }
+
+    /// Mask of banks with at least one queued request.
+    #[must_use]
+    pub fn bank_mask(&self) -> u64 {
+        self.bank_mask
+    }
+
+    fn incr_bank(&mut self, bank: usize) {
+        self.per_bank[bank] += 1;
+        self.bank_mask |= 1u64 << bank;
+    }
+
+    fn decr_bank(&mut self, bank: usize) {
+        self.per_bank[bank] -= 1;
+        if self.per_bank[bank] == 0 {
+            self.bank_mask &= !(1u64 << bank);
         }
     }
 
@@ -97,7 +119,7 @@ impl BankQueue {
         if self.is_full() {
             return false;
         }
-        self.per_bank[p.bank] += 1;
+        self.incr_bank(p.bank);
         self.items.push_back(p);
         true
     }
@@ -108,7 +130,7 @@ impl BankQueue {
     /// Bypasses the capacity check: a canceled write's slot was freed when
     /// it was popped, and re-admission must not fail.
     pub(crate) fn push_front(&mut self, p: Pending) {
-        self.per_bank[p.bank] += 1;
+        self.incr_bank(p.bank);
         self.items.push_front(p);
     }
 
@@ -128,7 +150,7 @@ impl BankQueue {
             .remove(idx)
             // mct-tidy: allow(P003) -- idx comes from position() on the same deque
             .expect("index from position is valid");
-        self.per_bank[bank] -= 1;
+        self.decr_bank(bank);
         Some(p)
     }
 
@@ -149,7 +171,7 @@ impl BankQueue {
             .remove(idx)
             // mct-tidy: allow(P003) -- idx comes from position() on the same deque
             .expect("index from position is valid");
-        self.per_bank[p.bank] -= 1;
+        self.decr_bank(p.bank);
         Some(p)
     }
 

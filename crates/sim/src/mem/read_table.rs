@@ -28,6 +28,9 @@ pub(crate) struct ReadTable {
     dones: Vec<Time>,
     mask: u64,
     live: usize,
+    /// Completed-but-unreaped entries; lets the CPU model skip its reap
+    /// scan entirely when nothing has finished.
+    done: usize,
 }
 
 impl ReadTable {
@@ -40,7 +43,13 @@ impl ReadTable {
             dones: vec![IN_FLIGHT; cap],
             mask: cap as u64 - 1,
             live: 0,
+            done: 0,
         }
+    }
+
+    /// Number of completed-but-unreaped reads.
+    pub fn done_count(&self) -> usize {
+        self.done
     }
 
     /// Number of tracked reads (in flight + completed-but-unreaped).
@@ -85,7 +94,9 @@ impl ReadTable {
         debug_assert!(done != IN_FLIGHT);
         let s = self.slot(id.0);
         if self.ids[s] == id.0 {
+            debug_assert!(self.dones[s] == IN_FLIGHT, "completed twice");
             self.dones[s] = done;
+            self.done += 1;
             Some(self.arrivals[s])
         } else {
             None
@@ -99,6 +110,7 @@ impl ReadTable {
         if self.ids[s] == id.0 && self.dones[s] != IN_FLIGHT {
             self.ids[s] = 0;
             self.live -= 1;
+            self.done -= 1;
             Some(self.dones[s])
         } else {
             None

@@ -13,7 +13,7 @@ use crate::mem::{MemConfig, MemoryController};
 use crate::policy::MellowPolicy;
 use crate::stats::{PerfCounters, RunStats};
 use crate::time::Time;
-use crate::trace::AccessSource;
+use crate::trace::{AccessSource, TraceEvent};
 use crate::wear::WearModel;
 
 /// Bundled configuration for a simulated system.
@@ -135,6 +135,18 @@ impl System {
         let target = self.cpu.instructions() + insts;
         while self.cpu.instructions() < target {
             let ev = source.next_access();
+            self.cpu.process(ev, &mut self.llc, &mut self.mem);
+        }
+    }
+
+    /// Process a pre-pulled slice of trace events, without finalizing.
+    ///
+    /// Processing a buffered prefix of a source is identical to pulling
+    /// the same events from it one at a time — this is what lets
+    /// [`crate::rigset::RigSet`] generate each event once and replay it
+    /// through many systems.
+    pub fn run_events(&mut self, events: &[TraceEvent]) {
+        for &ev in events {
             self.cpu.process(ev, &mut self.llc, &mut self.mem);
         }
     }
