@@ -1,0 +1,131 @@
+//! The three training paths this PR's perf work targets: the k-fold
+//! quad-lasso regularization path (warm vs cold start), the presorted
+//! GBRT fit at several worker counts, and the controller's full
+//! predictor refit. The `fitpath` binary records the same paths as
+//! wall-clock JSON; these Criterion benches track them with proper
+//! statistics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mct_core::{MetricsPredictor, ModelKind};
+use mct_ml::{
+    lasso_path_fits, quadratic_expand, Dataset, GradientBoosting, GradientBoostingParams,
+    LassoFoldCache, Regressor, TreeParams,
+};
+
+/// Controller-shaped quad-lasso training set (15 columns after
+/// expansion).
+fn quad_lasso_data(n: usize) -> Dataset {
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let a = (i % 13) as f64;
+            let b = ((i * 7) % 11) as f64;
+            let c = ((i * 3) % 17) as f64 / 4.0;
+            let d = ((i * 31) % 23) as f64 / 8.0;
+            quadratic_expand(&[a, b, c, d])
+        })
+        .collect();
+    let y: Vec<f64> = (0..n)
+        .map(|i| {
+            let a = (i % 13) as f64;
+            let c = ((i * 3) % 17) as f64 / 4.0;
+            3.0 * a - 1.5 * a * c + 0.25 * c * c + ((i * 5) % 7) as f64 * 0.01
+        })
+        .collect();
+    Dataset::from_rows(rows, y)
+}
+
+fn gbrt_data(n: usize) -> Dataset {
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..8)
+                .map(|j| ((i * (2 * j + 3)) % (17 + j)) as f64)
+                .collect()
+        })
+        .collect();
+    let y: Vec<f64> = rows
+        .iter()
+        .map(|r| (r[0] * r[4]).sin() * 4.0 + r[1] * 0.3 - r[6] + (r[2] - r[7]).abs())
+        .collect();
+    Dataset::from_rows(rows, y)
+}
+
+/// Full 30-lambda 5-fold path: warm starts (production) vs cold starts
+/// (the differential-suite reference), both over the same fold cache,
+/// plus the cache build itself.
+fn bench_lasso_path(c: &mut Criterion) {
+    let data = quad_lasso_data(84);
+    let mut group = c.benchmark_group("fitpath_quad_lasso");
+    group.bench_function("fold_cache_build", |b| {
+        b.iter(|| std::hint::black_box(LassoFoldCache::new(&data, 5)));
+    });
+    let cache = LassoFoldCache::new(&data, 5);
+    for (label, warm) in [("warm_start", true), ("cold_start", false)] {
+        group.bench_function(label, |b| {
+            b.iter(|| std::hint::black_box(lasso_path_fits(&cache, 1e-3, 1e2, 30, warm)));
+        });
+    }
+    group.finish();
+}
+
+/// One full boosting fit; worker counts share one fitted result shape
+/// (the trees are bit-identical — see `tests/fit_differential.rs`), so
+/// this measures pure scheduling overhead/benefit.
+fn bench_gbrt_fit(c: &mut Criterion) {
+    let data = gbrt_data(1024);
+    let mut group = c.benchmark_group("fitpath_gbrt_fit");
+    group.sample_size(20);
+    for workers in [1usize, 2, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let mut model = GradientBoosting::new(GradientBoostingParams {
+                        stages: 80,
+                        learning_rate: 0.1,
+                        subsample: 0.8,
+                        tree: TreeParams {
+                            max_depth: 4,
+                            min_leaf: 2,
+                        },
+                        seed: 7,
+                        workers,
+                    });
+                    model.fit(&data);
+                    std::hint::black_box(model.n_stages())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The controller's per-segment refit: three per-objective fits from 84
+/// samples (what refit elision skips when the phase signature repeats).
+fn bench_controller_refit(c: &mut Criterion) {
+    let samples = mct_bench::synthetic_samples(84, 11);
+    let mut group = c.benchmark_group("fitpath_controller_refit");
+    for kind in [ModelKind::QuadraticLasso, ModelKind::GradientBoosting] {
+        group.bench_with_input(
+            BenchmarkId::new("model", format!("{kind:?}")),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut p = MetricsPredictor::new(kind);
+                    p.fit(&samples, None);
+                    std::hint::black_box(p)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lasso_path,
+    bench_gbrt_fit,
+    bench_controller_refit
+);
+criterion_main!(benches);

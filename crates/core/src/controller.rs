@@ -68,6 +68,18 @@ pub struct ControllerConfig {
     pub health_check_insts: u64,
     /// RNG seed (sampling).
     pub seed: u64,
+    /// Skip the segment-start refit when the previous segment's health
+    /// checks all passed and the new segment's workload intensity sits
+    /// within a quarter octave of a banked fit's — the PR 7
+    /// fixpoint-elision pattern applied to training. The controller
+    /// banks the last few clean fits keyed by their *fit-time*
+    /// intensity (so slow drift cannot ratchet an elided model away
+    /// from the phase it was trained on), which lets alternating
+    /// phases (A→B→A) reuse both models. The bank is dropped whenever
+    /// the degradation ladder forces a refit or a revert. Deserializes
+    /// to `false` for configs written before this field existed.
+    #[serde(default)]
+    pub refit_elision: bool,
     /// Optional deterministic fault plan, armed on the simulated system
     /// right after warmup (`mct chaos`). `None` leaves the simulator's
     /// fault hooks disarmed — the zero-overhead hot path.
@@ -97,6 +109,7 @@ impl ControllerConfig {
             health_check_every_windows: 5,
             health_check_insts: 30_000,
             seed: 17,
+            refit_elision: true,
             fault_plan: None,
         }
     }
@@ -125,6 +138,7 @@ impl ControllerConfig {
             health_check_every_windows: 8,
             health_check_insts: 10_000,
             seed: 17,
+            refit_elision: true,
             fault_plan: None,
         }
     }
@@ -186,6 +200,10 @@ pub struct SegmentReport {
     pub testing: Metrics,
     /// Whether a health check demoted the choice back to the baseline.
     pub health_fallback: bool,
+    /// Whether this segment's refit was elided (predictor reused from
+    /// the previous segment on a matching phase signature).
+    #[serde(default)]
+    pub fit_elided: bool,
     /// Sampling instructions spent.
     pub sampling_insts: u64,
     /// Testing instructions spent.
@@ -351,6 +369,22 @@ impl Controller {
         // The degradation ladder outlives segments: faults persist across
         // phase boundaries, so escalation must not reset on re-sample.
         let mut ladder = DegradationLadder::new();
+        // Bank of recently fitted predictors, each keyed by the measured
+        // workload intensity (accesses/kinst) at fit time: a new segment
+        // whose intensity stays within a quarter octave of a banked fit
+        // (and whose health record is clean) reuses that model instead of
+        // refitting — alternating phases (ocean's A→B→A) hit the bank on
+        // every return. Entries anchor on the intensity *at fit time*, so
+        // slow drift cannot ratchet an elided model arbitrarily far from
+        // the phase it was trained on. Invalidated wholesale whenever the
+        // ladder forces a refit or a revert — the banked models no longer
+        // describe how the system behaves.
+        const FIT_CACHE_SLOTS: usize = 4;
+        let mut fit_cache: Vec<(f64, MetricsPredictor)> = Vec::new();
+        // Did every health check in the *previous* segment pass? A failed
+        // check means the cached model misjudged this regime, so the next
+        // segment must refit even if the intensity still matches.
+        let mut last_segment_healthy = true;
         let mut segments: Vec<SegmentReport> = Vec::new();
         let mut total_sampling = MetricAccum::default();
         let mut total_testing = MetricAccum::default();
@@ -496,54 +530,109 @@ impl Controller {
             // accumulates across the two spans so the diagnostics block
             // between them — refits, lasso reports — is not charged to it.
             let mut decision_us = 0.0;
-            let fit_timer = self.telemetry.stage("fit", executed);
-            // mct-tidy: allow(D002) -- telemetry-gated latency probe; never feeds results
-            let decision_start = self.telemetry.enabled().then(std::time::Instant::now);
-            let fit_span = self.telemetry.span_with(
-                "fit",
-                executed,
-                &[("learner", self.cfg.model.short_label())],
-            );
-            let mut predictor = MetricsPredictor::new(self.cfg.model);
-            predictor.fit_traced(
-                &sample_data,
-                Some(last_baseline),
-                &mut self.telemetry,
-                executed,
-            );
-            self.telemetry.close_span(fit_span, executed);
-            let predict_span = self.telemetry.span("predict", executed);
-            let predictions = predictor.predict_all(&self.space);
-            self.telemetry.close_span(predict_span, executed);
-            if let Some(start) = decision_start {
-                decision_us += start.elapsed().as_secs_f64() * 1e6;
-            }
-            self.telemetry.finish_stage(fit_timer, executed);
-            if self.telemetry.enabled() {
-                // Diagnostics-only work (k-fold refits, a lasso report)
-                // runs solely when a recorder is attached.
-                self.telemetry.incr("predictor_refits", 1);
-                let lasso_features = if matches!(
-                    self.cfg.model,
-                    ModelKind::LinearLasso | ModelKind::QuadraticLasso
-                ) {
-                    let quadratic = self.cfg.model == ModelKind::QuadraticLasso;
-                    lasso_feature_report(&sample_data, 0, quadratic, 0.01)
-                        .into_iter()
-                        .filter(|(_, w)| w.abs() > 1e-6)
-                        .collect()
-                } else {
-                    Vec::new()
-                };
-                self.telemetry.emit(
+            let phase_sig = crate::phase::phase_signature(apki);
+            // Same-phase test: the banked fit nearest in intensity, if it
+            // sits within a quarter octave. A ratio test (not bucket
+            // equality) so ordinary segment-to-segment measurement jitter
+            // cannot straddle a bucket edge and force a spurious refit;
+            // ties keep the earliest (oldest) entry.
+            let cache_hit = fit_cache
+                .iter()
+                .enumerate()
+                .map(|(slot, (fit_apki, _))| (slot, (apki / fit_apki).log2().abs()))
+                .filter(|&(_, dist)| dist <= 0.25)
+                .fold(None, |best: Option<(usize, f64)>, cand| match best {
+                    Some((_, d)) if d <= cand.1 => best,
+                    _ => Some(cand),
+                })
+                .map(|(slot, _)| slot);
+            let fit_elided = self.cfg.refit_elision && last_segment_healthy && cache_hit.is_some();
+            let predictions;
+            if fit_elided {
+                // Same phase signature, clean health record: the cached
+                // predictor still describes this phase. Skip the fit
+                // span and the diagnostics refits entirely.
+                if self.telemetry.enabled() {
+                    self.telemetry.incr("fit.elided", 1);
+                    self.telemetry.emit(
+                        executed,
+                        Event::FitElided {
+                            segment: segments.len() as u64,
+                            signature: phase_sig,
+                            learner: self.cfg.model.short_label().to_string(),
+                        },
+                    );
+                }
+                // mct-tidy: allow(P003) -- fit_elided implies a banked hit
+                let predictor = &fit_cache[cache_hit.expect("elision requires a cached fit")].1;
+                let predict_span = self.telemetry.span("predict", executed);
+                // mct-tidy: allow(D002) -- telemetry-gated latency probe; never feeds results
+                let decision_start = self.telemetry.enabled().then(std::time::Instant::now);
+                predictions = predictor.predict_all(&self.space);
+                self.telemetry.close_span(predict_span, executed);
+                if let Some(start) = decision_start {
+                    decision_us += start.elapsed().as_secs_f64() * 1e6;
+                }
+            } else {
+                let fit_timer = self.telemetry.stage("fit", executed);
+                // mct-tidy: allow(D002) -- telemetry-gated latency probe; never feeds results
+                let decision_start = self.telemetry.enabled().then(std::time::Instant::now);
+                let fit_span = self.telemetry.span_with(
+                    "fit",
                     executed,
-                    Event::PredictorFitted {
-                        model: self.cfg.model.label().to_string(),
-                        n_samples: sample_data.len() as u64,
-                        cv_r2_ipc: predictor.cv_r2_ipc(&sample_data, 4),
-                        lasso_features,
-                    },
+                    &[("learner", self.cfg.model.short_label())],
                 );
+                let mut predictor = MetricsPredictor::new(self.cfg.model);
+                predictor.fit_traced(
+                    &sample_data,
+                    Some(last_baseline),
+                    &mut self.telemetry,
+                    executed,
+                );
+                self.telemetry.close_span(fit_span, executed);
+                let predict_span = self.telemetry.span("predict", executed);
+                predictions = predictor.predict_all(&self.space);
+                self.telemetry.close_span(predict_span, executed);
+                if let Some(start) = decision_start {
+                    decision_us += start.elapsed().as_secs_f64() * 1e6;
+                }
+                self.telemetry.finish_stage(fit_timer, executed);
+                if self.telemetry.enabled() {
+                    // Diagnostics-only work (k-fold refits, a lasso report)
+                    // runs solely when a recorder is attached.
+                    self.telemetry.incr("predictor_refits", 1);
+                    let lasso_features = if matches!(
+                        self.cfg.model,
+                        ModelKind::LinearLasso | ModelKind::QuadraticLasso
+                    ) {
+                        let quadratic = self.cfg.model == ModelKind::QuadraticLasso;
+                        lasso_feature_report(&sample_data, 0, quadratic, 0.01)
+                            .into_iter()
+                            .filter(|(_, w)| w.abs() > 1e-6)
+                            .collect()
+                    } else {
+                        Vec::new()
+                    };
+                    self.telemetry.emit(
+                        executed,
+                        Event::PredictorFitted {
+                            model: self.cfg.model.label().to_string(),
+                            n_samples: sample_data.len() as u64,
+                            cv_r2_ipc: predictor.cv_r2_ipc(&sample_data, 4),
+                            lasso_features,
+                        },
+                    );
+                }
+                // Bank the fresh fit: refresh the slot covering this
+                // intensity if one exists, else evict the oldest entry.
+                if let Some(slot) = cache_hit {
+                    fit_cache[slot] = (apki, predictor);
+                } else {
+                    if fit_cache.len() == FIT_CACHE_SLOTS {
+                        fit_cache.remove(0);
+                    }
+                    fit_cache.push((apki, predictor));
+                }
             }
 
             // --- Constrained optimization + wear-quota fixup. ---
@@ -605,6 +694,7 @@ impl Controller {
             let testing_timer = self.telemetry.stage("testing", executed);
             let mut seg_testing = MetricAccum::default();
             let mut health_fallback = false;
+            let mut seg_health_ok = true;
             let mut windows: u64 = 0;
             let mut phase_change = false;
             while executed < self.cfg.total_insts {
@@ -672,6 +762,9 @@ impl Controller {
                     // A failed check escalates the degradation ladder one
                     // rung: re-sample, then refit, then the paper's
                     // revert-to-static fallback (Section 5.4).
+                    if failed {
+                        seg_health_ok = false;
+                    }
                     let (action, transition) = ladder.observe(failed);
                     let mut resample = false;
                     match action {
@@ -700,10 +793,15 @@ impl Controller {
                             );
                             chosen = opt.config;
                             self.telemetry.close_span(refit_span, executed);
+                            // The degraded refit mixed testing data into
+                            // the sample set; it is not a clean phase fit
+                            // and must never be reused by elision.
+                            fit_cache.clear();
                         }
                         DegradationAction::RevertToStatic => {
                             health_fallback = true;
                             chosen = self.baseline_config;
+                            fit_cache.clear();
                         }
                     }
                     if self.telemetry.enabled() {
@@ -759,6 +857,7 @@ impl Controller {
                 }
                 sys.reset_stats();
             }
+            last_segment_healthy = seg_health_ok;
             self.telemetry.finish_stage(testing_timer, executed);
             self.telemetry.close_span(testing_span, executed);
             if self.telemetry.enabled() {
@@ -789,6 +888,7 @@ impl Controller {
                     seg_testing.metrics(wear_budget)
                 },
                 health_fallback,
+                fit_elided,
                 sampling_insts: seg_sampling.insts,
                 testing_insts: seg_testing.insts,
             });

@@ -59,7 +59,7 @@ pub use error::MctError;
 pub use extensions::{extended_space, ExtendedNvmConfig};
 pub use objective::{Constraint, Metric, Objective, OptimizeTarget};
 pub use optimizer::{optimize, OptimizationResult};
-pub use phase::{PhaseDetector, PhaseDetectorConfig};
+pub use phase::{phase_signature, PhaseDetector, PhaseDetectorConfig};
 pub use predictor::{MetricsPredictor, ModelKind};
 pub use sampling::{feature_based_samples, random_samples};
 pub use space::ConfigSpace;

@@ -180,6 +180,26 @@ impl PhaseDetector {
     }
 }
 
+/// Coarse signature of a workload phase from its memory accesses per
+/// kilo-instruction: the log₂ bucket index at ⅛-octave granularity
+/// (~9% per bucket, well inside the fluctuation band the t-test
+/// already tolerates). Two segments with equal signatures are "the
+/// same phase" for refit-elision purposes — a deliberately blunt
+/// instrument, because the cost of a false match is one skipped refit
+/// on near-identical data, while the cost of a fine-grained signature
+/// is refitting on noise. Non-positive workloads collapse to a `0`
+/// sentinel bucket.
+#[must_use]
+pub fn phase_signature(workload_per_kinst: f64) -> u64 {
+    if workload_per_kinst <= 0.0 || !workload_per_kinst.is_finite() {
+        return 0;
+    }
+    // log2 * 8 → ⅛-octave buckets; offset keeps tiny workloads positive
+    // and distinct from the sentinel.
+    let bucket = (workload_per_kinst.log2() * 8.0).floor() as i64;
+    (bucket + 1024) as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,6 +304,19 @@ mod tests {
             }
         }
         assert!(hit);
+    }
+
+    #[test]
+    fn phase_signature_buckets_similar_workloads_together() {
+        // Within ~4% of each other: same bucket.
+        assert_eq!(phase_signature(100.0), phase_signature(102.0));
+        // A 2x shift always lands 8 buckets away.
+        assert_eq!(phase_signature(200.0), phase_signature(100.0) + 8);
+        // Degenerate inputs share the sentinel and never match real ones.
+        assert_eq!(phase_signature(0.0), 0);
+        assert_eq!(phase_signature(-3.0), 0);
+        assert_eq!(phase_signature(f64::NAN), 0);
+        assert_ne!(phase_signature(1e-9), 0);
     }
 
     #[test]

@@ -4,7 +4,7 @@ use mct_core::{
     Constraint, Controller, ControllerConfig, Metric, ModelKind, NvmConfig, Objective,
     OptimizeTarget,
 };
-use mct_workloads::Workload;
+use mct_workloads::{Pattern, PhaseProfile, Profile, Workload, WorkloadSource};
 
 fn quick(model: ModelKind) -> ControllerConfig {
     let mut cfg = ControllerConfig::quick_demo();
@@ -112,6 +112,74 @@ fn sampling_rounds_multiply_sampling_insts() {
         s2 as f64 > 1.6 * s1 as f64,
         "two rounds should roughly double sampling work: {s1} vs {s2}"
     );
+}
+
+#[test]
+fn refit_elision_fires_when_a_phase_recurs() {
+    // A coarse A→B→A→… alternation: each boundary is a detector-visible
+    // phase change, and every revisit lands within a quarter octave of
+    // the fit banked the first time that phase ran. Segment 0 and the
+    // first B segment must train; later revisits should elide.
+    let phase = |gap_mean: f64, pattern: Pattern| PhaseProfile {
+        insts: 800_000,
+        gap_mean,
+        write_frac: 0.3,
+        patterns: vec![(1.0, pattern)],
+        burst: None,
+    };
+    // Both phases must stay memory-visible: a near-silent phase (apki
+    // under ~1) would balloon the adaptive sampling unit until one
+    // segment's sampling period spans several phases and the intensity
+    // estimates smear. Two octaves of separation is plenty for the
+    // detector while keeping every segment inside one phase.
+    let profile = Profile {
+        name: "elision-demo",
+        phases: vec![
+            phase(
+                25.0,
+                Pattern::Sequential {
+                    region_lines: 1 << 16,
+                },
+            ),
+            phase(
+                100.0,
+                Pattern::Strided {
+                    stride: 8,
+                    region_lines: 1 << 18,
+                },
+            ),
+        ],
+    };
+    let mut cfg = quick(ModelKind::QuadraticLasso);
+    cfg.total_insts = 6_000_000;
+    // A longer baseline window tightens the intensity estimate the
+    // elision gate keys on (15 k insts of a 40-accesses/kinst phase is
+    // only ~600 accesses — too noisy for a quarter-octave test).
+    cfg.baseline_insts = 60_000;
+    // No health checks: every segment ends on a phase boundary with a
+    // clean record, isolating the phase-signature half of the gate.
+    cfg.health_check_every_windows = 0;
+    let mut c = Controller::new(cfg.clone(), Objective::paper_default(0.1));
+    let outcome = c.run(&mut WorkloadSource::new(profile.clone(), 11));
+    assert!(
+        outcome.segments.len() >= 3,
+        "alternation should produce several segments, got {}",
+        outcome.segments.len()
+    );
+    assert!(
+        !outcome.segments[0].fit_elided,
+        "the first segment has nothing banked to reuse"
+    );
+    assert!(
+        outcome.segments.iter().any(|s| s.fit_elided),
+        "a revisited phase must reuse its banked fit"
+    );
+
+    // And the kill switch: same run with elision disabled never elides.
+    cfg.refit_elision = false;
+    let mut c = Controller::new(cfg, Objective::paper_default(0.1));
+    let outcome = c.run(&mut WorkloadSource::new(profile, 11));
+    assert!(outcome.segments.iter().all(|s| !s.fit_elided));
 }
 
 #[test]

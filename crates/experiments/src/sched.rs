@@ -7,16 +7,18 @@
 //! back half of a victim's, so a run of slow grains (one workload's
 //! configs are not uniformly priced) cannot strand work on one core.
 //!
+//! The deal/steal/reassemble engine itself lives in [`mct_ml::par`]
+//! (the GBRT split search fans over the same scheduler, and `mct-ml`
+//! sits below this crate in the dependency order); this module owns the
+//! pipeline-facing policy around it: `MCT_WORKERS` resolution and the
+//! per-worker executed/stolen/busy accounting recorded into
+//! [`mct_telemetry::pipeline_stats`] for `mct report`.
+//!
 //! Results are keyed by input index and reassembled after the join, so
 //! output order — and therefore every downstream figure — is identical
-//! no matter how the grains were scheduled or stolen. Per-worker
-//! executed/stolen/busy accounting is recorded into
-//! [`mct_telemetry::pipeline_stats`] for `mct report`.
+//! no matter how the grains were scheduled or stolen.
 
-use std::collections::VecDeque;
 use std::num::NonZeroUsize;
-use std::sync::Mutex;
-use std::time::Instant;
 
 use mct_telemetry::{pipeline_stats, WorkerStat};
 
@@ -101,125 +103,26 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let workers = workers.clamp(1, n);
-    if workers == 1 {
-        let wall = Instant::now();
-        let mut busy_us = 0u64;
-        let out = items
-            .iter()
-            .map(|item| {
-                let t0 = Instant::now();
-                let r = f(item);
-                busy_us += t0.elapsed().as_micros() as u64;
-                r
-            })
-            .collect();
-        let stat = WorkerStat {
-            executed: n as u64,
-            stolen: 0,
-            busy_us,
-            wall_us: wall.elapsed().as_micros() as u64,
-        };
-        pipeline_stats().record_round(&[stat]);
-        pipeline_stats().add_grains_executed(n as u64);
+    let (out, tallies) = mct_ml::par::run_grains_tallied(items, workers, f);
+    if tallies.is_empty() {
         return out;
     }
-
-    // Deal grain indices round-robin: worker w owns [w, w+k, w+2k, ...].
-    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
-        .map(|w| Mutex::new((w..n).step_by(workers).collect()))
+    let stats: Vec<WorkerStat> = tallies
+        .iter()
+        .map(|t| WorkerStat {
+            executed: t.executed,
+            stolen: t.stolen,
+            busy_us: t.busy_us,
+            wall_us: t.wall_us,
+        })
         .collect();
-
-    let mut stats = vec![WorkerStat::default(); workers];
-    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
-
-    let per_worker: Vec<(WorkerStat, Vec<(usize, R)>)> = std::thread::scope(|scope| {
-        let queues = &queues;
-        let f = &f;
-        let handles: Vec<_> = (0..workers)
-            .map(|me| {
-                scope.spawn(move || {
-                    let wall = Instant::now();
-                    let mut stat = WorkerStat::default();
-                    let mut out: Vec<(usize, R)> = Vec::new();
-                    loop {
-                        let job = queues[me].lock().expect("grain queue").pop_front();
-                        let idx = match job {
-                            Some(idx) => idx,
-                            None => match steal(queues, me) {
-                                Some(idx) => idx,
-                                None => break,
-                            },
-                        };
-                        let t0 = Instant::now();
-                        let r = f(&items[idx]);
-                        stat.busy_us += t0.elapsed().as_micros() as u64;
-                        stat.executed += 1;
-                        if idx % workers != me {
-                            stat.stolen += 1;
-                        }
-                        out.push((idx, r));
-                    }
-                    stat.wall_us = wall.elapsed().as_micros() as u64;
-                    (stat, out)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| match h.join() {
-                Ok(v) => v,
-                Err(payload) => std::panic::resume_unwind(payload),
-            })
-            .collect()
-    });
-
-    let mut total_stolen = 0u64;
-    for (w, (stat, results)) in per_worker.into_iter().enumerate() {
-        total_stolen += stat.stolen;
-        stats[w] = stat;
-        for (idx, r) in results {
-            slots[idx] = Some(r);
-        }
-    }
+    let total_stolen: u64 = tallies.iter().map(|t| t.stolen).sum();
     pipeline_stats().record_round(&stats);
-    pipeline_stats().add_grains_executed(n as u64);
-    pipeline_stats().add_grains_stolen(total_stolen);
-    slots
-        .into_iter()
-        .map(|r| r.expect("scheduler executed every grain"))
-        .collect()
-}
-
-/// Steal the back half of the fullest-looking victim's queue: the
-/// oldest-dealt grains stay with their owner (they are next in its
-/// cache-warm path), the thief takes the tail. Returns one grain to run
-/// now; the rest of the batch goes into the thief's own queue.
-fn steal(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
-    let workers = queues.len();
-    for offset in 1..workers {
-        let victim = (me + offset) % workers;
-        let mut batch = {
-            let mut q = queues[victim].lock().expect("grain queue");
-            let len = q.len();
-            if len == 0 {
-                continue;
-            }
-            let keep = len / 2;
-            q.split_off(keep)
-        };
-        let first = batch.pop_front().expect("stolen batch is non-empty");
-        if !batch.is_empty() {
-            queues[me].lock().expect("grain queue").append(&mut batch);
-        }
-        return Some(first);
+    pipeline_stats().add_grains_executed(items.len() as u64);
+    if total_stolen > 0 {
+        pipeline_stats().add_grains_stolen(total_stolen);
     }
-    None
+    out
 }
 
 #[cfg(test)]

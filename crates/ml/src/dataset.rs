@@ -151,6 +151,27 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_dataset_panics() {
+        let _ = Dataset::from_rows(Vec::new(), Vec::new());
+    }
+
+    #[test]
+    fn single_row_dataset_is_valid() {
+        // Degenerate but legal: the learners must cope (a controller
+        // segment can arm with a single measured sample).
+        let d = Dataset::from_rows(vec![vec![2.0, 3.0]], vec![7.0]);
+        assert_eq!(d.len(), 1);
+        assert!((d.target_mean() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "subset must be non-empty")]
+    fn empty_subset_panics() {
+        let _ = data().subset(&[]);
+    }
+
+    #[test]
     #[should_panic(expected = "ragged")]
     fn ragged_rows_panic() {
         let _ = Dataset::from_rows(vec![vec![1.0], vec![1.0, 2.0]], vec![1.0, 2.0]);

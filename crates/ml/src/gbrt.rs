@@ -9,7 +9,7 @@ use serde::{Deserialize, Serialize};
 use crate::dataset::Dataset;
 use crate::linalg::Matrix;
 use crate::model::Regressor;
-use crate::tree::{RegressionTree, TreeParams};
+use crate::tree::{RegressionTree, SplitWorkspace, TreeParams};
 
 /// Gradient-boosting hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -24,6 +24,15 @@ pub struct GradientBoostingParams {
     pub tree: TreeParams,
     /// RNG seed for subsampling.
     pub seed: u64,
+    /// Worker threads for the per-feature split scan (`0` or `1` =
+    /// serial; the controller's small fits stay serial by default).
+    /// Fitted models are bit-identical at any worker count —
+    /// parallelism is a throughput knob, never a model hyperparameter,
+    /// which is also why serialized params written before this field
+    /// existed deserialize with `workers = 0` (serial) and still name
+    /// the same model.
+    #[serde(default)]
+    pub workers: usize,
 }
 
 impl Default for GradientBoostingParams {
@@ -34,6 +43,7 @@ impl Default for GradientBoostingParams {
             subsample: 0.8,
             tree: TreeParams::default(),
             seed: 7,
+            workers: 1,
         }
     }
 }
@@ -71,6 +81,12 @@ impl GradientBoosting {
     pub fn n_stages(&self) -> usize {
         self.stages.len()
     }
+
+    /// The fitted stage trees (diagnostics and differential tests).
+    #[must_use]
+    pub fn stage_trees(&self) -> &[RegressionTree] {
+        &self.stages
+    }
 }
 
 impl Regressor for GradientBoosting {
@@ -81,22 +97,26 @@ impl Regressor for GradientBoosting {
         let mut rng = ChaCha8Rng::seed_from_u64(self.params.seed);
         // Current ensemble prediction per training example.
         let mut pred = vec![self.base; n];
+        let mut residuals = vec![0.0f64; n];
         let all: Vec<usize> = (0..n).collect();
         let take = ((n as f64) * self.params.subsample).ceil().max(1.0) as usize;
+        // One presorted workspace and one index buffer serve every stage:
+        // the rows never change across stages, only targets (residuals)
+        // and the subsample do, so nothing here reallocates or re-sorts
+        // in steady state.
+        let mut ws = SplitWorkspace::for_rows(data.rows());
+        let mut idx = Vec::with_capacity(n);
         for _ in 0..self.params.stages {
             // Least-squares negative gradient = residual.
-            let residuals: Vec<f64> = data
-                .targets()
-                .iter()
-                .zip(&pred)
-                .map(|(y, p)| y - p)
-                .collect();
-            let stage_data = data.with_targets(residuals);
-            let mut idx = all.clone();
+            for (r, (y, p)) in residuals.iter_mut().zip(data.targets().iter().zip(&pred)) {
+                *r = y - p;
+            }
+            idx.clear();
+            idx.extend_from_slice(&all);
             idx.shuffle(&mut rng);
             idx.truncate(take);
             let mut tree = RegressionTree::new(self.params.tree);
-            tree.fit_indices(&stage_data, &idx);
+            tree.fit_in(&mut ws, data.rows(), &residuals, &idx, self.params.workers);
             for (i, p) in pred.iter_mut().enumerate() {
                 *p += self.params.learning_rate * tree.predict(&data.rows()[i]);
             }

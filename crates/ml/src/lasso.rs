@@ -77,7 +77,7 @@ impl LassoRegression {
             .collect()
     }
 
-    fn soft_threshold(x: f64, t: f64) -> f64 {
+    pub(crate) fn soft_threshold(x: f64, t: f64) -> f64 {
         if x > t {
             x - t
         } else if x < -t {

@@ -39,6 +39,8 @@ mod linear;
 mod metrics;
 mod model;
 mod offline;
+pub mod par;
+mod path;
 mod scale;
 pub mod simd;
 mod tree;
@@ -54,5 +56,6 @@ pub use linear::RidgeRegression;
 pub use metrics::{coefficient_of_determination, mean_absolute_error, root_mean_squared_error};
 pub use model::Regressor;
 pub use offline::OfflineMeanPredictor;
+pub use path::{lasso_path_fits, LassoFoldCache, LassoPathFit};
 pub use scale::StandardScaler;
-pub use tree::{RegressionTree, TreeParams};
+pub use tree::{RegressionTree, SplitWorkspace, TreeParams};

@@ -1,0 +1,446 @@
+//! Warm-started lasso regularization paths over a fold-cached design.
+//!
+//! [`crate::lasso_path`] used to cold-start a fresh coordinate-descent
+//! solve — including re-standardizing the features and re-accumulating
+//! column norms — for every (fold × lambda) pair. This module splits
+//! that work into the part that depends only on the data split
+//! ([`LassoFoldCache`]: per-fold standardized designs, Gram matrices,
+//! `X^T y`, Gram diagonals) and the part that depends on the penalty
+//! (the coordinate-descent solve), so the cache is built once and
+//! reused across the whole lambda grid and across refits.
+//!
+//! The solver works in *covariance form*: with the Gram matrix
+//! `G = Z^T Z` and `q = Z^T y` precomputed, the coordinate update needs
+//! `rho_j = q_j - sum_{k != j} G[j][k] * w_k`, which depends only on the
+//! coefficient vector — not on a residual trajectory. The solver state
+//! is exactly `w`, and every pass visits coordinates in ascending order
+//! with a fixed dense summation order, so a solve is a deterministic
+//! function of its starting point.
+//!
+//! Bit-identity between warm and cold starts needs one more step. The
+//! pass map's bitwise fixpoints are not unique on correlated designs
+//! (quadratic feature expansions routinely produce several last-ulp
+//! fixpoints over the same support), so trajectories from different
+//! seeds can stop a few ulps apart. [`solve`] therefore runs two
+//! phases: a *discovery* solve from the caller's seed (previous
+//! lambda's coefficients when warm, zeros when cold) that converges to
+//! some fixpoint and fixes the active support, then a *canonical*
+//! re-solve from zero seeded with that support. The second phase's
+//! trajectory depends only on `(design, lambda, support)` — not on how
+//! the support was found — so warm and cold starts return identical
+//! `to_bits()` coefficients whenever they discover the same support
+//! (pinned by `tests/fit_differential.rs`). Warm starting only changes
+//! how many discovery passes it takes to get there.
+//!
+//! Active-set iteration supplies the speed: between full verification
+//! passes the solver sweeps only the currently-nonzero coordinates
+//! (`O(|A| d)` per pass instead of `O(d^2)`), which is where descending
+//! lambda grids spend almost all their time — the support at the next
+//! lambda is usually a superset of the current one.
+
+use crate::cv::kfold_indices;
+use crate::dataset::Dataset;
+use crate::lasso::LassoRegression;
+use crate::metrics::coefficient_of_determination;
+use crate::scale::StandardScaler;
+
+/// Hard cap on coordinate passes per solve; a backstop against a
+/// (never-observed) bitwise limit cycle, not a tuning knob.
+const MAX_PASSES: usize = 4000;
+
+/// One fold's precomputed design: everything the coordinate-descent
+/// solve needs that does not depend on lambda.
+#[derive(Debug, Clone)]
+struct FoldDesign {
+    /// Feature dimension after standardization.
+    d: usize,
+    /// Training rows in this fold.
+    n_train: usize,
+    /// Gram matrix `Z^T Z`, row-major `d × d`, bitwise symmetric.
+    gram: Vec<f64>,
+    /// `Z^T y` on the standardized target.
+    xty: Vec<f64>,
+    /// Gram diagonal (= squared column norms of `Z`).
+    col_sq: Vec<f64>,
+    /// Training-target mean (prediction offset).
+    y_mean: f64,
+    /// Training-target scale (population std, floored at 1e-12).
+    y_scale: f64,
+    /// Held-out rows, already standardized by the fold's scaler.
+    test_z: Vec<Vec<f64>>,
+    /// Held-out raw targets.
+    test_y: Vec<f64>,
+}
+
+impl FoldDesign {
+    /// Standardizes exactly like [`LassoRegression::fit`] (same scaler,
+    /// same population-variance target scale with the same 1e-12 floor)
+    /// so path fits and one-off fits agree on what "lambda" means.
+    fn build(
+        train_rows: &[Vec<f64>],
+        train_y: &[f64],
+        test_rows: &[Vec<f64>],
+        test_y: Vec<f64>,
+    ) -> FoldDesign {
+        let scaler = StandardScaler::fit(train_rows);
+        let z = scaler.transform_all(train_rows);
+        let n_train = z.len();
+        let d = z[0].len();
+        let y_mean = train_y.iter().sum::<f64>() / n_train as f64;
+        let var = train_y
+            .iter()
+            .map(|t| (t - y_mean) * (t - y_mean))
+            .sum::<f64>()
+            / n_train as f64;
+        let y_scale = var.sqrt().max(1e-12);
+        let ystd: Vec<f64> = train_y.iter().map(|t| (t - y_mean) / y_scale).collect();
+
+        let mut gram = vec![0.0f64; d * d];
+        let mut xty = vec![0.0f64; d];
+        for (row, &yi) in z.iter().zip(&ystd) {
+            for j in 0..d {
+                let zj = row[j];
+                xty[j] += zj * yi;
+                let out = &mut gram[j * d + j..j * d + d];
+                for (g, &zk) in out.iter_mut().zip(&row[j..]) {
+                    *g += zj * zk;
+                }
+            }
+        }
+        // Mirror the upper triangle so G[j][k] and G[k][j] are the same
+        // bits; the solver reads full rows.
+        for j in 0..d {
+            for k in 0..j {
+                gram[j * d + k] = gram[k * d + j];
+            }
+        }
+        let col_sq: Vec<f64> = (0..d).map(|j| gram[j * d + j]).collect();
+        let test_z: Vec<Vec<f64>> = test_rows.iter().map(|r| scaler.transform(r)).collect();
+        FoldDesign {
+            d,
+            n_train,
+            gram,
+            xty,
+            col_sq,
+            y_mean,
+            y_scale,
+            test_z,
+            test_y,
+        }
+    }
+
+    /// Prediction for one standardized row (sparse skip is bit-safe: a
+    /// zero weight contributes `±0.0` and the accumulator starts at
+    /// `+0.0`, so skipped terms are arithmetic no-ops).
+    fn predict_z(&self, w: &[f64], z: &[f64]) -> f64 {
+        let mut acc = 0.0f64;
+        for (j, &wj) in w.iter().enumerate() {
+            if wj != 0.0 {
+                acc += wj * z[j];
+            }
+        }
+        self.y_mean + self.y_scale * acc
+    }
+
+    /// Out-of-fold R² of coefficients `w` on the held-out rows.
+    fn score(&self, w: &[f64]) -> f64 {
+        let preds: Vec<f64> = self.test_z.iter().map(|z| self.predict_z(w, z)).collect();
+        coefficient_of_determination(&preds, &self.test_y)
+    }
+}
+
+/// One coordinate update, shared bit-for-bit by the active and full
+/// passes: dense inner sum over all `d` coordinates in ascending order.
+/// Returns the new coefficient.
+#[inline]
+fn coord_update(design: &FoldDesign, penalty: f64, w: &[f64], j: usize) -> f64 {
+    let d = design.d;
+    let row = &design.gram[j * d..(j + 1) * d];
+    let mut acc = 0.0f64;
+    for (k, (&g, &wk)) in row.iter().zip(w).enumerate() {
+        if k != j {
+            acc += g * wk;
+        }
+    }
+    let rho = design.xty[j] - acc;
+    LassoRegression::soft_threshold(rho, penalty) / design.col_sq[j]
+}
+
+/// One full pass over all coordinates (ascending). Returns whether any
+/// coefficient changed bits — `false` means `w` is a bitwise fixpoint.
+fn full_pass(design: &FoldDesign, penalty: f64, w: &mut [f64]) -> bool {
+    let mut changed = false;
+    for j in 0..design.d {
+        if design.col_sq[j] < 1e-12 {
+            continue;
+        }
+        let new_w = coord_update(design, penalty, w, j);
+        if new_w.to_bits() != w[j].to_bits() {
+            w[j] = new_w;
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// One pass over the active coordinates only. Same update arithmetic as
+/// [`full_pass`], so active-set iteration steers toward the same
+/// fixpoint the verification pass accepts.
+fn active_pass(design: &FoldDesign, penalty: f64, w: &mut [f64], active: &[usize]) -> bool {
+    let mut changed = false;
+    for &j in active {
+        let new_w = coord_update(design, penalty, w, j);
+        if new_w.to_bits() != w[j].to_bits() {
+            w[j] = new_w;
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Coordinate descent to a bitwise fixpoint from whatever `w` holds.
+/// On the first outer round the active sweep covers `seed_active`
+/// (letting a zeroed `w` rebuild a known support without paying full
+/// passes); afterwards it covers the current support of `w`.
+fn descend(design: &FoldDesign, penalty: f64, w: &mut [f64], seed_active: &[usize]) {
+    let mut passes = 0usize;
+    let mut first = true;
+    loop {
+        // Sweep the active coordinates until they are internally stable …
+        let active: Vec<usize> = if first {
+            first = false;
+            seed_active.to_vec()
+        } else {
+            (0..design.d)
+                .filter(|&j| w[j] != 0.0 && design.col_sq[j] >= 1e-12)
+                .collect()
+        };
+        if !active.is_empty() {
+            while passes < MAX_PASSES && active_pass(design, penalty, w, &active) {
+                passes += 1;
+            }
+        }
+        // … then verify (and possibly grow the support) with a full pass.
+        passes += 1;
+        if !full_pass(design, penalty, w) || passes >= MAX_PASSES {
+            break;
+        }
+    }
+}
+
+/// Two-phase solve (see the module docs): discover a fixpoint and its
+/// support from the caller's seed (zeros = cold start, previous
+/// lambda's solution = warm start), then canonicalize by re-solving
+/// from zero seeded with that support so the returned bits depend only
+/// on the support, never on the seed.
+fn solve(design: &FoldDesign, lambda: f64, w: &mut [f64]) {
+    debug_assert_eq!(w.len(), design.d);
+    let penalty = lambda * design.n_train as f64;
+    let seed: Vec<usize> = (0..design.d)
+        .filter(|&j| w[j] != 0.0 && design.col_sq[j] >= 1e-12)
+        .collect();
+    descend(design, penalty, w, &seed);
+    let support: Vec<usize> = (0..design.d)
+        .filter(|&j| w[j] != 0.0 && design.col_sq[j] >= 1e-12)
+        .collect();
+    w.fill(0.0);
+    descend(design, penalty, w, &support);
+}
+
+/// Per-fold (plus full-data) designs for a k-fold lasso path: built
+/// once, reused across the entire lambda grid and across refits.
+#[derive(Debug, Clone)]
+pub struct LassoFoldCache {
+    folds: Vec<FoldDesign>,
+    full: FoldDesign,
+}
+
+impl LassoFoldCache {
+    /// Precompute standardized designs for every CV fold of `data`,
+    /// plus the full-data design used for the per-lambda refit.
+    ///
+    /// # Panics
+    /// Panics if the dataset has fewer than 2 rows or `k < 2` (via
+    /// [`kfold_indices`], which clamps `k` down to the row count).
+    #[must_use]
+    pub fn new(data: &Dataset, k: usize) -> LassoFoldCache {
+        let folds = kfold_indices(data.len(), k)
+            .iter()
+            .map(|(train_idx, test_idx)| {
+                let train = data.subset(train_idx);
+                let test_rows: Vec<Vec<f64>> =
+                    test_idx.iter().map(|&i| data.rows()[i].clone()).collect();
+                let test_y: Vec<f64> = test_idx.iter().map(|&i| data.targets()[i]).collect();
+                FoldDesign::build(train.rows(), train.targets(), &test_rows, test_y)
+            })
+            .collect();
+        let full = FoldDesign::build(data.rows(), data.targets(), &[], Vec::new());
+        LassoFoldCache { folds, full }
+    }
+
+    /// Number of CV folds cached (≤ requested `k` when `k > n`).
+    #[must_use]
+    pub fn n_folds(&self) -> usize {
+        self.folds.len()
+    }
+
+    /// Standardized feature dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.full.d
+    }
+}
+
+/// One point on a lasso path, with the fitted coefficients exposed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LassoPathFit {
+    /// Penalty strength.
+    pub lambda: f64,
+    /// Nonzero full-data coefficients at this penalty (`|w| > 1e-12`).
+    pub nonzero: usize,
+    /// Mean out-of-fold R² across the cached folds.
+    pub cv_r2: f64,
+    /// Full-data coefficients in standardized feature space.
+    pub weights: Vec<f64>,
+    /// Per-fold coefficients (same order as the cached folds).
+    pub fold_weights: Vec<Vec<f64>>,
+}
+
+/// Fit the lasso path over a log-spaced descending lambda grid against
+/// a prebuilt fold cache.
+///
+/// `warm = true` seeds each solve (per fold, and for the full-data
+/// refit) from the previous lambda's coefficients; `warm = false`
+/// cold-starts every solve from zero. Both modes reach the same bitwise
+/// fixpoints — cold start exists as the reference for the differential
+/// suite and costs strictly more passes.
+///
+/// # Panics
+/// Panics on degenerate grids (`lo >= hi`, nonpositive bounds,
+/// `steps < 2`).
+#[must_use]
+pub fn lasso_path_fits(
+    cache: &LassoFoldCache,
+    lo: f64,
+    hi: f64,
+    steps: usize,
+    warm: bool,
+) -> Vec<LassoPathFit> {
+    assert!(lo > 0.0 && hi > lo && steps >= 2, "bad lambda grid");
+    let ratio = (hi / lo).powf(1.0 / (steps - 1) as f64);
+    let d = cache.full.d;
+    let mut fold_w: Vec<Vec<f64>> = vec![vec![0.0f64; d]; cache.folds.len()];
+    let mut full_w = vec![0.0f64; d];
+    let mut lambda = hi;
+    let mut out = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let mut cv_total = 0.0f64;
+        for (design, w) in cache.folds.iter().zip(fold_w.iter_mut()) {
+            if !warm {
+                w.fill(0.0);
+            }
+            solve(design, lambda, w);
+            cv_total += design.score(w);
+        }
+        if !warm {
+            full_w.fill(0.0);
+        }
+        solve(&cache.full, lambda, &mut full_w);
+        out.push(LassoPathFit {
+            lambda,
+            nonzero: full_w.iter().filter(|w| w.abs() > 1e-12).count(),
+            cv_r2: cv_total / cache.folds.len() as f64,
+            weights: full_w.clone(),
+            fold_weights: fold_w.clone(),
+        });
+        lambda /= ratio;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Regressor;
+
+    fn sparse_data() -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![(i % 7) as f64, ((i * 13) % 11) as f64, ((i * 5) % 9) as f64])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| 4.0 * r[0] - 2.0 * r[2] + 1.0).collect();
+        Dataset::from_rows(rows, y)
+    }
+
+    #[test]
+    fn warm_and_cold_paths_are_bit_identical() {
+        let data = sparse_data();
+        let cache = LassoFoldCache::new(&data, 4);
+        let warm = lasso_path_fits(&cache, 0.001, 100.0, 10, true);
+        let cold = lasso_path_fits(&cache, 0.001, 100.0, 10, false);
+        assert_eq!(warm.len(), cold.len());
+        for (a, b) in warm.iter().zip(&cold) {
+            assert_eq!(a.lambda.to_bits(), b.lambda.to_bits());
+            for (x, y) in a.weights.iter().zip(&b.weights) {
+                assert_eq!(x.to_bits(), y.to_bits(), "lambda={}", a.lambda);
+            }
+            for (fa, fb) in a.fold_weights.iter().zip(&b.fold_weights) {
+                for (x, y) in fa.iter().zip(fb) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "lambda={}", a.lambda);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_agrees_with_one_off_lasso_fits() {
+        // The path solver and LassoRegression::fit share standardization
+        // and penalty semantics; their solutions must agree to solver
+        // tolerance (they differ only in termination criterion).
+        let data = sparse_data();
+        let cache = LassoFoldCache::new(&data, 4);
+        let fits = lasso_path_fits(&cache, 0.01, 10.0, 5, true);
+        for fit in &fits {
+            let mut reference = LassoRegression::new(fit.lambda);
+            reference.fit(&data);
+            for (a, b) in fit.weights.iter().zip(reference.weights()) {
+                assert!(
+                    (a - b).abs() < 1e-5,
+                    "lambda={}: path {a} vs reference {b}",
+                    fit.lambda
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sparsity_is_monotone_down_the_path() {
+        let data = sparse_data();
+        let cache = LassoFoldCache::new(&data, 4);
+        let fits = lasso_path_fits(&cache, 0.001, 100.0, 8, true);
+        for w in fits.windows(2) {
+            assert!(w[0].lambda > w[1].lambda);
+            assert!(w[0].nonzero <= w[1].nonzero);
+        }
+    }
+
+    #[test]
+    fn cache_reports_shape() {
+        let data = sparse_data();
+        let cache = LassoFoldCache::new(&data, 5);
+        assert_eq!(cache.n_folds(), 5);
+        assert_eq!(cache.dim(), 3);
+    }
+
+    #[test]
+    fn constant_target_fold_fits_to_zero_weights() {
+        let rows: Vec<Vec<f64>> = (0..12)
+            .map(|i| vec![i as f64, (i * 3 % 5) as f64])
+            .collect();
+        let data = Dataset::from_rows(rows, vec![7.5; 12]);
+        let cache = LassoFoldCache::new(&data, 3);
+        let fits = lasso_path_fits(&cache, 0.01, 1.0, 3, true);
+        for fit in &fits {
+            assert_eq!(fit.nonzero, 0, "constant target has no signal");
+        }
+    }
+}

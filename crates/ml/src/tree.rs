@@ -4,12 +4,104 @@
 //! than boxed enum nodes: gradient boosting evaluates 100 trees over
 //! thousands of configuration rows per `predict_all`, and a pointer-free
 //! index walk keeps that traversal in cache with no per-node indirection.
+//!
+//! Fitting is presorted: a [`SplitWorkspace`] materializes one per-feature
+//! row order over the whole dataset (sorted by `(value, row index)`),
+//! built once and reused across every boosting stage. Each stage derives
+//! its root order by filtering that master order against the subsample
+//! mask — no per-node or per-stage sorting — and children inherit their
+//! parents' orders through stable partitions. The split *scan* over each
+//! feature is independent of every other feature, so it can fan across
+//! the work-stealing scheduler ([`crate::par`]); the argmax reduce runs
+//! serially in feature order with a strict-`>` comparison (ties keep the
+//! lowest feature index, then the lowest threshold), making fitted trees
+//! bit-identical at any worker count.
 
 use serde::{Deserialize, Serialize};
 
 use crate::dataset::Dataset;
 use crate::linalg::Matrix;
 use crate::model::Regressor;
+
+/// Minimum `members × features` work in a node before the per-feature
+/// split scan is worth fanning across threads; below this the spawn cost
+/// of a scheduler round dwarfs the scan itself.
+const PAR_MIN_WORK: usize = 32_768;
+
+/// Reusable presorted split-search state for one dataset.
+///
+/// Gradient boosting fits hundreds of trees over the *same* feature rows
+/// with changing targets and subsamples; everything about the rows that
+/// split search needs — the per-feature `(value, row index)` sort order —
+/// is computed once here and shared by every [`RegressionTree::fit_in`]
+/// call. The workspace also recycles the per-node index buffers across
+/// stages so steady-state fitting does not allocate.
+#[derive(Debug)]
+pub struct SplitWorkspace {
+    n_rows: usize,
+    dim: usize,
+    /// Per-feature row order over the full dataset, stable-sorted by
+    /// feature value (ties therefore stay in row-index order).
+    master: Vec<Vec<u32>>,
+    /// Feature-major copy of the rows (`cols[f][i] == rows[i][f]`): the
+    /// split scan walks one feature at a time, and a flat column turns
+    /// its two dependent loads per element into one.
+    cols: Vec<Vec<f64>>,
+    /// Subsample membership mask, reused (and cleared) per fit.
+    in_sample: Vec<bool>,
+    /// Per-row partition side for the node being split, so the `d + 1`
+    /// stable partitions test one byte instead of re-deriving the
+    /// predicate from the feature value each time.
+    side: Vec<bool>,
+    /// Feature indices, the fan-out items for the parallel scan.
+    feats: Vec<usize>,
+    /// Recycled index buffers for node lists.
+    pool: Vec<Vec<u32>>,
+}
+
+impl SplitWorkspace {
+    /// Build the master per-feature sort orders for `rows`.
+    #[must_use]
+    pub fn for_rows(rows: &[Vec<f64>]) -> SplitWorkspace {
+        let n = rows.len();
+        let dim = if n == 0 { 0 } else { rows[0].len() };
+        let cols: Vec<Vec<f64>> = (0..dim)
+            .map(|f| rows.iter().map(|r| r[f]).collect())
+            .collect();
+        let master = (0..dim)
+            .map(|f| {
+                let mut order: Vec<u32> = (0..n as u32).collect();
+                // Stable sort of an ascending index list: equal values
+                // keep row-index order, i.e. (value, row) lexicographic.
+                order.sort_by(|&a, &b| cols[f][a as usize].total_cmp(&cols[f][b as usize]));
+                order
+            })
+            .collect();
+        SplitWorkspace {
+            n_rows: n,
+            dim,
+            master,
+            cols,
+            in_sample: vec![false; n],
+            side: vec![false; n],
+            feats: (0..dim).collect(),
+            pool: Vec::new(),
+        }
+    }
+
+    fn take_buf(&mut self) -> Vec<u32> {
+        self.pool.pop().unwrap_or_default()
+    }
+}
+
+/// Shared immutable fit inputs threaded through the recursive builder.
+struct FitCtx<'a> {
+    /// Feature-major columns from the workspace (the scan's data path).
+    cols: &'a [Vec<f64>],
+    targets: &'a [f64],
+    params: TreeParams,
+    workers: usize,
+}
 
 /// Tree growth controls.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -101,76 +193,87 @@ impl RegressionTree {
     }
 
     /// Fit on a subset of example indices (gradient boosting trains each
-    /// stage on a subsample).
+    /// stage on a subsample). One-shot wrapper over [`Self::fit_in`] with
+    /// a throwaway workspace and a serial split search.
     ///
     /// # Panics
     /// Panics if `idx` is empty.
     pub fn fit_indices(&mut self, data: &Dataset, idx: &[usize]) {
+        let mut ws = SplitWorkspace::for_rows(data.rows());
+        self.fit_in(&mut ws, data.rows(), data.targets(), idx, 1);
+    }
+
+    /// Fit over `idx` using a prebuilt [`SplitWorkspace`] for `rows`,
+    /// fanning the per-feature split scan over `workers` threads when the
+    /// node is large enough to amortize a scheduler round.
+    ///
+    /// The fitted tree is a pure function of `(rows, targets, idx-as-set,
+    /// params)`: candidate scans always run in the workspace's
+    /// `(value, row index)` order and the argmax reduce is serial in
+    /// feature order, so neither the order of `idx` nor the worker count
+    /// changes a single bit of the result (pinned by the release-mode
+    /// `fit_differential` suite).
+    ///
+    /// # Panics
+    /// Panics if `idx` is empty, contains duplicates or out-of-range rows,
+    /// or if the workspace was built for a different row count.
+    pub fn fit_in(
+        &mut self,
+        ws: &mut SplitWorkspace,
+        rows: &[Vec<f64>],
+        targets: &[f64],
+        idx: &[usize],
+        workers: usize,
+    ) {
         assert!(!idx.is_empty(), "cannot fit on zero examples");
-        let mut nodes = FlatNodes::default();
-        let root = self.build(&mut nodes, data, idx, 0);
-        debug_assert_eq!(root, 0, "root must be node 0");
-        self.nodes = nodes;
-    }
-
-    /// Grow the subtree over `idx`, returning its node index.
-    fn build(&self, nodes: &mut FlatNodes, data: &Dataset, idx: &[usize], depth: usize) -> u32 {
-        let mean = idx.iter().map(|&i| data.targets()[i]).sum::<f64>() / idx.len() as f64;
-        if depth >= self.params.max_depth || idx.len() < 2 * self.params.min_leaf {
-            return nodes.push_leaf(mean);
-        }
-        let Some((feature, threshold)) = self.best_split(data, idx) else {
-            return nodes.push_leaf(mean);
-        };
-        let (mut left, mut right) = (Vec::new(), Vec::new());
+        assert_eq!(ws.n_rows, rows.len(), "workspace/dataset row mismatch");
+        assert_eq!(targets.len(), rows.len(), "targets/rows length mismatch");
+        // Membership mask, then root per-feature orders by filtering the
+        // master order — stable partition of a (value, row) sort is the
+        // same (value, row) sort, so no per-stage sorting is needed.
         for &i in idx {
-            if data.rows()[i][feature] <= threshold {
-                left.push(i);
-            } else {
-                right.push(i);
-            }
+            assert!(!ws.in_sample[i], "duplicate index in fit subsample");
+            ws.in_sample[i] = true;
         }
-        if left.len() < self.params.min_leaf || right.len() < self.params.min_leaf {
-            return nodes.push_leaf(mean);
-        }
-        let id = nodes.push_split(feature, threshold);
-        let l = self.build(nodes, data, &left, depth + 1);
-        let r = self.build(nodes, data, &right, depth + 1);
-        nodes.left[id as usize] = l;
-        nodes.right[id as usize] = r;
-        id
-    }
-
-    /// Exhaustive variance-reduction split search over midpoints of sorted
-    /// unique feature values.
-    fn best_split(&self, data: &Dataset, idx: &[usize]) -> Option<(usize, f64)> {
-        let dim = data.dim();
-        let n = idx.len() as f64;
-        let total_sum: f64 = idx.iter().map(|&i| data.targets()[i]).sum();
-        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, score)
-        let mut vals: Vec<(f64, f64)> = Vec::with_capacity(idx.len());
+        let dim = ws.dim;
+        let mut root_lists: Vec<Vec<u32>> = Vec::with_capacity(dim);
         for f in 0..dim {
-            vals.clear();
-            vals.extend(idx.iter().map(|&i| (data.rows()[i][f], data.targets()[i])));
-            vals.sort_by(|a, b| a.0.total_cmp(&b.0));
-            // Prefix sums for O(n) scan of all split points.
-            let mut left_sum = 0.0;
-            for k in 0..vals.len() - 1 {
-                left_sum += vals[k].1;
-                if vals[k].0 == vals[k + 1].0 {
-                    continue; // identical values cannot be separated
-                }
-                let nl = (k + 1) as f64;
-                let nr = n - nl;
-                // Maximizing sum-of-squares of children means minimizing SSE.
-                let score =
-                    left_sum * left_sum / nl + (total_sum - left_sum) * (total_sum - left_sum) / nr;
-                if best.is_none_or(|(_, _, s)| score > s) {
-                    best = Some((f, (vals[k].0 + vals[k + 1].0) / 2.0, score));
-                }
-            }
+            let mut list = ws.pool.pop().unwrap_or_default();
+            list.clear();
+            list.extend(
+                ws.master[f]
+                    .iter()
+                    .copied()
+                    .filter(|&i| ws.in_sample[i as usize]),
+            );
+            root_lists.push(list);
         }
-        best.map(|(f, t, _)| (f, t))
+        let mut members = ws.take_buf();
+        members.clear();
+        members.extend(idx.iter().map(|&i| i as u32));
+        members.sort_unstable();
+        let ctx = FitCtx {
+            cols: &ws.cols,
+            targets,
+            params: self.params,
+            workers: workers.max(1),
+        };
+        let mut nodes = FlatNodes::default();
+        let root = build_sorted(
+            &ctx,
+            &mut nodes,
+            &mut ws.pool,
+            &mut ws.side,
+            &ws.feats,
+            root_lists,
+            members,
+            0,
+        );
+        debug_assert_eq!(root, 0, "root must be node 0");
+        for &i in idx {
+            ws.in_sample[i] = false;
+        }
+        self.nodes = nodes;
     }
 
     /// The fitted node table, or `None` before [`Regressor::fit`] — the
@@ -278,6 +381,181 @@ impl RegressionTree {
             .filter(|&i| self.nodes.is_leaf(i))
             .count()
     }
+}
+
+/// Grow the subtree whose examples are `members` (row indices ascending)
+/// with per-feature scan orders `lists`, returning its node index.
+/// Consumed buffers are recycled into `pool`.
+#[allow(clippy::too_many_arguments)]
+fn build_sorted(
+    ctx: &FitCtx<'_>,
+    nodes: &mut FlatNodes,
+    pool: &mut Vec<Vec<u32>>,
+    side: &mut [bool],
+    feats: &[usize],
+    lists: Vec<Vec<u32>>,
+    members: Vec<u32>,
+    depth: usize,
+) -> u32 {
+    let recycle = |pool: &mut Vec<Vec<u32>>, lists: Vec<Vec<u32>>, members: Vec<u32>| {
+        pool.extend(lists);
+        pool.push(members);
+    };
+    let m = members.len();
+    // One target sum in ascending-row order serves both the leaf mean and
+    // the split scores (the pre-workspace implementation summed the same
+    // order twice; sharing the sum keeps the bits identical).
+    let total_sum: f64 = members.iter().map(|&i| ctx.targets[i as usize]).sum();
+    let mean = total_sum / m as f64;
+    if depth >= ctx.params.max_depth || m < 2 * ctx.params.min_leaf {
+        recycle(pool, lists, members);
+        return nodes.push_leaf(mean);
+    }
+    let Some((feature, threshold)) = best_split_sorted(ctx, feats, &lists, total_sum, m) else {
+        recycle(pool, lists, members);
+        return nodes.push_leaf(mean);
+    };
+    // Stable partition of the members and of every feature order: children
+    // keep their parent's (value, row) order with zero sorting. The side
+    // of each member is decided once into the per-row mask; the `d + 1`
+    // partitions below just read it back.
+    let col = &ctx.cols[feature];
+    for &i in &members {
+        side[i as usize] = col[i as usize] <= threshold;
+    }
+    let mut left_members = pool.pop().unwrap_or_default();
+    let mut right_members = pool.pop().unwrap_or_default();
+    left_members.clear();
+    right_members.clear();
+    for &i in &members {
+        if side[i as usize] {
+            left_members.push(i);
+        } else {
+            right_members.push(i);
+        }
+    }
+    if left_members.len() < ctx.params.min_leaf || right_members.len() < ctx.params.min_leaf {
+        recycle(pool, lists, members);
+        pool.push(left_members);
+        pool.push(right_members);
+        return nodes.push_leaf(mean);
+    }
+    let dim = lists.len();
+    let mut left_lists = Vec::with_capacity(dim);
+    let mut right_lists = Vec::with_capacity(dim);
+    for list in lists {
+        let mut ll = pool.pop().unwrap_or_default();
+        let mut rl = pool.pop().unwrap_or_default();
+        ll.clear();
+        rl.clear();
+        for &i in &list {
+            if side[i as usize] {
+                ll.push(i);
+            } else {
+                rl.push(i);
+            }
+        }
+        pool.push(list);
+        left_lists.push(ll);
+        right_lists.push(rl);
+    }
+    pool.push(members);
+    let id = nodes.push_split(feature, threshold);
+    let l = build_sorted(
+        ctx,
+        nodes,
+        pool,
+        side,
+        feats,
+        left_lists,
+        left_members,
+        depth + 1,
+    );
+    let r = build_sorted(
+        ctx,
+        nodes,
+        pool,
+        side,
+        feats,
+        right_lists,
+        right_members,
+        depth + 1,
+    );
+    nodes.left[id as usize] = l;
+    nodes.right[id as usize] = r;
+    id
+}
+
+/// Exhaustive variance-reduction split search over midpoints of adjacent
+/// distinct feature values, scanning each feature's presorted order.
+///
+/// Per-feature scans are mutually independent; with `workers > 1` and
+/// enough work they fan across [`crate::par::run_grains`]. The reduce is
+/// always serial in ascending feature order with a strict `>`, so the
+/// winner — and on ties the lowest feature index, then (within a feature)
+/// the lowest threshold — is identical at any worker count.
+fn best_split_sorted(
+    ctx: &FitCtx<'_>,
+    feats: &[usize],
+    lists: &[Vec<u32>],
+    total_sum: f64,
+    m: usize,
+) -> Option<(usize, f64)> {
+    if lists.is_empty() {
+        return None;
+    }
+    let n = m as f64;
+    let scan = |&f: &usize| scan_feature(ctx, &lists[f], f, total_sum, n);
+    let per_feature: Vec<Option<(f64, f64)>> =
+        if ctx.workers > 1 && m.saturating_mul(lists.len()) >= PAR_MIN_WORK {
+            crate::par::run_grains(feats, ctx.workers, scan)
+        } else {
+            feats.iter().map(scan).collect()
+        };
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, score)
+    for (f, cand) in per_feature.into_iter().enumerate() {
+        if let Some((threshold, score)) = cand {
+            if best.is_none_or(|(_, _, s)| score > s) {
+                best = Some((f, threshold, score));
+            }
+        }
+    }
+    best.map(|(f, t, _)| (f, t))
+}
+
+/// Best split point for one feature: prefix-sum scan of the presorted
+/// order, skipping boundaries between identical values. Returns
+/// `(threshold, score)` of the first (= lowest-threshold) maximum.
+fn scan_feature(
+    ctx: &FitCtx<'_>,
+    list: &[u32],
+    f: usize,
+    total_sum: f64,
+    n: f64,
+) -> Option<(f64, f64)> {
+    let col = &ctx.cols[f];
+    let mut best: Option<(f64, f64)> = None;
+    let mut left_sum = 0.0;
+    // Each element's value is loaded once and carried to the next
+    // iteration as its predecessor.
+    let mut v = col[list[0] as usize];
+    for k in 0..list.len() - 1 {
+        let i = list[k] as usize;
+        left_sum += ctx.targets[i];
+        let v_next = col[list[k + 1] as usize];
+        if v == v_next {
+            continue; // identical values cannot be separated
+        }
+        let nl = (k + 1) as f64;
+        let nr = n - nl;
+        // Maximizing sum-of-squares of children means minimizing SSE.
+        let score = left_sum * left_sum / nl + (total_sum - left_sum) * (total_sum - left_sum) / nr;
+        if best.is_none_or(|(_, s)| score > s) {
+            best = Some(((v + v_next) / 2.0, score));
+        }
+        v = v_next;
+    }
+    best
 }
 
 impl Regressor for RegressionTree {

@@ -103,6 +103,18 @@ pub enum Event {
         /// wear was observed yet.
         lifetime_years: f64,
     },
+    /// A segment-start refit was skipped: the health checks were clean
+    /// (degradation ladder at normal) and the phase detector reported
+    /// the same phase signature as the cached fit, so the controller
+    /// reused the previous predictor instead of refitting.
+    FitElided {
+        /// Segment index (0-based) whose refit was skipped.
+        segment: u64,
+        /// Matched phase signature (log-bucketed accesses/kinst).
+        signature: u64,
+        /// Learner short label (e.g. "qlasso", "gbrt").
+        learner: String,
+    },
     /// A phase segment finished (new phase detected or budget exhausted).
     SegmentCompleted {
         /// Segment index (0-based).
@@ -175,6 +187,7 @@ impl Event {
             Event::ConfigSelected { .. } => "config_selected",
             Event::HealthCheck { .. } => "health_check",
             Event::DegradationTransition { .. } => "degradation_transition",
+            Event::FitElided { .. } => "fit_elided",
             Event::SegmentCompleted { .. } => "segment_completed",
             Event::RunCompleted { .. } => "run_completed",
             Event::SpanOpen { .. } => "span_open",
@@ -237,6 +250,16 @@ mod tests {
             },
             Record {
                 seq: 2,
+                sim_insts: 80_000,
+                wall_us: 200,
+                event: Event::FitElided {
+                    segment: 1,
+                    signature: 1077,
+                    learner: "qlasso".into(),
+                },
+            },
+            Record {
+                seq: 3,
                 sim_insts: 90_000,
                 wall_us: 300,
                 event: Event::ConfigSelected {

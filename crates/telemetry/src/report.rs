@@ -92,6 +92,12 @@ pub fn render_report_with_unknown(records: &[Record], unknown: &BTreeMap<String,
     let mut out = String::new();
     let mut segment = 0u64;
     let mut span_events = 0u64;
+    let mut fit_elided = 0u64;
+    // Per-learner fit-span accounting for the summary footer: open
+    // `fit` spans by id -> (learner label, open wall_us), folded into
+    // learner -> (count, total_us) at the matching close.
+    let mut open_fits: BTreeMap<u64, (String, u64)> = BTreeMap::new();
+    let mut fit_totals: BTreeMap<String, (u64, u64)> = BTreeMap::new();
     let _ = writeln!(out, "MCT decision trace: {} records", records.len());
 
     for record in records {
@@ -350,10 +356,57 @@ pub fn render_report_with_unknown(records: &[Record], unknown: &BTreeMap<String,
                     out.push('\n');
                 }
             }
+            Event::FitElided {
+                segment: seg,
+                signature,
+                learner,
+            } => {
+                fit_elided += 1;
+                let _ = writeln!(
+                    out,
+                    "{t}   refit elided for segment {}: phase signature {signature} \
+                     unchanged, reusing cached {learner} fit",
+                    seg + 1
+                );
+            }
             // Spans are profiled, not narrated: the timeline stays a
-            // decision log, and `mct profile` owns the timing view.
-            Event::SpanOpen { .. } | Event::SpanClose { .. } => span_events += 1,
+            // decision log, and `mct profile` owns the timing view. Fit
+            // spans are additionally tallied per learner for the footer.
+            Event::SpanOpen {
+                id, name, labels, ..
+            } => {
+                span_events += 1;
+                if name == "fit" {
+                    let learner = labels
+                        .iter()
+                        .find(|(k, _)| k == "learner")
+                        .map_or_else(|| "unlabeled".to_string(), |(_, v)| v.clone());
+                    open_fits.insert(id.0, (learner, record.wall_us));
+                }
+            }
+            Event::SpanClose { id, .. } => {
+                span_events += 1;
+                if let Some((learner, opened)) = open_fits.remove(&id.0) {
+                    let entry = fit_totals.entry(learner).or_insert((0, 0));
+                    entry.0 += 1;
+                    entry.1 += record.wall_us.saturating_sub(opened);
+                }
+            }
         }
+    }
+    if fit_elided > 0 || !fit_totals.is_empty() {
+        let mut parts: Vec<String> = fit_totals
+            .iter()
+            .map(|(learner, (n, us))| format!("{learner} {n} fit(s) {:.1} ms", *us as f64 / 1e3))
+            .collect();
+        if parts.is_empty() {
+            parts.push("no fit spans in trace".to_string());
+        }
+        let _ = writeln!(
+            out,
+            "\nfits: {} | {fit_elided} refit(s) elided",
+            parts.join(", ")
+        );
     }
     if span_events > 0 {
         let _ = writeln!(
@@ -581,6 +634,35 @@ mod tests {
         let report = render_report(&records);
         assert!(report.contains("spans: 4 span events"), "{report}");
         assert!(!report.contains("span_open"), "no per-span timeline lines");
+    }
+
+    #[test]
+    fn fit_footer_totals_per_learner_and_counts_elisions() {
+        let rec = VecRecorder::shared();
+        let mut t = Telemetry::attached(rec.clone() as RecorderHandle);
+        let run = t.span("run", 0);
+        let fit_a = t.span_with("fit", 1, &[("learner", "qlasso")]);
+        t.close_span(fit_a, 2);
+        t.emit(
+            3,
+            Event::FitElided {
+                segment: 1,
+                signature: 1077,
+                learner: "qlasso".into(),
+            },
+        );
+        let fit_b = t.span_with("fit", 4, &[("learner", "gbrt")]);
+        t.close_span(fit_b, 5);
+        t.close_span(run, 6);
+        let records = rec.lock().expect("lock").take_records();
+        let report = render_report(&records);
+        assert!(
+            report.contains("refit elided for segment 2: phase signature 1077"),
+            "{report}"
+        );
+        assert!(report.contains("1 refit(s) elided"), "{report}");
+        assert!(report.contains("qlasso 1 fit(s)"), "{report}");
+        assert!(report.contains("gbrt 1 fit(s)"), "{report}");
     }
 
     #[test]
