@@ -1,0 +1,14 @@
+//! Fixture: seeded U001 + U002 violations — a bare unsafe block in a
+//! module that is not on the audited allowlist.
+
+pub fn first(values: &[f64]) -> f64 {
+    // U001: no SAFETY comment; U002: crates/core is not allowlisted.
+    let head = unsafe { *values.get_unchecked(0) };
+    head
+}
+
+pub fn stale_safety(values: &[f64]) -> f64 {
+    // SAFETY: this comment is orphaned by the code line below it.
+    let idx = 0usize;
+    unsafe { *values.get_unchecked(idx) }
+}

@@ -1,0 +1,32 @@
+//! Fixture: seeded L002 violation — an *interprocedural* lock-order
+//! cycle. `flush` holds `stats` and calls `drain`, which locks
+//! `writer`; `report` acquires them in the opposite order. Neither
+//! function is an L001 violation on its own (each takes its second
+//! lock through a call or in a consistent-looking order), but the
+//! crate-wide acquisition graph has the cycle stats -> writer -> stats.
+
+use std::sync::Mutex;
+
+pub struct Pipeline {
+    pub stats: Mutex<Vec<u64>>,
+    pub writer: Mutex<Vec<u8>>,
+}
+
+fn drain(p: &Pipeline) {
+    let mut w = p.writer.lock().expect("writer");
+    w.clear();
+}
+
+pub fn flush(p: &Pipeline) {
+    let stats = p.stats.lock().expect("stats");
+    // L002: `drain` locks `writer` while `stats` is held here.
+    drain(p);
+    drop(stats);
+}
+
+pub fn report(p: &Pipeline) {
+    let w = p.writer.lock().expect("writer");
+    // L002: closes the cycle — `stats` acquired while `writer` is held.
+    let s = p.stats.lock().expect("stats");
+    let _ = (w.len(), s.len());
+}

@@ -1,0 +1,40 @@
+//! Fixture: seeded S001 + S002 violations — float reductions where the
+//! bit-identity contract forbids them.
+
+use std::collections::BTreeMap;
+
+pub struct Pool;
+
+pub fn par_map<T>(_pool: &Pool, _items: &[T], _f: impl Fn(&T) -> f64) -> Vec<f64> {
+    Vec::new()
+}
+
+pub fn grain_totals(pool: &Pool, rows: &[Vec<f64>]) -> Vec<f64> {
+    // S001: a reduction inside the pool closure reassociates float
+    // addition across the schedule; grains must write rows instead.
+    par_map(pool, rows, |row| row.iter().sum::<f64>())
+}
+
+pub fn looped_totals(pool: &Pool, rows: &[Vec<f64>]) -> Vec<f64> {
+    par_map(pool, rows, |row| {
+        let mut acc = 0.0;
+        for v in row {
+            // S001: `+=` in a loop inside the pool closure.
+            acc += v;
+        }
+        acc
+    })
+}
+
+pub fn unordered_energy(per_bank: &BTreeMap<u32, f64>) -> f64 {
+    let mut scratch: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+    for (bank, joules) in per_bank {
+        scratch.insert(*bank, *joules);
+    }
+    let mut total = 0.0;
+    for (_, joules) in &scratch {
+        // S002: iteration order of the hash map decides the sum's bits.
+        total += joules;
+    }
+    total
+}

@@ -1,0 +1,9 @@
+//! Fixture: seeded U002 marker violation — this path IS the unsafe
+//! allowlist (`crates/ml/src/simd.rs`), but the module carries no
+//! validate-then-trust marker (no `fn validate*`/`fn check*`, no
+//! assert-family guard), so trusting `get_unchecked` is unjustified.
+
+pub fn trusting(values: &[f64]) -> f64 {
+    // SAFETY: nothing actually validated the index — U002 fires anyway.
+    unsafe { *values.get_unchecked(0) }
+}

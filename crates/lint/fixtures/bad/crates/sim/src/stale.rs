@@ -1,0 +1,7 @@
+//! Fixture: seeded E003 violation — a suppression pragma whose lint
+//! never fires, left behind by some long-finished refactor.
+
+pub fn honest(x: Option<u8>) -> u8 {
+    // mct-tidy: allow(P001) -- stale: the unwrap below was removed ages ago
+    x.unwrap_or(0)
+}

@@ -1,0 +1,32 @@
+//! Fixture: lock-order suppression done right. The two functions
+//! acquire `alpha` and `beta` in opposite orders — a real L002 cycle —
+//! but both edges carry a justified pragma, so the tree is clean and
+//! both pragmas count as live (no E003).
+
+use std::sync::Mutex;
+
+pub struct Pipeline {
+    pub alpha: Mutex<Vec<u64>>,
+    pub beta: Mutex<Vec<u64>>,
+}
+
+pub fn forward(p: &Pipeline) {
+    let a = p.alpha.lock().expect("alpha");
+    // mct-tidy: allow(L002) -- startup-only path, serialized by the init barrier
+    let b = p.beta.lock().expect("beta");
+    let _ = (a.len(), b.len());
+}
+
+pub fn backward(p: &Pipeline) {
+    let b = p.beta.lock().expect("beta");
+    // mct-tidy: allow(L002) -- startup-only path, serialized by the init barrier
+    let a = p.alpha.lock().expect("alpha");
+    let _ = (a.len(), b.len());
+}
+
+/// The consistent-order sibling: no pragma needed, no diagnostic.
+pub fn ordered(p: &Pipeline) {
+    let a = p.alpha.lock().expect("alpha");
+    let b = p.beta.lock().expect("beta");
+    let _ = (a.len(), b.len());
+}

@@ -1,0 +1,18 @@
+//! Fixture: the allowlisted unsafe module done right — a
+//! validate-then-trust marker, and a SAFETY comment that stays attached
+//! to its block even with documentation in between (the lexer
+//! regression the U001 pass must keep passing).
+
+pub fn check_len(values: &[f64], n: usize) {
+    assert!(values.len() >= n, "caller must validate length");
+}
+
+pub fn trusted(values: &[f64]) -> f64 {
+    check_len(values, 1);
+    // SAFETY: `check_len` above proved `values` holds at least one
+    // element, so index 0 is in bounds.
+    /// a stray doc comment between the SAFETY comment and the block
+    /* and a block comment
+       spanning two lines — only *code* may break the adjacency */
+    unsafe { *values.get_unchecked(0) }
+}

@@ -1,0 +1,17 @@
+//! Fixture: live suppressions — every pragma here silences a real
+//! diagnostic, so none of them is E003-stale.
+
+use crate::FxHashMap;
+
+pub fn guarded(x: Option<u8>) -> u8 {
+    x.expect("set by constructor") // mct-tidy: allow(P003) -- invariant: set in new()
+}
+
+pub fn wear_total(map: &FxHashMap<u64, f64>) -> f64 {
+    let mut total = 0.0;
+    for v in map.values() {
+        // mct-tidy: allow(S002) -- diagnostic dump only; order never reaches results
+        total += v;
+    }
+    total
+}

@@ -1,0 +1,13 @@
+//! Fixture: whole-file test exemption — reductions inside pool closures
+//! are harness scaffolding here, not production grains, and the S
+//! family must stay quiet.
+
+pub struct Pool;
+
+pub fn par_map<T>(_pool: &Pool, _items: &[T], _f: impl Fn(&T) -> f64) -> Vec<f64> {
+    Vec::new()
+}
+
+pub fn reference_reduction(pool: &Pool, rows: &[Vec<f64>]) -> Vec<f64> {
+    par_map(pool, rows, |row| row.iter().sum::<f64>())
+}

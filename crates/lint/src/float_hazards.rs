@@ -1,0 +1,323 @@
+//! S family — bit-identity hazards.
+//!
+//! The repo's reproducibility contract (DESIGN §14) says parallel and
+//! vector fast paths must be `to_bits()`-identical to their scalar
+//! references. Two lexical patterns are where that contract dies:
+//!
+//! - **S001 (rows-not-reductions):** a floating-point reduction —
+//!   `.sum()`, `.fold()`, or a `for` loop driving `+=` — inside a
+//!   closure handed to a pool site (`par_map`, `run_grains`,
+//!   `run_grains_tallied`, `spawn`). Parallel grains may only *write
+//!   their own output rows*; any cross-grain reduction reassociates
+//!   float addition and the schedule leaks into the bits. Reductions
+//!   belong in the serial reassembly step after the pool returns.
+//! - **S002 (unordered feed):** a `for` loop iterating a hash-based
+//!   collection (`HashMap`/`HashSet`/`FxHashMap`/`FxHashSet`) whose body
+//!   accumulates (`+=`, `.sum()`, `.fold()`). Even a seeded Fx map only
+//!   iterates deterministically for one exact insertion history; the
+//!   next refactor reorders the accumulation silently. Accumulate over
+//!   a sorted view or a `BTreeMap` instead.
+//!
+//! Both are lexical over-approximations: an integer tally inside a pool
+//! closure is commutatively safe, and a justified site is suppressed
+//! with `mct-tidy: allow(S00x) -- reason`, which doubles as the audit
+//! trail for every order-sensitive accumulation in the tree.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::Tok;
+use crate::lints::{matching_paren, FileScope, RawViolation};
+
+/// Call sites that hand a closure to the worker pool.
+const POOL_SITES: &[&str] = &["par_map", "run_grains", "run_grains_tallied", "spawn"];
+
+/// Hash-based collection type names whose iteration order is arbitrary.
+const UNORDERED: &[&str] = &["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
+
+/// Run S001/S002 over one file's tokens.
+pub(crate) fn check(
+    scope: &FileScope,
+    toks: &[Tok<'_>],
+    is_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<RawViolation>,
+) {
+    par_reductions(toks, is_test, out);
+    if scope.accum_guarded {
+        unordered_accumulation(toks, is_test, out);
+    }
+}
+
+/// S001: float reductions lexically inside pool-site closures.
+fn par_reductions(toks: &[Tok<'_>], is_test: &dyn Fn(usize) -> bool, out: &mut Vec<RawViolation>) {
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident || !POOL_SITES.contains(&t.text) || is_test(t.pos) {
+            continue;
+        }
+        if !toks.get(i + 1).is_some_and(|a| a.is_punct('(')) {
+            continue;
+        }
+        let Some(close) = matching_paren(toks, i + 1) else {
+            continue;
+        };
+        // The closure argument starts at the first `|` inside the call.
+        let Some(bar) = (i + 2..close).find(|&k| toks[k].is_punct('|')) else {
+            continue;
+        };
+        let mut k = bar;
+        while k < close {
+            let h = &toks[k];
+            if h.is_ident
+                && (h.text == "sum" || h.text == "fold")
+                && k > 0
+                && toks[k - 1].is_punct('.')
+                // A call, possibly through a turbofish: `.sum::<f64>()`.
+                && toks
+                    .get(k + 1)
+                    .is_some_and(|a| a.is_punct('(') || a.is_punct(':'))
+            {
+                out.push(RawViolation {
+                    line: h.line,
+                    lint: "S001",
+                    message: format!(
+                        ".{}() inside a closure passed to `{}`: parallel grains must \
+                         write rows, not reduce — reassociated float addition leaks the \
+                         schedule into the bits; reduce serially after the pool returns",
+                        h.text, t.text
+                    ),
+                });
+            }
+            if h.is_ident && h.text == "for" {
+                if let Some(pe) = plus_eq_in_loop_body(toks, k, close) {
+                    out.push(RawViolation {
+                        line: toks[pe].line,
+                        lint: "S001",
+                        message: format!(
+                            "`+=` in a loop inside a closure passed to `{}`: parallel \
+                             grains must write rows, not reduce — move the accumulation \
+                             to the serial reassembly step",
+                            t.text
+                        ),
+                    });
+                    // One diagnostic per loop is enough; skip its body.
+                    k = pe;
+                }
+            }
+            k += 1;
+        }
+    }
+}
+
+/// Index of the first `+=` inside the brace body of the `for` at `fi`,
+/// searching no further than `limit`.
+fn plus_eq_in_loop_body(toks: &[Tok<'_>], fi: usize, limit: usize) -> Option<usize> {
+    let open = (fi + 1..limit).find(|&k| toks[k].is_punct('{'))?;
+    let mut depth = 0i32;
+    for k in open..limit {
+        if toks[k].is_punct('{') {
+            depth += 1;
+        } else if toks[k].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return None;
+            }
+        } else if toks[k].is_punct('+') && toks.get(k + 1).is_some_and(|a| a.is_punct('=')) {
+            return Some(k);
+        }
+    }
+    None
+}
+
+/// S002: `for` over a hash-based collection feeding accumulation.
+fn unordered_accumulation(
+    toks: &[Tok<'_>],
+    is_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<RawViolation>,
+) {
+    // Pass 1 — idents bound or annotated with an unordered type:
+    // `name: FxHashMap<..>` (fields, params, let annotations) and
+    // `name = FxHashMap::default()` / `= HashMap::new()` initializers.
+    let mut tracked: BTreeSet<&str> = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident || !UNORDERED.contains(&t.text) {
+            continue;
+        }
+        // Rewind over leading path segments (`std::collections::`).
+        let mut h = i;
+        while h >= 3
+            && toks[h - 1].is_punct(':')
+            && toks[h - 2].is_punct(':')
+            && toks[h - 3].is_ident
+        {
+            h -= 3;
+        }
+        // Skip reference/mutability sigils between binder and type.
+        let mut j = h;
+        while j > 0 && (toks[j - 1].is_punct('&') || toks[j - 1].text == "mut") {
+            j -= 1;
+        }
+        // `name: Type` annotation (not a `::` path) or `name = init`.
+        let annotated = j >= 2
+            && toks[j - 1].is_punct(':')
+            && !toks[j - 2].is_punct(':')
+            && toks[j - 2].is_ident;
+        let initialized = j >= 2 && toks[j - 1].is_punct('=') && toks[j - 2].is_ident;
+        if annotated || initialized {
+            tracked.insert(toks[j - 2].text);
+        }
+    }
+    if tracked.is_empty() {
+        return;
+    }
+
+    // Pass 2 — `for … in <iterable mentioning a tracked ident> { … += … }`.
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident || t.text != "for" || is_test(t.pos) {
+            continue;
+        }
+        let Some(open) = (i + 1..toks.len().min(i + 64)).find(|&k| toks[k].is_punct('{')) else {
+            continue;
+        };
+        let Some(in_kw) = (i + 1..open).find(|&k| toks[k].is_ident && toks[k].text == "in") else {
+            continue;
+        };
+        let iterates_unordered =
+            (in_kw + 1..open).any(|k| toks[k].is_ident && tracked.contains(toks[k].text));
+        if !iterates_unordered {
+            continue;
+        }
+        let mut depth = 0i32;
+        let mut hazard = None;
+        for k in open..toks.len() {
+            if toks[k].is_punct('{') {
+                depth += 1;
+            } else if toks[k].is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                let plus_eq =
+                    toks[k].is_punct('+') && toks.get(k + 1).is_some_and(|a| a.is_punct('='));
+                let reduction = toks[k].is_ident
+                    && (toks[k].text == "sum" || toks[k].text == "fold")
+                    && k > 0
+                    && toks[k - 1].is_punct('.');
+                if plus_eq || reduction {
+                    hazard = Some(toks[k].line);
+                    break;
+                }
+            }
+        }
+        if let Some(line) = hazard {
+            out.push(RawViolation {
+                line,
+                lint: "S002",
+                message: "accumulation inside a loop over a hash-based collection: \
+                          iteration order is arbitrary, so float sums change bits on \
+                          the next insertion-order change; iterate a sorted view or \
+                          use a BTreeMap"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{scan, tokenize};
+    use crate::lints::test_regions;
+
+    fn check_src(path: &str, src: &str) -> Vec<RawViolation> {
+        let scanned = scan(src);
+        let toks = tokenize(&scanned.code);
+        let scope = FileScope::for_path(path);
+        let tests = test_regions(&toks);
+        let is_test =
+            |pos: usize| scope.test_file || tests.iter().any(|&(s, e)| pos >= s && pos < e);
+        let mut out = Vec::new();
+        check(&scope, &toks, &is_test, &mut out);
+        out
+    }
+
+    #[test]
+    fn sum_inside_par_map_closure_is_s001() {
+        let src = "fn f(pool: &P, rows: &[Vec<f64>]) -> Vec<f64> {\n    par_map(pool, rows, |r| r.iter().sum::<f64>())\n}\n";
+        let got = check_src("crates/experiments/src/x.rs", src);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].lint, "S001");
+        assert!(got[0].message.contains("par_map"));
+    }
+
+    #[test]
+    fn fold_inside_spawn_closure_is_s001() {
+        let src = "fn f(s: &S, rows: &[Vec<f64>]) {\n    s.spawn(move || rows.iter().fold(0.0, |a, r| a + r[0]));\n}\n";
+        let got = check_src("crates/experiments/src/x.rs", src);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].lint, "S001");
+    }
+
+    #[test]
+    fn plus_eq_loop_inside_pool_closure_is_s001() {
+        let src = "fn f(pool: &P, rows: &[Vec<f64>]) {\n    run_grains(pool, |r| {\n        let mut acc = 0.0;\n        for v in r {\n            acc += v;\n        }\n        acc\n    });\n}\n";
+        let got = check_src("crates/experiments/src/x.rs", src);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].lint, "S001");
+        assert_eq!(got[0].line, 5);
+    }
+
+    #[test]
+    fn row_writes_inside_pool_closure_pass() {
+        let src =
+            "fn f(pool: &P, rows: &mut [f64]) {\n    par_map(pool, rows, |r| eval_row(r));\n}\n";
+        assert!(check_src("crates/experiments/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn serial_reduction_outside_pool_passes() {
+        let src = "fn f(parts: &[f64]) -> f64 {\n    parts.iter().sum::<f64>()\n}\n";
+        assert!(check_src("crates/experiments/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn for_over_fxhashmap_with_plus_eq_is_s002() {
+        let src = "fn f() -> f64 {\n    let mut m: FxHashMap<u64, f64> = FxHashMap::default();\n    let mut acc = 0.0;\n    for (_, v) in &m {\n        acc += v;\n    }\n    acc\n}\n";
+        let got = check_src("crates/sim/src/x.rs", src);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].lint, "S002");
+        assert_eq!(got[0].line, 5);
+    }
+
+    #[test]
+    fn lookup_only_fxhashmap_use_passes() {
+        let src = "fn f(m: &FxHashMap<u64, f64>, keys: &[u64]) -> f64 {\n    let mut acc = 0.0;\n    for k in keys {\n        acc += m.get(k).copied().unwrap_or(0.0);\n    }\n    acc\n}\n";
+        // The loop iterates `keys` (a slice, caller-ordered), not the map.
+        assert!(check_src("crates/sim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn btreemap_accumulation_passes() {
+        let src = "fn f(m: &BTreeMap<u64, f64>) -> f64 {\n    let mut acc = 0.0;\n    for (_, v) in m {\n        acc += v;\n    }\n    acc\n}\n";
+        assert!(check_src("crates/sim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn s002_scoped_out_of_unguarded_paths() {
+        let src = "fn f() -> f64 {\n    let mut m: FxHashMap<u64, f64> = FxHashMap::default();\n    let mut acc = 0.0;\n    for (_, v) in &m {\n        acc += v;\n    }\n    acc\n}\n";
+        assert!(check_src("crates/telemetry/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn tests_are_exempt_from_s_family() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        par_map(pool, rows, |r| r.iter().sum::<f64>());\n    }\n}\n";
+        assert!(check_src("crates/experiments/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn values_iteration_on_tracked_map_is_caught() {
+        let src = "fn f(scrub_due: &FxHashMap<u64, f64>) -> f64 {\n    let mut acc = 0.0;\n    for v in scrub_due.values() {\n        acc += v;\n    }\n    acc\n}\n";
+        let got = check_src("crates/sim/src/x.rs", src);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].lint, "S002");
+    }
+}

@@ -7,14 +7,25 @@
 //! text for the pragma parser; [`tokenize`] then splits the blanked code
 //! into identifier and punctuation tokens for the lint passes.
 
+/// One extracted comment, with the line span it occupies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-indexed line the comment starts on.
+    pub line: usize,
+    /// 1-indexed line the comment ends on (`== line` for `//` comments).
+    pub end_line: usize,
+    /// Raw comment text, marker included.
+    pub text: String,
+}
+
 /// Output of [`scan`]: blanked code plus extracted comments.
 #[derive(Debug)]
 pub struct Scanned {
     /// The source with comments and string/char-literal bodies replaced
     /// by spaces. Same byte length and line structure as the input.
     pub code: String,
-    /// `(1-indexed start line, raw comment text)` for every comment.
-    pub comments: Vec<(usize, String)>,
+    /// Every comment in source order, with its line span.
+    pub comments: Vec<Comment>,
 }
 
 fn is_ident_char(b: u8) -> bool {
@@ -82,7 +93,11 @@ pub fn scan(src: &str) -> Scanned {
                 while i < len && bytes[i] != b'\n' {
                     i += 1;
                 }
-                comments.push((line, src[start..i].to_string()));
+                comments.push(Comment {
+                    line,
+                    end_line: line,
+                    text: src[start..i].to_string(),
+                });
                 blank(&mut code, &bytes[start..i]);
             }
             b'/' if i + 1 < len && bytes[i + 1] == b'*' => {
@@ -104,7 +119,11 @@ pub fn scan(src: &str) -> Scanned {
                         i += 1;
                     }
                 }
-                comments.push((start_line, src[start..i].to_string()));
+                comments.push(Comment {
+                    line: start_line,
+                    end_line: line,
+                    text: src[start..i].to_string(),
+                });
                 blank(&mut code, &bytes[start..i]);
             }
             b'"' => {
@@ -288,9 +307,21 @@ mod tests {
         let s = scan("let x = 1; // uses unwrap()\nlet y = 2;");
         assert!(!s.code.contains("unwrap"));
         assert_eq!(s.comments.len(), 1);
-        assert_eq!(s.comments[0].0, 1);
-        assert!(s.comments[0].1.contains("unwrap()"));
+        assert_eq!(s.comments[0].line, 1);
+        assert_eq!(s.comments[0].end_line, 1);
+        assert!(s.comments[0].text.contains("unwrap()"));
         assert!(s.code.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn block_comments_record_their_line_span() {
+        let s = scan("a /* one\ntwo\nthree */ b\nc();");
+        assert_eq!(s.comments.len(), 1);
+        assert_eq!(s.comments[0].line, 1);
+        assert_eq!(s.comments[0].end_line, 3);
+        let toks = tokenize(&s.code);
+        let c = toks.iter().find(|t| t.text == "c").unwrap();
+        assert_eq!(c.line, 4);
     }
 
     #[test]

@@ -11,7 +11,15 @@
 //! - **F (float soundness):** no NaN-unsafe `partial_cmp` comparators —
 //!   use `f64::total_cmp`;
 //! - **L (lock discipline):** the work-stealing scheduler must never
-//!   hold two deque locks at once.
+//!   hold two deque locks at once (L001), and the whole-crate lock
+//!   acquisition-order graph must stay acyclic (L002, in
+//!   [`crate::lock_order`]);
+//! - **U (unsafe hygiene):** every `unsafe` block carries a `// SAFETY:`
+//!   comment and `unsafe` stays inside the audited allowlist (in
+//!   [`crate::unsafe_hygiene`]);
+//! - **S (bit-identity hazards):** no float reductions inside pool
+//!   closures, no accumulation over unordered collections (in
+//!   [`crate::float_hazards`]).
 
 use crate::lexer::Tok;
 
@@ -84,6 +92,36 @@ pub const LINTS: &[LintInfo] = &[
                   protocol; two deque locks at once can deadlock",
     },
     LintInfo {
+        id: "L002",
+        name: "lock-order-cycle",
+        summary: "cycle in the crate's interprocedural lock acquisition-order graph; \
+                  two threads walking the cycle from different entry points deadlock",
+    },
+    LintInfo {
+        id: "U001",
+        name: "safety-comment",
+        summary: "unsafe block without an immediately preceding `// SAFETY:` comment \
+                  naming the invariant it relies on",
+    },
+    LintInfo {
+        id: "U002",
+        name: "unsafe-allowlist",
+        summary: "unsafe/get_unchecked outside the audited kernel allowlist, or an \
+                  allowlisted module missing its validate-then-trust marker",
+    },
+    LintInfo {
+        id: "S001",
+        name: "par-reduction",
+        summary: "float reduction (sum/fold/looped +=) inside a closure passed to a \
+                  pool site; parallel grains must write rows, not reduce",
+    },
+    LintInfo {
+        id: "S002",
+        name: "unordered-accumulation",
+        summary: "loop over a hash-based collection feeding accumulation; iteration \
+                  order is arbitrary, use a sorted view or BTreeMap",
+    },
+    LintInfo {
         id: "E001",
         name: "unknown-lint-id",
         summary: "suppression pragma names a lint id mct-tidy does not know",
@@ -93,6 +131,12 @@ pub const LINTS: &[LintInfo] = &[
         name: "malformed-pragma",
         summary: "comment carries the mct-tidy: marker but is not a valid allow() \
                   directive",
+    },
+    LintInfo {
+        id: "E003",
+        name: "stale-pragma",
+        summary: "allow() pragma that suppressed zero diagnostics in this run; remove \
+                  it so the suppression inventory stays live",
     },
 ];
 
@@ -127,6 +171,9 @@ pub struct FileScope {
     pub panic_guarded: bool,
     /// L001 scope: the work-stealing scheduler.
     pub lock_guarded: bool,
+    /// S002 scope: result-producing crates (`sim`, `ml`, `core`,
+    /// `experiments`) where accumulation order reaches reported bits.
+    pub accum_guarded: bool,
     /// Whole file is test/bench code (integration tests, benches).
     pub test_file: bool,
 }
@@ -151,6 +198,10 @@ impl FileScope {
                 || path == "crates/experiments/src/sched.rs"
                 || path.ends_with("crates/ml/src/par.rs")
                 || path == "crates/ml/src/par.rs",
+            accum_guarded: in_dir("crates/sim/src/")
+                || in_dir("crates/ml/src/")
+                || in_dir("crates/core/src/")
+                || in_dir("crates/experiments/src/"),
             test_file: component("tests") || component("benches") || in_dir("examples/"),
         }
     }
@@ -253,7 +304,8 @@ fn item_end(toks: &[Tok<'_>], mut i: usize) -> usize {
 
 /// Index of the token closing the paren group opened at `open` (which
 /// must be a `(`).
-fn matching_paren(toks: &[Tok<'_>], open: usize) -> Option<usize> {
+#[must_use]
+pub fn matching_paren(toks: &[Tok<'_>], open: usize) -> Option<usize> {
     let mut depth = 0i32;
     for (k, t) in toks.iter().enumerate().skip(open) {
         if t.is_punct('(') {
@@ -278,6 +330,7 @@ pub fn check_tokens(scope: &FileScope, toks: &[Tok<'_>]) -> Vec<RawViolation> {
     determinism_lints(scope, toks, &is_test, &mut out);
     panic_lints(scope, toks, &is_test, &mut out);
     float_lints(toks, &is_test, &mut out);
+    crate::float_hazards::check(scope, toks, &is_test, &mut out);
     if scope.lock_guarded {
         lock_lints(toks, &mut out);
     }

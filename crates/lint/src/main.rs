@@ -23,13 +23,24 @@ struct JsonViolation {
     message: String,
 }
 
+/// One stale `allow()` entry in `--json` output.
+#[derive(Serialize)]
+struct JsonStalePragma {
+    file: String,
+    line: usize,
+    id: String,
+}
+
 /// The whole `--json` report, counters included.
 #[derive(Serialize)]
 struct JsonReport {
     clean: bool,
     files_scanned: usize,
     suppressed: u64,
+    /// Violation counts rolled up per lint family (D, P, F, L, U, S, E).
+    families: std::collections::BTreeMap<String, u64>,
     violations: Vec<JsonViolation>,
+    stale_pragmas: Vec<JsonStalePragma>,
     counters: RegistrySnapshot,
 }
 
@@ -100,8 +111,12 @@ fn main() -> ExitCode {
     registry.incr("tidy.files_scanned", report.files_scanned as u64);
     registry.incr("tidy.violations", report.diagnostics.len() as u64);
     registry.incr("tidy.suppressed", report.suppressed);
+    registry.incr("tidy.stale_pragmas", report.stale_pragmas.len() as u64);
     for (lint, n) in report.counts_by_lint() {
         registry.incr(&format!("tidy.violations.{lint}"), n);
+    }
+    for (family, n) in report.counts_by_family() {
+        registry.incr(&format!("tidy.family.{family}"), n);
     }
 
     if json {
@@ -109,6 +124,7 @@ fn main() -> ExitCode {
             clean: report.is_clean(),
             files_scanned: report.files_scanned,
             suppressed: report.suppressed,
+            families: report.counts_by_family(),
             violations: report
                 .diagnostics
                 .iter()
@@ -117,6 +133,15 @@ fn main() -> ExitCode {
                     line: d.line,
                     lint: d.lint.clone(),
                     message: d.message.clone(),
+                })
+                .collect(),
+            stale_pragmas: report
+                .stale_pragmas
+                .iter()
+                .map(|s| JsonStalePragma {
+                    file: s.file.clone(),
+                    line: s.line,
+                    id: s.id.clone(),
                 })
                 .collect(),
             counters: registry.snapshot(),
@@ -133,10 +158,11 @@ fn main() -> ExitCode {
             println!("{d}");
         }
         eprintln!(
-            "mct-tidy: {} file(s) scanned, {} violation(s), {} suppressed",
+            "mct-tidy: {} file(s) scanned, {} violation(s), {} suppressed, {} stale pragma(s)",
             report.files_scanned,
             report.diagnostics.len(),
-            report.suppressed
+            report.suppressed,
+            report.stale_pragmas.len()
         );
     }
 

@@ -1,0 +1,247 @@
+//! U family — unsafe hygiene.
+//!
+//! The PR 7 lane kernels earn their `get_unchecked` loads through a
+//! *validate-then-trust* shape: a constructor (or a once-per-call
+//! check) proves the invariant, and the hot loop trusts it. That
+//! contract is invisible to the compiler, so two passes pin it down:
+//!
+//! - **U001 (safety-comment):** every `unsafe` *block* must be
+//!   immediately preceded by a `// SAFETY:` comment naming the invariant
+//!   it relies on. "Immediately" tolerates doc comments, block comments
+//!   and blank lines between the SAFETY comment and the `unsafe` token —
+//!   but not intervening code, so a comment can never drift away from
+//!   the block it justifies.
+//! - **U002 (unsafe-allowlist):** `unsafe` (blocks, fns, impls) and
+//!   `get_unchecked`/`get_unchecked_mut` are confined to an explicit
+//!   allowlist of audited modules — today `crates/ml/src/simd.rs` and
+//!   the analyzer's own crate. An allowlisted module must additionally
+//!   carry a detectable validate-then-trust marker: a `fn validate*` /
+//!   `fn check*` item or an `assert!`/`debug_assert!`-family guard.
+
+use crate::lexer::{Comment, Tok};
+use crate::lints::RawViolation;
+
+/// Modules audited for `unsafe`. Everything else gets U002.
+const UNSAFE_ALLOWLIST: &[&str] = &["crates/ml/src/simd.rs"];
+
+/// Is `path` allowed to contain `unsafe` at all?
+#[must_use]
+pub fn is_allowlisted(path: &str) -> bool {
+    UNSAFE_ALLOWLIST.contains(&path) || path.starts_with("crates/lint/")
+}
+
+/// Does the file carry a validate-then-trust marker (`fn validate*` /
+/// `fn check*`, or an assert-family invocation)?
+#[must_use]
+pub fn has_validate_marker(toks: &[Tok<'_>]) -> bool {
+    const ASSERTS: &[&str] = &[
+        "assert",
+        "assert_eq",
+        "assert_ne",
+        "debug_assert",
+        "debug_assert_eq",
+        "debug_assert_ne",
+    ];
+    toks.iter().enumerate().any(|(i, t)| {
+        if !t.is_ident {
+            return false;
+        }
+        if t.text == "fn" {
+            return toks.get(i + 1).is_some_and(|n| {
+                n.is_ident && (n.text.starts_with("validate") || n.text.starts_with("check"))
+            });
+        }
+        ASSERTS.contains(&t.text) && toks.get(i + 1).is_some_and(|a| a.is_punct('!'))
+    })
+}
+
+/// Run U001/U002 over one file.
+#[must_use]
+pub fn check(rel_path: &str, toks: &[Tok<'_>], comments: &[Comment]) -> Vec<RawViolation> {
+    let mut out = Vec::new();
+    let allowlisted = is_allowlisted(rel_path);
+    let marker = has_validate_marker(toks);
+    let mut marker_reported = false;
+
+    // Lines bearing at least one code token (comments and literals are
+    // already blanked, so comment-only lines never appear here).
+    let code_lines: std::collections::BTreeSet<usize> = toks.iter().map(|t| t.line).collect();
+    // Line spans of comments that name a SAFETY invariant.
+    let safety_spans: Vec<(usize, usize)> = comments
+        .iter()
+        .filter(|c| c.text.contains("SAFETY:"))
+        .map(|c| (c.line, c.end_line))
+        .collect();
+    // An `unsafe` token on line N is covered when a SAFETY comment ends
+    // on or before N with no code-bearing line strictly between them
+    // (same-line trailing comments count too).
+    let covered = |n: usize| {
+        safety_spans
+            .iter()
+            .any(|&(s, e)| s == n || (e <= n && !code_lines.iter().any(|&l| l > e && l < n)))
+    };
+
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident {
+            continue;
+        }
+        match t.text {
+            "unsafe" => {
+                if !allowlisted {
+                    out.push(RawViolation {
+                        line: t.line,
+                        lint: "U002",
+                        message: "`unsafe` outside the audited kernel allowlist \
+                                  (crates/ml/src/simd.rs); validated fast paths belong there"
+                            .to_string(),
+                    });
+                } else if !marker && !marker_reported {
+                    marker_reported = true;
+                    out.push(RawViolation {
+                        line: t.line,
+                        lint: "U002",
+                        message: "allowlisted unsafe module lacks a validate-then-trust \
+                                  marker (`fn validate*`/`fn check*` or an assert!/\
+                                  debug_assert! guard proving the trusted invariant)"
+                            .to_string(),
+                    });
+                }
+                // U001 applies to unsafe *blocks*; `unsafe fn`/`unsafe
+                // impl`/`unsafe trait` declare a contract rather than
+                // discharge one.
+                let is_block = toks.get(i + 1).is_some_and(|n| n.is_punct('{'));
+                if is_block && !covered(t.line) {
+                    out.push(RawViolation {
+                        line: t.line,
+                        lint: "U001",
+                        message: "unsafe block without an immediately preceding `// SAFETY:` \
+                                  comment naming the invariant it relies on"
+                            .to_string(),
+                    });
+                }
+            }
+            "get_unchecked" | "get_unchecked_mut" if !allowlisted => {
+                out.push(RawViolation {
+                    line: t.line,
+                    lint: "U002",
+                    message: format!(
+                        "`{}` outside the audited kernel allowlist (crates/ml/src/simd.rs); \
+                         validated fast paths belong there",
+                        t.text
+                    ),
+                });
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{scan, tokenize};
+
+    fn check_src(path: &str, src: &str) -> Vec<RawViolation> {
+        let scanned = scan(src);
+        let toks = tokenize(&scanned.code);
+        check(path, &toks, &scanned.comments)
+    }
+
+    const ALLOWED: &str = "crates/ml/src/simd.rs";
+
+    #[test]
+    fn bare_unsafe_block_is_u001_and_marker_u002() {
+        let src = "fn check_row() {}\nfn f(p: &[u8]) -> u8 { unsafe { *p.get_unchecked(0) } }\n";
+        let got = check_src(ALLOWED, src);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].lint, "U001");
+        assert_eq!(got[0].line, 2);
+    }
+
+    #[test]
+    fn safety_comment_on_previous_line_satisfies_u001() {
+        let src = "fn check_row() {}\nfn f(p: &[u8]) -> u8 {\n    // SAFETY: caller validated index 0 in check_row\n    unsafe { *p.get_unchecked(0) }\n}\n";
+        assert!(check_src(ALLOWED, src).is_empty());
+    }
+
+    #[test]
+    fn trailing_same_line_safety_comment_satisfies_u001() {
+        let src = "fn check_row() {}\nfn f(p: &[u8]) -> u8 {\n    unsafe { *p.get_unchecked(0) } // SAFETY: len checked by check_row\n}\n";
+        assert!(check_src(ALLOWED, src).is_empty());
+    }
+
+    #[test]
+    fn safety_detection_survives_doc_and_block_comments_between() {
+        // The regression the fixture suite pins: documentation between
+        // the SAFETY comment and the unsafe token must not break the
+        // adjacency check — only *code* may.
+        let src = "fn check_row() {}\nfn f(p: &[u8]) -> u8 {\n    // SAFETY: index 0 validated by check_row at construction\n    /// stray doc comment\n    /* a block\n       comment spanning lines */\n    unsafe { *p.get_unchecked(0) }\n}\n";
+        assert!(
+            check_src(ALLOWED, src).is_empty(),
+            "{:?}",
+            check_src(ALLOWED, src)
+        );
+    }
+
+    #[test]
+    fn code_between_safety_comment_and_unsafe_breaks_coverage() {
+        let src = "fn check_row() {}\nfn f(p: &[u8]) -> u8 {\n    // SAFETY: stale, belongs to the line below\n    let i = 0usize;\n    unsafe { *p.get_unchecked(i) }\n}\n";
+        let got = check_src(ALLOWED, src);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].lint, "U001");
+        assert_eq!(got[0].line, 5);
+    }
+
+    #[test]
+    fn one_comment_does_not_cover_a_second_block_past_code() {
+        let src = "fn check_row() {}\nfn f(p: &[f64]) -> f64 {\n    // SAFETY: index validated by check_row\n    let a = unsafe { *p.get_unchecked(0) };\n    let b = unsafe { *p.get_unchecked(1) };\n    a + b\n}\n";
+        let got = check_src(ALLOWED, src);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].line, 5);
+    }
+
+    #[test]
+    fn unsafe_outside_allowlist_is_u002() {
+        let src = "fn f(p: &[u8]) -> u8 { unsafe { *p.get_unchecked(0) } }\n";
+        let got = check_src("crates/sim/src/system.rs", src);
+        let lints: Vec<&str> = got.iter().map(|v| v.lint).collect();
+        // The unsafe keyword and the unchecked load are each confined.
+        assert_eq!(lints, vec!["U002", "U001", "U002"], "{got:?}");
+    }
+
+    #[test]
+    fn lint_crate_is_allowlisted() {
+        let src = "fn check_x() {}\nfn f(p: &[u8]) -> u8 {\n    // SAFETY: fixture\n    unsafe { *p.get_unchecked(0) }\n}\n";
+        assert!(check_src("crates/lint/src/lexer.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allowlisted_module_without_marker_is_u002_once() {
+        let src = "fn f(p: &[u8]) -> u8 {\n    // SAFETY: no one validated anything\n    unsafe { *p.get_unchecked(0) }\n}\nfn g(p: &[u8]) -> u8 {\n    // SAFETY: still nothing validated\n    unsafe { *p.get_unchecked(1) }\n}\n";
+        let got = check_src(ALLOWED, src);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].lint, "U002");
+        assert!(got[0].message.contains("validate-then-trust"));
+    }
+
+    #[test]
+    fn validate_fn_and_debug_assert_both_count_as_markers() {
+        for marker in ["fn validate_lanes() {}", "fn check_row_len() {}"] {
+            let src = format!(
+                "{marker}\nfn f(p: &[u8]) -> u8 {{\n    // SAFETY: validated above\n    unsafe {{ *p.get_unchecked(0) }}\n}}\n"
+            );
+            assert!(check_src(ALLOWED, &src).is_empty(), "marker {marker}");
+        }
+        let src = "fn f(p: &[u8]) -> u8 {\n    debug_assert!(!p.is_empty());\n    // SAFETY: emptiness rejected above\n    unsafe { *p.get_unchecked(0) }\n}\n";
+        assert!(check_src(ALLOWED, src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_fn_declaration_skips_u001_but_not_the_allowlist() {
+        let src = "unsafe fn f() {}\n";
+        let got = check_src("crates/core/src/x.rs", src);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].lint, "U002");
+    }
+}

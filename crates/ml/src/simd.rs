@@ -486,10 +486,12 @@ impl DenseForest {
                 // level, so before each of the `depth` steps it is below
                 // `1 << depth`, the chunk length; the feature index is
                 // <= max_feature < row.len() by `check_row_len`.
-                let f = unsafe { *feature.get_unchecked(i) } as usize;
-                let x = unsafe { *row.get_unchecked(f) };
-                let t = unsafe { *threshold.get_unchecked(i) };
-                i = 2 * i + usize::from(!(x <= t));
+                i = unsafe {
+                    let f = *feature.get_unchecked(i) as usize;
+                    let x = *row.get_unchecked(f);
+                    let t = *threshold.get_unchecked(i);
+                    2 * i + usize::from(!(x <= t))
+                };
             }
             sum += value[i & mask];
         }
@@ -525,10 +527,12 @@ impl DenseForest {
                     // is below `1 << depth`, the chunk length; the
                     // feature index is <= max_feature < cols (the lane
                     // slice length) by `check_row_len`.
-                    let f = unsafe { *feature.get_unchecked($i) } as usize;
-                    let x = unsafe { *$r.get_unchecked(f) };
-                    let t = unsafe { *threshold.get_unchecked($i) };
-                    $i = 2 * $i + usize::from(!(x <= t));
+                    $i = unsafe {
+                        let f = *feature.get_unchecked($i) as usize;
+                        let x = *$r.get_unchecked(f);
+                        let t = *threshold.get_unchecked($i);
+                        2 * $i + usize::from(!(x <= t))
+                    };
                 };
             }
             let (mut i0, mut i1, mut i2, mut i3) = (1usize, 1usize, 1usize, 1usize);

@@ -7,16 +7,28 @@
 //! every `rows % 4` tail shape (1, 2, 3 and 0 trailing scalar rows).
 //! CI runs this suite in release mode, where autovectorization is
 //! actually live.
+//!
+//! Under Miri the same suite doubles as the unsafe-contract audit for
+//! the `get_unchecked` kernel paths; sizes shrink (`cfg(miri)`) so the
+//! interpreter finishes in minutes while still covering every tail
+//! shape and at least one multi-block batch.
 
 use mct_ml::{
     Dataset, GradientBoosting, GradientBoostingParams, LassoRegression, Matrix, RegressionTree,
     Regressor, TreeParams,
 };
 
+/// Training-set size: full spread natively, a reduced (but still
+/// tree-path-diverse) grid under the Miri interpreter.
+#[cfg(not(miri))]
+const TRAIN_ROWS: usize = 120;
+#[cfg(miri)]
+const TRAIN_ROWS: usize = 32;
+
 /// A deterministic nonlinear dataset with enough spread to exercise
 /// every tree path and leave lasso with a mixed support.
 fn training_data() -> Dataset {
-    let rows: Vec<Vec<f64>> = (0..120)
+    let rows: Vec<Vec<f64>> = (0..TRAIN_ROWS)
         .map(|i| {
             let a = (i % 11) as f64;
             let b = ((i * 7) % 13) as f64;
@@ -47,8 +59,13 @@ fn query_rows(n: usize) -> Vec<Vec<f64>> {
 
 fn assert_batch_bit_identical(model: &dyn Regressor, label: &str) {
     // 1..=9 covers tails of 1, 2, 3 and the exact-multiple case; 64 and
-    // 67 exercise many blocks with and without a tail.
-    for n in (1..=9).chain([64, 67]) {
+    // 67 exercise many blocks with and without a tail. Miri keeps the
+    // tail coverage but drops the wide batches.
+    #[cfg(not(miri))]
+    let sizes: Vec<usize> = (1..=9).chain([64, 67]).collect();
+    #[cfg(miri)]
+    let sizes: Vec<usize> = (1..=5).chain([8, 9]).collect();
+    for n in sizes {
         let rows = query_rows(n);
         let batch = model.predict_batch(&Matrix::from_rows(rows.clone()));
         assert_eq!(batch.len(), n, "{label} n={n}");
@@ -89,7 +106,16 @@ fn deep_tree_simd_batch_is_bit_identical_to_scalar() {
 
 #[test]
 fn gbrt_simd_batch_is_bit_identical_to_scalar() {
-    let mut m = GradientBoosting::new(GradientBoostingParams::default());
+    // 100 boosting stages natively; a short ensemble under Miri (the
+    // tree-major accumulation kernel is identical at any stage count).
+    #[cfg(not(miri))]
+    let params = GradientBoostingParams::default();
+    #[cfg(miri)]
+    let params = GradientBoostingParams {
+        stages: 8,
+        ..GradientBoostingParams::default()
+    };
+    let mut m = GradientBoosting::new(params);
     m.fit(&training_data());
     assert_batch_bit_identical(&m, "gbrt");
 }

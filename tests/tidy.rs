@@ -1,6 +1,8 @@
-//! `mct-tidy` as a tier-1 test: the shipped tree must be lint-clean,
-//! and the checker must still catch each lint family (proved against
-//! the seeded fixture tree).
+//! `mct-verify` as a tier-1 test: the shipped tree must be clean under
+//! every pass — zero diagnostics *and* zero stale pragmas — and the
+//! checker must still catch each lint family (proved against the seeded
+//! `bad/` fixture tree), while suppressed and exempt code (the `ok/`
+//! tree) stays quiet.
 
 use std::path::{Path, PathBuf};
 
@@ -20,13 +22,18 @@ fn workspace_is_tidy() {
     );
     assert!(
         report.is_clean(),
-        "mct-tidy violations in the tree:\n{}",
+        "mct-verify violations in the tree:\n{}",
         report
             .diagnostics
             .iter()
             .map(ToString::to_string)
             .collect::<Vec<_>>()
             .join("\n")
+    );
+    assert!(
+        report.stale_pragmas.is_empty(),
+        "stale allow() pragmas in the tree: {:?}",
+        report.stale_pragmas
     );
 }
 
@@ -41,18 +48,57 @@ fn fixture_tree_trips_every_lint_family() {
     let report = check_tree(&fixtures).expect("walk fixtures");
     let lints: Vec<&str> = report.diagnostics.iter().map(|d| d.lint.as_str()).collect();
     for family in [
-        "D001", "D002", "D003", "P001", "P002", "P003", "F001", "F002", "L001",
+        "D001", "D002", "D003", "P001", "P002", "P003", "F001", "F002", "L001", "L002", "U001",
+        "U002", "S001", "S002", "E003",
     ] {
         assert!(
             lints.contains(&family),
             "fixture tree must trip {family}; got {lints:?}"
         );
     }
+    // The stale pragma surfaces in the dedicated list too.
+    assert!(
+        report
+            .stale_pragmas
+            .iter()
+            .any(|s| s.id == "P001" && s.file.ends_with("stale.rs")),
+        "stale pragma list missed the seeded E003: {:?}",
+        report.stale_pragmas
+    );
     // Diagnostics carry the machine-readable file:line: [ID] shape.
     let rendered = report.diagnostics[0].to_string();
     assert!(
         rendered.contains(".rs:") && rendered.contains(": ["),
         "diagnostic format regressed: {rendered}"
+    );
+}
+
+#[test]
+fn ok_fixture_tree_is_clean_with_zero_stale_pragmas() {
+    // Suppressed violations (live pragmas), the audited unsafe module,
+    // and test-file exemptions: all quiet, and every pragma earns its
+    // keep so E003 stays silent.
+    let fixtures = workspace_root().join("crates/lint/fixtures/ok");
+    let report = check_tree(&fixtures).expect("walk ok fixtures");
+    assert!(
+        report.is_clean(),
+        "ok tree must be clean:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.stale_pragmas.is_empty(),
+        "every ok-tree pragma must be live: {:?}",
+        report.stale_pragmas
+    );
+    assert!(
+        report.suppressed >= 4,
+        "ok tree must exercise suppression, suppressed only {}",
+        report.suppressed
     );
 }
 
