@@ -28,6 +28,7 @@ use crate::config::NvmConfig;
 use crate::degrade::{DegradationAction, DegradationLadder};
 use crate::objective::Objective;
 use crate::optimizer::{optimize, OptimizationResult};
+use crate::persist::{config_digest, PersistConfig, PersistSession, StateRecord};
 use crate::phase::{PhaseDetector, PhaseDetectorConfig};
 use crate::predictor::{lasso_feature_report, MetricsPredictor, ModelKind};
 use crate::sampling::{feature_based_samples, random_samples, with_anchors};
@@ -85,6 +86,14 @@ pub struct ControllerConfig {
     /// fault hooks disarmed — the zero-overhead hot path.
     #[serde(default)]
     pub fault_plan: Option<FaultPlan>,
+    /// Optional crash-safe state persistence: a write-ahead log plus
+    /// segment-boundary snapshots under the configured directory, with
+    /// verified-replay recovery and warm starts (`mct run --resume`).
+    /// `None` — the default and both presets — keeps the controller
+    /// entirely in memory with zero persistence work on the hot path.
+    /// See [`crate::persist`] for the recovery contract.
+    #[serde(default)]
+    pub persist: Option<PersistConfig>,
 }
 
 impl ControllerConfig {
@@ -111,6 +120,7 @@ impl ControllerConfig {
             seed: 17,
             refit_elision: true,
             fault_plan: None,
+            persist: None,
         }
     }
 
@@ -140,6 +150,7 @@ impl ControllerConfig {
             seed: 17,
             refit_elision: true,
             fault_plan: None,
+            persist: None,
         }
     }
 }
@@ -204,6 +215,11 @@ pub struct SegmentReport {
     /// the previous segment on a matching phase signature).
     #[serde(default)]
     pub fit_elided: bool,
+    /// Whether this segment skipped its sampling period entirely,
+    /// coasting on a model restored from a completed prior run's
+    /// snapshot (`mct run --resume` warm start).
+    #[serde(default)]
+    pub warm_started: bool,
     /// Sampling instructions spent.
     pub sampling_insts: u64,
     /// Testing instructions spent.
@@ -342,12 +358,49 @@ impl Controller {
     /// cycle — cover the control loop end to end, so `mct profile` can
     /// apportion wall time across phases. With the default disabled
     /// telemetry every span call is a single branch.
+    ///
+    /// # Panics
+    /// With [`ControllerConfig::persist`] set: panics if the state store
+    /// cannot be opened or recovered, and on any divergence between
+    /// re-execution and a recovered log — the crash-recovery contract is
+    /// bit-identical re-execution, so a mismatch is a bug that must
+    /// surface immediately, never a condition to continue past.
     pub fn run<S: AccessSource>(&mut self, source: &mut S) -> Outcome {
         let wear_budget = self.cfg.system.wear.budget();
         let mut sys = System::new(self.cfg.system.clone(), self.baseline_config.to_policy());
         let run_span =
             self.telemetry
                 .span_with("run", 0, &[("learner", self.cfg.model.short_label())]);
+        // --- Crash-safe persistence (optional). ---
+        // Opening the store replays any existing log: a clean prior run
+        // arms the warm-start bank; an interrupted one becomes a
+        // verification prefix — the controller re-executes from
+        // instruction zero and, while inside the prefix, every record it
+        // would write is compared against the log instead of appended,
+        // so recovery provably converges on the pre-crash trajectory
+        // before any new state is persisted.
+        let mut persist = self.cfg.persist.clone().map(|pcfg| {
+            let open_span = self.telemetry.span("persist.open", 0);
+            let started = StateRecord::RunStarted {
+                schema: crate::persist::STATE_SCHEMA_VERSION,
+                seed: self.cfg.seed,
+                model: self.cfg.model,
+                total_insts: self.cfg.total_insts,
+                config_digest: config_digest(&self.cfg),
+            };
+            let session = PersistSession::begin(&pcfg, &started)
+                // mct-tidy: allow(P002) -- documented `# Panics` contract: an unrecoverable store must fail loudly
+                .unwrap_or_else(|e| panic!("persist: cannot begin session in {}: {e}", pcfg.dir));
+            self.telemetry.close_span(open_span, 0);
+            if self.telemetry.enabled() {
+                self.telemetry
+                    .incr("persist.replayed_records", session.replayed() as u64);
+                if session.warm_available() {
+                    self.telemetry.incr("persist.warm_starts", 1);
+                }
+            }
+            session
+        });
         let warmup_span = self.telemetry.span("warmup", 0);
         let warmup_timer = self.telemetry.stage("warmup", 0);
         sys.warmup(source, self.cfg.warmup_insts);
@@ -381,6 +434,35 @@ impl Controller {
         // describe how the system behaves.
         const FIT_CACHE_SLOTS: usize = 4;
         let mut fit_cache: Vec<(f64, MetricsPredictor)> = Vec::new();
+        // Warm start: a clean prior run's fitted models pre-seed the
+        // elision bank. While the controller coasts on them (until the
+        // first fresh fit or ladder action), segments that hit the bank
+        // skip their sampling period outright — the `--resume`
+        // acceptance criterion. A different workload behind the same
+        // config would be caught by the health checks, exactly as a
+        // stale banked fit would mid-run.
+        let mut warm_coasting = false;
+        if let Some(session) = persist.as_mut() {
+            for (apki_bits, state) in session.take_warm_bank() {
+                if fit_cache.len() < FIT_CACHE_SLOTS {
+                    fit_cache.push((
+                        f64::from_bits(apki_bits),
+                        MetricsPredictor::from_state(state),
+                    ));
+                    warm_coasting = true;
+                }
+            }
+            if self.telemetry.enabled() {
+                self.telemetry.emit(
+                    0,
+                    Event::PersistRecovery {
+                        replayed_records: session.replayed() as u64,
+                        warm_start: warm_coasting,
+                        restored_models: fit_cache.len() as u64,
+                    },
+                );
+            }
+        }
         // Did every health check in the *previous* segment pass? A failed
         // check means the cached model misjudged this regime, so the next
         // segment must refit even if the intensity still matches.
@@ -397,10 +479,18 @@ impl Controller {
         let mut chosen = self.baseline_config;
 
         while executed < self.cfg.total_insts {
+            let seg_index = segments.len() as u64;
             let segment_idx = segments.len().to_string();
             let segment_span =
                 self.telemetry
                     .span_with("segment", executed, &[("segment", &segment_idx)]);
+            persist_emit(
+                &mut persist,
+                StateRecord::SegmentStarted {
+                    segment: seg_index,
+                    executed,
+                },
+            );
             // The first segment is the trivially-detected initial phase;
             // later segments are announced by the detector at the moment
             // it fires, inside the testing loop below.
@@ -456,6 +546,15 @@ impl Controller {
                         .observe(&format!("mem.baseline.{name}"), v as f64);
                 }
             }
+            persist_emit(
+                &mut persist,
+                StateRecord::BaselineMeasured {
+                    segment: seg_index,
+                    metrics: last_baseline.into(),
+                    insts: baseline_stats.instructions,
+                    extended,
+                },
+            );
 
             // Size the fine-grained sampling unit from the phase's mean
             // memory workload (Section 5.2): dense phases use small units,
@@ -473,51 +572,91 @@ impl Controller {
                 .min(sampling_budget / (n_samples * rounds as u64))
                 .max(1_000);
 
+            let phase_sig = crate::phase::phase_signature(apki);
+            // Same-phase test: the banked fit nearest in intensity, if it
+            // sits within a quarter octave. A ratio test (not bucket
+            // equality) so ordinary segment-to-segment measurement jitter
+            // cannot straddle a bucket edge and force a spurious refit;
+            // ties keep the earliest (oldest) entry. Evaluated before the
+            // sampling period (its inputs — the bank, the baseline
+            // intensity, last segment's health — are all fixed by now) so
+            // a warm start can skip sampling altogether.
+            let cache_hit = fit_cache
+                .iter()
+                .enumerate()
+                .map(|(slot, (fit_apki, _))| (slot, (apki / fit_apki).log2().abs()))
+                .filter(|&(_, dist)| dist <= 0.25)
+                .fold(None, |best: Option<(usize, f64)>, cand| match best {
+                    Some((_, d)) if d <= cand.1 => best,
+                    _ => Some(cand),
+                })
+                .map(|(slot, _)| slot);
+            let fit_elided = self.cfg.refit_elision && last_segment_healthy && cache_hit.is_some();
+            // Warm start: still coasting on restored models and this
+            // segment's intensity hits the bank — skip the sampling
+            // period outright (`sampling_insts` stays 0, the `--resume`
+            // acceptance criterion).
+            let warm_started = warm_coasting && fit_elided;
+
             // --- Sampling period: cyclic fine-grained sampling. ---
-            let sampling_span = self.telemetry.span("sampling", executed);
-            let sampling_timer = self.telemetry.stage("sampling", executed);
             let mut accums = vec![MetricAccum::default(); self.samples.len()];
             let mut seg_sampling = MetricAccum::default();
-            for round in 0..rounds {
-                let round_span = self.telemetry.span("sampling.round", executed);
-                for (i, cfg) in self.samples.clone().into_iter().enumerate() {
-                    let stats = self.measure(&mut sys, source, cfg, unit_insts, executed);
-                    executed += stats.instructions;
-                    accums[i].add(&stats);
-                    seg_sampling.add(&stats);
-                    total_sampling.add(&stats);
-                }
-                self.telemetry.close_span(round_span, executed);
+            if warm_started {
                 if self.telemetry.enabled() {
-                    self.telemetry.incr("samples_taken", n_samples);
-                    self.telemetry.emit(
-                        executed,
-                        Event::SamplingRound {
-                            round: round as u64,
-                            total_rounds: rounds as u64,
-                            samples: n_samples,
-                            unit_insts,
-                        },
-                    );
+                    self.telemetry.incr("persist.sampling_skipped", 1);
                 }
+            } else {
+                let sampling_span = self.telemetry.span("sampling", executed);
+                let sampling_timer = self.telemetry.stage("sampling", executed);
+                for round in 0..rounds {
+                    let round_span = self.telemetry.span("sampling.round", executed);
+                    for (i, cfg) in self.samples.clone().into_iter().enumerate() {
+                        let stats = self.measure(&mut sys, source, cfg, unit_insts, executed);
+                        executed += stats.instructions;
+                        accums[i].add(&stats);
+                        seg_sampling.add(&stats);
+                        total_sampling.add(&stats);
+                    }
+                    self.telemetry.close_span(round_span, executed);
+                    if self.telemetry.enabled() {
+                        self.telemetry.incr("samples_taken", n_samples);
+                        self.telemetry.emit(
+                            executed,
+                            Event::SamplingRound {
+                                round: round as u64,
+                                total_rounds: rounds as u64,
+                                samples: n_samples,
+                                unit_insts,
+                            },
+                        );
+                    }
+                }
+                self.telemetry.finish_stage(sampling_timer, executed);
+                self.telemetry.close_span(sampling_span, executed);
             }
-            self.telemetry.finish_stage(sampling_timer, executed);
-            self.telemetry.close_span(sampling_span, executed);
-            let mut sample_data: Vec<(NvmConfig, Metrics)> = self
-                .samples
-                .iter()
-                .zip(&accums)
-                .map(|(c, a)| (*c, a.metrics(wear_budget)))
-                .collect();
+            // With sampling skipped, an all-zero sample set would poison
+            // a later ladder-forced refit — keep it empty instead.
+            let mut sample_data: Vec<(NvmConfig, Metrics)> = if warm_started {
+                Vec::new()
+            } else {
+                self.samples
+                    .iter()
+                    .zip(&accums)
+                    .map(|(c, a)| (*c, a.metrics(wear_budget)))
+                    .collect()
+            };
 
             // Normalize to the *cyclically sampled* baseline anchor: the
             // pre-window baseline above can land inside a single burst
             // phase, while the anchor sample saw the same phase mixture as
             // every other sample (the whole point of cyclic fine-grained
-            // sampling, Section 5.2).
-            let anchor = NvmConfig::static_baseline().without_wear_quota();
-            if let Some(idx) = self.samples.iter().position(|c| *c == anchor) {
-                last_baseline = accums[idx].metrics(wear_budget);
+            // sampling, Section 5.2). A warm-started segment has no
+            // anchor sample; the pre-window baseline stands.
+            if !warm_started {
+                let anchor = NvmConfig::static_baseline().without_wear_quota();
+                if let Some(idx) = self.samples.iter().position(|c| *c == anchor) {
+                    last_baseline = accums[idx].metrics(wear_budget);
+                }
             }
             // Health-check reference: accumulated windows of the *actual*
             // baseline (with its wear quota). The anchor above is
@@ -530,28 +669,33 @@ impl Controller {
             // accumulates across the two spans so the diagnostics block
             // between them — refits, lasso reports — is not charged to it.
             let mut decision_us = 0.0;
-            let phase_sig = crate::phase::phase_signature(apki);
-            // Same-phase test: the banked fit nearest in intensity, if it
-            // sits within a quarter octave. A ratio test (not bucket
-            // equality) so ordinary segment-to-segment measurement jitter
-            // cannot straddle a bucket edge and force a spurious refit;
-            // ties keep the earliest (oldest) entry.
-            let cache_hit = fit_cache
-                .iter()
-                .enumerate()
-                .map(|(slot, (fit_apki, _))| (slot, (apki / fit_apki).log2().abs()))
-                .filter(|&(_, dist)| dist <= 0.25)
-                .fold(None, |best: Option<(usize, f64)>, cand| match best {
-                    Some((_, d)) if d <= cand.1 => best,
-                    _ => Some(cand),
-                })
-                .map(|(slot, _)| slot);
-            let fit_elided = self.cfg.refit_elision && last_segment_healthy && cache_hit.is_some();
+            // Crash recovery: a fresh fit inside the replayed prefix
+            // restores its persisted model instead of refitting, pinning
+            // the save/restore path to the bit-identical-decisions
+            // contract on every recovery (not only in unit tests).
+            let restored = if fit_elided {
+                None
+            } else {
+                persist
+                    .as_ref()
+                    .and_then(|s| s.replayed_fit(seg_index))
+                    .map(MetricsPredictor::from_state)
+            };
             let predictions;
             if fit_elided {
                 // Same phase signature, clean health record: the cached
                 // predictor still describes this phase. Skip the fit
                 // span and the diagnostics refits entirely.
+                persist_emit(
+                    &mut persist,
+                    StateRecord::FitCompleted {
+                        segment: seg_index,
+                        elided: true,
+                        apki: apki.to_bits(),
+                        signature: phase_sig,
+                        model: None,
+                    },
+                );
                 if self.telemetry.enabled() {
                     self.telemetry.incr("fit.elided", 1);
                     self.telemetry.emit(
@@ -582,12 +726,35 @@ impl Controller {
                     executed,
                     &[("learner", self.cfg.model.short_label())],
                 );
-                let mut predictor = MetricsPredictor::new(self.cfg.model);
-                predictor.fit_traced(
-                    &sample_data,
-                    Some(last_baseline),
-                    &mut self.telemetry,
-                    executed,
+                let restored_hit = restored.is_some();
+                let predictor = if let Some(p) = restored {
+                    p
+                } else {
+                    let mut p = MetricsPredictor::new(self.cfg.model);
+                    p.fit_traced(
+                        &sample_data,
+                        Some(last_baseline),
+                        &mut self.telemetry,
+                        executed,
+                    );
+                    p
+                };
+                // The first fresh fit ends warm coasting: from here the
+                // controller's bank is its own, and sampling resumes its
+                // normal cadence.
+                warm_coasting = false;
+                if restored_hit && self.telemetry.enabled() {
+                    self.telemetry.incr("persist.models_restored", 1);
+                }
+                persist_emit(
+                    &mut persist,
+                    StateRecord::FitCompleted {
+                        segment: seg_index,
+                        elided: false,
+                        apki: apki.to_bits(),
+                        signature: phase_sig,
+                        model: predictor.save_state(),
+                    },
                 );
                 self.telemetry.close_span(fit_span, executed);
                 let predict_span = self.telemetry.span("predict", executed);
@@ -678,6 +845,16 @@ impl Controller {
                     },
                 );
             }
+            persist_emit(
+                &mut persist,
+                StateRecord::DecisionMade {
+                    segment: seg_index,
+                    config: chosen,
+                    predicted: opt.predicted.into(),
+                    fell_back: opt.fell_back,
+                    refit: false,
+                },
+            );
 
             // --- Testing period with health checks & phase detection. ---
             // The measured region is finalized only at health-check and
@@ -765,7 +942,28 @@ impl Controller {
                     if failed {
                         seg_health_ok = false;
                     }
+                    persist_emit(
+                        &mut persist,
+                        StateRecord::HealthChecked {
+                            segment: seg_index,
+                            check: health_checks,
+                            passed: !failed,
+                            testing_ipc: testing_so_far.ipc.to_bits(),
+                            baseline_ipc: health_baseline.ipc.to_bits(),
+                        },
+                    );
                     let (action, transition) = ladder.observe(failed);
+                    if let Some(tr) = &transition {
+                        persist_emit(
+                            &mut persist,
+                            StateRecord::LadderMoved {
+                                segment: seg_index,
+                                from: tr.from,
+                                to: tr.to,
+                                failures: tr.failures,
+                            },
+                        );
+                    }
                     let mut resample = false;
                     match action {
                         DegradationAction::None => {}
@@ -793,15 +991,27 @@ impl Controller {
                             );
                             chosen = opt.config;
                             self.telemetry.close_span(refit_span, executed);
+                            persist_emit(
+                                &mut persist,
+                                StateRecord::DecisionMade {
+                                    segment: seg_index,
+                                    config: chosen,
+                                    predicted: opt.predicted.into(),
+                                    fell_back: opt.fell_back,
+                                    refit: true,
+                                },
+                            );
                             // The degraded refit mixed testing data into
                             // the sample set; it is not a clean phase fit
                             // and must never be reused by elision.
                             fit_cache.clear();
+                            warm_coasting = false;
                         }
                         DegradationAction::RevertToStatic => {
                             health_fallback = true;
                             chosen = self.baseline_config;
                             fit_cache.clear();
+                            warm_coasting = false;
                         }
                     }
                     if self.telemetry.enabled() {
@@ -848,15 +1058,19 @@ impl Controller {
                     sys.reset_stats();
                 }
             }
-            // Flush the tail of the measured region.
-            {
+            // Flush the tail of the measured region. The wear meter is
+            // snapshotted after the finalize (it still covers the final
+            // measured epoch) and before the reset clears it.
+            let seg_wear_meter = {
                 let stats = sys.finalize();
                 if stats.instructions > 0 {
                     seg_testing.add(&stats);
                     total_testing.add(&stats);
                 }
+                let snap = sys.wear_snapshot();
                 sys.reset_stats();
-            }
+                snap
+            };
             last_segment_healthy = seg_health_ok;
             self.telemetry.finish_stage(testing_timer, executed);
             self.telemetry.close_span(testing_span, executed);
@@ -878,17 +1092,53 @@ impl Controller {
                 );
             }
 
+            let seg_testing_metrics = if seg_testing.is_empty() {
+                seg_sampling.metrics(wear_budget)
+            } else {
+                seg_testing.metrics(wear_budget)
+            };
+            persist_emit(
+                &mut persist,
+                StateRecord::WearDelta {
+                    segment: seg_index,
+                    sampling_wear: seg_sampling.wear_units.to_bits(),
+                    testing_wear: seg_testing.wear_units.to_bits(),
+                    meter: seg_wear_meter,
+                },
+            );
+            persist_emit(
+                &mut persist,
+                StateRecord::SegmentCompleted {
+                    segment: seg_index,
+                    chosen,
+                    health_fallback,
+                    fit_elided,
+                    warm_started,
+                    sampling_insts: seg_sampling.insts,
+                    testing_insts: seg_testing.insts,
+                    testing: seg_testing_metrics.into(),
+                },
+            );
+            // Segment boundaries compact the log into a snapshot (a
+            // no-op while recovery is still verifying the prefix, and
+            // after an injected crash).
+            if let Some(session) = persist.as_mut() {
+                let snap_span = self.telemetry.span("persist.snapshot", executed);
+                session
+                    .checkpoint()
+                    // mct-tidy: allow(P003) -- documented `# Panics` contract: a failing store must not be ignored
+                    .expect("persist: segment snapshot failed");
+                self.telemetry.close_span(snap_span, executed);
+            }
+
             segments.push(SegmentReport {
                 optimization: opt,
                 baseline: last_baseline,
                 sampling: seg_sampling.metrics(wear_budget),
-                testing: if seg_testing.is_empty() {
-                    seg_sampling.metrics(wear_budget)
-                } else {
-                    seg_testing.metrics(wear_budget)
-                },
+                testing: seg_testing_metrics,
                 health_fallback,
                 fit_elided,
+                warm_started,
                 sampling_insts: seg_sampling.insts,
                 testing_insts: seg_testing.insts,
             });
@@ -900,6 +1150,29 @@ impl Controller {
         } else {
             total_testing.metrics(wear_budget)
         };
+        persist_emit(
+            &mut persist,
+            StateRecord::RunCompleted {
+                executed,
+                chosen,
+                segments: segments.len() as u64,
+                final_metrics: final_metrics.into(),
+            },
+        );
+        if let Some(session) = persist.as_mut() {
+            // The final snapshot compacts a clean run to one snapshot
+            // whose log ends in `run_completed` — the warm-start source
+            // for the next `--resume`.
+            session
+                .checkpoint()
+                // mct-tidy: allow(P003) -- documented `# Panics` contract: a failing store must not be ignored
+                .expect("persist: final snapshot failed");
+            if self.telemetry.enabled() {
+                self.telemetry.incr("persist.appends", session.appends());
+                self.telemetry
+                    .incr("persist.snapshots", session.snapshots());
+            }
+        }
         if self.telemetry.enabled() {
             let fallbacks = segments
                 .iter()
@@ -979,6 +1252,22 @@ impl Controller {
             }
         }
         stats
+    }
+}
+
+/// Append (or, during recovery, verify) one state record. A no-op when
+/// persistence is off — `None` costs one branch on the hot path.
+///
+/// # Panics
+/// Panics on store failure or on divergence between re-execution and a
+/// recovered log: the crash-recovery contract is bit-identical
+/// re-execution, so a mismatch is a bug that must surface immediately —
+/// continuing would persist split-brain state.
+fn persist_emit(session: &mut Option<PersistSession>, record: StateRecord) {
+    if let Some(s) = session.as_mut() {
+        s.emit(record)
+            // mct-tidy: allow(P003) -- documented `# Panics` contract: divergence must fail loudly, never persist split-brain state
+            .expect("persist: state record rejected");
     }
 }
 

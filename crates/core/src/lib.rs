@@ -47,6 +47,7 @@ pub mod error;
 pub mod extensions;
 pub mod objective;
 pub mod optimizer;
+pub mod persist;
 pub mod phase;
 pub mod predictor;
 pub mod sampling;
@@ -59,6 +60,10 @@ pub use error::MctError;
 pub use extensions::{extended_space, ExtendedNvmConfig};
 pub use objective::{Constraint, Metric, Objective, OptimizeTarget};
 pub use optimizer::{optimize, OptimizationResult};
+pub use persist::{
+    config_digest, decode_dir, records_match, PersistConfig, PredictorState, RecoverError,
+    RecoveryReport, StateRecord, STATE_SCHEMA_VERSION,
+};
 pub use phase::{phase_signature, PhaseDetector, PhaseDetectorConfig};
 pub use predictor::{MetricsPredictor, ModelKind};
 pub use sampling::{feature_based_samples, random_samples};

@@ -8,11 +8,13 @@ use serde::{Deserialize, Serialize};
 use mct_ml::{
     quadratic_expand, quadratic_feature_names, Dataset, GradientBoosting, GradientBoostingParams,
     HierarchicalPredictor, LassoRegression, OfflineMeanPredictor, Regressor, RidgeRegression,
+    SavedRegressor,
 };
 use mct_sim::stats::Metrics;
 use mct_telemetry::Telemetry;
 
 use crate::config::NvmConfig;
+use crate::persist::{BitMetrics, PredictorState};
 use crate::space::ConfigSpace;
 
 /// Lifetimes are clamped here before regression: infinite projected
@@ -362,6 +364,45 @@ impl MetricsPredictor {
                 }
             })
             .collect()
+    }
+
+    /// Snapshot the fitted per-objective models for the write-ahead log.
+    ///
+    /// `None` before [`MetricsPredictor::fit`] or when the family has no
+    /// serializable form (corpus-backed kinds refit deterministically
+    /// from the corpus on recovery instead of restoring).
+    #[must_use]
+    pub fn save_state(&self) -> Option<PredictorState> {
+        if !self.fitted {
+            return None;
+        }
+        let models: Option<Vec<SavedRegressor>> = self.models.iter().map(|m| m.save()).collect();
+        Some(PredictorState {
+            kind: self.kind,
+            baseline: self.baseline.map(BitMetrics::from),
+            models: models?,
+        })
+    }
+
+    /// Rebuild a fitted predictor from a persisted [`PredictorState`].
+    ///
+    /// The crash-recovery contract holds here: the restored predictor
+    /// predicts bit-identically to the one [`MetricsPredictor::save_state`]
+    /// snapshotted, so recovery can substitute restoration for refitting
+    /// without perturbing the decision trace.
+    #[must_use]
+    pub fn from_state(state: PredictorState) -> MetricsPredictor {
+        MetricsPredictor {
+            kind: state.kind,
+            models: state
+                .models
+                .into_iter()
+                .map(SavedRegressor::into_boxed)
+                .collect(),
+            baseline: state.baseline.map(BitMetrics::to_metrics),
+            corpus: Vec::new(),
+            fitted: true,
+        }
     }
 
     /// Out-of-fold R² of this predictor family on the (normalized) IPC

@@ -16,10 +16,11 @@ use mct_workloads::Workload;
 
 #[test]
 fn cache_hit_is_bit_identical_and_corruption_is_survivable() {
-    let dir = std::env::temp_dir().join(format!("mct_cache_roundtrip_{}", std::process::id()));
-    fs::create_dir_all(&dir).expect("create temp store dir");
+    // A per-test unique dir (auto-cleaned on drop), not a pid-derived
+    // path: a same-pid re-run after an aborted test must never see the
+    // previous run's store file.
+    let dir = mct_persist::TempDir::new("mct-cache-roundtrip");
     let path = dir.join("grains_roundtrip.jsonl");
-    let _ = fs::remove_file(&path);
 
     let workload = Workload::Gups;
     let scale = Scale::Smoke;
@@ -88,5 +89,4 @@ fn cache_hit_is_bit_identical_and_corruption_is_survivable() {
         healed.get(key).map(|m| m.ipc.to_bits()),
         Some(fresh.ipc.to_bits())
     );
-    let _ = fs::remove_dir_all(&dir);
 }

@@ -161,3 +161,49 @@ fn armed_empty_fault_plan_sweeps_bit_identical_to_unarmed() {
         }
     }
 }
+
+/// Crash-safe persistence must have ZERO behavioral footprint: a
+/// controller run with `persist: None` (the default everywhere) and a
+/// run with a live state store attached must produce bit-identical
+/// outcomes — the store only *observes* the decision sequence, it never
+/// perturbs it. Differential companion to the kill-and-recover harness
+/// (`tests/crash_recovery.rs` at the workspace root).
+#[test]
+fn persistence_observation_is_bit_invisible() {
+    use mct_core::{Controller, ControllerConfig, Objective, Outcome, PersistConfig};
+
+    fn run(persist: Option<PersistConfig>) -> Outcome {
+        let mut cfg = ControllerConfig::quick_demo();
+        cfg.seed = EXPERIMENT_SEED;
+        cfg.persist = persist;
+        let mut controller = Controller::new(cfg, Objective::paper_default(8.0));
+        controller.run(&mut Workload::Ocean.source(EXPERIMENT_SEED))
+    }
+
+    fn assert_bits(label: &str, a: &Outcome, b: &Outcome) {
+        assert_eq!(
+            a.final_metrics.ipc.to_bits(),
+            b.final_metrics.ipc.to_bits(),
+            "{label}: IPC bits differ"
+        );
+        assert_eq!(
+            a.final_metrics.lifetime_years.to_bits(),
+            b.final_metrics.lifetime_years.to_bits(),
+            "{label}: lifetime bits differ"
+        );
+        assert_eq!(
+            a.final_metrics.energy_j.to_bits(),
+            b.final_metrics.energy_j.to_bits(),
+            "{label}: energy bits differ"
+        );
+        assert_eq!(a, b, "{label}: outcomes differ");
+    }
+
+    let bare = run(None);
+    let bare_again = run(None);
+    assert_bits("persist=None repeatability", &bare_again, &bare);
+
+    let dir = mct_persist::TempDir::new("mct-determinism-persist");
+    let observed = run(Some(PersistConfig::fresh(dir.path().display().to_string())));
+    assert_bits("persist observation", &observed, &bare);
+}

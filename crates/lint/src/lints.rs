@@ -161,18 +161,26 @@ pub struct RawViolation {
 /// workspace-relative path.
 #[derive(Debug, Clone, Copy)]
 pub struct FileScope {
-    /// D001: deterministic-hash scope (`crates/sim/src`, `crates/ml/src`).
+    /// D001: deterministic-hash scope (`crates/sim/src`, `crates/ml/src`,
+    /// `crates/persist/src` — the WAL's checksums and replay order must
+    /// be reproducible bit for bit).
     pub hash_guarded: bool,
     /// D002 exemption: telemetry, bench, and the scheduler stats path.
+    /// `crates/persist` is pointedly NOT exempt: recovery re-executes a
+    /// run deterministically, so durable state may never carry
+    /// wall-clock (and, via D003, OS-entropy) taint.
     pub wall_clock_allowed: bool,
     /// P-series scope (`crates/sim/src`, `crates/ml/src`,
     /// `crates/core/src`, `crates/telemetry/src` — observability must
-    /// degrade, never crash the run it observes).
+    /// degrade, never crash the run it observes — and
+    /// `crates/persist/src`, which must surface corruption as typed
+    /// errors, never a panic).
     pub panic_guarded: bool,
     /// L001 scope: the work-stealing scheduler.
     pub lock_guarded: bool,
     /// S002 scope: result-producing crates (`sim`, `ml`, `core`,
-    /// `experiments`) where accumulation order reaches reported bits.
+    /// `experiments`, `persist`) where accumulation order reaches
+    /// reported bits.
     pub accum_guarded: bool,
     /// Whole file is test/bench code (integration tests, benches).
     pub test_file: bool,
@@ -185,7 +193,9 @@ impl FileScope {
         let in_dir = |d: &str| path.starts_with(d);
         let component = |c: &str| path.split('/').any(|p| p == c);
         FileScope {
-            hash_guarded: in_dir("crates/sim/src/") || in_dir("crates/ml/src/"),
+            hash_guarded: in_dir("crates/sim/src/")
+                || in_dir("crates/ml/src/")
+                || in_dir("crates/persist/src/"),
             wall_clock_allowed: in_dir("crates/telemetry/")
                 || in_dir("crates/bench/")
                 || path == "crates/experiments/src/sched.rs"
@@ -193,7 +203,8 @@ impl FileScope {
             panic_guarded: in_dir("crates/sim/src/")
                 || in_dir("crates/ml/src/")
                 || in_dir("crates/core/src/")
-                || in_dir("crates/telemetry/src/"),
+                || in_dir("crates/telemetry/src/")
+                || in_dir("crates/persist/src/"),
             lock_guarded: path.ends_with("crates/experiments/src/sched.rs")
                 || path == "crates/experiments/src/sched.rs"
                 || path.ends_with("crates/ml/src/par.rs")
@@ -201,7 +212,8 @@ impl FileScope {
             accum_guarded: in_dir("crates/sim/src/")
                 || in_dir("crates/ml/src/")
                 || in_dir("crates/core/src/")
-                || in_dir("crates/experiments/src/"),
+                || in_dir("crates/experiments/src/")
+                || in_dir("crates/persist/src/"),
             test_file: component("tests") || component("benches") || in_dir("examples/"),
         }
     }
@@ -659,6 +671,26 @@ mod tests {
         assert_eq!(check("crates/sim/src/x.rs", src2)[0].lint, "P002");
         let src3 = "fn f(x: Option<u8>) -> u8 { x.expect(\"set\") }\n";
         assert_eq!(check("crates/core/src/x.rs", src3)[0].lint, "P003");
+    }
+
+    #[test]
+    fn persist_src_is_durability_guarded() {
+        // Crash-safe state must be replayable bit for bit: no
+        // nondeterministic hashing, no wall clock, no OS entropy, and
+        // corruption surfaces as typed errors — never a panic.
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(check("crates/persist/src/store.rs", src)[0].lint, "D001");
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert_eq!(check("crates/persist/src/store.rs", src)[0].lint, "D002");
+        let src = "fn f() { let mut rng = rand::thread_rng(); }\n";
+        assert_eq!(check("crates/persist/src/store.rs", src)[0].lint, "D003");
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert_eq!(check("crates/persist/src/tempdir.rs", src)[0].lint, "P001");
+        let src = "fn f() { panic!(\"corrupt\"); }\n";
+        assert_eq!(check("crates/persist/src/store.rs", src)[0].lint, "P002");
+        // The crate's integration tests stay exempt, like everyone's.
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert!(check("crates/persist/tests/wal.rs", src).is_empty());
     }
 
     #[test]

@@ -169,6 +169,10 @@ impl Regressor for GradientBoosting {
     fn name(&self) -> &'static str {
         "gradient-boosting"
     }
+
+    fn save(&self) -> Option<crate::model::SavedRegressor> {
+        Some(crate::model::SavedRegressor::Gbrt(self.clone()))
+    }
 }
 
 #[cfg(test)]

@@ -201,6 +201,10 @@ impl Regressor for LassoRegression {
     fn name(&self) -> &'static str {
         "lasso"
     }
+
+    fn save(&self) -> Option<crate::model::SavedRegressor> {
+        Some(crate::model::SavedRegressor::Lasso(self.clone()))
+    }
 }
 
 #[cfg(test)]

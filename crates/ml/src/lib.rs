@@ -54,7 +54,7 @@ pub use lasso::LassoRegression;
 pub use linalg::{solve_spd, Matrix, RowBlock4};
 pub use linear::RidgeRegression;
 pub use metrics::{coefficient_of_determination, mean_absolute_error, root_mean_squared_error};
-pub use model::Regressor;
+pub use model::{Regressor, SavedRegressor};
 pub use offline::OfflineMeanPredictor;
 pub use path::{lasso_path_fits, LassoFoldCache, LassoPathFit};
 pub use scale::StandardScaler;

@@ -101,6 +101,10 @@ impl Regressor for RidgeRegression {
             "ridge"
         }
     }
+
+    fn save(&self) -> Option<crate::model::SavedRegressor> {
+        Some(crate::model::SavedRegressor::Ridge(self.clone()))
+    }
 }
 
 #[cfg(test)]

@@ -1,7 +1,59 @@
-//! The common regressor interface.
+//! The common regressor interface and its serializable snapshot form.
+
+use serde::{Deserialize, Serialize};
 
 use crate::dataset::Dataset;
+use crate::gbrt::GradientBoosting;
+use crate::lasso::LassoRegression;
 use crate::linalg::Matrix;
+use crate::linear::RidgeRegression;
+
+/// A fitted regressor in serializable form, for the crash-safe
+/// persistence layer: the controller's write-ahead log records fitted
+/// model coefficients (lasso/ridge weights + scalers, GBRT flat tree
+/// arenas) so a recovered run can restore the exact model instead of
+/// refitting.
+///
+/// The contract is bit-exactness: `save()` → JSON → restore →
+/// [`SavedRegressor::into_boxed`] must predict bit-identically to the
+/// original on every row. All captured fields are finite `f64`s (targets
+/// are clamped upstream), which the vendored JSON layer round-trips
+/// exactly via shortest-representation formatting.
+///
+/// Corpus-backed kinds (offline, hierarchical) have no snapshot form and
+/// return `None` from [`Regressor::save`]; recovery refits those
+/// deterministically instead.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SavedRegressor {
+    /// A ridge (or unregularized linear) fit.
+    Ridge(RidgeRegression),
+    /// A lasso fit.
+    Lasso(LassoRegression),
+    /// A gradient-boosted tree ensemble.
+    Gbrt(GradientBoosting),
+}
+
+impl SavedRegressor {
+    /// Rehydrate into the trait-object form the predictor stack uses.
+    #[must_use]
+    pub fn into_boxed(self) -> Box<dyn Regressor + Send> {
+        match self {
+            SavedRegressor::Ridge(m) => Box::new(m),
+            SavedRegressor::Lasso(m) => Box::new(m),
+            SavedRegressor::Gbrt(m) => Box::new(m),
+        }
+    }
+
+    /// The wrapped model's [`Regressor::name`].
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            SavedRegressor::Ridge(m) => m.name(),
+            SavedRegressor::Lasso(m) => m.name(),
+            SavedRegressor::Gbrt(m) => m.name(),
+        }
+    }
+}
 
 /// A trainable single-output regressor.
 ///
@@ -40,6 +92,14 @@ pub trait Regressor {
 
     /// A short human-readable name (Table 7 row label).
     fn name(&self) -> &'static str;
+
+    /// A serializable snapshot of the fitted model, when this family
+    /// supports one (see [`SavedRegressor`]). The default — for
+    /// corpus-backed or purely diagnostic models — is `None`, which tells
+    /// the persistence layer to refit deterministically on recovery.
+    fn save(&self) -> Option<SavedRegressor> {
+        None
+    }
 }
 
 impl<R: Regressor + ?Sized> Regressor for Box<R> {
@@ -57,6 +117,10 @@ impl<R: Regressor + ?Sized> Regressor for Box<R> {
 
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+
+    fn save(&self) -> Option<SavedRegressor> {
+        (**self).save()
     }
 }
 

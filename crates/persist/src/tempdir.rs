@@ -1,0 +1,77 @@
+//! Tempfile-style unique, self-cleaning directories for tests and tools.
+//!
+//! `cargo test` runs test binaries in parallel and tests within a binary
+//! on a thread pool, so any test touching a *shared* path under
+//! `std::env::temp_dir()` races its siblings and leaves droppings when it
+//! panics. [`TempDir`] gives each caller a unique directory — process id
+//! plus a per-process counter, no wall clock, no OS entropy, so the
+//! determinism lints hold — and removes it on drop.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named directory that deletes itself (recursively) on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Create `<system temp>/<prefix>-<pid>-<counter>`, emptying any
+    /// stale leftover from a previous crashed process that happened to
+    /// reuse the pid.
+    ///
+    /// # Panics
+    /// Panics when the directory cannot be created — in a test-support
+    /// helper the only sane response.
+    #[must_use]
+    pub fn new(prefix: &str) -> TempDir {
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("{prefix}-{pid}-{id}", pid = std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        // mct-tidy: allow(P003) -- test-support helper; an uncreatable temp dir must abort the test
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    /// The directory path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// A child path inside the directory.
+    #[must_use]
+    pub fn join(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        // Best effort: a failed cleanup must not turn a passing test into
+        // a panic-while-panicking abort.
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_and_cleaned_up() {
+        let a = TempDir::new("mct-tempdir-test");
+        let b = TempDir::new("mct-tempdir-test");
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir());
+        std::fs::write(a.join("f.txt"), b"x").unwrap();
+        let kept = a.path().to_path_buf();
+        drop(a);
+        assert!(!kept.exists(), "dropped TempDir must remove its tree");
+        assert!(b.path().is_dir());
+    }
+}

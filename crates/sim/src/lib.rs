@@ -80,5 +80,5 @@ pub use stats::{PerfCounters, RunStats};
 pub use system::{MultiSystem, System, SystemConfig};
 pub use time::{Cycles, Time};
 pub use trace::{AccessKind, AccessSource, TraceEvent};
-pub use wear::{WearMeter, WearQuota};
+pub use wear::{WearMeter, WearQuota, WearSnapshot};
 pub use wear_leveling::StartGap;

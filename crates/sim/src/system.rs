@@ -245,6 +245,14 @@ impl System {
         &self.mem
     }
 
+    /// Export the current wear-meter counters (the persistence layer's
+    /// wear-map delta source). Counters cover the current measurement
+    /// epoch — they reset with [`System::reset_stats`].
+    #[must_use]
+    pub fn wear_snapshot(&self) -> crate::wear::WearSnapshot {
+        self.mem.wear().snapshot()
+    }
+
     /// Named memory-controller counter snapshot at the current instant,
     /// without finalizing the measurement epoch (live telemetry).
     #[must_use]

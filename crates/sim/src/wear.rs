@@ -141,6 +141,38 @@ impl WearMeter {
         self.completed_writes = 0;
         self.canceled_writes = 0;
     }
+
+    /// Export the meter's counters for the persistence layer.
+    #[must_use]
+    pub fn snapshot(&self) -> WearSnapshot {
+        WearSnapshot {
+            wear_units_bits: self.wear_units.to_bits(),
+            completed_writes: self.completed_writes,
+            canceled_writes: self.canceled_writes,
+        }
+    }
+}
+
+/// A wear-map export: the meter's counters with the accumulated wear
+/// carried as an IEEE-754 bit pattern, so persisting and replaying a
+/// snapshot reproduces the meter bit-for-bit (the vendored JSON layer
+/// cannot represent non-finite floats, and recovery compares exact bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WearSnapshot {
+    /// `f64::to_bits` of the accumulated wear units.
+    pub wear_units_bits: u64,
+    /// Completed line writes.
+    pub completed_writes: u64,
+    /// Canceled write attempts.
+    pub canceled_writes: u64,
+}
+
+impl WearSnapshot {
+    /// The accumulated wear units, bit-for-bit.
+    #[must_use]
+    pub fn wear_units(&self) -> f64 {
+        f64::from_bits(self.wear_units_bits)
+    }
 }
 
 /// The Wear Quota technique (Section 3.1, "last resort" of Section 5.3).

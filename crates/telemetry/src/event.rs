@@ -163,6 +163,18 @@ pub enum Event {
         /// Span name, repeated for grep-ability of raw traces.
         name: String,
     },
+    /// Crash-safe persistence opened a state store and reconciled it
+    /// with the run: a fresh store, a verified replay of an interrupted
+    /// log, or a warm start harvested from a clean completion.
+    PersistRecovery {
+        /// Records recovered from the prior log that deterministic
+        /// re-execution must reproduce verbatim (0 for a fresh store).
+        replayed_records: u64,
+        /// Whether a clean prior log armed the warm-start bank.
+        warm_start: bool,
+        /// Fitted models restored into the warm-start fit cache.
+        restored_models: u64,
+    },
     /// A snapshot of the counters/histograms registry, usually emitted
     /// once at the end of a traced run.
     MetricsRegistry {
@@ -190,6 +202,7 @@ impl Event {
             Event::FitElided { .. } => "fit_elided",
             Event::SegmentCompleted { .. } => "segment_completed",
             Event::RunCompleted { .. } => "run_completed",
+            Event::PersistRecovery { .. } => "persist_recovery",
             Event::SpanOpen { .. } => "span_open",
             Event::SpanClose { .. } => "span_close",
             Event::MetricsRegistry { .. } => "metrics_registry",

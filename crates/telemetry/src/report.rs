@@ -369,6 +369,20 @@ pub fn render_report_with_unknown(records: &[Record], unknown: &BTreeMap<String,
                     seg + 1
                 );
             }
+            Event::PersistRecovery {
+                replayed_records,
+                warm_start,
+                restored_models,
+            } => {
+                let mode = if *replayed_records > 0 {
+                    format!("verifying replay of {replayed_records} persisted record(s)")
+                } else if *warm_start {
+                    format!("warm start from {restored_models} restored model(s)")
+                } else {
+                    "fresh state store".to_string()
+                };
+                let _ = writeln!(out, "{t} crash-safe persistence armed: {mode}");
+            }
             // Spans are profiled, not narrated: the timeline stays a
             // decision log, and `mct profile` owns the timing view. Fit
             // spans are additionally tallied per learner for the footer.

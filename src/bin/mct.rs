@@ -5,6 +5,7 @@
 //! mct run      <workload> [--target <years>] [--model gb|ql] [--insts N]
 //!                         [--seed N] [--trace <out.jsonl>] [--quiet]
 //!                         [--metrics-out <out.prom>]
+//!                         [--state-dir <dir>] [--resume]
 //! mct chaos    [workload] --plan <plan.json> [--seed N] [--target <years>]
 //!                         [--insts N] [--trace <out.jsonl>] [--quiet]
 //!                         [--metrics-out <out.prom>]
@@ -13,14 +14,25 @@
 //! mct profile  <trace.jsonl> [--collapsed <out.txt>] [--min-coverage PCT]
 //! mct measure  <workload> [--fast R] [--slow R] [--bank N] [--eager N]
 //!                         [--quota Y] [--cancel none|slow|both] [--seed N]
+//! mct recover  <state-dir>
 //! mct workloads
 //! mct space
 //! ```
+//!
+//! `--state-dir` arms crash-safe persistence: controller state
+//! transitions stream to a write-ahead log under the directory and each
+//! segment boundary compacts it into a snapshot. After a crash (or a
+//! clean completion), `mct recover <dir>` inspects what survived and
+//! `mct run --state-dir <dir> --resume` recovers: an interrupted log is
+//! verified against deterministic re-execution record by record; a clean
+//! log warm-starts the next run from its fitted models, skipping the
+//! sampling periods they cover.
 
 use std::process::ExitCode;
 
 use memory_cocktail_therapy::framework::{
-    ConfigSpace, Controller, ControllerConfig, ModelKind, NvmConfig, Objective,
+    ConfigSpace, Controller, ControllerConfig, ModelKind, NvmConfig, Objective, PersistConfig,
+    RecoveryReport,
 };
 use memory_cocktail_therapy::sim::{FaultPlan, System, SystemConfig};
 use memory_cocktail_therapy::telemetry::{
@@ -31,12 +43,13 @@ use memory_cocktail_therapy::workloads::Workload;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  mct run <workload> [--target YEARS] [--model gb|ql] [--insts N] [--seed N] [--trace OUT.jsonl] [--metrics-out OUT.prom] [--quiet]\n  \
+        "usage:\n  mct run <workload> [--target YEARS] [--model gb|ql] [--insts N] [--seed N] [--trace OUT.jsonl] [--metrics-out OUT.prom] [--state-dir DIR] [--resume] [--quiet]\n  \
          mct chaos [workload] --plan PLAN.json [--seed N] [--target YEARS] [--insts N] [--trace OUT.jsonl] [--metrics-out OUT.prom] [--quiet]\n  \
          mct report <trace.jsonl>\n  \
          mct metrics <trace.jsonl>\n  \
          mct profile <trace.jsonl> [--collapsed OUT.txt] [--min-coverage PCT]\n  \
          mct measure <workload> [--fast R] [--slow R] [--bank N] [--eager N] [--quota Y] [--cancel none|slow|both] [--seed N]\n  \
+         mct recover <state-dir>\n  \
          mct workloads\n  mct space"
     );
     ExitCode::FAILURE
@@ -94,8 +107,9 @@ fn cmd_run(args: &[String]) -> ExitCode {
             "--seed",
             "--trace",
             "--metrics-out",
+            "--state-dir",
         ],
-        &["--quiet"],
+        &["--quiet", "--resume"],
     ) {
         eprintln!("{e}");
         return usage();
@@ -124,6 +138,16 @@ fn cmd_run(args: &[String]) -> ExitCode {
     cfg.total_insts = insts;
     cfg.warmup_insts = workload.warmup_insts();
     cfg.seed = seed;
+    if let Some(dir) = flag(args, "--state-dir") {
+        cfg.persist = Some(if has_flag(args, "--resume") {
+            PersistConfig::resume_from(&dir)
+        } else {
+            PersistConfig::fresh(&dir)
+        });
+    } else if has_flag(args, "--resume") {
+        eprintln!("--resume requires --state-dir");
+        return usage();
+    }
     let mut controller = Controller::new(cfg, Objective::paper_default(target));
     let trace = flag(args, "--trace");
     let metrics_out = flag(args, "--metrics-out");
@@ -488,10 +512,32 @@ fn cmd_measure(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_recover(args: &[String]) -> ExitCode {
+    if let Err(e) = check_flags(args, &[], &[]) {
+        eprintln!("{e}");
+        return usage();
+    }
+    let Some(dir) = args.first() else {
+        eprintln!("usage: mct recover <state-dir>");
+        return ExitCode::FAILURE;
+    };
+    match RecoveryReport::from_dir(std::path::Path::new(dir)) {
+        Ok(report) => {
+            println!("{}", report.render());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot recover state from {dir}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("recover") => cmd_recover(&args[1..]),
         Some("chaos") => cmd_chaos(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..]),

@@ -17,7 +17,10 @@
 //!   objectives, phase detection, runtime sampling, prediction,
 //!   constrained optimization, wear-quota fixup and health checking;
 //! * [`telemetry`] — structured decision traces (JSONL), counters and
-//!   histograms, and the report renderer behind `mct report`.
+//!   histograms, and the report renderer behind `mct report`;
+//! * [`persist`] — the crash-safe state store: a versioned, checksummed
+//!   write-ahead log plus snapshots backing `mct run --state-dir`,
+//!   `mct run --resume` and `mct recover`.
 //!
 //! ## Quickstart
 //!
@@ -41,6 +44,7 @@
 
 pub use mct_core as framework;
 pub use mct_ml as ml;
+pub use mct_persist as persist;
 pub use mct_sim as sim;
 pub use mct_telemetry as telemetry;
 pub use mct_workloads as workloads;

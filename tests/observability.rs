@@ -22,11 +22,13 @@ fn traced_run_to(path: &std::path::Path) {
 
 #[test]
 fn traced_run_profiles_and_exposes() {
-    let dir = std::env::temp_dir();
-    let path = dir.join(format!("mct-observability-{}.jsonl", std::process::id()));
+    // A per-test unique dir, not a pid-shared temp_dir() path: parallel
+    // test binaries (or a same-pid re-run after a crash) must never
+    // race on the trace file.
+    let dir = memory_cocktail_therapy::persist::TempDir::new("mct-observability");
+    let path = dir.join("trace.jsonl");
     traced_run_to(&path);
     let text = std::fs::read_to_string(&path).expect("trace readable");
-    let _ = std::fs::remove_file(&path);
 
     let (records, unknown) = parse_jsonl_tolerant(&text).expect("trace parses");
     assert!(

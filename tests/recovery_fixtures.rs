@@ -1,0 +1,314 @@
+//! Golden recovery fixtures: committed WAL + snapshot stores that pin
+//! the on-disk persistence format.
+//!
+//! Two interrupted stores live under `tests/fixtures/recovery/`:
+//!
+//! * `ocean_interrupted/` — a phase-heavy OCEAN run killed mid-flight,
+//!   past its first compaction (snapshot + live WAL tail);
+//! * `ladder_interrupted/` — a chaos run (the degradation fixture plan)
+//!   killed while the degradation ladder is mid-escalation.
+//!
+//! Each fixture must (a) regenerate byte-for-byte from the committed
+//! crash op (the serialization is part of the format contract), (b)
+//! recover: resuming over the committed bytes converges on the golden
+//! outcome, and (c) fail LOUDLY — not misparse — when the container
+//! format version or the snapshot schema version is from the future.
+//!
+//! Regenerate after an intentional format change with
+//! `MCT_BLESS=1 cargo test --test recovery_fixtures`.
+
+use memory_cocktail_therapy::framework::{
+    Controller, ControllerConfig, ModelKind, Objective, Outcome, PersistConfig, RecoverError,
+    RecoveryReport,
+};
+use memory_cocktail_therapy::persist::{CrashPoint, PersistError, StateStore, TempDir};
+use memory_cocktail_therapy::sim::FaultPlan;
+use memory_cocktail_therapy::workloads::Workload;
+use std::path::Path;
+
+const OCEAN_SEED: u64 = 2017;
+const LADDER_SEED: u64 = 17;
+
+fn fixture_dir(name: &str) -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/recovery")
+        .join(name)
+}
+
+/// The fixture plan shared with the fault-injection suite: tuned so the
+/// controller walks the degradation ladder.
+fn degradation_plan() -> FaultPlan {
+    let text = std::fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/degradation_plan.json"),
+    )
+    .expect("read degradation_plan.json");
+    let plan: FaultPlan = serde_json::from_str(&text).expect("parse degradation_plan.json");
+    plan.validate().expect("fixture plan must validate");
+    plan
+}
+
+fn ocean_cfg() -> (ControllerConfig, Workload) {
+    let mut cfg = ControllerConfig::quick_demo();
+    cfg.seed = OCEAN_SEED;
+    // Long enough for ocean's alternating coarse phases to split the
+    // run into several segments, so the kill lands past a compaction.
+    cfg.total_insts = 1_500_000;
+    (cfg, Workload::Ocean)
+}
+
+/// The chaos configuration from the fault-injection suite: long enough
+/// for repeated health-check failures to escalate the ladder.
+fn ladder_cfg() -> (ControllerConfig, Workload) {
+    let mut cfg = ControllerConfig::quick_demo();
+    cfg.model = ModelKind::QuadraticLasso;
+    cfg.total_insts = 1_200_000;
+    cfg.warmup_insts = 100_000;
+    cfg.health_check_every_windows = 2;
+    cfg.seed = LADDER_SEED;
+    cfg.fault_plan = Some(degradation_plan());
+    (cfg, Workload::Stream)
+}
+
+fn run_with_store(
+    mut cfg: ControllerConfig,
+    workload: Workload,
+    dir: &Path,
+    resume: bool,
+    crash_point: CrashPoint,
+) -> Outcome {
+    let seed = cfg.seed;
+    cfg.persist = Some(PersistConfig {
+        dir: dir.display().to_string(),
+        resume,
+        crash_point,
+    });
+    Controller::new(cfg, Objective::paper_default(8.0)).run(&mut workload.source(seed))
+}
+
+fn golden(cfg: &ControllerConfig, workload: Workload) -> Outcome {
+    let mut cfg = cfg.clone();
+    cfg.persist = None;
+    let seed = cfg.seed;
+    Controller::new(cfg, Objective::paper_default(8.0)).run(&mut workload.source(seed))
+}
+
+const STORE_FILES: [&str; 2] = ["wal.bin", "snap.bin"];
+
+fn copy_store(from: &Path, to: &Path) {
+    std::fs::create_dir_all(to).expect("create store copy dir");
+    for name in STORE_FILES {
+        let src = from.join(name);
+        if src.exists() {
+            std::fs::copy(&src, to.join(name)).expect("copy store file");
+        }
+    }
+}
+
+fn read_crash_op(dir: &Path) -> u64 {
+    std::fs::read_to_string(dir.join("crash_op.txt"))
+        .expect("read crash_op.txt (regenerate the fixture with MCT_BLESS=1)")
+        .trim()
+        .parse()
+        .expect("crash_op.txt must hold one op index")
+}
+
+/// Regenerate the store a fixture was blessed from, in `out`.
+fn regenerate(cfg: &ControllerConfig, workload: Workload, out: &Path, crash_op: u64) {
+    run_with_store(
+        cfg.clone(),
+        workload,
+        out,
+        false,
+        CrashPoint::AfterOp(crash_op),
+    );
+}
+
+/// Bless `name` from the given config: pick the crash op (the caller's
+/// predicate decides when the store is interesting), write the store
+/// files plus `crash_op.txt` into the fixture dir.
+fn bless(
+    name: &str,
+    cfg: &ControllerConfig,
+    workload: Workload,
+    start_op: u64,
+    accept: impl Fn(&RecoveryReport, &Path) -> bool,
+) {
+    let mut op = start_op;
+    loop {
+        let tmp = TempDir::new("mct-bless");
+        regenerate(cfg, workload, tmp.path(), op);
+        let report = RecoveryReport::from_dir(tmp.path()).expect("blessed store must replay");
+        if !report.clean && accept(&report, tmp.path()) {
+            let dest = fixture_dir(name);
+            std::fs::create_dir_all(&dest).expect("create fixture dir");
+            copy_store(tmp.path(), &dest);
+            std::fs::write(dest.join("crash_op.txt"), format!("{op}\n"))
+                .expect("write crash_op.txt");
+            return;
+        }
+        assert!(
+            !report.clean,
+            "{name}: ran out of ops at {op} without satisfying the fixture predicate"
+        );
+        op += 1;
+    }
+}
+
+fn check_fixture(
+    name: &str,
+    cfg: &ControllerConfig,
+    workload: Workload,
+    verify: impl Fn(&RecoveryReport),
+) {
+    let dir = fixture_dir(name);
+    let crash_op = read_crash_op(&dir);
+
+    // (a) Byte stability: the committed bytes must regenerate exactly —
+    // record serialization, framing, checksums, headers and all.
+    let regen = TempDir::new("mct-fixture-regen");
+    regenerate(cfg, workload, regen.path(), crash_op);
+    for file in STORE_FILES {
+        let committed = dir.join(file);
+        let rebuilt = regen.path().join(file);
+        assert_eq!(
+            committed.exists(),
+            rebuilt.exists(),
+            "{name}/{file}: presence diverged from the committed fixture; \
+             regenerate with MCT_BLESS=1 if the format change is intentional"
+        );
+        if committed.exists() {
+            let want = std::fs::read(&committed).expect("read committed fixture");
+            let got = std::fs::read(&rebuilt).expect("read regenerated store");
+            assert_eq!(
+                got, want,
+                "{name}/{file}: bytes diverged from the committed fixture; \
+                 regenerate with MCT_BLESS=1 if the format change is intentional"
+            );
+        }
+    }
+
+    // (b) The committed store describes an interrupted run...
+    let report = RecoveryReport::from_dir(&dir).expect("committed fixture must replay");
+    assert!(!report.clean, "{name}: fixture must be interrupted");
+    assert_eq!(report.seed, Some(cfg.seed), "{name}: seed");
+    verify(&report);
+
+    // ...and recovers: resume over a copy, demand golden bit-identity.
+    let work = TempDir::new("mct-fixture-resume");
+    copy_store(&dir, work.path());
+    let golden = golden(cfg, workload);
+    let resumed = run_with_store(cfg.clone(), workload, work.path(), true, CrashPoint::None);
+    assert_eq!(
+        resumed.final_metrics.ipc.to_bits(),
+        golden.final_metrics.ipc.to_bits(),
+        "{name}: resumed IPC diverged from golden"
+    );
+    assert_eq!(resumed, golden, "{name}: resumed outcome diverged");
+    let post = RecoveryReport::from_dir(work.path()).expect("resumed store must replay");
+    assert!(post.clean, "{name}: resumed store must end clean");
+}
+
+/// Header (20 bytes) plus at least one frame.
+fn has_live_tail(dir: &Path) -> bool {
+    std::fs::metadata(dir.join("wal.bin")).map_or(0, |m| m.len()) > 20
+}
+
+#[test]
+fn ocean_fixture_regenerates_and_recovers() {
+    let (cfg, workload) = ocean_cfg();
+    if std::env::var_os("MCT_BLESS").is_some() {
+        // Land past the first compaction with fresh records behind it,
+        // so the fixture commits a snapshot AND a live WAL tail.
+        bless("ocean_interrupted", &cfg, workload, 0, |r, dir| {
+            r.segments_completed >= 1
+                && r.stale_wal_records == 0
+                && dir.join("snap.bin").exists()
+                && has_live_tail(dir)
+        });
+        return;
+    }
+    check_fixture("ocean_interrupted", &cfg, workload, |report| {
+        assert!(
+            report.segments_completed >= 1,
+            "fixture must span at least one compacted segment"
+        );
+        assert!(
+            fixture_dir("ocean_interrupted").join("snap.bin").exists(),
+            "fixture must exercise the snapshot file"
+        );
+        assert!(
+            has_live_tail(&fixture_dir("ocean_interrupted")),
+            "fixture must exercise post-snapshot WAL records"
+        );
+    });
+}
+
+#[test]
+fn ladder_fixture_is_mid_escalation_and_recovers() {
+    use memory_cocktail_therapy::framework::DegradationStage;
+    let (cfg, workload) = ladder_cfg();
+    if std::env::var_os("MCT_BLESS").is_some() {
+        bless("ladder_interrupted", &cfg, workload, 0, |r, _| {
+            r.ladder > DegradationStage::Normal
+        });
+        return;
+    }
+    check_fixture("ladder_interrupted", &cfg, workload, |report| {
+        assert!(
+            report.ladder > DegradationStage::Normal,
+            "fixture must be killed mid-escalation, got {:?}",
+            report.ladder
+        );
+        assert!(
+            report.health_failures > 0,
+            "a mid-escalation fixture records failed health checks"
+        );
+    });
+}
+
+/// A store stamped with a future container format version must fail
+/// loudly at open — never misparse.
+#[test]
+fn future_format_version_fails_loudly() {
+    for file in STORE_FILES {
+        let work = TempDir::new("mct-future-format");
+        let mut store = StateStore::create(work.path()).expect("create store");
+        store.append(b"{\"x\":1}").expect("append a record");
+        store
+            .snapshot(b"{\"schema\":1,\"records\":[]}")
+            .expect("write a snapshot");
+        store
+            .append(b"{\"x\":2}")
+            .expect("append past the snapshot");
+        drop(store);
+        let path = work.path().join(file);
+        let mut bytes = std::fs::read(&path).expect("read store file");
+        // Header layout: 8 magic bytes, then the u32 LE format version.
+        bytes[8] = bytes[8].wrapping_add(1);
+        std::fs::write(&path, &bytes).expect("rewrite store file");
+        match RecoveryReport::from_dir(work.path()) {
+            Err(RecoverError::Store(PersistError::FormatVersion { found, supported })) => {
+                assert_ne!(found, supported, "{file}: versions must differ");
+            }
+            other => panic!("{file}: expected a FormatVersion error, got {other:?}"),
+        }
+    }
+}
+
+/// A snapshot whose *state schema* (the typed record vocabulary inside
+/// the container) is from the future must also fail loudly.
+#[test]
+fn future_snapshot_schema_fails_loudly() {
+    let work = TempDir::new("mct-future-schema");
+    let mut store = StateStore::create(work.path()).expect("create store");
+    store
+        .snapshot(br#"{"schema":99,"records":[]}"#)
+        .expect("write snapshot");
+    match RecoveryReport::from_dir(work.path()) {
+        Err(RecoverError::SchemaVersion { found, supported }) => {
+            assert_eq!(found, 99);
+            assert_ne!(found, supported);
+        }
+        other => panic!("expected a SchemaVersion error, got {other:?}"),
+    }
+}

@@ -320,3 +320,108 @@ proptest! {
         prop_assert!(!stats.wear_units.is_nan() && stats.wear_units >= 0.0);
     }
 }
+
+// --- Crash-point properties over the persistence layer. ---
+
+use memory_cocktail_therapy::framework::{
+    decode_dir, records_match, Controller, ControllerConfig, Outcome, PersistConfig,
+    RecoveryReport, StateRecord,
+};
+use memory_cocktail_therapy::persist::{CrashPoint, TempDir};
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Golden outcomes and reference traces, computed once per
+/// (workload, seed) and shared across proptest cases — the property
+/// varies the *crash*, not the run.
+#[allow(clippy::type_complexity)]
+fn crash_reference(workload: Workload, seed: u64) -> (Outcome, Vec<StateRecord>) {
+    static CACHE: OnceLock<Mutex<HashMap<(String, u64), (Outcome, Vec<StateRecord>)>>> =
+        OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let key = (workload.name().to_string(), seed);
+    let mut guard = cache.lock().expect("reference cache poisoned");
+    guard
+        .entry(key)
+        .or_insert_with(|| {
+            let dir = TempDir::new("mct-prop-ref");
+            let outcome = persisted_run(dir.path(), workload, seed, false, CrashPoint::None);
+            let trace = decode_dir(dir.path()).expect("clean store must decode");
+            (outcome, trace)
+        })
+        .clone()
+}
+
+fn persisted_run(
+    dir: &std::path::Path,
+    workload: Workload,
+    seed: u64,
+    resume: bool,
+    crash_point: CrashPoint,
+) -> Outcome {
+    let mut cfg = ControllerConfig::quick_demo();
+    cfg.seed = seed;
+    cfg.persist = Some(PersistConfig {
+        dir: dir.display().to_string(),
+        resume,
+        crash_point,
+    });
+    Controller::new(cfg, Objective::paper_default(8.0)).run(&mut workload.source(seed))
+}
+
+fn arb_crash_point() -> impl Strategy<Value = CrashPoint> {
+    prop_oneof![
+        (0u64..48).prop_map(CrashPoint::AfterOp),
+        (0u64..48, 0u64..64).prop_map(|(op, keep_bytes)| CrashPoint::TornOp { op, keep_bytes }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For ANY kill point — clean kill after op k or a torn write with an
+    /// arbitrary byte prefix — the survivor store (a) still decodes, (b)
+    /// holds exactly a prefix of the acked reference trace (nothing lost,
+    /// nothing invented), and (c) resuming converges on the golden
+    /// outcome bit for bit; a crash landing past the end of the run
+    /// leaves a clean log whose resume warm-starts without panicking.
+    #[test]
+    fn any_crash_point_recovers_without_losing_acked_state(
+        seed in prop_oneof![Just(11u64), Just(2017u64)],
+        workload in prop_oneof![Just(Workload::Stream), Just(Workload::Ocean)],
+        crash in arb_crash_point(),
+    ) {
+        let (golden, reference) = crash_reference(workload, seed);
+        let dir = TempDir::new("mct-prop-crash");
+        let crashed = persisted_run(dir.path(), workload, seed, false, crash);
+        // The dying store is invisible to the in-flight run.
+        prop_assert_eq!(&crashed, &golden);
+
+        let report = RecoveryReport::from_dir(dir.path())
+            .map_err(|e| TestCaseError::fail(format!("{crash:?}: store unreadable: {e}")))?;
+        let survivor = decode_dir(dir.path())
+            .map_err(|e| TestCaseError::fail(format!("{crash:?}: store undecodable: {e}")))?;
+        prop_assert!(survivor.len() <= reference.len());
+        for (i, (s, r)) in survivor.iter().zip(&reference).enumerate() {
+            prop_assert!(
+                records_match(r, s) || records_match(s, r),
+                "{:?}: record {} not a prefix of the acked trace", crash, i
+            );
+        }
+
+        let resumed = persisted_run(dir.path(), workload, seed, true, CrashPoint::None);
+        if report.clean {
+            // Kill point past the end of the run: warm start, not recovery.
+            prop_assert!(resumed.final_metrics.ipc > 0.0);
+        } else {
+            prop_assert_eq!(&resumed, &golden);
+            prop_assert_eq!(
+                resumed.final_metrics.ipc.to_bits(),
+                golden.final_metrics.ipc.to_bits()
+            );
+            let post = RecoveryReport::from_dir(dir.path())
+                .map_err(|e| TestCaseError::fail(format!("{crash:?}: post-resume: {e}")))?;
+            prop_assert!(post.clean, "{:?}: resumed store must end clean", crash);
+        }
+    }
+}
